@@ -1,0 +1,136 @@
+//! Threshold counting aggregations.
+//!
+//! A counting aggregation answers "how many readings are at most `x`?" with a
+//! single convergecast — it is fully compressible (the packet carries one
+//! integer). Selection queries (median, quantiles) are built from a sequence
+//! of such counts in [`crate::median`].
+
+use crate::error::AggfnError;
+use crate::ops::CountAtMost;
+use crate::tree::ConvergecastTree;
+
+/// Reference implementation: counts readings `<= threshold` directly.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::count_at_most;
+/// assert_eq!(count_at_most(&[1.0, 2.0, 3.0, 4.0], 2.5), 2);
+/// ```
+pub fn count_at_most(readings: &[f64], threshold: f64) -> usize {
+    readings.iter().filter(|&&r| r <= threshold).count()
+}
+
+/// In-network implementation: counts readings `<= threshold` with one
+/// convergecast over `tree`.
+///
+/// # Errors
+///
+/// Returns an [`AggfnError`] when the readings do not cover the tree or are
+/// not finite.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{counting_aggregation, ConvergecastTree};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(3, 3, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..9).map(|i| i as f64).collect();
+/// assert_eq!(counting_aggregation(&tree, &readings, 4.0)?, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn counting_aggregation(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    threshold: f64,
+) -> Result<usize, AggfnError> {
+    let op = CountAtMost::new(threshold);
+    let acc = tree.aggregate_acc(&op, readings)?;
+    Ok(acc as usize)
+}
+
+/// Counts readings in the half-open interval `(lo, hi]` with two logical
+/// counting aggregations (realisable as a single convergecast carrying both
+/// counters).
+///
+/// # Errors
+///
+/// Same as [`counting_aggregation`].
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{ConvergecastTree, counting::count_in_range};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(3, 3, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..9).map(|i| i as f64).collect();
+/// assert_eq!(count_in_range(&tree, &readings, 2.0, 6.0)?, 4); // 3, 4, 5, 6
+/// # Ok(())
+/// # }
+/// ```
+pub fn count_in_range(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    lo: f64,
+    hi: f64,
+) -> Result<usize, AggfnError> {
+    let at_most_hi = counting_aggregation(tree, readings, hi)?;
+    let at_most_lo = counting_aggregation(tree, readings, lo)?;
+    Ok(at_most_hi.saturating_sub(at_most_lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+
+    fn tree_and_readings(n: usize, seed: u64) -> (ConvergecastTree, Vec<f64>) {
+        let inst = uniform_square(n, 80.0, seed);
+        let tree = ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap();
+        let readings: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 101) as f64 / 3.0).collect();
+        (tree, readings)
+    }
+
+    #[test]
+    fn in_network_count_matches_reference() {
+        let (tree, readings) = tree_and_readings(50, 2);
+        for threshold in [0.0, 5.0, 12.34, 33.0, 100.0] {
+            assert_eq!(
+                counting_aggregation(&tree, &readings, threshold).unwrap(),
+                count_at_most(&readings, threshold)
+            );
+        }
+    }
+
+    #[test]
+    fn counting_is_monotone_in_the_threshold() {
+        let (tree, readings) = tree_and_readings(30, 9);
+        let mut prev = 0;
+        for t in 0..40 {
+            let c = counting_aggregation(&tree, &readings, t as f64).unwrap();
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(prev, 30);
+    }
+
+    #[test]
+    fn range_count_matches_filter() {
+        let (tree, readings) = tree_and_readings(40, 4);
+        let lo = 5.0;
+        let hi = 20.0;
+        let expected = readings.iter().filter(|&&r| r > lo && r <= hi).count();
+        assert_eq!(count_in_range(&tree, &readings, lo, hi).unwrap(), expected);
+    }
+
+    #[test]
+    fn empty_range_counts_zero() {
+        let (tree, readings) = tree_and_readings(20, 6);
+        assert_eq!(count_in_range(&tree, &readings, 50.0, 10.0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for the aggregation-function layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building a [`crate::ConvergecastTree`] or evaluating an
+/// aggregate over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AggfnError {
+    /// A link does not carry sender/receiver node identifiers, so the tree
+    /// topology cannot be reconstructed.
+    MissingNodeIds {
+        /// Identifier of the offending link.
+        link: usize,
+    },
+    /// A node is the sender of more than one link.
+    MultipleParents {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The links do not form a tree directed towards a single sink.
+    NotAConvergecastTree,
+    /// The link set is empty, so there is no tree to aggregate over.
+    EmptyTree,
+    /// A node of the tree has no reading (the readings slice is too short).
+    MissingReading {
+        /// The node whose reading is missing.
+        node: usize,
+        /// Length of the readings slice that was provided.
+        provided: usize,
+    },
+    /// A reading is not a finite number.
+    NonFiniteReading {
+        /// The node with the offending reading.
+        node: usize,
+    },
+    /// The requested order statistic is out of range (`k` must satisfy
+    /// `1 <= k <= n`).
+    RankOutOfRange {
+        /// The requested rank.
+        k: usize,
+        /// Number of readings in the tree.
+        n: usize,
+    },
+    /// The requested quantile is outside `[0, 1]`.
+    InvalidQuantile {
+        /// The requested quantile, stored as its debug formatting to keep the
+        /// error type `Eq`.
+        q: String,
+    },
+    /// A histogram was requested with zero buckets or an empty value range.
+    InvalidHistogram,
+}
+
+impl fmt::Display for AggfnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggfnError::MissingNodeIds { link } => {
+                write!(f, "link {link} carries no sender/receiver node identifiers")
+            }
+            AggfnError::MultipleParents { node } => {
+                write!(f, "node {node} is the sender of more than one link")
+            }
+            AggfnError::NotAConvergecastTree => {
+                write!(f, "links do not form a tree directed towards a single sink")
+            }
+            AggfnError::EmptyTree => write!(f, "the link set is empty"),
+            AggfnError::MissingReading { node, provided } => write!(
+                f,
+                "node {node} has no reading (only {provided} readings were provided)"
+            ),
+            AggfnError::NonFiniteReading { node } => {
+                write!(f, "reading of node {node} is not a finite number")
+            }
+            AggfnError::RankOutOfRange { k, n } => {
+                write!(f, "rank {k} is out of range for {n} readings")
+            }
+            AggfnError::InvalidQuantile { q } => {
+                write!(f, "quantile {q} is outside the interval [0, 1]")
+            }
+            AggfnError::InvalidHistogram => {
+                write!(f, "histogram needs at least one bucket and a non-empty value range")
+            }
+        }
+    }
+}
+
+impl Error for AggfnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            AggfnError::MissingNodeIds { link: 3 },
+            AggfnError::MultipleParents { node: 5 },
+            AggfnError::NotAConvergecastTree,
+            AggfnError::EmptyTree,
+            AggfnError::MissingReading { node: 9, provided: 4 },
+            AggfnError::NonFiniteReading { node: 1 },
+            AggfnError::RankOutOfRange { k: 12, n: 5 },
+            AggfnError::InvalidQuantile { q: "1.5".into() },
+            AggfnError::InvalidHistogram,
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AggfnError>();
+    }
+}

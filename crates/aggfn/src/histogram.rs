@@ -1,0 +1,322 @@
+//! Fixed-bucket histograms: the classic partially compressible aggregate.
+//!
+//! A histogram packet carries one counter per bucket, so it is `b` times
+//! larger than a scalar packet but still of size independent of the subtree —
+//! a single convergecast computes the full histogram, from which approximate
+//! quantiles follow with no further rounds. This module quantifies the
+//! rounds-vs-packet-size trade-off against the exact selection of
+//! [`crate::median`].
+
+use crate::error::AggfnError;
+use crate::ops::AggregateOp;
+use crate::tree::ConvergecastTree;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram over a closed value range `[lo, hi]`.
+///
+/// Values below `lo` land in the first bucket and values above `hi` in the
+/// last, so the total count always equals the number of readings.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(3.0);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.bucket_of(1.0), 0);
+/// assert_eq!(h.bucket_of(9.5), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `buckets` equal-width buckets over
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggfnError::InvalidHistogram`] when `buckets == 0`, the range
+    /// is empty, or the bounds are not finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self, AggfnError> {
+        if buckets == 0 || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+            return Err(AggfnError::InvalidHistogram);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+        })
+    }
+
+    /// Lower bound of the value range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the value range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// The per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucket index a value falls into (clamped to the range).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.lo {
+            return 0;
+        }
+        if value >= self.hi {
+            return self.counts.len() - 1;
+        }
+        let idx = ((value - self.lo) / self.bucket_width()).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Adds a reading.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.bucket_of(value);
+        self.counts[idx] += 1;
+    }
+
+    /// Merges another histogram with the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different ranges or bucket counts —
+    /// that is a programming error, not a data condition.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram ranges differ");
+        assert_eq!(self.hi, other.hi, "histogram ranges differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bucket counts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total number of readings recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate `q`-quantile: the upper edge of the bucket in which the
+    /// `ceil(q * total)`-th reading falls. The error is at most one bucket
+    /// width.
+    ///
+    /// Returns `None` for an empty histogram or `q` outside `[0, 1]`.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(self.lo + (i + 1) as f64 * self.bucket_width());
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// The `AggregateOp` whose accumulator is a full histogram (larger packets,
+/// still compressible to constant size per bucket).
+#[derive(Debug, Clone, PartialEq)]
+struct HistogramOp {
+    template: Histogram,
+}
+
+impl AggregateOp for HistogramOp {
+    type Acc = Histogram;
+
+    fn identity(&self) -> Histogram {
+        self.template.clone()
+    }
+
+    fn lift(&self, reading: f64) -> Histogram {
+        let mut h = self.template.clone();
+        h.add(reading);
+        h
+    }
+
+    fn combine(&self, a: &Histogram, b: &Histogram) -> Histogram {
+        let mut merged = a.clone();
+        merged.merge(b);
+        merged
+    }
+
+    fn finish(&self, acc: &Histogram) -> f64 {
+        acc.total() as f64
+    }
+}
+
+/// The outcome of a histogram convergecast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// The merged histogram received at the sink.
+    pub histogram: Histogram,
+    /// Packet transmissions used (one per link — a single convergecast).
+    pub transmissions: usize,
+    /// Packet payload size in counters (the number of buckets).
+    pub packet_size: usize,
+}
+
+impl HistogramReport {
+    /// Approximate `q`-quantile read off the sink's histogram.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        self.histogram.approx_quantile(q)
+    }
+}
+
+/// Computes the histogram of all readings with a single convergecast over the
+/// tree.
+///
+/// # Errors
+///
+/// Returns [`AggfnError::InvalidHistogram`] for a bad bucket specification and
+/// the usual reading-validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{histogram_aggregation, ConvergecastTree};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(4, 4, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..16).map(|i| i as f64).collect();
+/// let report = histogram_aggregation(&tree, &readings, 0.0, 16.0, 4)?;
+/// assert_eq!(report.histogram.total(), 16);
+/// assert_eq!(report.packet_size, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn histogram_aggregation(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+) -> Result<HistogramReport, AggfnError> {
+    let template = Histogram::new(lo, hi, buckets)?;
+    let op = HistogramOp { template };
+    let histogram = tree.aggregate_acc(&op, readings)?;
+    Ok(HistogramReport {
+        packet_size: histogram.bucket_count(),
+        transmissions: tree.link_count(),
+        histogram,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+
+    #[test]
+    fn invalid_specifications_are_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NEG_INFINITY, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add(-3.0);
+        h.add(42.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 4.0, 4).unwrap();
+        let mut b = Histogram::new(0.0, 4.0, 4).unwrap();
+        a.add(0.5);
+        b.add(0.5);
+        b.add(3.5);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram ranges differ")]
+    fn merge_of_mismatched_histograms_panics() {
+        let mut a = Histogram::new(0.0, 4.0, 4).unwrap();
+        let b = Histogram::new(0.0, 8.0, 4).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn in_network_histogram_matches_direct() {
+        let n = 50;
+        let inst = uniform_square(n, 100.0, 77);
+        let tree = ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap();
+        let readings: Vec<f64> = (0..n).map(|i| ((i * 13) % 40) as f64).collect();
+
+        let report = histogram_aggregation(&tree, &readings, 0.0, 40.0, 8).unwrap();
+        let mut direct = Histogram::new(0.0, 40.0, 8).unwrap();
+        for &r in &readings {
+            direct.add(r);
+        }
+        assert_eq!(report.histogram, direct);
+        assert_eq!(report.transmissions, n - 1);
+        assert_eq!(report.histogram.total() as usize, n);
+    }
+
+    #[test]
+    fn approx_quantile_is_within_one_bucket_of_exact() {
+        let n = 64;
+        let inst = uniform_square(n, 100.0, 5);
+        let tree = ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap();
+        let readings: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let report = histogram_aggregation(&tree, &readings, 0.0, 64.0, 16).unwrap();
+        let width = report.histogram.bucket_width();
+        let mut sorted = readings.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = report.approx_quantile(q).unwrap();
+            let exact = sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+            assert!(
+                (approx - exact).abs() <= width + 1e-9,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.approx_quantile(0.5), None);
+        assert_eq!(h.approx_quantile(-0.5), None);
+    }
+}

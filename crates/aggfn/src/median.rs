@@ -1,0 +1,347 @@
+//! Exact selection (median, k-th smallest) by binary search over counting
+//! aggregations.
+//!
+//! The median is not compressible, but Sec. 3.1 of the paper observes that it
+//! can be computed with `O(log Δ_v)` counting convergecasts (`Δ_v` being the
+//! spread of the reading values), each of which *is* compressible and
+//! therefore runs at the aggregation rate of the schedule. This module
+//! implements that procedure exactly (it terminates with the true order
+//! statistic, not an approximation) and accounts for the number of rounds and
+//! slots it costs.
+
+use crate::counting::counting_aggregation;
+use crate::error::AggfnError;
+use crate::ops::{Max, Min, MinAbove};
+use crate::tree::ConvergecastTree;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the selection procedure.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::MedianConfig;
+///
+/// let config = MedianConfig::default().with_schedule_length(8);
+/// assert_eq!(config.schedule_length, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MedianConfig {
+    /// Hard cap on the number of convergecast rounds (the procedure reports
+    /// `converged = false` if it is hit; with the default of 512 this only
+    /// happens for adversarial reading sets with sub-ULP gaps).
+    pub max_rounds: usize,
+    /// Length of the TDMA schedule each convergecast round runs on; used only
+    /// for the slot accounting in the report. Use the schedule length
+    /// produced by the scheduler (e.g. `O(log* Δ)` slots for global power).
+    pub schedule_length: usize,
+}
+
+impl Default for MedianConfig {
+    fn default() -> Self {
+        MedianConfig {
+            max_rounds: 512,
+            schedule_length: 1,
+        }
+    }
+}
+
+impl MedianConfig {
+    /// Sets the schedule length used for slot accounting.
+    pub fn with_schedule_length(mut self, slots: usize) -> Self {
+        self.schedule_length = slots;
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// The outcome of a selection query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionReport {
+    /// The selected value (the exact `rank`-th smallest reading when
+    /// `converged` is true).
+    pub value: f64,
+    /// The rank that was requested (1-based).
+    pub rank: usize,
+    /// Number of readings in the tree.
+    pub population: usize,
+    /// Number of threshold-counting convergecast rounds used.
+    pub counting_rounds: usize,
+    /// Number of auxiliary convergecast rounds (min, max, min-above probes).
+    pub support_rounds: usize,
+    /// Total convergecast rounds (`counting_rounds + support_rounds`).
+    pub total_rounds: usize,
+    /// The schedule length the rounds were charged against.
+    pub schedule_length: usize,
+    /// Total slots: `total_rounds * schedule_length`.
+    pub total_slots: usize,
+    /// Whether the procedure terminated with the exact answer (false only if
+    /// the round cap was hit).
+    pub converged: bool,
+}
+
+impl SelectionReport {
+    /// Slots per reading collected — the amortised cost the paper's rate
+    /// analysis speaks about (`total_slots / population`).
+    pub fn slots_per_reading(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.total_slots as f64 / self.population as f64
+    }
+}
+
+/// Computes the exact `k`-th smallest reading (1-based) over the tree using
+/// only compressible convergecast rounds.
+///
+/// The procedure maintains an interval `(lo, hi]` with `count(lo) < k <=
+/// count(hi)` and bisects on the value axis; a `min-above(lo)` probe detects
+/// when the interval contains a single distinct reading, at which point that
+/// reading is the answer.
+///
+/// # Errors
+///
+/// Returns [`AggfnError::RankOutOfRange`] for `k` outside `1..=n` and the
+/// usual reading-validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{kth_smallest, ConvergecastTree, MedianConfig};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(4, 4, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..16).map(|i| ((i * 7) % 16) as f64).collect();
+/// let report = kth_smallest(&tree, &readings, 4, MedianConfig::default())?;
+/// assert_eq!(report.value, 3.0);
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kth_smallest(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    k: usize,
+    config: MedianConfig,
+) -> Result<SelectionReport, AggfnError> {
+    let n = tree.node_count();
+    if k == 0 || k > n {
+        return Err(AggfnError::RankOutOfRange { k, n });
+    }
+
+    let mut counting_rounds = 0usize;
+    let mut support_rounds = 0usize;
+
+    // Support rounds: the global minimum and maximum of the readings.
+    let mut lo = tree.aggregate(&Min, readings)?;
+    support_rounds += 1;
+    let mut hi = tree.aggregate(&Max, readings)?;
+    support_rounds += 1;
+
+    let finish = |value: f64, counting: usize, support: usize, converged: bool| {
+        let total = counting + support;
+        SelectionReport {
+            value,
+            rank: k,
+            population: n,
+            counting_rounds: counting,
+            support_rounds: support,
+            total_rounds: total,
+            schedule_length: config.schedule_length,
+            total_slots: total * config.schedule_length.max(1),
+            converged,
+        }
+    };
+
+    // Is the minimum already the answer?
+    let c_lo = counting_aggregation(tree, readings, lo)?;
+    counting_rounds += 1;
+    if c_lo >= k {
+        return Ok(finish(lo, counting_rounds, support_rounds, true));
+    }
+
+    // Invariant: count(lo) < k <= count(hi) (count(hi) = n >= k holds because
+    // hi is the maximum reading).
+    loop {
+        if counting_rounds + support_rounds >= config.max_rounds {
+            // Best current candidate: the smallest reading above lo.
+            let v = tree.aggregate(&MinAbove::new(lo), readings)?;
+            support_rounds += 1;
+            return Ok(finish(v, counting_rounds, support_rounds, false));
+        }
+
+        // Probe: the smallest reading strictly above lo. If its count already
+        // reaches k there is no reading between lo and it, so it is the answer.
+        let v = tree.aggregate(&MinAbove::new(lo), readings)?;
+        support_rounds += 1;
+        let c_v = counting_aggregation(tree, readings, v)?;
+        counting_rounds += 1;
+        if c_v >= k {
+            return Ok(finish(v, counting_rounds, support_rounds, true));
+        }
+
+        // Bisect the value interval. If no representable midpoint exists, fall
+        // back to advancing lo to the probe value (still strict progress).
+        let mid = lo / 2.0 + hi / 2.0;
+        if !(mid > lo && mid < hi) {
+            lo = v;
+            continue;
+        }
+        let c_mid = counting_aggregation(tree, readings, mid)?;
+        counting_rounds += 1;
+        if c_mid >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+}
+
+/// Computes the exact (lower) median: the `ceil(n/2)`-th smallest reading.
+///
+/// # Errors
+///
+/// Same as [`kth_smallest`].
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{median_by_counting, ConvergecastTree, MedianConfig};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(3, 3, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0];
+/// let report = median_by_counting(&tree, &readings, MedianConfig::default())?;
+/// assert_eq!(report.value, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn median_by_counting(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    config: MedianConfig,
+) -> Result<SelectionReport, AggfnError> {
+    let n = tree.node_count();
+    kth_smallest(tree, readings, n.div_ceil(2), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::{grid, uniform_square};
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    fn tree_for(n: usize, seed: u64) -> ConvergecastTree {
+        let inst = uniform_square(n, 100.0, seed);
+        ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn every_rank_is_exact_on_distinct_readings() {
+        let n = 25;
+        let tree = tree_for(n, 1);
+        let readings: Vec<f64> = (0..n).map(|i| ((i * 13) % n) as f64 * 0.7 - 3.0).collect();
+        let expected = sorted(readings.clone());
+        for k in 1..=n {
+            let report = kth_smallest(&tree, &readings, k, MedianConfig::default()).unwrap();
+            assert!(report.converged, "rank {k} did not converge");
+            assert_eq!(report.value, expected[k - 1], "rank {k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let n = 16;
+        let tree = ConvergecastTree::from_links(&grid(4, 4, 1.0).mst_links().unwrap()).unwrap();
+        let readings: Vec<f64> = (0..n).map(|i| (i % 4) as f64).collect();
+        let expected = sorted(readings.clone());
+        for k in 1..=n {
+            let report = kth_smallest(&tree, &readings, k, MedianConfig::default()).unwrap();
+            assert_eq!(report.value, expected[k - 1], "rank {k}");
+        }
+    }
+
+    #[test]
+    fn all_equal_readings_finish_in_three_rounds() {
+        let tree = tree_for(12, 3);
+        let readings = vec![4.25; 12];
+        let report = median_by_counting(&tree, &readings, MedianConfig::default()).unwrap();
+        assert_eq!(report.value, 4.25);
+        assert_eq!(report.total_rounds, 3); // min, max, one count
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn rank_out_of_range_is_rejected() {
+        let tree = tree_for(10, 5);
+        let readings = vec![1.0; 10];
+        assert!(matches!(
+            kth_smallest(&tree, &readings, 0, MedianConfig::default()),
+            Err(AggfnError::RankOutOfRange { k: 0, n: 10 })
+        ));
+        assert!(matches!(
+            kth_smallest(&tree, &readings, 11, MedianConfig::default()),
+            Err(AggfnError::RankOutOfRange { k: 11, n: 10 })
+        ));
+    }
+
+    #[test]
+    fn round_count_is_logarithmic_in_the_value_spread() {
+        let n = 64;
+        let tree = tree_for(n, 8);
+        // Spread of 2^20 between the smallest and largest reading.
+        let readings: Vec<f64> = (0..n).map(|i| (i as f64) * 16384.0).collect();
+        let report = median_by_counting(&tree, &readings, MedianConfig::default()).unwrap();
+        assert!(report.converged);
+        // log2(spread / min-gap) ≈ log2(n) plus the per-iteration probe overhead.
+        assert!(
+            report.total_rounds <= 4 * 24 + 3,
+            "rounds {} unexpectedly large",
+            report.total_rounds
+        );
+        let expected = sorted(readings.clone())[n / 2 - 1 + 1 - 1];
+        assert_eq!(report.value, expected);
+    }
+
+    #[test]
+    fn slot_accounting_multiplies_schedule_length() {
+        let tree = tree_for(20, 13);
+        let readings: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let config = MedianConfig::default().with_schedule_length(7);
+        let report = median_by_counting(&tree, &readings, config).unwrap();
+        assert_eq!(report.total_slots, report.total_rounds * 7);
+        assert!(report.slots_per_reading() > 0.0);
+    }
+
+    #[test]
+    fn round_cap_reports_non_convergence() {
+        let tree = tree_for(20, 17);
+        let readings: Vec<f64> = (0..20).map(|i| i as f64 * 3.3).collect();
+        let config = MedianConfig::default().with_max_rounds(4);
+        let report = median_by_counting(&tree, &readings, config).unwrap();
+        assert!(!report.converged);
+        // The cap is checked at the top of each iteration, so at most one full
+        // iteration (three rounds) plus the final probe can run past it.
+        assert!(report.total_rounds <= 8);
+    }
+
+    #[test]
+    fn negative_and_positive_readings_mix() {
+        let n = 31;
+        let tree = tree_for(n, 21);
+        let readings: Vec<f64> = (0..n).map(|i| (i as f64) - 15.0).collect();
+        let report = median_by_counting(&tree, &readings, MedianConfig::default()).unwrap();
+        assert_eq!(report.value, 0.0);
+    }
+}

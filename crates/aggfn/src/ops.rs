@@ -1,0 +1,391 @@
+//! Compressible aggregation operators.
+//!
+//! A *fully compressible* aggregation function is one where the combined
+//! value of a set of readings has the same (constant) size as a single
+//! reading, so that a node can merge everything it has heard into one packet.
+//! All operators in this module have that property; the partially
+//! compressible histogram lives in [`crate::histogram`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compressible aggregation operator.
+///
+/// An operator maps each raw reading into an accumulator ([`lift`]), merges
+/// accumulators associatively and commutatively ([`combine`]), and extracts
+/// the final scalar answer at the sink ([`finish`]). The [`identity`] value
+/// is the accumulator of an empty set of readings.
+///
+/// Implementations must make `combine` associative and commutative and
+/// `identity` its neutral element — the convergecast evaluation order depends
+/// on the tree shape, and the answer must not.
+///
+/// [`lift`]: AggregateOp::lift
+/// [`combine`]: AggregateOp::combine
+/// [`finish`]: AggregateOp::finish
+/// [`identity`]: AggregateOp::identity
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Sum};
+///
+/// let op = Sum;
+/// let a = op.lift(2.0);
+/// let b = op.lift(3.5);
+/// assert_eq!(op.finish(&op.combine(&a, &b)), 5.5);
+/// ```
+pub trait AggregateOp {
+    /// The in-network accumulator type (the "packet payload").
+    type Acc: Clone + fmt::Debug;
+
+    /// The accumulator of an empty set of readings.
+    fn identity(&self) -> Self::Acc;
+
+    /// Turns one raw reading into an accumulator.
+    fn lift(&self, reading: f64) -> Self::Acc;
+
+    /// Merges two accumulators. Must be associative and commutative.
+    fn combine(&self, a: &Self::Acc, b: &Self::Acc) -> Self::Acc;
+
+    /// Extracts the final answer from the sink's accumulator.
+    fn finish(&self, acc: &Self::Acc) -> f64;
+}
+
+/// Sum of all readings.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Sum};
+/// assert_eq!(Sum.finish(&Sum.combine(&Sum.lift(1.0), &Sum.lift(2.0))), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Sum;
+
+impl AggregateOp for Sum {
+    type Acc = f64;
+
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    fn lift(&self, reading: f64) -> f64 {
+        reading
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn finish(&self, acc: &f64) -> f64 {
+        *acc
+    }
+}
+
+/// Maximum of all readings (`-inf` for an empty set).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Max};
+/// assert_eq!(Max.finish(&Max.combine(&Max.lift(4.0), &Max.lift(-1.0))), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Max;
+
+impl AggregateOp for Max {
+    type Acc = f64;
+
+    fn identity(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn lift(&self, reading: f64) -> f64 {
+        reading
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a.max(*b)
+    }
+
+    fn finish(&self, acc: &f64) -> f64 {
+        *acc
+    }
+}
+
+/// Minimum of all readings (`+inf` for an empty set).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Min};
+/// assert_eq!(Min.finish(&Min.combine(&Min.lift(4.0), &Min.lift(-1.0))), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Min;
+
+impl AggregateOp for Min {
+    type Acc = f64;
+
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn lift(&self, reading: f64) -> f64 {
+        reading
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn finish(&self, acc: &f64) -> f64 {
+        *acc
+    }
+}
+
+/// Number of readings (every node contributes one).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Count};
+/// let acc = Count.combine(&Count.lift(7.0), &Count.lift(123.0));
+/// assert_eq!(Count.finish(&acc), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Count;
+
+impl AggregateOp for Count {
+    type Acc = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn lift(&self, _reading: f64) -> u64 {
+        1
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn finish(&self, acc: &u64) -> f64 {
+        *acc as f64
+    }
+}
+
+/// Arithmetic mean of all readings, carried as a `(sum, count)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, Mean};
+/// let acc = Mean.combine(&Mean.lift(1.0), &Mean.lift(3.0));
+/// assert_eq!(Mean.finish(&acc), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Mean;
+
+impl AggregateOp for Mean {
+    type Acc = (f64, u64);
+
+    fn identity(&self) -> (f64, u64) {
+        (0.0, 0)
+    }
+
+    fn lift(&self, reading: f64) -> (f64, u64) {
+        (reading, 1)
+    }
+
+    fn combine(&self, a: &(f64, u64), b: &(f64, u64)) -> (f64, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+
+    fn finish(&self, acc: &(f64, u64)) -> f64 {
+        if acc.1 == 0 {
+            0.0
+        } else {
+            acc.0 / acc.1 as f64
+        }
+    }
+}
+
+/// Number of readings less than or equal to a threshold — the counting
+/// aggregation at the heart of the median binary search (Sec. 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, CountAtMost};
+/// let op = CountAtMost::new(10.0);
+/// let acc = op.combine(&op.lift(3.0), &op.lift(30.0));
+/// assert_eq!(op.finish(&acc), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountAtMost {
+    threshold: f64,
+}
+
+impl CountAtMost {
+    /// Creates the operator counting readings `<= threshold`.
+    pub fn new(threshold: f64) -> Self {
+        CountAtMost { threshold }
+    }
+
+    /// The threshold the operator counts against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl AggregateOp for CountAtMost {
+    type Acc = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn lift(&self, reading: f64) -> u64 {
+        u64::from(reading <= self.threshold)
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn finish(&self, acc: &u64) -> f64 {
+        *acc as f64
+    }
+}
+
+/// Minimum reading strictly greater than a threshold (`+inf` if none).
+///
+/// Used as the closing round of the exact selection procedure: once the
+/// binary search has pinned the predecessor of the answer, one more
+/// convergecast with this operator retrieves the answer itself.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{AggregateOp, ops::MinAbove};
+/// let op = MinAbove::new(2.0);
+/// let acc = op.combine(&op.lift(1.0), &op.combine(&op.lift(5.0), &op.lift(3.0)));
+/// assert_eq!(op.finish(&acc), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinAbove {
+    threshold: f64,
+}
+
+impl MinAbove {
+    /// Creates the operator returning the least reading `> threshold`.
+    pub fn new(threshold: f64) -> Self {
+        MinAbove { threshold }
+    }
+
+    /// The threshold readings must exceed to be considered.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl AggregateOp for MinAbove {
+    type Acc = f64;
+
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn lift(&self, reading: f64) -> f64 {
+        if reading > self.threshold {
+            reading
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn finish(&self, acc: &f64) -> f64 {
+        *acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold<O: AggregateOp>(op: &O, readings: &[f64]) -> f64 {
+        let acc = readings
+            .iter()
+            .fold(op.identity(), |acc, &r| op.combine(&acc, &op.lift(r)));
+        op.finish(&acc)
+    }
+
+    const READINGS: [f64; 6] = [3.0, -1.0, 7.5, 0.0, 7.5, 2.0];
+
+    #[test]
+    fn sum_matches_direct() {
+        assert_eq!(fold(&Sum, &READINGS), READINGS.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn max_and_min_match_direct() {
+        assert_eq!(fold(&Max, &READINGS), 7.5);
+        assert_eq!(fold(&Min, &READINGS), -1.0);
+    }
+
+    #[test]
+    fn count_counts_everything() {
+        assert_eq!(fold(&Count, &READINGS), READINGS.len() as f64);
+    }
+
+    #[test]
+    fn mean_matches_direct() {
+        let expected = READINGS.iter().sum::<f64>() / READINGS.len() as f64;
+        assert!((fold(&Mean, &READINGS) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_set_is_zero() {
+        assert_eq!(Mean.finish(&Mean.identity()), 0.0);
+    }
+
+    #[test]
+    fn count_at_most_respects_threshold() {
+        let op = CountAtMost::new(2.0);
+        assert_eq!(fold(&op, &READINGS), 3.0); // -1, 0, 2
+        assert_eq!(op.threshold(), 2.0);
+    }
+
+    #[test]
+    fn min_above_skips_small_values() {
+        let op = MinAbove::new(2.0);
+        assert_eq!(fold(&op, &READINGS), 3.0);
+        assert_eq!(op.threshold(), 2.0);
+        assert_eq!(fold(&MinAbove::new(100.0), &READINGS), f64::INFINITY);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for &r in &READINGS {
+            assert_eq!(Sum.combine(&Sum.identity(), &Sum.lift(r)), Sum.lift(r));
+            assert_eq!(Max.combine(&Max.identity(), &Max.lift(r)), Max.lift(r));
+            assert_eq!(Min.combine(&Min.identity(), &Min.lift(r)), Min.lift(r));
+            assert_eq!(Count.combine(&Count.identity(), &Count.lift(r)), Count.lift(r));
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative() {
+        let op = Mean;
+        let a = op.lift(4.0);
+        let b = op.lift(-2.5);
+        assert_eq!(op.combine(&a, &b), op.combine(&b, &a));
+    }
+}

@@ -1,0 +1,146 @@
+//! Quantiles and rank queries on top of the selection machinery.
+
+use crate::counting::counting_aggregation;
+use crate::error::AggfnError;
+use crate::median::{kth_smallest, MedianConfig, SelectionReport};
+use crate::tree::ConvergecastTree;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a quantile query: the selection report plus the quantile it
+/// answered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileReport {
+    /// The requested quantile in `[0, 1]`.
+    pub q: f64,
+    /// The underlying selection report (value, rounds, slots).
+    pub selection: SelectionReport,
+}
+
+impl QuantileReport {
+    /// The quantile value.
+    pub fn value(&self) -> f64 {
+        self.selection.value
+    }
+}
+
+/// Computes the `q`-quantile (the `ceil(q * n)`-th smallest reading, clamped
+/// to rank at least 1) using counting convergecasts.
+///
+/// `q = 0` returns the minimum, `q = 0.5` the lower median, `q = 1` the
+/// maximum.
+///
+/// # Errors
+///
+/// Returns [`AggfnError::InvalidQuantile`] for `q` outside `[0, 1]`, plus the
+/// selection errors of [`kth_smallest`].
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{quantile, ConvergecastTree, MedianConfig};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(4, 4, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..16).map(|i| i as f64).collect();
+/// let report = quantile(&tree, &readings, 0.25, MedianConfig::default())?;
+/// assert_eq!(report.value(), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantile(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    q: f64,
+    config: MedianConfig,
+) -> Result<QuantileReport, AggfnError> {
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(AggfnError::InvalidQuantile { q: format!("{q}") });
+    }
+    let n = tree.node_count();
+    let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+    let selection = kth_smallest(tree, readings, k, config)?;
+    Ok(QuantileReport { q, selection })
+}
+
+/// The rank of a value: how many readings are at most `value` (a single
+/// counting convergecast).
+///
+/// # Errors
+///
+/// Returns the reading-validation errors of
+/// [`ConvergecastTree::aggregate`](crate::ConvergecastTree::aggregate).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_aggfn::{rank_of, ConvergecastTree};
+/// use wagg_instances::random::grid;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = ConvergecastTree::from_links(&grid(3, 3, 1.0).mst_links()?)?;
+/// let readings: Vec<f64> = (0..9).map(|i| i as f64).collect();
+/// assert_eq!(rank_of(&tree, &readings, 4.5)?, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank_of(
+    tree: &ConvergecastTree,
+    readings: &[f64],
+    value: f64,
+) -> Result<usize, AggfnError> {
+    counting_aggregation(tree, readings, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+
+    fn setup(n: usize) -> (ConvergecastTree, Vec<f64>, Vec<f64>) {
+        let inst = uniform_square(n, 90.0, 33);
+        let tree = ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap();
+        let readings: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % n) as f64).collect();
+        let mut sorted = readings.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (tree, readings, sorted)
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_and_max() {
+        let (tree, readings, sorted) = setup(40);
+        let q0 = quantile(&tree, &readings, 0.0, MedianConfig::default()).unwrap();
+        let q1 = quantile(&tree, &readings, 1.0, MedianConfig::default()).unwrap();
+        assert_eq!(q0.value(), sorted[0]);
+        assert_eq!(q1.value(), sorted[39]);
+    }
+
+    #[test]
+    fn quartiles_match_sorted_order() {
+        let (tree, readings, sorted) = setup(32);
+        for (q, k) in [(0.25, 8), (0.5, 16), (0.75, 24)] {
+            let report = quantile(&tree, &readings, q, MedianConfig::default()).unwrap();
+            assert_eq!(report.value(), sorted[k - 1], "quantile {q}");
+            assert_eq!(report.q, q);
+        }
+    }
+
+    #[test]
+    fn invalid_quantiles_are_rejected() {
+        let (tree, readings, _) = setup(10);
+        for q in [-0.1, 1.1, f64::NAN] {
+            assert!(matches!(
+                quantile(&tree, &readings, q, MedianConfig::default()),
+                Err(AggfnError::InvalidQuantile { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rank_is_consistent_with_quantile() {
+        let (tree, readings, _) = setup(25);
+        let report = quantile(&tree, &readings, 0.6, MedianConfig::default()).unwrap();
+        let rank = rank_of(&tree, &readings, report.value()).unwrap();
+        assert!(rank >= report.selection.rank);
+    }
+}

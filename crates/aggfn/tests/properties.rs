@@ -1,0 +1,100 @@
+//! Property-based tests for the aggregation-function layer: in-network
+//! evaluation must agree with direct computation on arbitrary reading sets
+//! and arbitrary (randomly deployed) trees.
+
+use proptest::prelude::*;
+use wagg_aggfn::{
+    count_at_most, counting_aggregation, histogram_aggregation, kth_smallest,
+    median_by_counting, quantile, ConvergecastTree, Max, MedianConfig, Min, Sum,
+};
+use wagg_instances::random::uniform_square;
+
+/// A deployment (tree) plus one finite reading per node.
+fn tree_and_readings() -> impl Strategy<Value = (ConvergecastTree, Vec<f64>)> {
+    (4usize..40, 0u64..1000).prop_flat_map(|(n, seed)| {
+        let inst = uniform_square(n, 100.0, seed);
+        let tree = ConvergecastTree::from_links(&inst.mst_links().unwrap()).unwrap();
+        let readings = proptest::collection::vec(-1e6f64..1e6f64, n);
+        (Just(tree), readings)
+    })
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_matches_direct((tree, readings) in tree_and_readings()) {
+        let direct: f64 = readings.iter().sum();
+        let in_network = tree.aggregate(&Sum, &readings).unwrap();
+        prop_assert!((in_network - direct).abs() <= 1e-6 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn extrema_match_direct((tree, readings) in tree_and_readings()) {
+        let max = readings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = readings.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(tree.aggregate(&Max, &readings).unwrap(), max);
+        prop_assert_eq!(tree.aggregate(&Min, &readings).unwrap(), min);
+    }
+
+    #[test]
+    fn counting_matches_reference((tree, readings) in tree_and_readings(), t in -1e6f64..1e6f64) {
+        prop_assert_eq!(
+            counting_aggregation(&tree, &readings, t).unwrap(),
+            count_at_most(&readings, t)
+        );
+    }
+
+    #[test]
+    fn median_is_exact((tree, readings) in tree_and_readings()) {
+        let n = readings.len();
+        let report = median_by_counting(&tree, &readings, MedianConfig::default()).unwrap();
+        prop_assert!(report.converged);
+        let expected = sorted(readings)[n.div_ceil(2) - 1];
+        prop_assert_eq!(report.value, expected);
+    }
+
+    #[test]
+    fn kth_smallest_is_exact_for_random_rank(
+        (tree, readings) in tree_and_readings(),
+        pick in 0.0f64..1.0
+    ) {
+        let n = readings.len();
+        let k = ((pick * n as f64).floor() as usize).clamp(0, n - 1) + 1;
+        let report = kth_smallest(&tree, &readings, k, MedianConfig::default()).unwrap();
+        prop_assert!(report.converged);
+        prop_assert_eq!(report.value, sorted(readings)[k - 1]);
+    }
+
+    #[test]
+    fn quantile_value_has_consistent_rank(
+        (tree, readings) in tree_and_readings(),
+        q in 0.0f64..1.0
+    ) {
+        let report = quantile(&tree, &readings, q, MedianConfig::default()).unwrap();
+        // At least `rank` readings are <= the reported value.
+        let below = count_at_most(&readings, report.value());
+        prop_assert!(below >= report.selection.rank);
+    }
+
+    #[test]
+    fn histogram_total_equals_population((tree, readings) in tree_and_readings()) {
+        let report = histogram_aggregation(&tree, &readings, -1e6, 1e6, 16).unwrap();
+        prop_assert_eq!(report.histogram.total() as usize, readings.len());
+        prop_assert_eq!(report.transmissions, readings.len() - 1);
+    }
+
+    #[test]
+    fn selection_round_count_is_small((tree, readings) in tree_and_readings()) {
+        let report = median_by_counting(&tree, &readings, MedianConfig::default()).unwrap();
+        // The value spread is at most 2e6 and f64 bisection converges geometrically;
+        // with the min-above early exit the observed round counts stay far below the
+        // 512-round cap. This guards against accidental regressions to linear scans.
+        prop_assert!(report.total_rounds <= 260, "rounds = {}", report.total_rounds);
+    }
+}

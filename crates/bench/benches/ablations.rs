@@ -1,0 +1,147 @@
+//! Ablation benchmarks: how expensive the individual design choices are.
+//!
+//! `benches/pipeline.rs` times the end-to-end solver and its components;
+//! `benches/experiments.rs` times the regeneration of every experiment table.
+//! The groups here isolate the knobs DESIGN.md calls out — the conflict-graph
+//! relation, the SINR-verification pass, the power mode, the choice of
+//! aggregation tree, and the fading Monte-Carlo — so regressions in any one
+//! of them are visible in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wagg_conflict::{greedy_color, ConflictGraph, ConflictRelation};
+use wagg_fading::{effective_rate, FadingModel};
+use wagg_instances::random::uniform_square;
+use wagg_latency::{build_matching_tree, schedule_matching_tree};
+use wagg_mst::approx::nearest_neighbor_tree;
+use wagg_mst::euclidean_mst;
+use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+use wagg_sinr::Link;
+
+fn mst_links(n: usize, seed: u64) -> Vec<Link> {
+    uniform_square(n, 400.0, seed)
+        .mst_links()
+        .expect("uniform deployments are non-degenerate")
+}
+
+/// Conflict-graph construction + greedy coloring for the three relation shapes.
+fn bench_conflict_relations(c: &mut Criterion) {
+    let links = mst_links(128, 3);
+    let relations: Vec<(&str, ConflictRelation)> = vec![
+        ("constant_gamma2", ConflictRelation::constant(2.0)),
+        ("polynomial_gamma2_delta05", ConflictRelation::polynomial(2.0, 0.5)),
+        ("log_shaped_gamma2_alpha3", ConflictRelation::log_shaped(2.0, 3.0)),
+    ];
+    let mut group = c.benchmark_group("ablation_conflict_relation");
+    for (name, relation) in relations {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let graph = ConflictGraph::build(&links, relation);
+                criterion::black_box(greedy_color(&graph).num_colors())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The SINR verification/splitting pass: scheduling with and without it.
+fn bench_verification(c: &mut Criterion) {
+    let links = mst_links(128, 5);
+    let mut group = c.benchmark_group("ablation_verification");
+    for verify in [true, false] {
+        let config = SchedulerConfig::new(PowerMode::GlobalControl).with_verification(verify);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if verify { "on" } else { "off" }),
+            &config,
+            |b, config| b.iter(|| criterion::black_box(schedule_links(&links, *config).schedule.len())),
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end scheduling cost per power mode (the verification check differs:
+/// fixed assignment vs. Foschini–Miljanic witness powers).
+fn bench_power_modes(c: &mut Criterion) {
+    let links = mst_links(96, 7);
+    let modes = [
+        ("uniform", PowerMode::Uniform),
+        ("oblivious_tau05", PowerMode::Oblivious { tau: 0.5 }),
+        ("global_control", PowerMode::GlobalControl),
+    ];
+    let mut group = c.benchmark_group("ablation_power_mode");
+    for (name, mode) in modes {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    schedule_links(&links, SchedulerConfig::new(mode)).schedule.len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tree construction + scheduling for the three aggregation-tree choices
+/// (Remark 1 / Sec. 3.1).
+fn bench_tree_choices(c: &mut Criterion) {
+    let inst = uniform_square(96, 400.0, 11);
+    let config = SchedulerConfig::new(PowerMode::GlobalControl);
+    let mut group = c.benchmark_group("ablation_tree_choice");
+    group.bench_function("mst", |b| {
+        b.iter(|| {
+            let links = euclidean_mst(&inst.points)
+                .unwrap()
+                .try_orient_towards(inst.sink)
+                .unwrap();
+            criterion::black_box(schedule_links(&links, config).schedule.len())
+        })
+    });
+    group.bench_function("nearest_neighbor", |b| {
+        b.iter(|| {
+            let links = nearest_neighbor_tree(&inst.points, inst.sink)
+                .unwrap()
+                .try_orient_towards(inst.sink)
+                .unwrap();
+            criterion::black_box(schedule_links(&links, config).schedule.len())
+        })
+    });
+    group.bench_function("matching_tree", |b| {
+        b.iter(|| {
+            let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
+            criterion::black_box(schedule_matching_tree(&tree, config).total_slots())
+        })
+    });
+    group.finish();
+}
+
+/// The fading Monte-Carlo: cost per trial count.
+fn bench_fading_montecarlo(c: &mut Criterion) {
+    let inst = uniform_square(48, 300.0, 13);
+    let links = inst.mst_links().unwrap();
+    let config = SchedulerConfig::new(PowerMode::GlobalControl);
+    let schedule = schedule_links(&links, config).schedule;
+    let fading = FadingModel::rayleigh(1.0);
+    let mut group = c.benchmark_group("ablation_fading_trials");
+    group.sample_size(10);
+    for trials in [20usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &trials| {
+            b.iter(|| {
+                criterion::black_box(
+                    effective_rate(&links, &schedule, &config.model, config.mode, fading, trials, 1)
+                        .unwrap()
+                        .effective_rate,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conflict_relations,
+    bench_verification,
+    bench_power_modes,
+    bench_tree_choices,
+    bench_fading_montecarlo
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Runs every experiment (E1–E13 and the extension experiments E14–E20) and
+//! prints the resulting Markdown tables.
+//!
+//! ```text
+//! cargo run --release -p wagg-bench --bin experiments            # full scale
+//! cargo run --release -p wagg-bench --bin experiments -- --quick # reduced scale
+//! cargo run --release -p wagg-bench --bin experiments -- --only E6 E9
+//! ```
+//!
+//! The output is the measured half of `EXPERIMENTS.md`.
+
+use std::env;
+use std::time::Instant;
+use wagg_bench::{experiments, extensions};
+use wagg_bench::{Scale, Table};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let only: Vec<String> = {
+        let mut only = Vec::new();
+        let mut take = false;
+        for a in &args {
+            if a == "--only" {
+                take = true;
+            } else if take && !a.starts_with("--") {
+                only.push(a.to_uppercase());
+            } else {
+                take = false;
+            }
+        }
+        only
+    };
+
+    let runners: Vec<(&str, fn(Scale) -> Table)> = vec![
+        ("E1", experiments::run_e1),
+        ("E2", experiments::run_e2),
+        ("E3", experiments::run_e3),
+        ("E4", experiments::run_e4),
+        ("E5", experiments::run_e5),
+        ("E6", experiments::run_e6),
+        ("E7", experiments::run_e7),
+        ("E8", experiments::run_e8),
+        ("E9", experiments::run_e9),
+        ("E10", experiments::run_e10),
+        ("E11", experiments::run_e11),
+        ("E12", experiments::run_e12),
+        ("E13", experiments::run_e13),
+        ("E14", extensions::run_e14),
+        ("E15", extensions::run_e15),
+        ("E16", extensions::run_e16),
+        ("E17", extensions::run_e17),
+        ("E18", extensions::run_e18),
+        ("E19", extensions::run_e19),
+        ("E20", extensions::run_e20),
+    ];
+
+    println!("# Measured experiment results ({scale:?} scale)\n");
+    for (id, runner) in runners {
+        if !only.is_empty() && !only.iter().any(|o| o == id) {
+            continue;
+        }
+        let started = Instant::now();
+        let table = runner(scale);
+        let elapsed = started.elapsed();
+        print!("{}", table.to_markdown());
+        eprintln!("[{id}] finished in {:.2?}", elapsed);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the dynamic-network layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by dynamic-network operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DynamicError {
+    /// Fewer than two alive nodes would remain, or were supplied initially.
+    TooFewNodes {
+        /// Number of (alive) nodes involved.
+        found: usize,
+    },
+    /// The sink index does not refer to a node.
+    SinkOutOfRange {
+        /// The offending sink index.
+        sink: usize,
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// The sink cannot fail.
+    CannotFailSink,
+    /// The referenced node does not exist.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The referenced node has already failed.
+    AlreadyFailed {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A new node coincides with an existing alive node.
+    CoincidentNode {
+        /// The existing node it collides with.
+        existing: usize,
+    },
+    /// Rebuilding the tree failed (degenerate alive pointset).
+    Tree(wagg_mst::MstError),
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicError::TooFewNodes { found } => {
+                write!(f, "need at least two alive nodes, found {found}")
+            }
+            DynamicError::SinkOutOfRange { sink, nodes } => {
+                write!(f, "sink index {sink} is out of range for {nodes} nodes")
+            }
+            DynamicError::CannotFailSink => write!(f, "the sink node cannot fail"),
+            DynamicError::UnknownNode { node } => write!(f, "node {node} does not exist"),
+            DynamicError::AlreadyFailed { node } => {
+                write!(f, "node {node} has already failed")
+            }
+            DynamicError::CoincidentNode { existing } => {
+                write!(f, "new node coincides with existing node {existing}")
+            }
+            DynamicError::Tree(e) => write!(f, "tree reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl Error for DynamicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DynamicError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wagg_mst::MstError> for DynamicError {
+    fn from(e: wagg_mst::MstError) -> Self {
+        DynamicError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            DynamicError::TooFewNodes { found: 1 },
+            DynamicError::SinkOutOfRange { sink: 4, nodes: 3 },
+            DynamicError::CannotFailSink,
+            DynamicError::UnknownNode { node: 12 },
+            DynamicError::AlreadyFailed { node: 3 },
+            DynamicError::CoincidentNode { existing: 7 },
+            DynamicError::Tree(wagg_mst::MstError::TooFewPoints { found: 1 }),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn tree_errors_expose_their_source() {
+        let err: DynamicError = wagg_mst::MstError::TooFewPoints { found: 0 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DynamicError>();
+    }
+}

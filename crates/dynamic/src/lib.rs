@@ -1,0 +1,50 @@
+//! Dynamic aggregation networks: failures, arrivals, repair and rescheduling.
+//!
+//! The paper's schedules are computed once for a static deployment; Sec. 3.1
+//! notes that long-term changes "may naturally require repairing or
+//! reconstructing the tree and the schedule". This crate provides the
+//! machinery to study that regime:
+//!
+//! * [`network`] — [`DynamicNetwork`], a convergecast tree that supports node
+//!   failures and arrivals with two repair strategies (local reattachment of
+//!   the orphaned children versus a full MST rebuild), tracks how far the
+//!   repaired tree drifts from the true MST, and reschedules after every
+//!   change,
+//! * [`scenario`] — a churn-scenario driver that applies a random sequence of
+//!   failures and arrivals and accumulates the churn statistics the two
+//!   strategies produce (links changed per event, slots over time, tree
+//!   stretch).
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_dynamic::{DynamicNetwork, RepairStrategy};
+//! use wagg_instances::random::uniform_square;
+//! use wagg_schedule::{PowerMode, SchedulerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = uniform_square(40, 120.0, 9);
+//! let mut net = DynamicNetwork::new(
+//!     inst.points.clone(),
+//!     inst.sink,
+//!     SchedulerConfig::new(PowerMode::GlobalControl),
+//!     RepairStrategy::LocalReattach,
+//! )?;
+//! let before = net.schedule_slots();
+//! let change = net.fail_node((inst.sink + 1) % 40)?;
+//! assert!(change.links_changed >= 1);
+//! assert!(net.schedule_slots() >= 1 && before >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod network;
+pub mod scenario;
+
+pub use error::DynamicError;
+pub use network::{ChangeReport, DynamicNetwork, RepairStrategy};
+pub use scenario::{run_churn_scenario, ChurnConfig, ChurnEvent, ChurnSummary};

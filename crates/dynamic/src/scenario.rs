@@ -1,0 +1,246 @@
+//! Churn scenarios: random sequences of failures and arrivals.
+
+use crate::error::DynamicError;
+use crate::network::{ChangeReport, DynamicNetwork, RepairStrategy};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wagg_geometry::rng::seeded_rng;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_schedule::SchedulerConfig;
+
+/// Configuration of a churn scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of churn events to apply.
+    pub events: usize,
+    /// Probability that an event is a failure (the rest are arrivals).
+    pub failure_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            events: 20,
+            failure_probability: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// One executed churn event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A node failed.
+    Failure {
+        /// The failed node.
+        node: usize,
+        /// What the failure did to the tree and schedule.
+        change: ChangeReport,
+    },
+    /// A node arrived.
+    Arrival {
+        /// The new node's index.
+        node: usize,
+        /// What the arrival did to the tree and schedule.
+        change: ChangeReport,
+    },
+}
+
+impl ChurnEvent {
+    /// The change report of the event.
+    pub fn change(&self) -> &ChangeReport {
+        match self {
+            ChurnEvent::Failure { change, .. } | ChurnEvent::Arrival { change, .. } => change,
+        }
+    }
+}
+
+/// The accumulated outcome of a churn scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSummary {
+    /// The repair strategy that was exercised.
+    pub strategy: RepairStrategy,
+    /// Every executed event, in order.
+    pub events: Vec<ChurnEvent>,
+    /// Total links changed across all events.
+    pub total_links_changed: usize,
+    /// Mean links changed per event.
+    pub mean_links_changed: f64,
+    /// The largest schedule length observed after any event.
+    pub max_slots: usize,
+    /// The tree stretch after the final event (1.0 = still an MST).
+    pub final_stretch: f64,
+    /// Number of alive nodes at the end.
+    pub final_alive: usize,
+}
+
+/// Applies a random sequence of failures and arrivals to a fresh network and
+/// summarises the churn cost.
+///
+/// Failures pick a uniformly random alive non-sink node; arrivals place the
+/// new node uniformly inside the bounding box of the initial deployment.
+/// Events that would be invalid (e.g. a failure when only two nodes remain)
+/// are converted into arrivals.
+///
+/// # Errors
+///
+/// Returns construction errors for malformed initial deployments.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_dynamic::{run_churn_scenario, ChurnConfig, RepairStrategy};
+/// use wagg_instances::random::uniform_square;
+/// use wagg_schedule::{PowerMode, SchedulerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = uniform_square(30, 100.0, 4);
+/// let summary = run_churn_scenario(
+///     inst.points.clone(),
+///     inst.sink,
+///     SchedulerConfig::new(PowerMode::GlobalControl),
+///     RepairStrategy::LocalReattach,
+///     ChurnConfig { events: 10, failure_probability: 0.5, seed: 1 },
+/// )?;
+/// assert_eq!(summary.events.len(), 10);
+/// assert!(summary.final_stretch >= 1.0 - 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_churn_scenario(
+    points: Vec<Point>,
+    sink: usize,
+    config: SchedulerConfig,
+    strategy: RepairStrategy,
+    churn: ChurnConfig,
+) -> Result<ChurnSummary, DynamicError> {
+    let bbox = BoundingBox::of_points(&points).unwrap_or(BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+    let mut net = DynamicNetwork::new(points, sink, config, strategy)?;
+    let mut rng = seeded_rng(churn.seed);
+    let mut events = Vec::with_capacity(churn.events);
+
+    for _ in 0..churn.events {
+        let want_failure = rng.gen::<f64>() < churn.failure_probability;
+        let alive_non_sink: Vec<usize> = (0..net.node_count())
+            .filter(|&v| net.is_alive(v) && v != net.sink())
+            .collect();
+        let event = if want_failure && alive_non_sink.len() > 1 && net.alive_count() > 2 {
+            let victim = alive_non_sink[rng.gen_range(0..alive_non_sink.len())];
+            let change = net.fail_node(victim)?;
+            ChurnEvent::Failure {
+                node: victim,
+                change,
+            }
+        } else {
+            // Arrival: sample positions until one does not coincide with an
+            // alive node (coincidences are measure-zero but cheap to guard).
+            loop {
+                let position = Point::new(
+                    rng.gen_range(bbox.min_x..=bbox.max_x.max(bbox.min_x + 1.0)),
+                    rng.gen_range(bbox.min_y..=bbox.max_y.max(bbox.min_y + 1.0)),
+                );
+                match net.add_node(position) {
+                    Ok((node, change)) => break ChurnEvent::Arrival { node, change },
+                    Err(DynamicError::CoincidentNode { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        events.push(event);
+    }
+
+    let total_links_changed: usize = events.iter().map(|e| e.change().links_changed).sum();
+    let max_slots = events
+        .iter()
+        .map(|e| e.change().slots_after)
+        .max()
+        .unwrap_or(net.schedule_slots());
+    Ok(ChurnSummary {
+        strategy,
+        mean_links_changed: if events.is_empty() {
+            0.0
+        } else {
+            total_links_changed as f64 / events.len() as f64
+        },
+        total_links_changed,
+        max_slots,
+        final_stretch: net.stretch(),
+        final_alive: net.alive_count(),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+    use wagg_schedule::PowerMode;
+
+    fn scenario(strategy: RepairStrategy, seed: u64) -> ChurnSummary {
+        let inst = uniform_square(35, 120.0, 17);
+        run_churn_scenario(
+            inst.points,
+            inst.sink,
+            SchedulerConfig::new(PowerMode::GlobalControl),
+            strategy,
+            ChurnConfig {
+                events: 15,
+                failure_probability: 0.6,
+                seed,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scenarios_execute_every_event() {
+        let summary = scenario(RepairStrategy::LocalReattach, 2);
+        assert_eq!(summary.events.len(), 15);
+        assert_eq!(summary.strategy, RepairStrategy::LocalReattach);
+        assert!(summary.total_links_changed >= 15);
+        assert!(summary.mean_links_changed >= 1.0);
+        assert!(summary.max_slots >= 1);
+        assert!(summary.final_alive >= 2);
+        assert!(summary.final_stretch >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn rebuild_scenarios_keep_the_tree_optimal() {
+        let summary = scenario(RepairStrategy::Rebuild, 5);
+        assert!((summary.final_stretch - 1.0).abs() < 1e-9);
+        for event in &summary.events {
+            assert!((event.change().stretch - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_given_the_seed() {
+        let a = scenario(RepairStrategy::LocalReattach, 9);
+        let b = scenario(RepairStrategy::LocalReattach, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_arrival_scenarios_grow_the_network() {
+        let inst = uniform_square(20, 80.0, 3);
+        let summary = run_churn_scenario(
+            inst.points,
+            inst.sink,
+            SchedulerConfig::new(PowerMode::mean_oblivious()),
+            RepairStrategy::LocalReattach,
+            ChurnConfig {
+                events: 8,
+                failure_probability: 0.0,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.final_alive, 28);
+        assert!(summary
+            .events
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Arrival { .. })));
+    }
+}

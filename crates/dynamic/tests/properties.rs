@@ -1,0 +1,59 @@
+//! Property-based tests for the dynamic-network layer: under arbitrary churn
+//! the tree stays a spanning convergecast of the alive nodes and the schedule
+//! stays a feasible partition.
+
+use proptest::prelude::*;
+use wagg_dynamic::{DynamicNetwork, RepairStrategy};
+use wagg_instances::random::uniform_square;
+use wagg_schedule::{PowerMode, SchedulerConfig};
+
+fn churn_inputs() -> impl Strategy<Value = (usize, u64, Vec<u8>, RepairStrategy)> {
+    (
+        10usize..40,
+        0u64..300,
+        proptest::collection::vec(0u8..=255, 1..12),
+        prop_oneof![
+            Just(RepairStrategy::LocalReattach),
+            Just(RepairStrategy::Rebuild)
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn churn_preserves_the_repair_invariants((n, seed, ops, strategy) in churn_inputs()) {
+        let inst = uniform_square(n, 150.0, seed);
+        let config = SchedulerConfig::new(PowerMode::GlobalControl);
+        let mut net = DynamicNetwork::new(inst.points.clone(), inst.sink, config, strategy).unwrap();
+
+        for (step, op) in ops.iter().enumerate() {
+            if op % 3 == 0 && net.alive_count() > 3 {
+                // Fail a pseudo-randomly chosen alive non-sink node.
+                let candidates: Vec<usize> = (0..net.node_count())
+                    .filter(|&v| net.is_alive(v) && v != net.sink())
+                    .collect();
+                let victim = candidates[(*op as usize + step) % candidates.len()];
+                let change = net.fail_node(victim).unwrap();
+                prop_assert!(change.links_changed >= 1);
+            } else {
+                let position = wagg_geometry::Point::new(
+                    200.0 + step as f64 * 7.3 + *op as f64,
+                    150.0 - step as f64 * 3.1,
+                );
+                let _ = net.add_node(position).unwrap();
+            }
+            // Invariants after every event.
+            prop_assert!(net.is_valid_tree());
+            prop_assert_eq!(net.links().len(), net.alive_count() - 1);
+            prop_assert!(net.stretch() >= 1.0 - 1e-9);
+            let links = net.links();
+            prop_assert!(net.schedule_report().schedule.is_partition(links.len()));
+            prop_assert!(net.schedule_report().schedule.verify(&links, &config.model, config.mode));
+            if strategy == RepairStrategy::Rebuild {
+                prop_assert!((net.stretch() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

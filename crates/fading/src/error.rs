@@ -1,0 +1,111 @@
+//! Error type for the fading layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the fading simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FadingError {
+    /// A fading parameter (mean gain, noise sigma) is not positive and finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A link does not carry sender/receiver node identifiers.
+    MissingNodeIds {
+        /// Identifier of the offending link.
+        link: usize,
+    },
+    /// A node is the sender of more than one link.
+    MultipleParents {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The links do not form a tree directed towards a single sink.
+    NotAConvergecastTree,
+    /// The schedule references a link index that does not exist.
+    ScheduleOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// Computing the transmission powers for a slot failed (degenerate link
+    /// geometry or an infeasible slot under global power control).
+    Power(wagg_sinr::SinrError),
+}
+
+impl fmt::Display for FadingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FadingError::InvalidParameter { name, value } => {
+                write!(f, "fading parameter {name} = {value} is not positive and finite")
+            }
+            FadingError::MissingNodeIds { link } => {
+                write!(f, "link {link} carries no sender/receiver node identifiers")
+            }
+            FadingError::MultipleParents { node } => {
+                write!(f, "node {node} is the sender of more than one link")
+            }
+            FadingError::NotAConvergecastTree => {
+                write!(f, "links do not form a tree directed towards a single sink")
+            }
+            FadingError::ScheduleOutOfRange { index } => {
+                write!(f, "schedule references non-existent link index {index}")
+            }
+            FadingError::Power(e) => write!(f, "slot power computation failed: {e}"),
+        }
+    }
+}
+
+impl Error for FadingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FadingError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wagg_sinr::SinrError> for FadingError {
+    fn from(e: wagg_sinr::SinrError) -> Self {
+        FadingError::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            FadingError::InvalidParameter {
+                name: "mean_gain",
+                value: -1.0,
+            },
+            FadingError::MissingNodeIds { link: 2 },
+            FadingError::MultipleParents { node: 4 },
+            FadingError::NotAConvergecastTree,
+            FadingError::ScheduleOutOfRange { index: 10 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn power_errors_expose_their_source() {
+        let err: FadingError = wagg_sinr::SinrError::PowerIterationDiverged { iterations: 5 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<FadingError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! The stochastic channel: Rayleigh fading and noise fluctuation.
+
+use crate::error::FadingError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wagg_sinr::SinrModel;
+
+/// A stochastic perturbation of the deterministic path-loss channel.
+///
+/// * **Rayleigh fading** multiplies every received power (signal *and*
+///   interference) by an independent exponential gain with the configured
+///   mean — the power-domain form of Rayleigh amplitude fading. Gains are
+///   drawn independently per transmission and per slot (block fading that is
+///   independent across time, the setting in which the paper cites the
+///   robustness result of Dams, Hoefer and Kesselheim).
+/// * **Noise fluctuation** multiplies the ambient noise by a log-normal
+///   factor `exp(sigma * Z)` with `Z` standard normal, modelling sporadic
+///   variations in the noise floor.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_fading::FadingModel;
+///
+/// let channel = FadingModel::rayleigh(1.0).with_noise_sigma(0.2).unwrap();
+/// assert!(channel.is_stochastic());
+/// assert_eq!(FadingModel::none().is_stochastic(), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FadingModel {
+    /// Mean of the exponential power gain, or `None` for no fading.
+    mean_gain: Option<f64>,
+    /// Standard deviation of the log-normal noise factor, or `None` for a
+    /// constant noise floor.
+    noise_sigma: Option<f64>,
+}
+
+impl FadingModel {
+    /// A deterministic channel: no fading, no noise fluctuation.
+    pub fn none() -> Self {
+        FadingModel {
+            mean_gain: None,
+            noise_sigma: None,
+        }
+    }
+
+    /// Rayleigh fading with the given mean power gain (1.0 preserves the mean
+    /// received power of the deterministic model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gain` is not positive and finite — that is a
+    /// programming error; use [`FadingModel::try_rayleigh`] for data-driven
+    /// values.
+    pub fn rayleigh(mean_gain: f64) -> Self {
+        Self::try_rayleigh(mean_gain).expect("mean gain must be positive and finite")
+    }
+
+    /// Fallible constructor for Rayleigh fading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FadingError::InvalidParameter`] when `mean_gain` is not
+    /// positive and finite.
+    pub fn try_rayleigh(mean_gain: f64) -> Result<Self, FadingError> {
+        if !(mean_gain > 0.0) || !mean_gain.is_finite() {
+            return Err(FadingError::InvalidParameter {
+                name: "mean_gain",
+                value: mean_gain,
+            });
+        }
+        Ok(FadingModel {
+            mean_gain: Some(mean_gain),
+            noise_sigma: None,
+        })
+    }
+
+    /// Adds log-normal noise fluctuation with the given sigma.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FadingError::InvalidParameter`] when `sigma` is negative or
+    /// not finite.
+    pub fn with_noise_sigma(mut self, sigma: f64) -> Result<Self, FadingError> {
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(FadingError::InvalidParameter {
+                name: "noise_sigma",
+                value: sigma,
+            });
+        }
+        self.noise_sigma = if sigma == 0.0 { None } else { Some(sigma) };
+        Ok(self)
+    }
+
+    /// The mean of the fading gain (`None` when fading is disabled).
+    pub fn mean_gain(&self) -> Option<f64> {
+        self.mean_gain
+    }
+
+    /// The noise-fluctuation sigma (`None` when the noise floor is constant).
+    pub fn noise_sigma(&self) -> Option<f64> {
+        self.noise_sigma
+    }
+
+    /// Whether any stochastic component is enabled.
+    pub fn is_stochastic(&self) -> bool {
+        self.mean_gain.is_some() || self.noise_sigma.is_some()
+    }
+
+    /// Samples one power gain (1.0 when fading is disabled).
+    pub fn sample_gain<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self.mean_gain {
+            None => 1.0,
+            Some(mean) => {
+                // Exponential with the given mean via inverse transform; clamp
+                // the uniform away from 1 to avoid ln(0).
+                let u: f64 = rng.gen::<f64>().min(1.0 - 1e-16);
+                -mean * (1.0 - u).ln()
+            }
+        }
+    }
+
+    /// Samples one noise value given the base noise floor.
+    pub fn sample_noise<R: Rng>(&self, base_noise: f64, rng: &mut R) -> f64 {
+        match self.noise_sigma {
+            None => base_noise,
+            Some(sigma) => {
+                // Box–Muller for a standard normal.
+                let u1: f64 = rng.gen::<f64>().max(1e-16);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                base_noise * (sigma * z).exp()
+            }
+        }
+    }
+
+    /// Closed-form success probability of an *isolated* transmission (no
+    /// concurrent interference) over a link of length `length` with sender
+    /// power `power` under Rayleigh fading: `exp(-beta * N * l^alpha / (mean *
+    /// power))`. Returns 1.0 when fading is disabled or the model is
+    /// noise-free (the deterministic SINR is then infinite).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_fading::FadingModel;
+    /// use wagg_sinr::SinrModel;
+    ///
+    /// let model = SinrModel::new(3.0, 1.0, 1e-3).unwrap();
+    /// let p = FadingModel::rayleigh(1.0).isolated_success_probability(&model, 2.0, 1.0);
+    /// assert!((p - (-8.0e-3f64).exp()).abs() < 1e-12);
+    /// ```
+    pub fn isolated_success_probability(
+        &self,
+        model: &SinrModel,
+        length: f64,
+        power: f64,
+    ) -> f64 {
+        let mean = match self.mean_gain {
+            None => return 1.0,
+            Some(m) => m,
+        };
+        let noise = model.noise();
+        if noise <= 0.0 || power <= 0.0 {
+            return 1.0;
+        }
+        let demand = model.beta() * noise * length.powf(model.alpha());
+        (-demand / (mean * power)).exp()
+    }
+}
+
+impl Default for FadingModel {
+    fn default() -> Self {
+        FadingModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::rng::seeded_rng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(FadingModel::try_rayleigh(0.0).is_err());
+        assert!(FadingModel::try_rayleigh(f64::NAN).is_err());
+        assert!(FadingModel::rayleigh(1.0).with_noise_sigma(-0.1).is_err());
+        assert!(FadingModel::rayleigh(1.0).with_noise_sigma(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mean gain must be positive and finite")]
+    fn panicking_constructor_rejects_bad_means() {
+        let _ = FadingModel::rayleigh(-2.0);
+    }
+
+    #[test]
+    fn deterministic_channel_returns_unit_gain_and_base_noise() {
+        let channel = FadingModel::none();
+        let mut rng = seeded_rng(1);
+        assert_eq!(channel.sample_gain(&mut rng), 1.0);
+        assert_eq!(channel.sample_noise(0.5, &mut rng), 0.5);
+        assert!(!channel.is_stochastic());
+    }
+
+    #[test]
+    fn rayleigh_gains_have_the_configured_mean() {
+        let channel = FadingModel::rayleigh(2.0);
+        let mut rng = seeded_rng(42);
+        let samples = 20_000;
+        let mean: f64 =
+            (0..samples).map(|_| channel.sample_gain(&mut rng)).sum::<f64>() / samples as f64;
+        assert!((mean - 2.0).abs() < 0.1, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn noise_fluctuation_is_centered_on_the_base_noise() {
+        let channel = FadingModel::none().with_noise_sigma(0.3).unwrap();
+        let mut rng = seeded_rng(7);
+        let samples = 20_000;
+        let mean_log: f64 = (0..samples)
+            .map(|_| (channel.sample_noise(1.0, &mut rng)).ln())
+            .sum::<f64>()
+            / samples as f64;
+        assert!(mean_log.abs() < 0.02, "mean log-noise {mean_log}");
+        assert!(channel.is_stochastic());
+        // Sigma zero turns the fluctuation off entirely.
+        let quiet = FadingModel::none().with_noise_sigma(0.0).unwrap();
+        assert_eq!(quiet.noise_sigma(), None);
+    }
+
+    #[test]
+    fn isolated_success_probability_decreases_with_length() {
+        let model = SinrModel::new(3.0, 1.0, 1e-3).unwrap();
+        let channel = FadingModel::rayleigh(1.0);
+        let p_short = channel.isolated_success_probability(&model, 1.0, 1.0);
+        let p_long = channel.isolated_success_probability(&model, 4.0, 1.0);
+        assert!(p_short > p_long);
+        assert!(p_long > 0.0 && p_short < 1.0);
+        // No fading or no noise means certain success.
+        assert_eq!(FadingModel::none().isolated_success_probability(&model, 5.0, 1.0), 1.0);
+        let noise_free = SinrModel::new(3.0, 1.0, 0.0).unwrap();
+        assert_eq!(channel.isolated_success_probability(&noise_free, 5.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The outcome of one faded slot.
+
+use crate::error::FadingError;
+use crate::model::FadingModel;
+use rand::Rng;
+use wagg_schedule::PowerMode;
+use wagg_sinr::power_control::optimal_powers;
+use wagg_sinr::{Link, SinrModel};
+
+/// The transmission powers the links of a slot use under the given power
+/// mode: the fixed assignment for uniform/linear/oblivious power, the
+/// Foschini–Miljanic witness powers for global control.
+///
+/// # Errors
+///
+/// Returns [`FadingError::Power`] for degenerate link geometry or a slot that
+/// is infeasible under global power control.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_fading::slot_powers;
+/// use wagg_geometry::Point;
+/// use wagg_schedule::PowerMode;
+/// use wagg_sinr::{Link, SinrModel};
+///
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(20.0, 0.0), Point::new(21.0, 0.0)),
+/// ];
+/// let powers = slot_powers(&SinrModel::default(), PowerMode::Uniform, &links).unwrap();
+/// assert_eq!(powers, vec![1.0, 1.0]);
+/// ```
+pub fn slot_powers(
+    model: &SinrModel,
+    mode: PowerMode,
+    links: &[Link],
+) -> Result<Vec<f64>, FadingError> {
+    match mode.assignment() {
+        Some(assignment) => links
+            .iter()
+            .map(|l| assignment.power(l, model.alpha()).map_err(FadingError::from))
+            .collect(),
+        None => optimal_powers(model, links).map_err(FadingError::from),
+    }
+}
+
+/// Simulates one faded slot: every link of `links` transmits with power
+/// `powers[i]`, every received power (signal and interference) is multiplied
+/// by an independently sampled fading gain, the noise floor is resampled, and
+/// the SINR threshold is checked per link.
+///
+/// Returns one success flag per link.
+///
+/// # Panics
+///
+/// Panics if `powers` and `links` have different lengths — that is a
+/// programming error.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_fading::{faded_slot_outcome, FadingModel};
+/// use wagg_geometry::{rng::seeded_rng, Point};
+/// use wagg_sinr::{Link, SinrModel};
+///
+/// let links = vec![Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0))];
+/// let mut rng = seeded_rng(1);
+/// // A noise-free isolated link always succeeds, fading or not.
+/// let ok = faded_slot_outcome(&SinrModel::default(), &links, &[1.0], FadingModel::rayleigh(1.0), &mut rng);
+/// assert_eq!(ok, vec![true]);
+/// ```
+pub fn faded_slot_outcome<R: Rng>(
+    model: &SinrModel,
+    links: &[Link],
+    powers: &[f64],
+    fading: FadingModel,
+    rng: &mut R,
+) -> Vec<bool> {
+    assert_eq!(
+        links.len(),
+        powers.len(),
+        "one power level is needed per link"
+    );
+    let alpha = model.alpha();
+    let n = links.len();
+
+    // Independent gain per (transmitter, receiver) pair for this slot.
+    let mut gains = vec![vec![1.0f64; n]; n];
+    for row in gains.iter_mut() {
+        for g in row.iter_mut() {
+            *g = fading.sample_gain(rng);
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let length = links[i].length();
+            if length <= 0.0 || powers[i] <= 0.0 {
+                return false;
+            }
+            let signal = gains[i][i] * powers[i] / length.powf(alpha);
+            let mut interference = fading.sample_noise(model.noise(), rng);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = links[j].sender_to_receiver_distance(&links[i]);
+                if d <= 0.0 {
+                    return false;
+                }
+                interference += gains[j][i] * powers[j] / d.powf(alpha);
+            }
+            if interference == 0.0 {
+                true
+            } else {
+                signal / interference >= model.beta()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::rng::seeded_rng;
+    use wagg_geometry::Point;
+
+    fn well_separated_pair() -> Vec<Link> {
+        vec![
+            Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Link::new(1, Point::new(100.0, 0.0), Point::new(101.0, 0.0)),
+        ]
+    }
+
+    #[test]
+    fn deterministic_channel_reproduces_the_sinr_check() {
+        let model = SinrModel::default();
+        let links = well_separated_pair();
+        let powers = slot_powers(&model, PowerMode::Uniform, &links).unwrap();
+        let mut rng = seeded_rng(3);
+        let outcome = faded_slot_outcome(&model, &links, &powers, FadingModel::none(), &mut rng);
+        assert_eq!(outcome, vec![true, true]);
+    }
+
+    #[test]
+    fn adjacent_links_fail_under_uniform_power_even_without_fading() {
+        let model = SinrModel::default();
+        let links = vec![
+            Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Link::new(1, Point::new(1.5, 0.0), Point::new(2.5, 0.0)),
+        ];
+        let powers = slot_powers(&model, PowerMode::Uniform, &links).unwrap();
+        let mut rng = seeded_rng(5);
+        let outcome = faded_slot_outcome(&model, &links, &powers, FadingModel::none(), &mut rng);
+        assert!(outcome.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn global_control_powers_make_the_slot_feasible() {
+        let model = SinrModel::default();
+        let links = vec![
+            Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Link::new(1, Point::new(30.0, 0.0), Point::new(24.0, 0.0)),
+        ];
+        let powers = slot_powers(&model, PowerMode::GlobalControl, &links).unwrap();
+        let mut rng = seeded_rng(9);
+        let outcome = faded_slot_outcome(&model, &links, &powers, FadingModel::none(), &mut rng);
+        assert_eq!(outcome, vec![true, true]);
+    }
+
+    #[test]
+    fn fading_sometimes_fails_a_marginal_link() {
+        // With noise and a power exactly at the deterministic threshold, Rayleigh
+        // fading fails the link roughly 1 - 1/e of the time.
+        let model = SinrModel::new(3.0, 1.0, 1e-3).unwrap();
+        let link = vec![Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0))];
+        let threshold_power = model.beta() * model.noise();
+        let mut rng = seeded_rng(11);
+        let trials = 4000;
+        let successes: usize = (0..trials)
+            .filter(|_| {
+                faded_slot_outcome(
+                    &model,
+                    &link,
+                    &[threshold_power],
+                    FadingModel::rayleigh(1.0),
+                    &mut rng,
+                )[0]
+            })
+            .count();
+        let rate = successes as f64 / trials as f64;
+        assert!((rate - (-1.0f64).exp()).abs() < 0.05, "success rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one power level is needed per link")]
+    fn mismatched_power_vector_panics() {
+        let model = SinrModel::default();
+        let links = well_separated_pair();
+        let mut rng = seeded_rng(1);
+        let _ = faded_slot_outcome(&model, &links, &[1.0], FadingModel::none(), &mut rng);
+    }
+
+    #[test]
+    fn zero_length_or_zero_power_links_fail() {
+        let model = SinrModel::default();
+        let links = vec![Link::new(0, Point::origin(), Point::origin())];
+        let mut rng = seeded_rng(2);
+        assert_eq!(
+            faded_slot_outcome(&model, &links, &[1.0], FadingModel::none(), &mut rng),
+            vec![false]
+        );
+        let links = vec![Link::new(0, Point::origin(), Point::new(1.0, 0.0))];
+        assert_eq!(
+            faded_slot_outcome(&model, &links, &[0.0], FadingModel::none(), &mut rng),
+            vec![false]
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Length-diversity (`Δ`) computations.
+//!
+//! The paper's schedule-length bounds are stated in terms of the *length diversity*
+//! `Δ`: for a pointset, the ratio between the largest and smallest pairwise distance;
+//! for a set of links, the ratio between the longest and shortest link length.
+
+use crate::Point;
+
+/// Ratio between the largest and smallest pairwise distance of a pointset
+/// (the paper's `Δ` for point sets).
+///
+/// Returns `None` if fewer than two points are given or if two points coincide
+/// (which would make the minimum distance zero and the ratio undefined).
+///
+/// This is an exact `O(n²)` computation; the instance sizes used by the
+/// experiments (up to a few thousand points) are well within its reach.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::{Point, diversity::length_diversity};
+///
+/// let pts = vec![Point::on_line(0.0), Point::on_line(1.0), Point::on_line(10.0)];
+/// assert_eq!(length_diversity(&pts), Some(10.0));
+/// assert_eq!(length_diversity(&pts[..1]), None);
+/// ```
+pub fn length_diversity(points: &[Point]) -> Option<f64> {
+    let (min_d, max_d) = min_max_pairwise_distance(points)?;
+    if min_d == 0.0 {
+        return None;
+    }
+    Some(max_d / min_d)
+}
+
+/// The smallest and largest pairwise distances of a pointset, as `(min, max)`.
+///
+/// Returns `None` if fewer than two points are given.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::{Point, diversity::min_max_pairwise_distance};
+///
+/// let pts = vec![Point::on_line(0.0), Point::on_line(2.0), Point::on_line(3.0)];
+/// let (min_d, max_d) = min_max_pairwise_distance(&pts).unwrap();
+/// assert_eq!(min_d, 1.0);
+/// assert_eq!(max_d, 3.0);
+/// ```
+pub fn min_max_pairwise_distance(points: &[Point]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut min_d = f64::INFINITY;
+    let mut max_d: f64 = 0.0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].distance(points[j]);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+    }
+    Some((min_d, max_d))
+}
+
+/// Ratio between the largest and smallest value in a slice of positive lengths
+/// (the paper's `Δ(L)` for link sets).
+///
+/// Returns `None` for an empty slice or when the minimum is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::diversity::length_ratio;
+///
+/// assert_eq!(length_ratio(&[1.0, 4.0, 2.0]), Some(4.0));
+/// assert_eq!(length_ratio(&[]), None);
+/// assert_eq!(length_ratio(&[0.0, 1.0]), None);
+/// ```
+pub fn length_ratio(lengths: &[f64]) -> Option<f64> {
+    if lengths.is_empty() {
+        return None;
+    }
+    let mut min_l = f64::INFINITY;
+    let mut max_l = f64::NEG_INFINITY;
+    for &l in lengths {
+        min_l = min_l.min(l);
+        max_l = max_l.max(l);
+    }
+    if min_l <= 0.0 || !min_l.is_finite() || !max_l.is_finite() {
+        return None;
+    }
+    Some(max_l / min_l)
+}
+
+/// The diameter (largest pairwise distance) of a pointset, `0` for fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::{Point, diversity::diameter};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+/// assert_eq!(diameter(&pts), 5.0);
+/// assert_eq!(diameter(&pts[..1]), 0.0);
+/// ```
+pub fn diameter(points: &[Point]) -> f64 {
+    min_max_pairwise_distance(points)
+        .map(|(_, max)| max)
+        .unwrap_or(0.0)
+}
+
+/// The smallest pairwise distance of a pointset, `+∞` for fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::{Point, diversity::min_distance};
+///
+/// let pts = vec![Point::on_line(0.0), Point::on_line(0.5), Point::on_line(2.0)];
+/// assert_eq!(min_distance(&pts), 0.5);
+/// ```
+pub fn min_distance(points: &[Point]) -> f64 {
+    min_max_pairwise_distance(points)
+        .map(|(min, _)| min)
+        .unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diversity_of_two_points_is_one() {
+        let pts = vec![Point::on_line(0.0), Point::on_line(5.0)];
+        assert_eq!(length_diversity(&pts), Some(1.0));
+    }
+
+    #[test]
+    fn diversity_undefined_for_duplicates() {
+        let pts = vec![Point::on_line(0.0), Point::on_line(0.0), Point::on_line(1.0)];
+        assert_eq!(length_diversity(&pts), None);
+    }
+
+    #[test]
+    fn diversity_of_exponential_chain() {
+        // Points at 0, 1, 3, 7: gaps 1, 2, 4; distances range from 1 to 7.
+        let pts = vec![
+            Point::on_line(0.0),
+            Point::on_line(1.0),
+            Point::on_line(3.0),
+            Point::on_line(7.0),
+        ];
+        assert_eq!(length_diversity(&pts), Some(7.0));
+    }
+
+    #[test]
+    fn min_max_for_triangle() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 2.0),
+        ];
+        let (min_d, max_d) = min_max_pairwise_distance(&pts).unwrap();
+        assert_eq!(min_d, 1.0);
+        assert!((max_d - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_ratio_rejects_nonpositive() {
+        assert_eq!(length_ratio(&[-1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn length_ratio_single_element() {
+        assert_eq!(length_ratio(&[3.0]), Some(1.0));
+    }
+
+    #[test]
+    fn diameter_and_min_distance_defaults() {
+        assert_eq!(diameter(&[]), 0.0);
+        assert_eq!(min_distance(&[]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,37 @@
+//! Planar geometry and numeric utilities underlying the wireless aggregation library.
+//!
+//! This crate is the bottom layer of the workspace reproducing
+//! *"Wireless Aggregation at Nearly Constant Rate"* (Halldórsson & Tonoyan, ICDCS 2018).
+//! It provides:
+//!
+//! * [`Point`] — points in the Euclidean plane with exact-enough `f64` arithmetic,
+//! * [`BoundingBox`] — axis-aligned bounding boxes of pointsets,
+//! * length-diversity computations ([`diversity::length_diversity`]) — the parameter `Δ`
+//!   that all of the paper's bounds are phrased in,
+//! * the slow-growing functions `log*` and `log log` ([`logmath`]) used to state the
+//!   paper's schedule-length bounds, and
+//! * deterministic random number helpers ([`rng`]) so that every experiment in the
+//!   benchmark harness is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_geometry::{Point, diversity::length_diversity, logmath::log_star};
+//!
+//! let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(5.0, 0.0)];
+//! let delta = length_diversity(&pts).unwrap();
+//! assert!((delta - 5.0).abs() < 1e-12);
+//! assert_eq!(log_star(65536.0), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bbox;
+pub mod diversity;
+pub mod logmath;
+pub mod point;
+pub mod rng;
+
+pub use bbox::BoundingBox;
+pub use point::Point;

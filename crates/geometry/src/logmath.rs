@@ -1,0 +1,207 @@
+//! Slow-growing functions used to state the paper's bounds.
+//!
+//! The paper's main results are phrased in terms of `log* Δ` (the iterated
+//! logarithm of the length diversity) and `log log Δ`. These helpers compute
+//! those quantities for the experiment harness so measured schedule lengths can
+//! be compared against the analytical shape.
+
+/// The iterated (base-2) logarithm `log* x`: the number of times `log2` must be
+/// applied to `x` before the result drops to at most 1.
+///
+/// By convention `log*(x) = 0` for `x <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::logmath::log_star;
+///
+/// assert_eq!(log_star(1.0), 0);
+/// assert_eq!(log_star(2.0), 1);
+/// assert_eq!(log_star(4.0), 2);
+/// assert_eq!(log_star(16.0), 3);
+/// assert_eq!(log_star(65536.0), 4);
+/// ```
+pub fn log_star(x: f64) -> u32 {
+    if !x.is_finite() {
+        // The tower function grows so fast that any representable f64 has
+        // log* at most 5; treat non-finite input as the maximum.
+        return 6;
+    }
+    let mut v = x;
+    let mut count = 0;
+    while v > 1.0 {
+        v = v.log2();
+        count += 1;
+        if count > 64 {
+            break;
+        }
+    }
+    count
+}
+
+/// `log2(log2(x))`, clamped below at zero. Returns `0` for `x <= 2`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::logmath::log_log2;
+///
+/// assert_eq!(log_log2(2.0), 0.0);
+/// assert_eq!(log_log2(16.0), 2.0);
+/// ```
+pub fn log_log2(x: f64) -> f64 {
+    if x <= 2.0 {
+        return 0.0;
+    }
+    x.log2().log2().max(0.0)
+}
+
+/// `ceil(log2(x))` for positive `x`, and `0` for `x <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::logmath::ceil_log2;
+///
+/// assert_eq!(ceil_log2(1.0), 0);
+/// assert_eq!(ceil_log2(2.0), 1);
+/// assert_eq!(ceil_log2(5.0), 3);
+/// ```
+pub fn ceil_log2(x: f64) -> u32 {
+    if x <= 1.0 {
+        return 0;
+    }
+    x.log2().ceil() as u32
+}
+
+/// The power tower `2 ↑↑ h` = 2^(2^(...^2)) of height `h`, as `f64`.
+///
+/// Returns `f64::INFINITY` when the tower overflows the `f64` range
+/// (which happens already for `h >= 6`). This is the inverse of [`log_star`]:
+/// `log_star(tower(h)) == h` for all representable towers.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::logmath::{log_star, tower};
+///
+/// assert_eq!(tower(0), 1.0);
+/// assert_eq!(tower(1), 2.0);
+/// assert_eq!(tower(2), 4.0);
+/// assert_eq!(tower(3), 16.0);
+/// assert_eq!(tower(4), 65536.0);
+/// assert_eq!(log_star(tower(4)), 4);
+/// ```
+pub fn tower(h: u32) -> f64 {
+    let mut v = 1.0_f64;
+    for _ in 0..h {
+        v = 2.0_f64.powf(v);
+        if !v.is_finite() {
+            return f64::INFINITY;
+        }
+    }
+    v
+}
+
+/// Number of doublings needed to go from `lo` to at least `hi`:
+/// `ceil(log2(hi / lo))`, with a minimum of 1 when `hi > lo`, else 0.
+///
+/// Used to count length classes `[2^(t-1)·l_min, 2^t·l_min)` in the distributed
+/// scheduler (Sec. 3.3 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::logmath::doubling_classes;
+///
+/// assert_eq!(doubling_classes(1.0, 1.0), 1);
+/// assert_eq!(doubling_classes(1.0, 2.0), 2);
+/// assert_eq!(doubling_classes(1.0, 7.9), 3);
+/// ```
+pub fn doubling_classes(lo: f64, hi: f64) -> u32 {
+    assert!(lo > 0.0, "lower bound must be positive");
+    assert!(hi >= lo, "upper bound must be at least the lower bound");
+    let ratio = hi / lo;
+    // A length l with lo <= l <= hi belongs to class floor(log2(l / lo)) + 1.
+    (ratio.log2().floor() as u32) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_small_values() {
+        assert_eq!(log_star(0.0), 0);
+        assert_eq!(log_star(0.5), 0);
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(1.5), 1);
+    }
+
+    #[test]
+    fn log_star_tower_values() {
+        for h in 0..=5 {
+            let t = tower(h);
+            if t.is_finite() {
+                assert_eq!(log_star(t), h, "log*(tower({h}))");
+            }
+        }
+    }
+
+    #[test]
+    fn log_star_between_towers() {
+        assert_eq!(log_star(10.0), 3); // 4 < 10 <= 16
+        assert_eq!(log_star(100.0), 4); // 16 < 100 <= 65536
+        assert_eq!(log_star(1e30), 5);
+    }
+
+    #[test]
+    fn log_star_infinite_input() {
+        assert_eq!(log_star(f64::INFINITY), 6);
+        assert_eq!(log_star(f64::NAN), 6);
+    }
+
+    #[test]
+    fn log_log2_values() {
+        assert_eq!(log_log2(1.0), 0.0);
+        assert_eq!(log_log2(4.0), 1.0);
+        assert_eq!(log_log2(256.0), 3.0);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0.5), 0);
+        assert_eq!(ceil_log2(8.0), 3);
+        assert_eq!(ceil_log2(9.0), 4);
+    }
+
+    #[test]
+    fn tower_overflows_to_infinity() {
+        assert_eq!(tower(6), f64::INFINITY);
+    }
+
+    #[test]
+    fn doubling_classes_examples() {
+        assert_eq!(doubling_classes(1.0, 1.0), 1);
+        assert_eq!(doubling_classes(1.0, 1.99), 1);
+        assert_eq!(doubling_classes(1.0, 2.0), 2);
+        assert_eq!(doubling_classes(2.0, 16.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be positive")]
+    fn doubling_classes_rejects_zero_lo() {
+        let _ = doubling_classes(0.0, 1.0);
+    }
+
+    #[test]
+    fn log_star_is_monotone() {
+        let mut prev = 0;
+        for i in 1..200 {
+            let x = 1.1_f64.powi(i);
+            let v = log_star(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The five-node example of the paper's Fig. 1.
+//!
+//! Four sensor nodes `a, b, c, d` and a sink are arranged in a tree
+//! `a → c → sink ← d ← b`. Links interfere only when they share an endpoint, so the
+//! periodic two-slot schedule `S1 = {a→c, d→sink}`, `S2 = {b→d, c→sink}` is valid,
+//! achieves rate `1/2` and aggregates each frame with latency 3 — exactly the
+//! behaviour walked through in the paper's introduction. The `wagg-sim` crate
+//! replays this schedule and the workspace's integration tests check the numbers.
+
+use crate::Instance;
+use wagg_geometry::Point;
+use wagg_sinr::{Link, NodeId};
+
+/// Node indices of the Fig. 1 example, for readability in tests and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig1Nodes {
+    /// Sensor `a` (outer left).
+    pub a: usize,
+    /// Sensor `b` (outer right).
+    pub b: usize,
+    /// Relay `c` (inner left).
+    pub c: usize,
+    /// Relay `d` (inner right).
+    pub d: usize,
+    /// The sink.
+    pub sink: usize,
+}
+
+/// The canonical node indexing used by [`fig1_instance`].
+pub const FIG1_NODES: Fig1Nodes = Fig1Nodes {
+    a: 0,
+    b: 1,
+    c: 2,
+    d: 3,
+    sink: 4,
+};
+
+/// The five-node pointset of Fig. 1: sink at the origin, relays `c`, `d` at `±1` and
+/// sensors `a`, `b` at `±2` on the line.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_instances::fig1::{fig1_instance, FIG1_NODES};
+///
+/// let inst = fig1_instance();
+/// assert_eq!(inst.points.len(), 5);
+/// assert_eq!(inst.sink, FIG1_NODES.sink);
+/// ```
+pub fn fig1_instance() -> Instance {
+    let points = vec![
+        Point::on_line(-2.0), // a
+        Point::on_line(2.0),  // b
+        Point::on_line(-1.0), // c
+        Point::on_line(1.0),  // d
+        Point::on_line(0.0),  // sink
+    ];
+    Instance::new("fig1", points, FIG1_NODES.sink)
+}
+
+/// The four tree links of Fig. 1: `a→c`, `b→d`, `c→sink`, `d→sink`, with consecutive
+/// identifiers in that order.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_instances::fig1::fig1_links;
+///
+/// let links = fig1_links();
+/// assert_eq!(links.len(), 4);
+/// assert!(links.iter().all(|l| l.length() == 1.0));
+/// ```
+pub fn fig1_links() -> Vec<Link> {
+    let inst = fig1_instance();
+    let n = FIG1_NODES;
+    let mk = |id: usize, from: usize, to: usize| {
+        Link::with_nodes(
+            id,
+            inst.points[from],
+            inst.points[to],
+            NodeId(from),
+            NodeId(to),
+        )
+    };
+    vec![
+        mk(0, n.a, n.c),
+        mk(1, n.b, n.d),
+        mk(2, n.c, n.sink),
+        mk(3, n.d, n.sink),
+    ]
+}
+
+/// The two slots of the Fig. 1 periodic schedule, as sets of link identifiers
+/// (indices into [`fig1_links`]): `S1 = {a→c, d→sink}`, `S2 = {b→d, c→sink}`.
+///
+/// The two links within each slot do not share an endpoint, matching the paper's
+/// protocol-style interference assumption for this introductory example.
+pub fn fig1_schedule_slots() -> [Vec<usize>; 2] {
+    [vec![0, 3], vec![1, 2]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_form_a_spanning_tree_of_the_instance() {
+        let inst = fig1_instance();
+        let links = fig1_links();
+        assert_eq!(links.len(), inst.len() - 1);
+        // Every non-sink node is the sender of exactly one link.
+        for node in 0..inst.len() {
+            let outgoing = links
+                .iter()
+                .filter(|l| l.sender_node == Some(NodeId(node)))
+                .count();
+            if node == inst.sink {
+                assert_eq!(outgoing, 0);
+            } else {
+                assert_eq!(outgoing, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_slots_cover_all_links_and_avoid_shared_endpoints() {
+        let links = fig1_links();
+        let slots = fig1_schedule_slots();
+        let mut covered: Vec<usize> = slots.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2, 3]);
+        for slot in &slots {
+            for (i, &x) in slot.iter().enumerate() {
+                for &y in &slot[i + 1..] {
+                    assert!(
+                        !links[x].shares_endpoint(&links[y]),
+                        "links {x} and {y} share an endpoint inside one slot"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_mst_matches_the_drawn_tree_up_to_direction() {
+        // The MST of the five collinear points is the path a-c-sink-d-b, which is the
+        // same edge set as the drawn tree.
+        let inst = fig1_instance();
+        let tree = inst.mst().unwrap();
+        assert_eq!(tree.edges().len(), 4);
+        assert!((tree.total_length() - 4.0).abs() < 1e-12);
+    }
+}

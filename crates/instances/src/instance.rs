@@ -1,0 +1,141 @@
+//! The [`Instance`] type shared by all generators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wagg_geometry::diversity::length_diversity;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_mst::{euclidean_mst, MstError, SpanningTree};
+use wagg_sinr::Link;
+
+/// A named pointset with a designated sink, ready to be turned into an aggregation
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_instances::Instance;
+///
+/// let inst = Instance::new("toy", vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 0);
+/// assert_eq!(inst.len(), 2);
+/// assert_eq!(inst.sink, 0);
+/// let links = inst.mst_links().unwrap();
+/// assert_eq!(links.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Human-readable name used by the experiment harness when reporting results.
+    pub name: String,
+    /// Node positions; index `sink` is the data sink.
+    pub points: Vec<Point>,
+    /// Index of the sink node within `points`.
+    pub sink: usize,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is not a valid index into `points`.
+    pub fn new(name: impl Into<String>, points: Vec<Point>, sink: usize) -> Self {
+        assert!(
+            sink < points.len(),
+            "sink index {sink} out of range for {} points",
+            points.len()
+        );
+        Instance {
+            name: name.into(),
+            points,
+            sink,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the instance has no nodes (never produced by the generators).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The length diversity `Δ` of the pointset (largest over smallest pairwise
+    /// distance), or `None` for degenerate pointsets.
+    pub fn length_diversity(&self) -> Option<f64> {
+        length_diversity(&self.points)
+    }
+
+    /// The bounding box of the pointset, or `None` if it is empty.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        BoundingBox::of_points(&self.points)
+    }
+
+    /// Builds the Euclidean MST of the pointset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MstError`] for degenerate pointsets.
+    pub fn mst(&self) -> Result<SpanningTree, MstError> {
+        euclidean_mst(&self.points)
+    }
+
+    /// Builds the MST and orients it towards the sink, producing the convergecast
+    /// link set the paper schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MstError`] for degenerate pointsets.
+    pub fn mst_links(&self) -> Result<Vec<Link>, MstError> {
+        self.mst()?.try_orient_towards(self.sink)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, sink {})",
+            self.name,
+            self.points.len(),
+            self.sink
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sink_must_be_in_range() {
+        let _ = Instance::new("bad", vec![Point::origin()], 3);
+    }
+
+    #[test]
+    fn mst_links_count_is_n_minus_one() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, (i % 2) as f64)).collect();
+        let inst = Instance::new("zigzag", pts, 3);
+        let links = inst.mst_links().unwrap();
+        assert_eq!(links.len(), 6);
+        // Every link's receiver chain ends at the sink; at least one link enters it.
+        assert!(links
+            .iter()
+            .any(|l| l.receiver_node.unwrap().index() == 3));
+    }
+
+    #[test]
+    fn diversity_and_bbox() {
+        let inst = Instance::new(
+            "line",
+            vec![Point::on_line(0.0), Point::on_line(1.0), Point::on_line(4.0)],
+            0,
+        );
+        assert_eq!(inst.length_diversity(), Some(4.0));
+        assert_eq!(inst.bounding_box().unwrap().width(), 4.0);
+        assert!(!inst.is_empty());
+        assert!(inst.to_string().contains("line"));
+    }
+}

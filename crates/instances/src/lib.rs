@@ -1,0 +1,37 @@
+//! Instance generators for the wireless aggregation experiments.
+//!
+//! Every deployment the paper analyses or constructs is generated here:
+//!
+//! * [`random`] — uniformly random deployments in a square or disk, regular grids
+//!   and clustered deployments (the "average case" instances of Corollary 1),
+//! * [`chains`] — line instances: uniform chains, exponentially growing chains
+//!   (the classic `Ω(n)`-slots-without-power-control example) and the
+//!   **doubly-exponential chain of Fig. 2** behind the oblivious-power lower bound
+//!   (Proposition 1),
+//! * [`fig1`] — the five-node example of Fig. 1, with its tree and 2-slot schedule,
+//! * [`recursive`] — the recursive construction `R_t` of Fig. 3 behind the
+//!   `O(1/log* Δ)` lower bound for arbitrary power control (Theorem 4),
+//! * [`suboptimal`] — the Fig. 4 family showing that the MST is not an optimal
+//!   aggregation tree for `P_τ` on the line (Proposition 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_instances::random::uniform_square;
+//!
+//! let instance = uniform_square(64, 100.0, 42);
+//! assert_eq!(instance.points.len(), 64);
+//! assert!(instance.length_diversity().unwrap() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chains;
+pub mod fig1;
+pub mod instance;
+pub mod random;
+pub mod recursive;
+pub mod suboptimal;
+
+pub use instance::Instance;

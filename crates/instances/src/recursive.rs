@@ -1,0 +1,259 @@
+//! The recursive lower-bound construction `R_t` of Fig. 3 (Theorem 4).
+//!
+//! The paper builds a family of line instances `R_1, R_2, …` whose MSTs cannot be
+//! aggregated at rate better than `2/(t + 1)`, while `t = Ω(log* Δ(R_t))`:
+//!
+//! * `R_1` is two nodes at distance 1;
+//! * `R_{t+1}` concatenates `k_{t+1} = c / ρ(R_t)` scaled copies of `R_t` (each copy
+//!   scaled so that its longest MST edge equals the diameter of the concatenation so
+//!   far) and prepends a long link `G` whose length is the diameter of the whole
+//!   concatenation.
+//!
+//! The true `k_{t+1}` grows astronomically (it is what makes `Δ` a tower function),
+//! so the generator accepts a cap on the number of copies per level. The capped
+//! construction keeps the qualitative structure — a long link facing many scaled
+//! copies, diameter growing by a large factor per level — at tractable sizes; the
+//! uncapped copy counts are reported by [`RecursiveInstance::ideal_copy_counts`] so
+//! the experiment harness can show how fast they explode.
+
+use crate::Instance;
+use wagg_geometry::Point;
+use wagg_mst::line_mst;
+
+/// The outcome of building `R_t`, together with the construction's bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveInstance {
+    /// The pointset (sorted left to right) with the sink at the leftmost node.
+    pub instance: Instance,
+    /// The level `t` of the construction.
+    pub level: usize,
+    /// The copy counts actually used at each level `2..=t` (after capping).
+    pub copy_counts: Vec<usize>,
+    /// The copy counts `c / ρ(R_{s-1})` the paper's construction would use at each
+    /// level `2..=t`, before capping (saturating at `usize::MAX`).
+    pub ideal_copy_counts: Vec<usize>,
+}
+
+/// Parameters of the recursive construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecursiveParams {
+    /// Path-loss exponent `α` used in `ρ`.
+    pub alpha: f64,
+    /// The constant `c` in `k_{t+1} = c / ρ(R_t)`.
+    pub c: f64,
+    /// Cap on the number of copies per level (keeps instance sizes tractable).
+    pub max_copies_per_level: usize,
+    /// Cap on the total number of nodes; construction stops growing a level once
+    /// reached.
+    pub max_nodes: usize,
+}
+
+impl Default for RecursiveParams {
+    fn default() -> Self {
+        RecursiveParams {
+            alpha: 3.0,
+            c: 2.0,
+            max_copies_per_level: 4,
+            max_nodes: 4096,
+        }
+    }
+}
+
+/// Builds the level-`t` instance `R_t` on the real line.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_instances::recursive::{recursive_instance, RecursiveParams};
+///
+/// let r2 = recursive_instance(2, RecursiveParams::default());
+/// assert!(r2.instance.points.len() > 2);
+/// assert_eq!(r2.level, 2);
+/// // Each level multiplies the diameter (and hence the diversity) dramatically.
+/// let r3 = recursive_instance(3, RecursiveParams::default());
+/// assert!(r3.instance.length_diversity().unwrap() > r2.instance.length_diversity().unwrap());
+/// ```
+pub fn recursive_instance(t: usize, params: RecursiveParams) -> RecursiveInstance {
+    assert!(t >= 1, "level must be at least 1");
+    // R_1: two nodes at distance 1, as offsets from the leftmost point.
+    let mut offsets: Vec<f64> = vec![0.0, 1.0];
+    let mut copy_counts = Vec::new();
+    let mut ideal_copy_counts = Vec::new();
+
+    for _level in 2..=t {
+        let rho = sparsity_rho(&offsets, params.alpha);
+        let ideal = if rho > 0.0 {
+            (params.c / rho).ceil()
+        } else {
+            f64::INFINITY
+        };
+        let ideal_count = if ideal.is_finite() && ideal < usize::MAX as f64 {
+            (ideal as usize).max(1)
+        } else {
+            usize::MAX
+        };
+        ideal_copy_counts.push(ideal_count);
+        let copies = ideal_count.min(params.max_copies_per_level).max(1);
+        copy_counts.push(copies);
+
+        // Concatenate `copies` scaled copies of the current instance.
+        let max_link = max_mst_gap(&offsets);
+        let mut concat: Vec<f64> = offsets.clone();
+        for _ in 1..copies {
+            if concat.len() >= params.max_nodes {
+                break;
+            }
+            let prev_diam = *concat.last().expect("non-empty");
+            // Scale the copy so its longest MST edge equals the diameter so far.
+            let scale = prev_diam / max_link;
+            let shift = prev_diam;
+            for &o in offsets.iter().skip(1) {
+                concat.push(shift + o * scale);
+            }
+        }
+        // Prepend the long link G: two nodes spanning the diameter of the concatenation,
+        // sharing the leftmost node. Shift everything right by diam and put a new node at 0.
+        let diam = *concat.last().expect("non-empty");
+        let mut next: Vec<f64> = Vec::with_capacity(concat.len() + 1);
+        next.push(0.0);
+        for &o in &concat {
+            next.push(diam + o);
+        }
+        offsets = next;
+    }
+
+    let points: Vec<Point> = offsets.iter().map(|&x| Point::on_line(x)).collect();
+    // Sink at the rightmost node (the far end of the chain), matching the paper's
+    // aggregation direction; any choice yields the same MST.
+    let sink = points.len() - 1;
+    RecursiveInstance {
+        instance: Instance::new(format!("recursive-R{t}"), points, sink),
+        level: t,
+        copy_counts,
+        ideal_copy_counts,
+    }
+}
+
+/// The paper's `ρ(R) = min_i l_i^α / d̂_i(R)^α` over the MST links of a line
+/// instance given by sorted offsets from the leftmost point, where `d̂_i` is the
+/// larger distance from the link's endpoints to the leftmost point.
+fn sparsity_rho(offsets: &[f64], alpha: f64) -> f64 {
+    let mut rho: f64 = 1.0;
+    for w in offsets.windows(2) {
+        let length = w[1] - w[0];
+        let d_hat = w[1].max(w[0]).max(f64::MIN_POSITIVE);
+        if length > 0.0 && d_hat > 0.0 {
+            rho = rho.min((length / d_hat).powf(alpha));
+        }
+    }
+    rho
+}
+
+/// The largest gap between consecutive offsets (the longest MST edge of a line
+/// instance).
+fn max_mst_gap(offsets: &[f64]) -> f64 {
+    offsets
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(0.0, f64::max)
+}
+
+/// Convenience: the MST link count of a built recursive instance (for reporting).
+pub fn mst_link_count(inst: &RecursiveInstance) -> usize {
+    line_mst(&inst.instance.points)
+        .map(|t| t.edges().len())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "level must be at least 1")]
+    fn level_zero_rejected() {
+        let _ = recursive_instance(0, RecursiveParams::default());
+    }
+
+    #[test]
+    fn level_one_is_two_points_at_distance_one() {
+        let r1 = recursive_instance(1, RecursiveParams::default());
+        assert_eq!(r1.instance.points.len(), 2);
+        assert_eq!(r1.instance.length_diversity(), Some(1.0));
+        assert!(r1.copy_counts.is_empty());
+    }
+
+    #[test]
+    fn levels_grow_in_size_and_diversity() {
+        let params = RecursiveParams::default();
+        let mut prev_nodes = 0;
+        let mut prev_delta = 0.0;
+        for t in 1..=4 {
+            let rt = recursive_instance(t, params);
+            let nodes = rt.instance.points.len();
+            let delta = rt.instance.length_diversity().unwrap();
+            assert!(nodes > prev_nodes, "level {t} did not grow: {nodes} nodes");
+            assert!(delta >= prev_delta, "level {t} diversity shrank");
+            prev_nodes = nodes;
+            prev_delta = delta;
+        }
+    }
+
+    #[test]
+    fn diversity_grows_superexponentially_across_levels() {
+        let params = RecursiveParams::default();
+        let d2 = recursive_instance(2, params)
+            .instance
+            .length_diversity()
+            .unwrap();
+        let d3 = recursive_instance(3, params)
+            .instance
+            .length_diversity()
+            .unwrap();
+        let d4 = recursive_instance(4, params)
+            .instance
+            .length_diversity()
+            .unwrap();
+        assert!(d3 > 2.0 * d2);
+        assert!(d4 > 2.0 * d3);
+        // Growth factor itself grows (tower-like behaviour even with capped copies).
+        assert!(d4 / d3 >= d3 / d2 * 0.9);
+    }
+
+    #[test]
+    fn ideal_copy_counts_dominate_used_counts() {
+        let rt = recursive_instance(4, RecursiveParams::default());
+        assert_eq!(rt.copy_counts.len(), rt.ideal_copy_counts.len());
+        for (&used, &ideal) in rt.copy_counts.iter().zip(rt.ideal_copy_counts.iter()) {
+            assert!(used <= ideal);
+            assert!(used >= 1);
+        }
+    }
+
+    #[test]
+    fn points_are_strictly_increasing() {
+        let rt = recursive_instance(3, RecursiveParams::default());
+        let xs: Vec<f64> = rt.instance.points.iter().map(|p| p.x).collect();
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "offsets must be strictly increasing: {w:?}");
+        }
+        assert_eq!(mst_link_count(&rt), xs.len() - 1);
+    }
+
+    #[test]
+    fn node_budget_is_respected() {
+        let params = RecursiveParams {
+            max_nodes: 50,
+            max_copies_per_level: 8,
+            ..RecursiveParams::default()
+        };
+        let rt = recursive_instance(5, params);
+        // The per-level concatenation stops adding copies at the budget; the extra
+        // node of G per level can exceed it only marginally.
+        assert!(rt.instance.points.len() <= 60);
+    }
+}

@@ -1,0 +1,396 @@
+//! The Fig. 4 family showing the MST is not an optimal aggregation tree for `P_τ`
+//! (Proposition 3, Sec. 5).
+//!
+//! For `τ ∈ (0, 2/5] ∪ [3/5, 1)` the paper constructs line instances with a
+//! designed (non-MST) spanning tree that `P_τ` can schedule in **two** slots, while
+//! the MST of the same pointset contains a doubly-exponential chain and therefore
+//! needs `Θ(log log Δ) = Θ(n)` slots under `P_τ`.
+//!
+//! The construction (reverse-engineered from the constraints stated in the paper's
+//! proof of Claim 2) places, for `m` levels:
+//!
+//! * receivers `r_1 < r_2 < … < r_m` with gaps `e_k = l_{k+1} − p_k`,
+//! * senders `s_k = r_k − l_k` to the left of all receivers,
+//!
+//! where `l_1 = x`, `l_{k+1} = l_k^{1/τ}` and `p_k = l_{k+1}^τ · l_k^{1−τ+τ²}`.
+//! The designed tree is the zig-zag path
+//! `s_1 → r_1 → s_2 → r_2 → … → s_m → r_m` whose odd links (the long `s_k → r_k`)
+//! form one `P_τ`-feasible slot and whose even links (the short `r_k → s_{k+1}`)
+//! form another. The MST instead connects geometrically consecutive nodes, and its
+//! right half `r_1, r_2, …, r_m` is exactly a doubly-exponential chain.
+
+use crate::Instance;
+use std::error::Error;
+use std::fmt;
+use wagg_geometry::Point;
+use wagg_sinr::{Link, NodeId};
+
+/// Error returned when the requested suboptimality instance cannot be represented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SuboptimalError {
+    /// `τ` is outside the ranges `(0, 2/5] ∪ [3/5, 1)` covered by Proposition 3.
+    UnsupportedTau {
+        /// The rejected value.
+        tau: f64,
+    },
+    /// The coordinates overflow `f64` for the requested number of levels.
+    Overflow {
+        /// Number of levels that fit before overflow.
+        representable_levels: usize,
+    },
+}
+
+impl fmt::Display for SuboptimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuboptimalError::UnsupportedTau { tau } => write!(
+                f,
+                "tau = {tau} is outside the ranges (0, 2/5] and [3/5, 1) covered by the construction"
+            ),
+            SuboptimalError::Overflow {
+                representable_levels,
+            } => write!(
+                f,
+                "coordinates overflow f64; at most {representable_levels} levels are representable"
+            ),
+        }
+    }
+}
+
+impl Error for SuboptimalError {}
+
+/// A built MST-suboptimality instance: the pointset, the designed two-slot tree and
+/// its two slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuboptimalInstance {
+    /// The pointset (2·levels nodes on the line) with the sink at the rightmost
+    /// receiver.
+    pub instance: Instance,
+    /// All links of the designed (non-MST) spanning tree, ids `0..2·levels − 1`.
+    pub designed_tree: Vec<Link>,
+    /// Identifiers (indices into `designed_tree`) of the long links `s_k → r_k`,
+    /// which form the first slot.
+    pub long_slot: Vec<usize>,
+    /// Identifiers of the short links `r_k → s_{k+1}`, which form the second slot.
+    pub short_slot: Vec<usize>,
+    /// The `τ` the instance was built for.
+    pub tau: f64,
+    /// The base length `x`.
+    pub base: f64,
+}
+
+impl SuboptimalInstance {
+    /// Number of levels `m` (long links).
+    pub fn levels(&self) -> usize {
+        self.long_slot.len()
+    }
+}
+
+/// Builds the Proposition 3 instance with `levels` long links, parameter `tau` and
+/// base length `base` (the paper's `x`, which must be "large enough"; values around
+/// 16–64 comfortably satisfy the feasibility constraints for `β = 1`).
+///
+/// For `τ ≥ 3/5` the mirrored construction (with `1 − τ` in the exponents and link
+/// directions reversed) is produced, as in the paper.
+///
+/// # Errors
+///
+/// * [`SuboptimalError::UnsupportedTau`] for `τ` outside `(0, 2/5] ∪ [3/5, 1)`,
+/// * [`SuboptimalError::Overflow`] when the doubly-exponential lengths overflow `f64`.
+///
+/// # Panics
+///
+/// Panics if `levels < 2` or `base <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_instances::suboptimal::suboptimal_instance;
+///
+/// let inst = suboptimal_instance(3, 0.4, 16.0).unwrap();
+/// assert_eq!(inst.instance.points.len(), 6);
+/// assert_eq!(inst.designed_tree.len(), 5);
+/// assert_eq!(inst.long_slot.len(), 3);
+/// assert_eq!(inst.short_slot.len(), 2);
+/// ```
+pub fn suboptimal_instance(
+    levels: usize,
+    tau: f64,
+    base: f64,
+) -> Result<SuboptimalInstance, SuboptimalError> {
+    assert!(levels >= 2, "need at least two levels");
+    assert!(base > 1.0, "base must exceed 1");
+    let reversed = if tau > 0.0 && tau <= 0.4 {
+        false
+    } else if (0.6..1.0).contains(&tau) {
+        true
+    } else {
+        return Err(SuboptimalError::UnsupportedTau { tau });
+    };
+    // The mirrored construction uses 1 - tau in the exponents.
+    let t_eff = if reversed { 1.0 - tau } else { tau };
+
+    // Link lengths l_k and bridging lengths p_k.
+    let mut lengths = vec![base];
+    for k in 1..levels {
+        let next = lengths[k - 1].powf(1.0 / t_eff);
+        if !next.is_finite() {
+            return Err(SuboptimalError::Overflow {
+                representable_levels: k,
+            });
+        }
+        lengths.push(next);
+    }
+    let mut bridges = Vec::with_capacity(levels - 1);
+    for k in 0..levels - 1 {
+        let p = lengths[k + 1].powf(t_eff) * lengths[k].powf(1.0 - t_eff + t_eff * t_eff);
+        if !p.is_finite() {
+            return Err(SuboptimalError::Overflow {
+                representable_levels: k + 1,
+            });
+        }
+        // The construction needs the bridge length p_k to survive the subtraction
+        // l_{k+1} - p_k; once p_k drops below the f64 resolution of l_{k+1} the
+        // geometry silently degenerates (senders collapse onto receivers), so treat
+        // it as an overflow of representable precision.
+        if p / lengths[k + 1] < 1e-12 {
+            return Err(SuboptimalError::Overflow {
+                representable_levels: k + 1,
+            });
+        }
+        bridges.push(p);
+    }
+
+    // Receiver and sender positions.
+    let mut receivers = vec![0.0_f64];
+    for k in 0..levels - 1 {
+        let e_k = lengths[k + 1] - bridges[k];
+        let next = receivers[k] + e_k;
+        if !next.is_finite() {
+            return Err(SuboptimalError::Overflow {
+                representable_levels: k + 1,
+            });
+        }
+        receivers.push(next);
+    }
+    let senders: Vec<f64> = (0..levels).map(|k| receivers[k] - lengths[k]).collect();
+
+    // Node layout: node 2k is s_{k+1}, node 2k+1 is r_{k+1}.
+    let mut points = Vec::with_capacity(2 * levels);
+    for k in 0..levels {
+        points.push(Point::on_line(senders[k]));
+        points.push(Point::on_line(receivers[k]));
+    }
+    let sink = 2 * levels - 1; // rightmost receiver
+
+    // Designed tree links. Directions follow the paper: for tau <= 2/5 the long
+    // links go left-to-right (s_k -> r_k) and the short links right-to-left
+    // (r_k -> s_{k+1}); the mirrored case reverses all of them.
+    let mut designed_tree = Vec::with_capacity(2 * levels - 1);
+    let mut long_slot = Vec::new();
+    let mut short_slot = Vec::new();
+    let mut next_id = 0usize;
+    for k in 0..levels {
+        let sender_node = 2 * k;
+        let receiver_node = 2 * k + 1;
+        let link = make_link(
+            next_id,
+            &points,
+            sender_node,
+            receiver_node,
+            reversed,
+        );
+        long_slot.push(next_id);
+        designed_tree.push(link);
+        next_id += 1;
+    }
+    for k in 0..levels - 1 {
+        let sender_node = 2 * k + 1; // r_{k+1}
+        let receiver_node = 2 * (k + 1); // s_{k+2}
+        let link = make_link(
+            next_id,
+            &points,
+            sender_node,
+            receiver_node,
+            reversed,
+        );
+        short_slot.push(next_id);
+        designed_tree.push(link);
+        next_id += 1;
+    }
+
+    Ok(SuboptimalInstance {
+        instance: Instance::new(
+            format!("mst-suboptimal-m{levels}-tau{tau}"),
+            points,
+            sink,
+        ),
+        designed_tree,
+        long_slot,
+        short_slot,
+        tau,
+        base,
+    })
+}
+
+fn make_link(
+    id: usize,
+    points: &[Point],
+    from: usize,
+    to: usize,
+    reversed: bool,
+) -> Link {
+    let (from, to) = if reversed { (to, from) } else { (from, to) };
+    Link::with_nodes(id, points[from], points[to], NodeId(from), NodeId(to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_sinr::{PowerAssignment, SinrModel};
+
+    #[test]
+    fn rejects_unsupported_tau() {
+        assert!(matches!(
+            suboptimal_instance(3, 0.5, 16.0),
+            Err(SuboptimalError::UnsupportedTau { .. })
+        ));
+        assert!(suboptimal_instance(3, 0.4, 16.0).is_ok());
+        assert!(suboptimal_instance(3, 0.6, 16.0).is_ok());
+    }
+
+    #[test]
+    fn overflow_reported_for_many_levels() {
+        let err = suboptimal_instance(12, 0.3, 16.0).unwrap_err();
+        assert!(matches!(err, SuboptimalError::Overflow { .. }));
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn designed_tree_spans_all_nodes() {
+        let built = suboptimal_instance(4, 0.3, 4.0).unwrap();
+        let n = built.instance.points.len();
+        assert_eq!(built.designed_tree.len(), n - 1);
+        // Union-find over the undirected designed tree must connect everything.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for l in &built.designed_tree {
+            let a = l.sender_node.unwrap().index();
+            let b = l.receiver_node.unwrap().index();
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for v in 1..n {
+            assert_eq!(find(&mut parent, v), root);
+        }
+    }
+
+    #[test]
+    fn long_and_short_slots_partition_the_tree() {
+        let built = suboptimal_instance(4, 0.4, 16.0).unwrap();
+        let mut all: Vec<usize> = built
+            .long_slot
+            .iter()
+            .chain(built.short_slot.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..built.designed_tree.len()).collect();
+        assert_eq!(all, expected);
+        assert_eq!(built.levels(), 4);
+    }
+
+    #[test]
+    fn both_slots_are_p_tau_feasible() {
+        // The heart of Proposition 3: the designed tree schedules in two slots
+        // under the oblivious scheme P_tau.
+        for (levels, tau, base) in [(4, 0.3, 4.0), (3, 0.25, 8.0), (4, 0.7, 4.0)] {
+            let built = suboptimal_instance(levels, tau, base).unwrap();
+            let model = SinrModel::default();
+            let power = PowerAssignment::oblivious(tau);
+            let long: Vec<Link> = built
+                .long_slot
+                .iter()
+                .map(|&i| built.designed_tree[i])
+                .collect();
+            let short: Vec<Link> = built
+                .short_slot
+                .iter()
+                .map(|&i| built.designed_tree[i])
+                .collect();
+            assert!(
+                model.is_feasible(&long, &power),
+                "long slot infeasible for tau = {tau}"
+            );
+            assert!(
+                model.is_feasible(&short, &power),
+                "short slot infeasible for tau = {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn mst_right_half_is_a_doubly_exponential_chain() {
+        let built = suboptimal_instance(4, 0.3, 4.0).unwrap();
+        // Receiver gaps e_k grow (much) faster than geometrically.
+        let receivers: Vec<f64> = (0..built.levels())
+            .map(|k| built.instance.points[2 * k + 1].x)
+            .collect();
+        let gaps: Vec<f64> = receivers.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in gaps.windows(2) {
+            assert!(w[1] > 10.0 * w[0], "receiver gaps {w:?} grow too slowly");
+        }
+    }
+
+    #[test]
+    fn no_two_mst_receiver_links_share_a_p_tau_slot() {
+        // The receivers alone form (a scaled copy of) the Fig. 2 chain, so any two of
+        // the MST links among them are P_tau-incompatible: that is what forces the
+        // MST to use Θ(n) slots.
+        let tau = 0.3;
+        let built = suboptimal_instance(4, tau, 4.0).unwrap();
+        let model = SinrModel::default();
+        let power = PowerAssignment::oblivious(tau);
+        let receivers: Vec<Point> = (0..built.levels())
+            .map(|k| built.instance.points[2 * k + 1])
+            .collect();
+        let chain_links: Vec<Link> = receivers
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Link::new(i, w[0], w[1]))
+            .collect();
+        for i in 0..chain_links.len() {
+            for j in (i + 1)..chain_links.len() {
+                let pair = vec![chain_links[i], chain_links[j]];
+                assert!(
+                    !model.is_feasible(&pair, &power),
+                    "MST chain links {i} and {j} unexpectedly compatible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sender_ordering_matches_construction() {
+        let built = suboptimal_instance(4, 0.3, 4.0).unwrap();
+        // Senders (even indices) are strictly decreasing in position as k grows,
+        // and all lie to the left of every receiver.
+        let senders: Vec<f64> = (0..built.levels())
+            .map(|k| built.instance.points[2 * k].x)
+            .collect();
+        for w in senders.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        let first_receiver = built.instance.points[1].x;
+        assert!(senders.iter().all(|&s| s < first_receiver + 1e-9));
+    }
+}

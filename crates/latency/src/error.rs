@@ -1,0 +1,108 @@
+//! Error type for the latency layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building trees or measuring latency.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LatencyError {
+    /// Fewer than two nodes were supplied.
+    TooFewPoints {
+        /// Number of points supplied.
+        found: usize,
+    },
+    /// The sink index does not refer to a node.
+    SinkOutOfRange {
+        /// The offending sink index.
+        sink: usize,
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Two distinct nodes coincide, so nearest-neighbour matching is
+    /// ill-defined.
+    CoincidentPoints {
+        /// First node index.
+        first: usize,
+        /// Second node index.
+        second: usize,
+    },
+    /// Building or orienting the MST failed.
+    Tree(wagg_mst::MstError),
+    /// Assembling the convergecast simulation failed.
+    Simulation(wagg_sim::SimError),
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyError::TooFewPoints { found } => {
+                write!(f, "need at least two nodes, found {found}")
+            }
+            LatencyError::SinkOutOfRange { sink, nodes } => {
+                write!(f, "sink index {sink} is out of range for {nodes} nodes")
+            }
+            LatencyError::CoincidentPoints { first, second } => {
+                write!(f, "nodes {first} and {second} occupy the same position")
+            }
+            LatencyError::Tree(e) => write!(f, "tree construction failed: {e}"),
+            LatencyError::Simulation(e) => write!(f, "simulation setup failed: {e}"),
+        }
+    }
+}
+
+impl Error for LatencyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LatencyError::Tree(e) => Some(e),
+            LatencyError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wagg_mst::MstError> for LatencyError {
+    fn from(e: wagg_mst::MstError) -> Self {
+        LatencyError::Tree(e)
+    }
+}
+
+impl From<wagg_sim::SimError> for LatencyError {
+    fn from(e: wagg_sim::SimError) -> Self {
+        LatencyError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            LatencyError::TooFewPoints { found: 1 },
+            LatencyError::SinkOutOfRange { sink: 3, nodes: 2 },
+            LatencyError::CoincidentPoints { first: 0, second: 1 },
+            LatencyError::Tree(wagg_mst::MstError::TooFewPoints { found: 1 }),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn wrapped_errors_expose_their_source() {
+        let err: LatencyError = wagg_mst::MstError::TooFewPoints { found: 0 }.into();
+        assert!(err.source().is_some());
+        let err: LatencyError = wagg_sim::SimError::NotAConvergecastTree.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<LatencyError>();
+    }
+}

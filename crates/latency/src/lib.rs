@@ -1,0 +1,47 @@
+//! Rate-versus-latency trade-offs for wireless aggregation.
+//!
+//! The paper optimises the *sustained rate* of aggregation and notes
+//! (Sec. 3.1, "Rate vs. latency") that rate and latency do not always go
+//! together: a chain's MST schedules in a constant number of slots (constant
+//! rate) but each frame needs a linear number of slots to reach the sink,
+//! while a balanced aggregation tree achieves `O(log n)` latency at the cost
+//! of a `Θ(1/log n)` rate. This crate makes both ends of that trade-off
+//! measurable:
+//!
+//! * [`pipeline`] — the per-frame latency of the MST + periodic coloring
+//!   schedule, both as the analytic hop-depth bound and as measured by the
+//!   convergecast simulator,
+//! * [`matching`] — the classic low-latency alternative: a matching-based
+//!   aggregation tree of height `O(log n)` whose levels are scheduled one
+//!   after another,
+//! * [`tradeoff`] — the side-by-side comparison the paper's discussion calls
+//!   for (rate, latency, tree height for both constructions).
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_latency::compare_rate_latency;
+//! use wagg_instances::random::uniform_square;
+//! use wagg_schedule::{PowerMode, SchedulerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = uniform_square(40, 120.0, 5);
+//! let report = compare_rate_latency(&inst.points, inst.sink, SchedulerConfig::new(PowerMode::GlobalControl))?;
+//! // The MST schedule sustains at least the rate of the level-by-level matching tree.
+//! assert!(report.mst.rate >= report.matching.rate * 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod matching;
+pub mod pipeline;
+pub mod tradeoff;
+
+pub use error::LatencyError;
+pub use matching::{build_matching_tree, schedule_matching_tree, MatchingTree, MatchingTreeSchedule};
+pub use pipeline::{measured_latency, pipeline_depth_bound, PipelineLatencyReport};
+pub use tradeoff::{compare_rate_latency, RateLatencyPoint, TradeoffReport};

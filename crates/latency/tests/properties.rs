@@ -1,0 +1,57 @@
+//! Property-based tests for the rate/latency layer.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wagg_instances::random::uniform_square;
+use wagg_latency::{build_matching_tree, pipeline_depth_bound, schedule_matching_tree};
+use wagg_schedule::{PowerMode, SchedulerConfig};
+
+fn deployment() -> impl Strategy<Value = (usize, u64)> {
+    (6usize..60, 0u64..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matching_tree_is_a_spanning_convergecast((n, seed) in deployment()) {
+        let inst = uniform_square(n, 150.0, seed);
+        let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
+        prop_assert_eq!(tree.link_count(), n - 1);
+        // Every non-sink node sends exactly once and the sink never sends.
+        let senders: HashSet<usize> = tree
+            .all_links()
+            .iter()
+            .map(|l| l.sender_node.unwrap().index())
+            .collect();
+        prop_assert_eq!(senders.len(), n - 1);
+        prop_assert!(!senders.contains(&inst.sink));
+    }
+
+    #[test]
+    fn matching_tree_height_is_logarithmic((n, seed) in deployment()) {
+        let inst = uniform_square(n, 150.0, seed);
+        let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
+        let bound = (n as f64).log2().ceil() as usize + 2;
+        prop_assert!(tree.level_count() <= bound);
+    }
+
+    #[test]
+    fn matching_schedule_is_a_partition((n, seed) in deployment()) {
+        let inst = uniform_square(n, 150.0, seed);
+        let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
+        let schedule = schedule_matching_tree(&tree, SchedulerConfig::new(PowerMode::GlobalControl));
+        prop_assert!(schedule.schedule.is_partition(tree.link_count()));
+        prop_assert_eq!(schedule.total_slots(), schedule.schedule.len());
+        prop_assert!(schedule.per_level_slots.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn mst_depth_bound_is_at_most_n_minus_one((n, seed) in deployment()) {
+        let inst = uniform_square(n, 150.0, seed);
+        let links = inst.mst_links().unwrap();
+        let depth = pipeline_depth_bound(&links);
+        prop_assert!(depth >= 1);
+        prop_assert!(depth <= n - 1);
+    }
+}

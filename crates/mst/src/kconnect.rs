@@ -1,0 +1,297 @@
+//! k-edge-connected spanners (Remark 2 of the paper).
+//!
+//! The paper notes that its scheduling results extend from spanning trees to
+//! `k`-edge-connected spanning subgraphs, with the sparsity constant growing to
+//! `O(k⁴)`. This module builds such spanners with the greedy augmentation that
+//! generalises Kruskal's algorithm: scan the candidate edges in non-decreasing
+//! order of length and keep an edge iff its endpoints are not yet `k`-edge-connected
+//! in the subgraph built so far. The result is `k`-edge-connected (whenever the
+//! complete geometric graph is, i.e. `k < n`) and uses at most `k·(n − 1)` edges.
+
+use crate::tree::Edge;
+use crate::MstError;
+use wagg_geometry::Point;
+use wagg_sinr::{Link, NodeId};
+
+/// A `k`-edge-connected spanning subgraph of a planar pointset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KConnectedSpanner {
+    points: Vec<Point>,
+    k: usize,
+    edges: Vec<Edge>,
+}
+
+impl KConnectedSpanner {
+    /// Builds a `k`-edge-connected spanner by greedy augmentation over edges sorted
+    /// by length.
+    ///
+    /// For `k = 1` this is exactly Kruskal's MST.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MstError::TooFewPoints`]/[`MstError::DuplicatePoints`] for invalid
+    /// pointsets, and [`MstError::NotASpanningTree`] if the complete graph itself is
+    /// not `k`-edge-connected (i.e. `k >= n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_geometry::Point;
+    /// use wagg_mst::kconnect::KConnectedSpanner;
+    ///
+    /// let points: Vec<Point> = (0..6).map(|i| Point::new(i as f64, (i * i % 5) as f64)).collect();
+    /// let spanner = KConnectedSpanner::build(&points, 2).unwrap();
+    /// assert!(spanner.is_k_edge_connected(2));
+    /// assert!(spanner.edges().len() <= 2 * (points.len() - 1));
+    /// ```
+    pub fn build(points: &[Point], k: usize) -> Result<Self, MstError> {
+        assert!(k >= 1, "k must be at least 1");
+        if points.len() < 2 {
+            return Err(MstError::TooFewPoints {
+                found: points.len(),
+            });
+        }
+        if k >= points.len() {
+            return Err(MstError::NotASpanningTree {
+                reason: "the complete graph on n nodes is only (n-1)-edge-connected",
+            });
+        }
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if points[i].distance_squared(points[j]) == 0.0 {
+                    return Err(MstError::DuplicatePoints {
+                        first: i,
+                        second: j,
+                    });
+                }
+            }
+        }
+
+        let n = points.len();
+        let mut candidates: Vec<(f64, Edge)> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                candidates.push((points[i].distance(points[j]), Edge::new(i, j)));
+            }
+        }
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut edges: Vec<Edge> = Vec::new();
+        for (_, e) in candidates {
+            if edge_connectivity_between(&edges, n, e.a, e.b) < k {
+                edges.push(e);
+            }
+        }
+        Ok(KConnectedSpanner {
+            points: points.to_vec(),
+            k,
+            edges,
+        })
+    }
+
+    /// The pointset spanned.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The connectivity target `k` the spanner was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The edges of the spanner, in the order they were accepted (non-decreasing length).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Orients all edges arbitrarily (lower to higher node index) into links with
+    /// consecutive identifiers, ready for conflict-graph colouring.
+    pub fn orient_arbitrarily(&self) -> Vec<Link> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(id, e)| {
+                Link::with_nodes(
+                    id,
+                    self.points[e.a],
+                    self.points[e.b],
+                    NodeId(e.a),
+                    NodeId(e.b),
+                )
+            })
+            .collect()
+    }
+
+    /// Checks global `k`-edge-connectivity: the minimum over all node pairs of the
+    /// pairwise edge connectivity is at least `k`.
+    pub fn is_k_edge_connected(&self, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        let n = self.points.len();
+        // Global edge connectivity equals the minimum over pairs (0, v); checking
+        // all pairs from a fixed source suffices.
+        (1..n).all(|v| edge_connectivity_between(&self.edges, n, 0, v) >= k)
+    }
+}
+
+/// Pairwise edge connectivity between `s` and `t` in the multigraph given by `edges`,
+/// computed as unit-capacity max flow (Ford–Fulkerson with BFS augmenting paths).
+///
+/// Exposed for tests of the spanner construction; the graphs involved are small
+/// (at most a few hundred edges), so the `O(k·E)` cost is negligible.
+pub fn edge_connectivity_between(edges: &[Edge], n: usize, s: usize, t: usize) -> usize {
+    if s == t {
+        return usize::MAX;
+    }
+    // Residual capacities per undirected edge, one unit in each direction.
+    let mut cap: Vec<[usize; 2]> = vec![[1, 1]; edges.len()];
+    let adj: Vec<Vec<(usize, usize)>> = {
+        let mut adj = vec![Vec::new(); n];
+        for (idx, e) in edges.iter().enumerate() {
+            adj[e.a].push((e.b, idx));
+            adj[e.b].push((e.a, idx));
+        }
+        adj
+    };
+    let mut flow = 0;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut pred: Vec<Option<(usize, usize, usize)>> = vec![None; n]; // (from, edge, dir)
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        let mut reached = vec![false; n];
+        reached[s] = true;
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &(v, idx) in &adj[u] {
+                let dir = if edges[idx].a == u { 0 } else { 1 };
+                if !reached[v] && cap[idx][dir] > 0 {
+                    reached[v] = true;
+                    pred[v] = Some((u, idx, dir));
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !reached[t] {
+            return flow;
+        }
+        // Augment along the path (all capacities are 1).
+        let mut v = t;
+        while v != s {
+            let (u, idx, dir) = pred[v].expect("path must be complete");
+            cap[idx][dir] -= 1;
+            cap[idx][1 - dir] += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::kruskal_mst;
+
+    fn sample_points(n: usize) -> Vec<Point> {
+        // Points in "general position": no duplicates, irregular spacing.
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                let y = ((i * 7 + 3) % 11) as f64 * 0.37;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn build_rejects_k_zero() {
+        let _ = KConnectedSpanner::build(&sample_points(4), 0);
+    }
+
+    #[test]
+    fn k1_spanner_is_just_the_mst() {
+        let pts = sample_points(8);
+        let spanner = KConnectedSpanner::build(&pts, 1).unwrap();
+        assert_eq!(spanner.k(), 1);
+        assert_eq!(spanner.edges().len(), pts.len() - 1);
+        assert!(spanner.is_k_edge_connected(1));
+        // Same total weight as Kruskal's MST.
+        let mst = kruskal_mst(&pts, &[]).unwrap();
+        let spanner_len: f64 = spanner.edges().iter().map(|e| e.length(&pts)).sum();
+        assert!((spanner_len - mst.total_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k2_spanner_is_2_connected_and_not_too_large() {
+        let pts = sample_points(7);
+        let spanner = KConnectedSpanner::build(&pts, 2).unwrap();
+        assert!(spanner.edges().len() <= 2 * (pts.len() - 1));
+        assert!(spanner.is_k_edge_connected(2));
+    }
+
+    #[test]
+    fn k3_spanner_is_3_connected() {
+        let pts = sample_points(6);
+        let spanner = KConnectedSpanner::build(&pts, 3).unwrap();
+        assert!(spanner.is_k_edge_connected(3));
+        assert!(spanner.edges().len() <= 3 * (pts.len() - 1));
+    }
+
+    #[test]
+    fn mst_alone_is_not_2_edge_connected() {
+        let pts = sample_points(6);
+        let spanner = KConnectedSpanner::build(&pts, 1).unwrap();
+        assert!(!spanner.is_k_edge_connected(2));
+    }
+
+    #[test]
+    fn too_large_k_fails() {
+        let pts = sample_points(3);
+        assert!(KConnectedSpanner::build(&pts, 3).is_err());
+        assert!(KConnectedSpanner::build(&pts, 2).is_ok());
+    }
+
+    #[test]
+    fn duplicate_points_are_rejected() {
+        let pts = vec![Point::origin(), Point::origin(), Point::on_line(1.0)];
+        assert!(matches!(
+            KConnectedSpanner::build(&pts, 1),
+            Err(MstError::DuplicatePoints { .. })
+        ));
+    }
+
+    #[test]
+    fn orientation_produces_consecutive_ids() {
+        let pts = sample_points(5);
+        let spanner = KConnectedSpanner::build(&pts, 2).unwrap();
+        let links = spanner.orient_arbitrarily();
+        assert_eq!(links.len(), spanner.edges().len());
+        for (i, l) in links.iter().enumerate() {
+            assert_eq!(l.id.index(), i);
+            assert!(l.length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_connectivity_of_path_and_cycle() {
+        // Path 0-1-2-3: connectivity 1 between ends.
+        let path = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+        assert_eq!(edge_connectivity_between(&path, 4, 0, 3), 1);
+        // Cycle adds one more disjoint route.
+        let mut cycle = path.clone();
+        cycle.push(Edge::new(0, 3));
+        assert_eq!(edge_connectivity_between(&cycle, 4, 0, 3), 2);
+        // Disconnected nodes have zero connectivity.
+        assert_eq!(edge_connectivity_between(&path, 5, 0, 4), 0);
+        // Self connectivity is "infinite".
+        assert_eq!(edge_connectivity_between(&path, 4, 2, 2), usize::MAX);
+    }
+}

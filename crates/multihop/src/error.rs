@@ -1,0 +1,123 @@
+//! Error type for the multi-hop layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the power-limited / multi-hop pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MultihopError {
+    /// Fewer than two nodes were supplied.
+    TooFewPoints {
+        /// The number of points that was supplied.
+        found: usize,
+    },
+    /// The communication range is not a positive finite number.
+    InvalidRange {
+        /// The offending range value.
+        range: f64,
+    },
+    /// The cluster radius is not a positive finite number.
+    InvalidRadius {
+        /// The offending radius value.
+        radius: f64,
+    },
+    /// The sink index does not refer to a node.
+    SinkOutOfRange {
+        /// The offending sink index.
+        sink: usize,
+        /// Number of nodes in the instance.
+        nodes: usize,
+    },
+    /// The range-reduced communication graph is disconnected: no spanning tree
+    /// exists within the power budget.
+    Disconnected {
+        /// Number of connected components of the reduced graph.
+        components: usize,
+        /// The minimum range that would make the graph connected (the longest
+        /// edge of the unrestricted MST).
+        critical_range: f64,
+    },
+    /// Building the spanning tree failed even though the reduced graph is
+    /// connected (degenerate pointset with coincident nodes).
+    Tree(wagg_mst::MstError),
+}
+
+impl fmt::Display for MultihopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultihopError::TooFewPoints { found } => {
+                write!(f, "need at least two nodes, found {found}")
+            }
+            MultihopError::InvalidRange { range } => {
+                write!(f, "communication range {range} is not a positive finite number")
+            }
+            MultihopError::InvalidRadius { radius } => {
+                write!(f, "cluster radius {radius} is not a positive finite number")
+            }
+            MultihopError::SinkOutOfRange { sink, nodes } => {
+                write!(f, "sink index {sink} is out of range for {nodes} nodes")
+            }
+            MultihopError::Disconnected {
+                components,
+                critical_range,
+            } => write!(
+                f,
+                "range-reduced graph has {components} components; connectivity needs range >= {critical_range}"
+            ),
+            MultihopError::Tree(e) => write!(f, "spanning tree construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for MultihopError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MultihopError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wagg_mst::MstError> for MultihopError {
+    fn from(e: wagg_mst::MstError) -> Self {
+        MultihopError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            MultihopError::TooFewPoints { found: 1 },
+            MultihopError::InvalidRange { range: -1.0 },
+            MultihopError::InvalidRadius { radius: 0.0 },
+            MultihopError::SinkOutOfRange { sink: 9, nodes: 4 },
+            MultihopError::Disconnected {
+                components: 3,
+                critical_range: 12.5,
+            },
+            MultihopError::Tree(wagg_mst::MstError::TooFewPoints { found: 1 }),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn tree_errors_expose_their_source() {
+        let err: MultihopError = wagg_mst::MstError::TooFewPoints { found: 0 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MultihopError>();
+    }
+}

@@ -1,0 +1,260 @@
+//! Leader election for the two-tier multi-hop pipeline.
+//!
+//! The multi-hop technique sketched in Sec. 3.1 of the paper selects *local
+//! leaders*, aggregates each leader's cluster locally, and then runs the
+//! convergecast over the much sparser graph connecting the leaders. Two
+//! standard election rules are provided:
+//!
+//! * [`elect_leaders_grid`] — partition the bounding box into square cells of
+//!   a given side and pick, in every non-empty cell, the node closest to the
+//!   cell centre;
+//! * [`elect_leaders_mis`] — a greedy maximal independent set at a given
+//!   radius: leaders are pairwise more than `radius` apart and every node has
+//!   a leader within `radius`.
+
+use crate::error::MultihopError;
+use serde::{Deserialize, Serialize};
+use wagg_geometry::{BoundingBox, Point};
+
+/// The outcome of a leader election: which nodes lead and which leader each
+/// node is assigned to.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_multihop::elect_leaders_mis;
+///
+/// let points: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let leaders = elect_leaders_mis(&points, 2.5).unwrap();
+/// assert!(leaders.leader_count() >= 3);
+/// assert!(leaders.max_assignment_distance(&points) <= 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaderSet {
+    /// Indices of the elected leaders, sorted increasingly.
+    pub leaders: Vec<usize>,
+    /// `assignment[v]` = index of the leader node that `v` belongs to
+    /// (leaders are assigned to themselves).
+    pub assignment: Vec<usize>,
+}
+
+impl LeaderSet {
+    /// Number of leaders.
+    pub fn leader_count(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Whether `v` is a leader.
+    pub fn is_leader(&self, v: usize) -> bool {
+        self.leaders.binary_search(&v).is_ok()
+    }
+
+    /// The members of a leader's cluster (including the leader itself).
+    pub fn cluster_of(&self, leader: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &l)| (l == leader).then_some(v))
+            .collect()
+    }
+
+    /// Sizes of every cluster, in the order of `leaders`.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.leaders
+            .iter()
+            .map(|&l| self.assignment.iter().filter(|&&a| a == l).count())
+            .collect()
+    }
+
+    /// The largest node-to-assigned-leader distance.
+    pub fn max_assignment_distance(&self, points: &[Point]) -> f64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(v, &l)| points[v].distance(points[l]))
+            .fold(0.0, f64::max)
+    }
+
+    /// The smallest pairwise distance between two distinct leaders
+    /// (`f64::INFINITY` when there is a single leader).
+    pub fn min_leader_separation(&self, points: &[Point]) -> f64 {
+        let mut min = f64::INFINITY;
+        for (i, &a) in self.leaders.iter().enumerate() {
+            for &b in &self.leaders[i + 1..] {
+                min = min.min(points[a].distance(points[b]));
+            }
+        }
+        min
+    }
+}
+
+fn validate(points: &[Point], radius: f64) -> Result<(), MultihopError> {
+    if points.is_empty() {
+        return Err(MultihopError::TooFewPoints { found: 0 });
+    }
+    if !(radius > 0.0) || !radius.is_finite() {
+        return Err(MultihopError::InvalidRadius { radius });
+    }
+    Ok(())
+}
+
+/// Elects leaders by a greedy maximal independent set at distance `radius`:
+/// nodes are processed in index order and selected when no earlier leader is
+/// within `radius`; every node is then assigned to its closest leader.
+///
+/// The resulting leaders are pairwise more than `radius` apart and every node
+/// is within `radius` of its assigned leader.
+///
+/// # Errors
+///
+/// Returns [`MultihopError::TooFewPoints`] for an empty pointset and
+/// [`MultihopError::InvalidRadius`] for a non-positive radius.
+pub fn elect_leaders_mis(points: &[Point], radius: f64) -> Result<LeaderSet, MultihopError> {
+    validate(points, radius)?;
+    let mut leaders: Vec<usize> = Vec::new();
+    for (v, p) in points.iter().enumerate() {
+        if leaders.iter().all(|&l| points[l].distance(*p) > radius) {
+            leaders.push(v);
+        }
+    }
+    let assignment = assign_to_closest(points, &leaders);
+    Ok(LeaderSet {
+        leaders,
+        assignment,
+    })
+}
+
+/// Elects leaders by partitioning the bounding box into square cells of side
+/// `cell_side` and choosing, in every non-empty cell, the node closest to the
+/// cell centre; every node is then assigned to its closest leader.
+///
+/// # Errors
+///
+/// Returns [`MultihopError::TooFewPoints`] for an empty pointset and
+/// [`MultihopError::InvalidRadius`] for a non-positive cell side.
+pub fn elect_leaders_grid(
+    points: &[Point],
+    cell_side: f64,
+) -> Result<LeaderSet, MultihopError> {
+    validate(points, cell_side)?;
+    let bbox = BoundingBox::of_points(points).ok_or(MultihopError::TooFewPoints { found: 0 })?;
+    let cell_of = |p: &Point| -> (i64, i64) {
+        (
+            ((p.x - bbox.min_x) / cell_side).floor() as i64,
+            ((p.y - bbox.min_y) / cell_side).floor() as i64,
+        )
+    };
+    use std::collections::HashMap;
+    let mut best_in_cell: HashMap<(i64, i64), (usize, f64)> = HashMap::new();
+    for (v, p) in points.iter().enumerate() {
+        let cell = cell_of(p);
+        let centre = Point::new(
+            bbox.min_x + (cell.0 as f64 + 0.5) * cell_side,
+            bbox.min_y + (cell.1 as f64 + 0.5) * cell_side,
+        );
+        let d = p.distance(centre);
+        match best_in_cell.get(&cell) {
+            Some(&(_, best)) if best <= d => {}
+            _ => {
+                best_in_cell.insert(cell, (v, d));
+            }
+        }
+    }
+    let mut leaders: Vec<usize> = best_in_cell.values().map(|&(v, _)| v).collect();
+    leaders.sort_unstable();
+    let assignment = assign_to_closest(points, &leaders);
+    Ok(LeaderSet {
+        leaders,
+        assignment,
+    })
+}
+
+fn assign_to_closest(points: &[Point], leaders: &[usize]) -> Vec<usize> {
+    points
+        .iter()
+        .map(|p| {
+            *leaders
+                .iter()
+                .min_by(|&&a, &&b| {
+                    points[a]
+                        .distance(*p)
+                        .partial_cmp(&points[b].distance(*p))
+                        .expect("finite distances")
+                })
+                .expect("at least one leader")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+
+    #[test]
+    fn empty_and_invalid_inputs_are_rejected() {
+        assert!(elect_leaders_mis(&[], 1.0).is_err());
+        let points = vec![Point::origin(), Point::new(1.0, 0.0)];
+        assert!(elect_leaders_mis(&points, 0.0).is_err());
+        assert!(elect_leaders_grid(&points, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mis_leaders_are_separated_and_cover_all_nodes() {
+        let inst = uniform_square(120, 200.0, 17);
+        let radius = 30.0;
+        let leaders = elect_leaders_mis(&inst.points, radius).unwrap();
+        assert!(leaders.min_leader_separation(&inst.points) > radius);
+        assert!(leaders.max_assignment_distance(&inst.points) <= radius);
+        assert_eq!(leaders.assignment.len(), 120);
+        // Every node's assigned leader is a leader.
+        for &l in &leaders.assignment {
+            assert!(leaders.is_leader(l));
+        }
+        // Cluster sizes sum to the population.
+        assert_eq!(leaders.cluster_sizes().iter().sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn grid_leaders_cover_all_nodes_within_a_cell_diagonal() {
+        let inst = uniform_square(150, 300.0, 23);
+        let cell = 60.0;
+        let leaders = elect_leaders_grid(&inst.points, cell).unwrap();
+        // Assigned to the *closest* leader, so the distance is at most the
+        // distance to the own-cell leader, which is at most the cell diagonal.
+        assert!(leaders.max_assignment_distance(&inst.points) <= cell * 2f64.sqrt() + 1e-9);
+        assert!(leaders.leader_count() <= 36); // at most (300/60 + 1)^2 cells
+        assert!(leaders.leader_count() >= 4);
+    }
+
+    #[test]
+    fn single_cluster_when_radius_dominates() {
+        let inst = uniform_square(30, 10.0, 3);
+        let leaders = elect_leaders_mis(&inst.points, 1e4).unwrap();
+        assert_eq!(leaders.leader_count(), 1);
+        assert_eq!(leaders.cluster_of(leaders.leaders[0]).len(), 30);
+        assert_eq!(leaders.min_leader_separation(&inst.points), f64::INFINITY);
+    }
+
+    #[test]
+    fn every_node_is_its_own_leader_for_tiny_radius() {
+        let points: Vec<Point> = (0..8).map(|i| Point::new(i as f64 * 5.0, 0.0)).collect();
+        let leaders = elect_leaders_mis(&points, 0.5).unwrap();
+        assert_eq!(leaders.leader_count(), 8);
+        for (v, &l) in leaders.assignment.iter().enumerate() {
+            assert_eq!(v, l);
+        }
+    }
+
+    #[test]
+    fn cluster_of_lists_exactly_the_assigned_nodes() {
+        let points: Vec<Point> = (0..12).map(|i| Point::new(i as f64, 0.0)).collect();
+        let leaders = elect_leaders_mis(&points, 3.5).unwrap();
+        for &l in &leaders.leaders {
+            for v in leaders.cluster_of(l) {
+                assert_eq!(leaders.assignment[v], l);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Power-limited and multi-hop extensions of the aggregation scheduler.
+//!
+//! The core results of the paper assume every pair of nodes can communicate
+//! when given enough power (the *single-hop* setting). Section 3.1 discusses
+//! the two relaxations this crate implements:
+//!
+//! * **Power limitations.** When senders have a maximum transmission power,
+//!   only node pairs within a *range* can communicate at all. The relevant
+//!   tree is then the MST of the *range-reduced* communication graph, and the
+//!   paper's bounds continue to hold as long as the maximum power suffices
+//!   for the longest MST edge (the interference-limited assumption).
+//!   [`range`] provides the reduced graph, its connectivity analysis, the
+//!   critical range, and the range-restricted MST.
+//! * **Multi-hop operation.** For large networks the standard technique is to
+//!   elect local leaders, aggregate within each leader's cluster, and flood
+//!   or converge-cast over the overlay graph connecting the leaders. Because
+//!   overlay links all have comparable lengths, the overlay schedules in a
+//!   constant number of slots and does not change the asymptotic rate.
+//!   [`leaders`] elects the leaders, [`flooding`] schedules the overlay, and
+//!   [`combined`] assembles the full two-tier pipeline with slot accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_multihop::{MultihopConfig, MultihopPipeline};
+//! use wagg_instances::random::uniform_square;
+//! use wagg_schedule::PowerMode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = uniform_square(80, 200.0, 3);
+//! let pipeline = MultihopPipeline::new(inst.points.clone(), inst.sink)
+//!     .with_config(MultihopConfig::default().with_cluster_radius(40.0));
+//! let report = pipeline.run(PowerMode::GlobalControl)?;
+//! assert!(report.total_slots() > 0);
+//! assert!(report.leader_count <= 80);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod combined;
+pub mod error;
+pub mod flooding;
+pub mod leaders;
+pub mod range;
+
+pub use combined::{MultihopConfig, MultihopPipeline, MultihopReport};
+pub use error::MultihopError;
+pub use flooding::{flood_schedule, FloodReport};
+pub use leaders::{elect_leaders_grid, elect_leaders_mis, LeaderSet};
+pub use range::{critical_range, max_range_for_power, range_restricted_mst, RangeGraph};

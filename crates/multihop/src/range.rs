@@ -1,0 +1,443 @@
+//! Range-reduced communication graphs for power-limited nodes.
+//!
+//! When every sender is limited to power `P_max`, a link of length `l` is
+//! usable (even without any concurrent transmission) only if
+//! `P_max >= (1 + eps) * beta * N * l^alpha`, i.e. only if `l` is at most the
+//! *communication range* determined by the power budget. The pointset then
+//! induces a *reduced* graph containing exactly the pairs within range, and
+//! the aggregation tree must be a spanning tree of that graph (the paper's
+//! interference-limited assumption, Sec. 3.1).
+
+use crate::error::MultihopError;
+use serde::{Deserialize, Serialize};
+use wagg_geometry::Point;
+use wagg_mst::{euclidean_mst, Edge, SpanningTree};
+use wagg_sinr::SinrModel;
+
+/// The maximum link length communicable with sender power `power` under
+/// `model`, with slack factor `eps` (the paper's interference-limited margin
+/// `P(i) >= (1 + eps) * beta * N * l^alpha`).
+///
+/// Returns `f64::INFINITY` when the model is noise-free (any distance is
+/// reachable given enough SINR margin, since there is no noise floor).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_multihop::max_range_for_power;
+/// use wagg_sinr::SinrModel;
+///
+/// let model = SinrModel::new(3.0, 1.0, 1e-6).unwrap();
+/// let range = max_range_for_power(8e-3, &model, 0.5);
+/// assert!(range > 10.0 && range < 20.0);
+/// ```
+pub fn max_range_for_power(power: f64, model: &SinrModel, eps: f64) -> f64 {
+    let noise = model.noise();
+    if noise <= 0.0 {
+        return f64::INFINITY;
+    }
+    let denom = (1.0 + eps.max(0.0)) * model.beta() * noise;
+    (power / denom).powf(1.0 / model.alpha())
+}
+
+/// The smallest communication range that keeps the pointset connected: the
+/// length of the longest edge of the (unrestricted) Euclidean MST.
+///
+/// # Errors
+///
+/// Returns the MST construction errors for degenerate pointsets.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_multihop::critical_range;
+///
+/// let points: Vec<Point> = (0..5).map(|i| Point::new(3.0 * i as f64, 0.0)).collect();
+/// assert_eq!(critical_range(&points).unwrap(), 3.0);
+/// ```
+pub fn critical_range(points: &[Point]) -> Result<f64, MultihopError> {
+    let mst = euclidean_mst(points)?;
+    Ok(mst.max_edge_length())
+}
+
+/// The communication graph induced by a maximum range: nodes are adjacent
+/// exactly when their distance is at most `range`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_multihop::RangeGraph;
+///
+/// let points: Vec<Point> = (0..4).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
+/// let graph = RangeGraph::new(points, 2.5).unwrap();
+/// assert!(graph.is_connected());
+/// assert_eq!(graph.degree(0), 1);
+/// assert_eq!(graph.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeGraph {
+    points: Vec<Point>,
+    range: f64,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl RangeGraph {
+    /// Builds the reduced graph for the given range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultihopError::TooFewPoints`] for fewer than two nodes and
+    /// [`MultihopError::InvalidRange`] for a non-positive or non-finite range.
+    pub fn new(points: Vec<Point>, range: f64) -> Result<Self, MultihopError> {
+        if points.len() < 2 {
+            return Err(MultihopError::TooFewPoints {
+                found: points.len(),
+            });
+        }
+        if !(range > 0.0) || !range.is_finite() {
+            return Err(MultihopError::InvalidRange { range });
+        }
+        let n = points.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if points[i].distance(points[j]) <= range {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        Ok(RangeGraph {
+            points,
+            range,
+            adjacency,
+        })
+    }
+
+    /// The node positions.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The communication range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The neighbours of a node (all nodes within range).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// All undirected edges of the reduced graph.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for (i, neigh) in self.adjacency.iter().enumerate() {
+            for &j in neigh {
+                if i < j {
+                    edges.push(Edge::new(i, j));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The connected components, each a sorted list of node indices.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.points.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for &w in &self.adjacency[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Whether the reduced graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() == 1
+    }
+
+    /// Hop distances from `source` to every node (BFS); `None` for unreachable
+    /// nodes.
+    pub fn hop_distances(&self, source: usize) -> Vec<Option<usize>> {
+        let n = self.points.len();
+        let mut dist = vec![None; n];
+        if source >= n {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v].expect("visited nodes have a distance");
+            for &w in &self.adjacency[v] {
+                if dist[w].is_none() {
+                    dist[w] = Some(d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The minimum spanning tree of the reduced graph (Kruskal over the
+    /// in-range edges only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultihopError::Disconnected`] when no spanning tree exists
+    /// within the range.
+    pub fn mst(&self) -> Result<SpanningTree, MultihopError> {
+        range_restricted_mst(&self.points, self.range)
+    }
+}
+
+/// Union-find with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// The minimum spanning tree of the pointset using only edges of length at
+/// most `range` (Kruskal restricted to the reduced graph).
+///
+/// When the reduced graph is connected this is exactly the Euclidean MST,
+/// because every MST edge is no longer than the critical range; the
+/// restriction only matters as a feasibility check against the power budget.
+///
+/// # Errors
+///
+/// Returns [`MultihopError::Disconnected`] (reporting the number of
+/// components and the critical range) when the range is too small, and the
+/// construction errors for degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_multihop::range_restricted_mst;
+///
+/// let points: Vec<Point> = (0..6).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let tree = range_restricted_mst(&points, 1.5).unwrap();
+/// assert_eq!(tree.edges().len(), 5);
+/// assert!(range_restricted_mst(&points, 0.5).is_err());
+/// ```
+pub fn range_restricted_mst(
+    points: &[Point],
+    range: f64,
+) -> Result<SpanningTree, MultihopError> {
+    if points.len() < 2 {
+        return Err(MultihopError::TooFewPoints {
+            found: points.len(),
+        });
+    }
+    if !(range > 0.0) || !range.is_finite() {
+        return Err(MultihopError::InvalidRange { range });
+    }
+    let n = points.len();
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = points[i].distance(points[j]);
+            if d <= range {
+                candidates.push((d, i, j));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+    let mut uf = UnionFind::new(n);
+    let mut edges = Vec::with_capacity(n - 1);
+    for (_, i, j) in candidates {
+        if uf.union(i, j) {
+            edges.push(Edge::new(i, j));
+            if edges.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    if edges.len() != n - 1 {
+        let graph = RangeGraph::new(points.to_vec(), range)?;
+        let critical = critical_range(points).unwrap_or(f64::INFINITY);
+        return Err(MultihopError::Disconnected {
+            components: graph.components().len(),
+            critical_range: critical,
+        });
+    }
+    SpanningTree::new(points.to_vec(), edges).map_err(MultihopError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_instances::random::uniform_square;
+
+    fn line(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(spacing * i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn range_graph_rejects_bad_inputs() {
+        assert!(matches!(
+            RangeGraph::new(vec![Point::origin()], 1.0),
+            Err(MultihopError::TooFewPoints { found: 1 })
+        ));
+        assert!(matches!(
+            RangeGraph::new(line(3, 1.0), 0.0),
+            Err(MultihopError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            RangeGraph::new(line(3, 1.0), f64::NAN),
+            Err(MultihopError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity_threshold_is_the_critical_range() {
+        let points = line(10, 2.0);
+        let critical = critical_range(&points).unwrap();
+        assert_eq!(critical, 2.0);
+        assert!(RangeGraph::new(points.clone(), 1.9).unwrap().is_connected() == false);
+        assert!(RangeGraph::new(points, 2.0).unwrap().is_connected());
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        // Two clusters far apart.
+        let mut points = line(4, 1.0);
+        points.extend((0..3).map(|i| Point::new(100.0 + i as f64, 0.0)));
+        let graph = RangeGraph::new(points, 2.0).unwrap();
+        let components = graph.components();
+        assert_eq!(components.len(), 2);
+        let total: usize = components.iter().map(Vec::len).sum();
+        assert_eq!(total, 7);
+        assert_eq!(components[0], vec![0, 1, 2, 3]);
+        assert_eq!(components[1], vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn hop_distances_grow_along_a_chain() {
+        let graph = RangeGraph::new(line(6, 1.0), 1.0).unwrap();
+        let dist = graph.hop_distances(0);
+        for (i, d) in dist.iter().enumerate() {
+            assert_eq!(*d, Some(i));
+        }
+        // Unreachable nodes stay None when the graph is split.
+        let graph = RangeGraph::new(line(6, 3.0), 1.0).unwrap();
+        assert_eq!(graph.hop_distances(0)[1], None);
+    }
+
+    #[test]
+    fn restricted_mst_equals_euclidean_mst_when_connected() {
+        let inst = uniform_square(40, 100.0, 9);
+        let unrestricted = euclidean_mst(&inst.points).unwrap();
+        let range = unrestricted.max_edge_length() * 1.01;
+        let restricted = range_restricted_mst(&inst.points, range).unwrap();
+        assert_eq!(restricted.edges().len(), unrestricted.edges().len());
+        assert!((restricted.total_length() - unrestricted.total_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_mst_reports_disconnection_with_critical_range() {
+        let points = line(8, 5.0);
+        match range_restricted_mst(&points, 4.0) {
+            Err(MultihopError::Disconnected {
+                components,
+                critical_range,
+            }) => {
+                assert_eq!(components, 8);
+                assert_eq!(critical_range, 5.0);
+            }
+            other => panic!("expected disconnection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_count_and_edges_agree() {
+        let graph = RangeGraph::new(line(5, 1.0), 2.0).unwrap();
+        assert_eq!(graph.edges().len(), graph.edge_count());
+        // Chain with range 2: neighbours at distance 1 and 2 → edges (i,i+1),(i,i+2).
+        assert_eq!(graph.edge_count(), 4 + 3);
+    }
+
+    #[test]
+    fn max_range_follows_the_power_budget() {
+        let model = SinrModel::new(3.0, 1.0, 1e-6).unwrap();
+        let r1 = max_range_for_power(1e-3, &model, 0.0);
+        let r2 = max_range_for_power(8e-3, &model, 0.0);
+        // Eight-fold power with alpha = 3 doubles the range.
+        assert!((r2 / r1 - 2.0).abs() < 1e-9);
+        // Slack eps shrinks the range.
+        assert!(max_range_for_power(1e-3, &model, 1.0) < r1);
+        // Noise-free models have unbounded range.
+        let noise_free = SinrModel::new(3.0, 1.0, 0.0).unwrap();
+        assert_eq!(max_range_for_power(1.0, &noise_free, 0.5), f64::INFINITY);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the power-limited / multi-hop layer.
+
+use proptest::prelude::*;
+use wagg_multihop::{
+    critical_range, elect_leaders_grid, elect_leaders_mis, range_restricted_mst,
+    MultihopConfig, MultihopPipeline, RangeGraph,
+};
+use wagg_instances::random::uniform_square;
+use wagg_schedule::PowerMode;
+
+fn deployment() -> impl Strategy<Value = (usize, f64, u64)> {
+    (8usize..60, 50.0f64..400.0, 0u64..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn critical_range_is_the_connectivity_threshold((n, side, seed) in deployment()) {
+        let inst = uniform_square(n, side, seed);
+        let critical = critical_range(&inst.points).unwrap();
+        // Just below the threshold the reduced graph is disconnected, at the
+        // threshold it is connected.
+        let above = RangeGraph::new(inst.points.clone(), critical * 1.0001).unwrap();
+        prop_assert!(above.is_connected());
+        let below = RangeGraph::new(inst.points.clone(), critical * 0.9999).unwrap();
+        prop_assert!(!below.is_connected());
+    }
+
+    #[test]
+    fn restricted_mst_matches_euclidean_mst_at_sufficient_range((n, side, seed) in deployment()) {
+        let inst = uniform_square(n, side, seed);
+        let critical = critical_range(&inst.points).unwrap();
+        let tree = range_restricted_mst(&inst.points, critical).unwrap();
+        let unrestricted = wagg_mst::euclidean_mst(&inst.points).unwrap();
+        prop_assert!((tree.total_length() - unrestricted.total_length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mis_leaders_are_separated_and_cover((n, side, seed) in deployment(), radius in 10.0f64..120.0) {
+        let inst = uniform_square(n, side, seed);
+        let leaders = elect_leaders_mis(&inst.points, radius).unwrap();
+        prop_assert!(leaders.min_leader_separation(&inst.points) > radius);
+        prop_assert!(leaders.max_assignment_distance(&inst.points) <= radius + 1e-9);
+        prop_assert_eq!(leaders.cluster_sizes().iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn grid_leaders_cover_within_a_diagonal((n, side, seed) in deployment(), cell in 20.0f64..150.0) {
+        let inst = uniform_square(n, side, seed);
+        let leaders = elect_leaders_grid(&inst.points, cell).unwrap();
+        prop_assert!(leaders.max_assignment_distance(&inst.points) <= cell * 2f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn pipeline_link_counts_add_up((n, side, seed) in deployment(), radius in 20.0f64..150.0) {
+        let inst = uniform_square(n, side, seed);
+        let pipeline = MultihopPipeline::new(inst.points.clone(), inst.sink)
+            .with_config(MultihopConfig::default().with_cluster_radius(radius));
+        let report = pipeline.run(PowerMode::GlobalControl).unwrap();
+        let extra_hop = usize::from(!report.leaders.is_leader(inst.sink));
+        prop_assert_eq!(report.intra_links + report.overlay_links, n - 1 + extra_hop);
+        prop_assert!(report.within_range);
+        prop_assert!(report.total_slots() >= 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Protocol-model (graph-based) interference baselines.
+//!
+//! The paper's related work measures aggregation capacity in the *protocol model*:
+//! a transmission succeeds iff no other sender transmits within an interference
+//! range of the receiver. This crate provides that model and the schedulers built
+//! on it, as the baselines the physical-model results are compared against:
+//!
+//! * [`ProtocolModel`] — conflict test between links with a configurable
+//!   interference-range factor,
+//! * [`schedule_protocol`] — greedy length-ordered coloring of the protocol conflict
+//!   graph (the analogue of the paper's scheduling algorithm without power control),
+//! * [`round_robin_slots`] — the trivial `1/n`-rate TDMA baseline.
+//!
+//! On exponential chains the protocol model needs `Θ(n)` slots, while the physical
+//! model with power control needs only `O(log* Δ)` — the separation that motivates
+//! the paper (experiment E9).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wagg_sinr::link::indices_by_decreasing_length;
+use wagg_sinr::Link;
+
+/// The protocol model of interference.
+///
+/// Link `j` interferes with link `i` if the sender of `j` lies within
+/// `interference_factor × l_j` of the receiver of `i` (or the links share an
+/// endpoint). Two links conflict when either interferes with the other; a feasible
+/// slot is a set of pairwise non-conflicting links.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::Link;
+/// use wagg_protocol::ProtocolModel;
+///
+/// let model = ProtocolModel::default();
+/// let a = Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+/// let b = Link::new(1, Point::new(2.0, 0.0), Point::new(3.0, 0.0));
+/// let far = Link::new(2, Point::new(50.0, 0.0), Point::new(51.0, 0.0));
+/// assert!(model.conflict(&a, &b));
+/// assert!(!model.conflict(&a, &far));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolModel {
+    /// The interference range of a sender, as a multiple of its own link length.
+    pub interference_factor: f64,
+}
+
+impl ProtocolModel {
+    /// Creates a protocol model with the given interference-range factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interference_factor >= 1` (an interference range below the
+    /// communication range is physically meaningless).
+    pub fn new(interference_factor: f64) -> Self {
+        assert!(
+            interference_factor >= 1.0,
+            "interference factor must be at least 1"
+        );
+        ProtocolModel {
+            interference_factor,
+        }
+    }
+
+    /// Whether `source` interferes with (blocks) the reception of `target`.
+    pub fn interferes(&self, source: &Link, target: &Link) -> bool {
+        if source.id == target.id {
+            return false;
+        }
+        let range = self.interference_factor * source.length();
+        source.sender_to_receiver_distance(target) <= range
+    }
+
+    /// Whether two links conflict (cannot share a slot): either interferes with the
+    /// other, or they share an endpoint.
+    pub fn conflict(&self, a: &Link, b: &Link) -> bool {
+        if a.id == b.id {
+            return false;
+        }
+        a.shares_endpoint(b) || self.interferes(a, b) || self.interferes(b, a)
+    }
+
+    /// Whether a set of links forms a feasible protocol-model slot.
+    pub fn slot_feasible(&self, links: &[Link]) -> bool {
+        for (i, a) in links.iter().enumerate() {
+            for b in &links[i + 1..] {
+                if self.conflict(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Default for ProtocolModel {
+    /// Interference range twice the communication range, a standard choice.
+    fn default() -> Self {
+        ProtocolModel {
+            interference_factor: 2.0,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol model (interference factor {})",
+            self.interference_factor
+        )
+    }
+}
+
+/// Greedy length-ordered coloring of the protocol-model conflict graph, returning the
+/// slots (each a list of indices into `links`).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::Link;
+/// use wagg_protocol::{schedule_protocol, ProtocolModel};
+///
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(100.0, 0.0), Point::new(101.0, 0.0)),
+/// ];
+/// let slots = schedule_protocol(&links, ProtocolModel::default());
+/// assert_eq!(slots.len(), 1);
+/// ```
+pub fn schedule_protocol(links: &[Link], model: ProtocolModel) -> Vec<Vec<usize>> {
+    let order = indices_by_decreasing_length(links);
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for &idx in &order {
+        let mut placed = false;
+        for slot in slots.iter_mut() {
+            let compatible = slot
+                .iter()
+                .all(|&other| !model.conflict(&links[idx], &links[other]));
+            if compatible {
+                slot.push(idx);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            slots.push(vec![idx]);
+        }
+    }
+    slots
+}
+
+/// The trivial TDMA baseline: one link per slot.
+pub fn round_robin_slots(links: &[Link]) -> Vec<Vec<usize>> {
+    (0..links.len()).map(|i| vec![i]).collect()
+}
+
+/// Verifies that every slot is feasible in the protocol model and the slots partition
+/// the link set.
+pub fn verify_protocol_schedule(
+    links: &[Link],
+    slots: &[Vec<usize>],
+    model: ProtocolModel,
+) -> bool {
+    let mut seen = vec![false; links.len()];
+    for slot in slots {
+        let slot_links: Vec<Link> = slot.iter().map(|&i| links[i]).collect();
+        if !model.slot_feasible(&slot_links) {
+            return false;
+        }
+        for &i in slot {
+            if seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::Point;
+    use wagg_instances::chains::{exponential_chain, uniform_chain};
+    use wagg_instances::random::grid;
+
+    fn line_link(id: usize, s: f64, r: f64) -> Link {
+        Link::new(id, Point::on_line(s), Point::on_line(r))
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_small_interference_factor() {
+        let _ = ProtocolModel::new(0.5);
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_irreflexive() {
+        let model = ProtocolModel::default();
+        let a = line_link(0, 0.0, 1.0);
+        let b = line_link(1, 1.5, 2.5);
+        assert!(!model.conflict(&a, &a));
+        assert_eq!(model.conflict(&a, &b), model.conflict(&b, &a));
+    }
+
+    #[test]
+    fn shared_endpoint_always_conflicts() {
+        let model = ProtocolModel::new(1.0);
+        let a = line_link(0, 0.0, 1.0);
+        let b = line_link(1, 1.0, 2.0);
+        assert!(model.conflict(&a, &b));
+    }
+
+    #[test]
+    fn long_link_interferes_far_away() {
+        let model = ProtocolModel::default();
+        let long = line_link(0, 0.0, 100.0);
+        let short = line_link(1, 150.0, 151.0);
+        // The long link's sender (interference range 200) reaches the short receiver.
+        assert!(model.interferes(&long, &short));
+        // The short link's sender does not reach the long receiver.
+        assert!(!model.interferes(&short, &long));
+        assert!(model.conflict(&long, &short));
+    }
+
+    #[test]
+    fn schedule_partitions_and_verifies() {
+        let inst = grid(5, 5, 1.0);
+        let links = inst.mst_links().unwrap();
+        let model = ProtocolModel::default();
+        let slots = schedule_protocol(&links, model);
+        assert!(verify_protocol_schedule(&links, &slots, model));
+        // A unit grid schedules in a constant number of protocol slots.
+        assert!(slots.len() <= 12, "{} slots", slots.len());
+    }
+
+    #[test]
+    fn uniform_chain_constant_slots_exponential_chain_linear_slots() {
+        let model = ProtocolModel::default();
+        let uniform = uniform_chain(16, 1.0).mst_links().unwrap();
+        let uniform_slots = schedule_protocol(&uniform, model);
+        assert!(uniform_slots.len() <= 6);
+
+        let expo = exponential_chain(12, 2.0).unwrap().mst_links().unwrap();
+        let expo_slots = schedule_protocol(&expo, model);
+        // Every shorter link lies inside a longer link's interference range:
+        // the protocol model degenerates to (almost) one link per slot.
+        assert!(
+            expo_slots.len() >= expo.len() / 2,
+            "only {} slots for {} links",
+            expo_slots.len(),
+            expo.len()
+        );
+        assert!(verify_protocol_schedule(&expo, &expo_slots, model));
+    }
+
+    #[test]
+    fn round_robin_is_always_valid() {
+        let links = exponential_chain(10, 2.0).unwrap().mst_links().unwrap();
+        let slots = round_robin_slots(&links);
+        assert_eq!(slots.len(), links.len());
+        assert!(verify_protocol_schedule(&links, &slots, ProtocolModel::default()));
+    }
+
+    #[test]
+    fn verify_detects_bad_schedules() {
+        let model = ProtocolModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 1.5, 2.5)];
+        // Conflicting links in one slot.
+        assert!(!verify_protocol_schedule(&links, &[vec![0, 1]], model));
+        // Missing link.
+        assert!(!verify_protocol_schedule(&links, &[vec![0]], model));
+        // Duplicate link.
+        assert!(!verify_protocol_schedule(
+            &links,
+            &[vec![0], vec![0], vec![1]],
+            model
+        ));
+    }
+
+    #[test]
+    fn larger_interference_factor_never_shortens_schedules() {
+        let links = grid(4, 4, 1.0).mst_links().unwrap();
+        let small = schedule_protocol(&links, ProtocolModel::new(1.0)).len();
+        let large = schedule_protocol(&links, ProtocolModel::new(3.0)).len();
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn display_mentions_factor() {
+        assert!(ProtocolModel::new(2.5).to_string().contains("2.5"));
+    }
+}

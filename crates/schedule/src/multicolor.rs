@@ -1,0 +1,218 @@
+//! Multicoloring (fractional) schedules: periodic schedules that beat proper colorings.
+//!
+//! Sec. 4 of the paper opens with the classic example: the edges of a 5-cycle, under
+//! a conflict relation where consecutive edges conflict, need 3 colors (rate `1/3`)
+//! as a proper coloring, but the periodic schedule
+//! `{1,3}, {2,4}, {1,4}, {2,5}, {3,5}` gives every edge 2 slots out of every 5 —
+//! rate `2/5`. This module provides that example and a greedy multicoloring
+//! routine for small instances, used by experiment E11.
+
+use crate::schedule::Schedule;
+use wagg_conflict::{greedy_color, ConflictGraph};
+
+/// The 5-cycle conflict structure of the paper's Sec. 4 example, as an abstract
+/// adjacency list: vertex `i` conflicts with `i ± 1 (mod 5)`.
+///
+/// The paper notes this conflict pattern is realisable as an actual aggregation tree
+/// in the SINR model with `β = 1`; here we work with the abstract structure, which is
+/// all the rate comparison needs.
+pub fn cycle5_adjacency() -> Vec<Vec<usize>> {
+    (0..5)
+        .map(|i| vec![(i + 4) % 5, (i + 1) % 5])
+        .collect()
+}
+
+/// The paper's 5-slot periodic schedule for the 5-cycle, achieving rate `2/5`:
+/// slots `{0,2}, {1,3}, {0,3}, {1,4}, {2,4}` (0-indexed).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_schedule::multicolor::{cycle5_adjacency, cycle5_multicolor_schedule};
+///
+/// let schedule = cycle5_multicolor_schedule();
+/// assert_eq!(schedule.len(), 5);
+/// assert_eq!(schedule.sustained_rate(5), 0.4);
+/// ```
+pub fn cycle5_multicolor_schedule() -> Schedule {
+    Schedule::new(vec![
+        vec![0, 2],
+        vec![1, 3],
+        vec![0, 3],
+        vec![1, 4],
+        vec![2, 4],
+    ])
+}
+
+/// Checks that a schedule only ever puts pairwise non-adjacent vertices (under the
+/// given adjacency lists) into the same slot.
+pub fn schedule_respects_adjacency(schedule: &Schedule, adjacency: &[Vec<usize>]) -> bool {
+    schedule.slots().iter().all(|slot| {
+        slot.iter().enumerate().all(|(pos, &u)| {
+            slot[pos + 1..]
+                .iter()
+                .all(|&v| u != v && !adjacency[u].contains(&v))
+        })
+    })
+}
+
+/// The best *coloring* rate for the 5-cycle: three colors, rate `1/3`.
+///
+/// Computed by exhaustive search over colorings to make the comparison in
+/// experiment E11 self-contained (no reliance on the known chromatic number).
+pub fn cycle5_optimal_coloring_slots() -> usize {
+    let adjacency = cycle5_adjacency();
+    let n = 5usize;
+    // Try k = 1, 2, ... colors by brute force over all k^5 assignments
+    // (5 vertices, so this is instant).
+    for k in 1..=n {
+        let total = k.pow(n as u32);
+        for code in 0..total {
+            let mut assignment = Vec::with_capacity(n);
+            let mut rest = code;
+            for _ in 0..n {
+                assignment.push(rest % k);
+                rest /= k;
+            }
+            let proper = (0..n)
+                .all(|v| adjacency[v].iter().all(|&u| assignment[u] != assignment[v]));
+            if proper {
+                return k;
+            }
+        }
+    }
+    n
+}
+
+/// A greedy multicoloring of a conflict graph: repeatedly schedules maximal
+/// independent sets, cycling the starting vertex, until every vertex has appeared at
+/// least `repetitions` times. Returns the resulting periodic schedule.
+///
+/// This is a heuristic improvement channel over plain coloring for small instances;
+/// it never does worse than repeating the greedy coloring `repetitions` times.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::Link;
+/// use wagg_conflict::{ConflictGraph, ConflictRelation};
+/// use wagg_schedule::multicolor::greedy_multicolor;
+///
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(1.0, 0.0), Point::new(2.0, 0.0)),
+/// ];
+/// let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+/// let schedule = greedy_multicolor(&g, 2);
+/// assert!(schedule.sustained_rate(2) >= 0.5 - 1e-12);
+/// ```
+pub fn greedy_multicolor(graph: &ConflictGraph, repetitions: usize) -> Schedule {
+    let n = graph.len();
+    if n == 0 || repetitions == 0 {
+        return Schedule::new(vec![]);
+    }
+    let baseline = greedy_color(graph);
+    let mut counts = vec![0usize; n];
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    let mut start = 0usize;
+    let budget = baseline.num_colors() * repetitions + n;
+    while counts.iter().any(|&c| c < repetitions) && slots.len() < budget {
+        // Build a maximal independent set, preferring vertices with the fewest
+        // appearances so far (round-robin fairness), starting from a rotating vertex.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.rotate_left(start % n);
+        order.sort_by_key(|&v| counts[v]);
+        let mut slot: Vec<usize> = Vec::new();
+        for &v in &order {
+            if slot.iter().all(|&u| !graph.are_adjacent(u, v)) {
+                slot.push(v);
+            }
+        }
+        for &v in &slot {
+            counts[v] += 1;
+        }
+        slots.push(slot);
+        start += 1;
+    }
+    Schedule::new(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_conflict::ConflictRelation;
+    use wagg_geometry::Point;
+    use wagg_sinr::Link;
+
+    #[test]
+    fn cycle5_schedule_is_valid_and_beats_coloring() {
+        let adjacency = cycle5_adjacency();
+        let multicolor = cycle5_multicolor_schedule();
+        assert!(schedule_respects_adjacency(&multicolor, &adjacency));
+        let coloring_slots = cycle5_optimal_coloring_slots();
+        assert_eq!(coloring_slots, 3);
+        let coloring_rate = 1.0 / coloring_slots as f64;
+        let multicolor_rate = multicolor.sustained_rate(5);
+        assert_eq!(multicolor_rate, 0.4);
+        assert!(multicolor_rate > coloring_rate);
+    }
+
+    #[test]
+    fn cycle5_every_vertex_appears_exactly_twice() {
+        let s = cycle5_multicolor_schedule();
+        let counts = s.transmissions_in_window(5, 5);
+        assert_eq!(counts, vec![2; 5]);
+    }
+
+    #[test]
+    fn adjacency_violations_are_detected() {
+        let adjacency = cycle5_adjacency();
+        let bad = Schedule::new(vec![vec![0, 1]]);
+        assert!(!schedule_respects_adjacency(&bad, &adjacency));
+        let repeated = Schedule::new(vec![vec![2, 2]]);
+        assert!(!schedule_respects_adjacency(&repeated, &adjacency));
+    }
+
+    fn tight_chain(n: usize) -> Vec<Link> {
+        (0..n)
+            .map(|i| {
+                let start = i as f64 * 1.5;
+                Link::new(i, Point::on_line(start), Point::on_line(start + 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_multicolor_covers_everyone_enough_times() {
+        let links = tight_chain(7);
+        let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        for reps in [1, 2, 3] {
+            let s = greedy_multicolor(&g, reps);
+            let counts = s.transmissions_in_window(7, s.len());
+            assert!(counts.iter().all(|&c| c >= reps), "reps {reps}: {counts:?}");
+            // Slots are independent sets of the conflict graph.
+            for slot in s.slots() {
+                assert!(g.is_independent_set(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_multicolor_rate_at_least_coloring_rate() {
+        let links = tight_chain(9);
+        let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        let coloring_rate = 1.0 / greedy_color(&g).num_colors() as f64;
+        let s = greedy_multicolor(&g, 3);
+        assert!(s.sustained_rate(9) >= coloring_rate - 1e-12);
+    }
+
+    #[test]
+    fn greedy_multicolor_empty_inputs() {
+        let g = ConflictGraph::build(&[], ConflictRelation::unit_constant());
+        assert!(greedy_multicolor(&g, 3).is_empty());
+        let links = tight_chain(3);
+        let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        assert!(greedy_multicolor(&g, 0).is_empty());
+    }
+}

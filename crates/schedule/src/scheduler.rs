@@ -1,0 +1,362 @@
+//! The end-to-end scheduler: conflict-graph coloring plus SINR verification.
+
+use crate::power_mode::PowerMode;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use wagg_conflict::{greedy_color, ConflictGraph};
+use wagg_geometry::logmath::{log_log2, log_star};
+use wagg_mst::MstError;
+use wagg_sinr::link::{indices_by_decreasing_length, link_diversity};
+use wagg_sinr::{Link, SinrModel};
+
+/// Configuration of the end-to-end scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// The SINR model parameters.
+    pub model: SinrModel,
+    /// The power-control mode (determines conflict graph and verification).
+    pub mode: PowerMode,
+    /// Whether to verify every color class against the physical model and split
+    /// classes that fail (guarantees a genuinely feasible schedule at the cost of
+    /// possibly more slots). Defaults to `true`.
+    pub verify_slots: bool,
+}
+
+impl SchedulerConfig {
+    /// A configuration with the default model (`α = 3`, `β = 1`, noise-free) and the
+    /// given power mode, with slot verification enabled.
+    pub fn new(mode: PowerMode) -> Self {
+        SchedulerConfig {
+            model: SinrModel::default(),
+            mode,
+            verify_slots: true,
+        }
+    }
+
+    /// Replaces the SINR model.
+    pub fn with_model(mut self, model: SinrModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Enables or disables per-slot verification/splitting.
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify_slots = verify;
+        self
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::new(PowerMode::GlobalControl)
+    }
+}
+
+/// The outcome of scheduling a link set: the schedule itself plus the quantities the
+/// paper's analysis talks about, ready for the experiment harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// The verified schedule.
+    pub schedule: Schedule,
+    /// Number of colors the conflict-graph coloring used, before verification
+    /// splitting.
+    pub coloring_slots: usize,
+    /// Number of slots after verification splitting (equals the schedule length).
+    pub verified_slots: usize,
+    /// The link diversity `Δ(L)` of the scheduled link set (1.0 for empty sets).
+    pub diversity: f64,
+    /// `log* Δ` — the paper's bound shape for global power control.
+    pub log_star_diversity: u32,
+    /// `log log Δ` — the paper's bound shape for oblivious power.
+    pub log_log_diversity: f64,
+    /// The power mode that was scheduled for.
+    pub mode: PowerMode,
+    /// Number of links scheduled.
+    pub num_links: usize,
+}
+
+impl ScheduleReport {
+    /// The achieved aggregation rate `1 / slots`.
+    pub fn rate(&self) -> f64 {
+        self.schedule.rate()
+    }
+}
+
+/// Schedules an arbitrary link set under the given configuration.
+///
+/// The links are colored greedily on the conflict graph matched to the power mode;
+/// if `verify_slots` is set, each color class is then re-checked against the actual
+/// SINR condition and split greedily (first-fit in non-increasing length order) into
+/// feasible sub-slots where necessary.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::Link;
+/// use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+///
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(10.0, 0.0), Point::new(11.0, 0.0)),
+///     Link::new(2, Point::new(20.0, 0.0), Point::new(21.0, 0.0)),
+/// ];
+/// let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Uniform));
+/// // Three well-separated unit links fit in a single slot.
+/// assert_eq!(report.schedule.len(), 1);
+/// assert!(report.schedule.verify(&links, &SchedulerConfig::new(PowerMode::Uniform).model, PowerMode::Uniform));
+/// ```
+pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+    let relation = config.mode.conflict_relation(config.model.alpha());
+    let graph = ConflictGraph::build(links, relation);
+    let coloring = greedy_color(&graph);
+    let coloring_slots = coloring.num_colors();
+
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for class in coloring.classes() {
+        if class.is_empty() {
+            continue;
+        }
+        if !config.verify_slots {
+            slots.push(class);
+            continue;
+        }
+        slots.extend(split_into_feasible(links, &class, &config));
+    }
+
+    let diversity = link_diversity(links).unwrap_or(1.0);
+    ScheduleReport {
+        verified_slots: slots.len(),
+        schedule: Schedule::new(slots),
+        coloring_slots,
+        diversity,
+        log_star_diversity: log_star(diversity),
+        log_log_diversity: log_log2(diversity),
+        mode: config.mode,
+        num_links: links.len(),
+    }
+}
+
+/// Splits one candidate slot into SINR-feasible sub-slots by first-fit over links in
+/// non-increasing length order. Singleton slots are always feasible (for positive
+/// length links), so the split terminates with at most `|class|` sub-slots.
+fn split_into_feasible(
+    links: &[Link],
+    class: &[usize],
+    config: &SchedulerConfig,
+) -> Vec<Vec<usize>> {
+    // Fast path: the whole class verifies.
+    let class_links: Vec<Link> = class.iter().map(|&i| links[i]).collect();
+    if config.mode.slot_feasible(&config.model, &class_links) {
+        return vec![class.to_vec()];
+    }
+
+    // First-fit split in non-increasing length order.
+    let class_order = {
+        let order_within = indices_by_decreasing_length(&class_links);
+        order_within
+            .into_iter()
+            .map(|pos| class[pos])
+            .collect::<Vec<usize>>()
+    };
+    let mut sub_slots: Vec<Vec<usize>> = Vec::new();
+    for idx in class_order {
+        let mut placed = false;
+        for slot in sub_slots.iter_mut() {
+            let mut candidate: Vec<Link> = slot.iter().map(|&i| links[i]).collect();
+            candidate.push(links[idx]);
+            if config.mode.slot_feasible(&config.model, &candidate) {
+                slot.push(idx);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            sub_slots.push(vec![idx]);
+        }
+    }
+    sub_slots
+}
+
+/// Schedules the MST of a pointset, oriented towards `sink`, under the given
+/// configuration — the full pipeline of Theorem 1.
+///
+/// # Errors
+///
+/// Propagates [`MstError`] if the pointset is degenerate (fewer than two points,
+/// duplicates) or the sink index is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_schedule::{schedule_mst, PowerMode, SchedulerConfig};
+///
+/// let points: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let report = schedule_mst(&points, 0, SchedulerConfig::new(PowerMode::GlobalControl)).unwrap();
+/// assert_eq!(report.num_links, 9);
+/// assert!(report.schedule.is_partition(9));
+/// ```
+pub fn schedule_mst(
+    points: &[wagg_geometry::Point],
+    sink: usize,
+    config: SchedulerConfig,
+) -> Result<ScheduleReport, MstError> {
+    let tree = wagg_mst::euclidean_mst(points)?;
+    let links = tree.try_orient_towards(sink)?;
+    Ok(schedule_links(&links, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::Point;
+    use wagg_instances::chains::{doubly_exponential_chain, exponential_chain, uniform_chain};
+    use wagg_instances::random::{grid, uniform_square};
+
+    fn check_report(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+        let report = schedule_links(links, config);
+        assert!(report.schedule.is_partition(links.len()));
+        assert!(report
+            .schedule
+            .verify(links, &config.model, config.mode));
+        assert!(report.verified_slots >= report.coloring_slots.min(report.verified_slots));
+        report
+    }
+
+    #[test]
+    fn empty_link_set_gives_empty_schedule() {
+        let report = schedule_links(&[], SchedulerConfig::default());
+        assert!(report.schedule.is_empty());
+        assert_eq!(report.num_links, 0);
+        assert_eq!(report.diversity, 1.0);
+    }
+
+    #[test]
+    fn single_link_gets_one_slot() {
+        let links = vec![Link::new(0, Point::on_line(0.0), Point::on_line(1.0))];
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::Linear,
+            PowerMode::mean_oblivious(),
+            PowerMode::GlobalControl,
+        ] {
+            let report = check_report(&links, SchedulerConfig::new(mode));
+            assert_eq!(report.schedule.len(), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_chain_schedules_in_constant_slots() {
+        // Equal-length links on a line: a couple of slots suffice in every mode.
+        let inst = uniform_chain(20, 1.0);
+        let links = inst.mst_links().unwrap();
+        for mode in [PowerMode::mean_oblivious(), PowerMode::GlobalControl] {
+            let report = check_report(&links, SchedulerConfig::new(mode));
+            assert!(
+                report.schedule.len() <= 6,
+                "{mode}: {} slots for a uniform chain",
+                report.schedule.len()
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_chain_needs_many_slots_without_power_control() {
+        let inst = exponential_chain(12, 2.0).unwrap();
+        let links = inst.mst_links().unwrap();
+        let uniform = check_report(&links, SchedulerConfig::new(PowerMode::Uniform));
+        let global = check_report(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        // The separation the paper's introduction highlights: uniform power degenerates
+        // towards one-link-per-slot, power control keeps the schedule short.
+        assert!(uniform.schedule.len() >= links.len() / 2);
+        assert!(global.schedule.len() <= 10);
+        assert!(global.schedule.len() < uniform.schedule.len());
+    }
+
+    #[test]
+    fn doubly_exponential_chain_defeats_oblivious_power() {
+        let inst = doubly_exponential_chain(6, 0.5, 3.0, 1.0).unwrap();
+        let links = inst.mst_links().unwrap();
+        let oblivious = check_report(&links, SchedulerConfig::new(PowerMode::mean_oblivious()));
+        // Proposition 1: no two links share a slot under P_tau.
+        assert_eq!(oblivious.schedule.len(), links.len());
+        // Global power control does strictly better on the same instance.
+        let global = check_report(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        assert!(global.schedule.len() < oblivious.schedule.len());
+    }
+
+    #[test]
+    fn random_instances_schedule_near_constant_with_global_power() {
+        for seed in [1, 2, 3] {
+            let inst = uniform_square(64, 100.0, seed);
+            let links = inst.mst_links().unwrap();
+            let report = check_report(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+            // Theorem 1 / Corollary 1: O(log* Δ) slots; the constant is small.
+            assert!(
+                report.schedule.len() <= 8 * (report.log_star_diversity.max(1) as usize),
+                "seed {seed}: {} slots vs log* Δ = {}",
+                report.schedule.len(),
+                report.log_star_diversity
+            );
+        }
+    }
+
+    #[test]
+    fn grid_schedules_in_constant_slots_every_mode() {
+        let inst = grid(6, 6, 1.0);
+        let links = inst.mst_links().unwrap();
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::mean_oblivious(),
+            PowerMode::GlobalControl,
+        ] {
+            let report = check_report(&links, SchedulerConfig::new(mode));
+            assert!(
+                report.schedule.len() <= 10,
+                "{mode}: {} slots on the grid",
+                report.schedule.len()
+            );
+        }
+    }
+
+    #[test]
+    fn verification_never_lengthens_feasible_colorings_needlessly() {
+        // With verification disabled the schedule is exactly the coloring.
+        let inst = uniform_square(32, 50.0, 9);
+        let links = inst.mst_links().unwrap();
+        let config = SchedulerConfig::new(PowerMode::GlobalControl).with_verification(false);
+        let report = schedule_links(&links, config);
+        assert_eq!(report.coloring_slots, report.schedule.len());
+        assert!(report.schedule.is_partition(links.len()));
+    }
+
+    #[test]
+    fn schedule_mst_end_to_end() {
+        let points: Vec<Point> = (0..15)
+            .map(|i| Point::new(i as f64, ((i * 3) % 5) as f64))
+            .collect();
+        let report =
+            schedule_mst(&points, 7, SchedulerConfig::new(PowerMode::mean_oblivious())).unwrap();
+        assert_eq!(report.num_links, 14);
+        assert!(report.schedule.is_partition(14));
+        assert!(report.rate() > 0.0);
+    }
+
+    #[test]
+    fn schedule_mst_propagates_errors() {
+        assert!(schedule_mst(&[], 0, SchedulerConfig::default()).is_err());
+        let dup = vec![Point::origin(), Point::origin()];
+        assert!(schedule_mst(&dup, 0, SchedulerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn report_diversity_fields_are_consistent() {
+        let inst = exponential_chain(10, 2.0).unwrap();
+        let links = inst.mst_links().unwrap();
+        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        assert!(report.diversity >= 1.0);
+        assert_eq!(report.log_star_diversity, log_star(report.diversity));
+        assert!((report.log_log_diversity - log_log2(report.diversity)).abs() < 1e-12);
+    }
+}

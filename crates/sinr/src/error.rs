@@ -1,0 +1,101 @@
+//! Error types for the SINR substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SINR model and power-control routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SinrError {
+    /// A link has a non-positive length, so path loss is undefined.
+    DegenerateLink {
+        /// Identifier of the offending link.
+        link: usize,
+    },
+    /// Two distinct links share a node placement that makes their cross gain infinite
+    /// (sender of one collocated with receiver of the other).
+    CollocatedNodes {
+        /// Identifier of the first link.
+        first: usize,
+        /// Identifier of the second link.
+        second: usize,
+    },
+    /// A power assignment does not cover every link of the set it is applied to.
+    MissingPower {
+        /// Identifier of the link without an assigned power.
+        link: usize,
+    },
+    /// An invalid model parameter was supplied (e.g. `alpha <= 2` or `beta <= 0`).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The Foschini–Miljanic iteration did not converge within the iteration budget,
+    /// which indicates the link set is not feasible under any power assignment.
+    PowerIterationDiverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SinrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinrError::DegenerateLink { link } => {
+                write!(f, "link {link} has non-positive length")
+            }
+            SinrError::CollocatedNodes { first, second } => {
+                write!(
+                    f,
+                    "links {first} and {second} have collocated sender/receiver nodes"
+                )
+            }
+            SinrError::MissingPower { link } => {
+                write!(f, "no power level assigned for link {link}")
+            }
+            SinrError::InvalidParameter { name, value } => {
+                write!(f, "invalid model parameter {name} = {value}")
+            }
+            SinrError::PowerIterationDiverged { iterations } => {
+                write!(
+                    f,
+                    "power-control iteration did not converge after {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SinrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errs: Vec<SinrError> = vec![
+            SinrError::DegenerateLink { link: 3 },
+            SinrError::CollocatedNodes { first: 1, second: 2 },
+            SinrError::MissingPower { link: 0 },
+            SinrError::InvalidParameter {
+                name: "alpha",
+                value: 1.0,
+            },
+            SinrError::PowerIterationDiverged { iterations: 100 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SinrError>();
+    }
+}

@@ -1,0 +1,453 @@
+//! The SINR (physical) model: path-loss parameters and feasibility checks.
+
+use crate::link::Link;
+use crate::power::PowerAssignment;
+use crate::SinrError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of the physical model of interference.
+///
+/// A transmission on link `i` succeeds, when the set `S` transmits concurrently
+/// under power assignment `P`, iff
+///
+/// ```text
+///       P(i) / l_i^α
+/// ─────────────────────────────  ≥  β
+///  Σ_{j ∈ S \ {i}} P(j)/d_ji^α + N
+/// ```
+///
+/// where `α > 2` is the path-loss exponent, `β > 0` the SINR threshold and
+/// `N ≥ 0` the ambient noise. The paper assumes *interference-limited* networks
+/// (each link has power at least `(1 + ε)·β·N·l_i^α`), so `N = 0` is the default
+/// and only changes constant factors.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_sinr::SinrModel;
+///
+/// let model = SinrModel::new(3.0, 1.0, 0.0).unwrap();
+/// assert_eq!(model.alpha(), 3.0);
+/// assert_eq!(model.beta(), 1.0);
+/// assert_eq!(model.noise(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrModel {
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+}
+
+impl SinrModel {
+    /// Creates a model with the given path-loss exponent `alpha`, SINR threshold
+    /// `beta` and ambient noise `noise`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::InvalidParameter`] if `alpha <= 2` (the paper requires
+    /// `α > 2` for its planar arguments), `beta <= 0`, or `noise < 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_sinr::SinrModel;
+    /// assert!(SinrModel::new(2.0, 1.0, 0.0).is_err());
+    /// assert!(SinrModel::new(3.0, 0.0, 0.0).is_err());
+    /// assert!(SinrModel::new(3.0, 2.0, 0.1).is_ok());
+    /// ```
+    pub fn new(alpha: f64, beta: f64, noise: f64) -> Result<Self, SinrError> {
+        if !(alpha > 2.0) || !alpha.is_finite() {
+            return Err(SinrError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if !(beta > 0.0) || !beta.is_finite() {
+            return Err(SinrError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        if !(noise >= 0.0) || !noise.is_finite() {
+            return Err(SinrError::InvalidParameter {
+                name: "noise",
+                value: noise,
+            });
+        }
+        Ok(SinrModel { alpha, beta, noise })
+    }
+
+    /// The path-loss exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The SINR threshold `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The ambient noise `N`.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Returns a copy of this model with a different SINR threshold.
+    ///
+    /// The paper's lower-bound constructions (Sec. 4.2) assume `β = 3^α`; this
+    /// helper makes that convenient.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_sinr::SinrModel;
+    /// let m = SinrModel::default().with_beta(2.0).unwrap();
+    /// assert_eq!(m.beta(), 2.0);
+    /// ```
+    pub fn with_beta(&self, beta: f64) -> Result<Self, SinrError> {
+        SinrModel::new(self.alpha, beta, self.noise)
+    }
+
+    /// Returns a copy of this model with the "strong" threshold `β = 3^α` used by
+    /// Theorem 3 of the paper.
+    pub fn with_strong_beta(&self) -> Self {
+        SinrModel {
+            alpha: self.alpha,
+            beta: 3.0_f64.powf(self.alpha),
+            noise: self.noise,
+        }
+    }
+
+    /// Received signal strength of a link under power assignment `power`:
+    /// `S_i = P(i) / l_i^α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link has zero length or the assignment has no power
+    /// for it.
+    pub fn received_signal(
+        &self,
+        link: &Link,
+        power: &PowerAssignment,
+    ) -> Result<f64, SinrError> {
+        let len = link.length();
+        if len <= 0.0 {
+            return Err(SinrError::DegenerateLink {
+                link: link.id.index(),
+            });
+        }
+        let p = power.power(link, self.alpha)?;
+        Ok(p / len.powf(self.alpha))
+    }
+
+    /// Interference caused by `source` at the receiver of `target`:
+    /// `I_{ji} = P(j) / d_ji^α` with `j = source`, `i = target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::CollocatedNodes`] if the source's sender coincides with
+    /// the target's receiver, and propagates missing-power errors.
+    pub fn interference(
+        &self,
+        source: &Link,
+        target: &Link,
+        power: &PowerAssignment,
+    ) -> Result<f64, SinrError> {
+        let d = source.sender_to_receiver_distance(target);
+        if d <= 0.0 {
+            return Err(SinrError::CollocatedNodes {
+                first: source.id.index(),
+                second: target.id.index(),
+            });
+        }
+        let p = power.power(source, self.alpha)?;
+        Ok(p / d.powf(self.alpha))
+    }
+
+    /// The SINR of `link` when all links of `set` (which must contain `link`)
+    /// transmit concurrently under `power`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates degenerate-link, collocated-node and missing-power errors.
+    pub fn sinr(
+        &self,
+        link: &Link,
+        set: &[Link],
+        power: &PowerAssignment,
+    ) -> Result<f64, SinrError> {
+        let signal = self.received_signal(link, power)?;
+        let mut denom = self.noise;
+        for other in set {
+            if other.id == link.id {
+                continue;
+            }
+            denom += self.interference(other, link, power)?;
+        }
+        if denom == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(signal / denom)
+    }
+
+    /// Whether every link of `set` meets the SINR threshold when the whole set
+    /// transmits concurrently under `power` — i.e. whether `set` is `P`-feasible.
+    ///
+    /// Degenerate inputs (zero-length links, collocated nodes, missing powers) are
+    /// treated as infeasible rather than propagated as errors, which is the
+    /// behaviour schedulers want.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_geometry::Point;
+    /// use wagg_sinr::{Link, PowerAssignment, SinrModel};
+    ///
+    /// // Two adjacent unit links interfere too strongly to share a slot under
+    /// // uniform power with beta = 1.
+    /// let links = vec![
+    ///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+    ///     Link::new(1, Point::new(1.5, 0.0), Point::new(2.5, 0.0)),
+    /// ];
+    /// let model = SinrModel::default();
+    /// assert!(!model.is_feasible(&links, &PowerAssignment::uniform(1.0)));
+    /// // Each alone is fine.
+    /// assert!(model.is_feasible(&links[..1], &PowerAssignment::uniform(1.0)));
+    /// ```
+    pub fn is_feasible(&self, set: &[Link], power: &PowerAssignment) -> bool {
+        set.iter().all(|link| {
+            self.sinr(link, set, power)
+                .map(|s| s >= self.beta)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Like [`SinrModel::is_feasible`], but reports the first failing link, its SINR
+    /// and the threshold, for diagnostics.
+    pub fn check_feasible(
+        &self,
+        set: &[Link],
+        power: &PowerAssignment,
+    ) -> Result<(), FeasibilityViolation> {
+        for link in set {
+            match self.sinr(link, set, power) {
+                Ok(s) if s >= self.beta => continue,
+                Ok(s) => {
+                    return Err(FeasibilityViolation {
+                        link: link.id.index(),
+                        sinr: s,
+                        threshold: self.beta,
+                    })
+                }
+                Err(_) => {
+                    return Err(FeasibilityViolation {
+                        link: link.id.index(),
+                        sinr: f64::NAN,
+                        threshold: self.beta,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The minimum power needed to close link `i` in the absence of interference:
+    /// `β · N · l_i^α`. Zero in the noise-free (interference-limited) setting.
+    pub fn minimum_power(&self, link: &Link) -> f64 {
+        self.beta * self.noise * link.length().powf(self.alpha)
+    }
+}
+
+impl Default for SinrModel {
+    /// The default model used throughout the experiments: `α = 3`, `β = 1`, `N = 0`
+    /// (interference-limited, as the paper assumes).
+    fn default() -> Self {
+        SinrModel {
+            alpha: 3.0,
+            beta: 1.0,
+            noise: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for SinrModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SINR(alpha = {}, beta = {}, noise = {})",
+            self.alpha, self.beta, self.noise
+        )
+    }
+}
+
+/// Diagnostic information about why a set of links fails the SINR condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityViolation {
+    /// Identifier index of the first link that fails.
+    pub link: usize,
+    /// The SINR that link achieved (`NaN` if it could not be evaluated).
+    pub sinr: f64,
+    /// The required threshold `β`.
+    pub threshold: f64,
+}
+
+impl fmt::Display for FeasibilityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link {} achieves SINR {} below threshold {}",
+            self.link, self.sinr, self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::Point;
+
+    fn line_link(id: usize, s: f64, r: f64) -> Link {
+        Link::new(id, Point::on_line(s), Point::on_line(r))
+    }
+
+    #[test]
+    fn default_model_is_interference_limited() {
+        let m = SinrModel::default();
+        assert_eq!(m.noise(), 0.0);
+        assert!(m.alpha() > 2.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(SinrModel::new(2.0, 1.0, 0.0).is_err());
+        assert!(SinrModel::new(f64::NAN, 1.0, 0.0).is_err());
+        assert!(SinrModel::new(3.0, -1.0, 0.0).is_err());
+        assert!(SinrModel::new(3.0, 1.0, -0.5).is_err());
+    }
+
+    #[test]
+    fn single_link_is_always_feasible_without_noise() {
+        let m = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 5.0)];
+        assert!(m.is_feasible(&links, &PowerAssignment::uniform(1.0)));
+    }
+
+    #[test]
+    fn single_link_needs_enough_power_with_noise() {
+        let m = SinrModel::new(3.0, 1.0, 1.0).unwrap();
+        let links = vec![line_link(0, 0.0, 2.0)];
+        // Signal = P / 8, needs >= beta * noise = 1, so P >= 8.
+        assert!(!m.is_feasible(&links, &PowerAssignment::uniform(7.9)));
+        assert!(m.is_feasible(&links, &PowerAssignment::uniform(8.1)));
+    }
+
+    #[test]
+    fn received_signal_and_interference_values() {
+        let m = SinrModel::default();
+        let i = line_link(0, 0.0, 1.0);
+        let j = line_link(1, 10.0, 11.0);
+        let p = PowerAssignment::uniform(1.0);
+        assert_eq!(m.received_signal(&i, &p).unwrap(), 1.0);
+        // Sender of j at x=10, receiver of i at x=1, distance 9.
+        let inter = m.interference(&j, &i, &p).unwrap();
+        assert!((inter - 1.0 / 9.0_f64.powi(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_length_link_is_degenerate() {
+        let m = SinrModel::default();
+        let l = line_link(0, 1.0, 1.0);
+        assert!(matches!(
+            m.received_signal(&l, &PowerAssignment::uniform(1.0)),
+            Err(SinrError::DegenerateLink { link: 0 })
+        ));
+    }
+
+    #[test]
+    fn collocated_sender_receiver_is_error() {
+        let m = SinrModel::default();
+        let i = line_link(0, 0.0, 1.0);
+        let j = line_link(1, 1.0, 2.0); // sender of j collocated with receiver of i
+        assert!(matches!(
+            m.interference(&j, &i, &PowerAssignment::uniform(1.0)),
+            Err(SinrError::CollocatedNodes { .. })
+        ));
+        // And the set containing both is simply infeasible.
+        assert!(!m.is_feasible(&[i, j], &PowerAssignment::uniform(1.0)));
+    }
+
+    #[test]
+    fn far_apart_links_are_feasible_close_links_are_not() {
+        let m = SinrModel::default();
+        let p = PowerAssignment::uniform(1.0);
+        // In the near pair, link 1's sender sits 0.8 away from link 0's receiver,
+        // closer than link 0's own length, so link 0's SINR drops below 1.
+        let near = vec![line_link(0, 0.0, 1.0), line_link(1, 1.8, 2.8)];
+        let far = vec![line_link(0, 0.0, 1.0), line_link(1, 50.0, 51.0)];
+        assert!(!m.is_feasible(&near, &p));
+        assert!(m.is_feasible(&far, &p));
+    }
+
+    #[test]
+    fn long_link_swamped_under_uniform_power_but_not_linear() {
+        // A long link whose receiver lies near a short link: under uniform power
+        // the long link's weak received signal is swamped by the short sender.
+        // This is the phenomenon that forces Θ(n) slots without power control.
+        // Linear power (P ∝ l^α) restores the long link while the short link
+        // still tolerates the (distant) strong sender.
+        let m = SinrModel::default();
+        let p = PowerAssignment::uniform(1.0);
+        let short = line_link(0, 0.0, 1.0);
+        let long = Link::new(1, Point::on_line(100.0), Point::on_line(2.0));
+        assert!(!m.is_feasible(&[short, long], &p));
+        let lin = PowerAssignment::linear(1.0);
+        assert!(m.is_feasible(&[short, long], &lin));
+    }
+
+    #[test]
+    fn check_feasible_reports_failing_link() {
+        let m = SinrModel::default();
+        let p = PowerAssignment::uniform(1.0);
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 1.8, 2.8)];
+        let violation = m.check_feasible(&links, &p).unwrap_err();
+        assert!(violation.sinr < violation.threshold);
+        assert!(violation.to_string().contains("below threshold"));
+    }
+
+    #[test]
+    fn sinr_with_no_interferers_and_no_noise_is_infinite() {
+        let m = SinrModel::default();
+        let l = line_link(0, 0.0, 1.0);
+        let s = m.sinr(&l, &[l], &PowerAssignment::uniform(1.0)).unwrap();
+        assert!(s.is_infinite());
+    }
+
+    #[test]
+    fn with_strong_beta_is_three_to_alpha() {
+        let m = SinrModel::default().with_strong_beta();
+        assert_eq!(m.beta(), 27.0);
+    }
+
+    #[test]
+    fn minimum_power_scales_with_length() {
+        let m = SinrModel::new(3.0, 2.0, 0.5).unwrap();
+        let l = line_link(0, 0.0, 2.0);
+        assert_eq!(m.minimum_power(&l), 2.0 * 0.5 * 8.0);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_under_removal() {
+        // Removing links from a feasible set keeps it feasible.
+        let m = SinrModel::default();
+        let p = PowerAssignment::uniform(1.0);
+        let links = vec![
+            line_link(0, 0.0, 1.0),
+            line_link(1, 20.0, 21.0),
+            line_link(2, 40.0, 41.0),
+        ];
+        assert!(m.is_feasible(&links, &p));
+        assert!(m.is_feasible(&links[..2], &p));
+        assert!(m.is_feasible(&links[1..], &p));
+    }
+}

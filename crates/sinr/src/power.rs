@@ -1,0 +1,359 @@
+//! Power assignments and oblivious power schemes.
+//!
+//! The paper distinguishes two power-control modes:
+//!
+//! * **Oblivious power schemes** `P_τ(i) = C · l_i^{τα}`, where the power of a link
+//!   depends only on its own length. Special cases are uniform power (`τ = 0`),
+//!   the mean/square-root scheme (`τ = 1/2`) and linear power (`τ = 1`).
+//! * **Global power control**, where powers may be arbitrary positive values chosen
+//!   with knowledge of the whole instance. These are represented as explicit
+//!   per-link power vectors, typically produced by
+//!   [`power_control`](crate::power_control).
+
+use crate::link::Link;
+use crate::SinrError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An oblivious power scheme `P_τ(i) = scale · l_i^{τ·α}`.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_sinr::PowerScheme;
+///
+/// let uniform = PowerScheme::uniform();
+/// assert_eq!(uniform.tau(), 0.0);
+/// let mean = PowerScheme::mean();
+/// assert_eq!(mean.tau(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerScheme {
+    /// The exponent parameter `τ ∈ [0, 1]`.
+    tau: f64,
+    /// The instance-wide constant `C`.
+    scale: f64,
+}
+
+impl PowerScheme {
+    /// Creates an oblivious scheme with parameter `tau` and unit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is outside `[0, 1]` or not finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_sinr::PowerScheme;
+    /// let p = PowerScheme::new(0.75);
+    /// assert_eq!(p.tau(), 0.75);
+    /// ```
+    pub fn new(tau: f64) -> Self {
+        assert!(
+            tau.is_finite() && (0.0..=1.0).contains(&tau),
+            "tau must lie in [0, 1]"
+        );
+        PowerScheme { tau, scale: 1.0 }
+    }
+
+    /// Creates an oblivious scheme with parameter `tau` and explicit scale `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is outside `[0, 1]` or `scale` is not strictly positive.
+    pub fn with_scale(tau: f64, scale: f64) -> Self {
+        assert!(
+            tau.is_finite() && (0.0..=1.0).contains(&tau),
+            "tau must lie in [0, 1]"
+        );
+        assert!(scale > 0.0, "scale must be positive");
+        PowerScheme { tau, scale }
+    }
+
+    /// The uniform power scheme `P_0` (every sender uses the same power).
+    pub fn uniform() -> Self {
+        PowerScheme::new(0.0)
+    }
+
+    /// The mean (square-root) power scheme `P_{1/2}`, the classic oblivious scheme
+    /// used by the conflict-graph machinery for `G_obl`.
+    pub fn mean() -> Self {
+        PowerScheme::new(0.5)
+    }
+
+    /// The linear power scheme `P_1` (power proportional to `l_i^α`).
+    pub fn linear() -> Self {
+        PowerScheme::new(1.0)
+    }
+
+    /// The exponent parameter `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The instance-wide constant `C`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The power assigned to a link of length `length` under path-loss exponent `alpha`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_sinr::PowerScheme;
+    /// let p = PowerScheme::linear();
+    /// assert_eq!(p.power_for_length(2.0, 3.0), 8.0);
+    /// ```
+    pub fn power_for_length(&self, length: f64, alpha: f64) -> f64 {
+        self.scale * length.powf(self.tau * alpha)
+    }
+
+    /// The effective `τ'` = `min(τ, 1 − τ)` used in the paper's oblivious-power
+    /// lower bound (Sec. 4.1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_sinr::PowerScheme;
+    /// assert_eq!(PowerScheme::new(0.3).tau_prime(), 0.3);
+    /// assert_eq!(PowerScheme::new(0.8).tau_prime(), 0.19999999999999996);
+    /// ```
+    pub fn tau_prime(&self) -> f64 {
+        self.tau.min(1.0 - self.tau)
+    }
+}
+
+impl Default for PowerScheme {
+    fn default() -> Self {
+        PowerScheme::mean()
+    }
+}
+
+impl fmt::Display for PowerScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P_{}(scale = {})", self.tau, self.scale)
+    }
+}
+
+/// A power assignment `P: L → R_+` for a set of links.
+///
+/// Either an oblivious scheme applied on the fly, or an explicit per-link table
+/// (the output of global power control).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::{Link, PowerAssignment};
+///
+/// let link = Link::new(0, Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+/// let linear = PowerAssignment::linear(1.0);
+/// // With alpha = 3, the linear scheme assigns l^3 = 8.
+/// assert_eq!(linear.power(&link, 3.0).unwrap(), 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerAssignment {
+    /// An oblivious scheme `P_τ`.
+    Oblivious(PowerScheme),
+    /// Explicit per-link powers, keyed by link identifier index.
+    Explicit(HashMap<usize, f64>),
+}
+
+impl PowerAssignment {
+    /// Uniform power assignment `P_0` with the given constant power level.
+    pub fn uniform(level: f64) -> Self {
+        PowerAssignment::Oblivious(PowerScheme::with_scale(0.0, level))
+    }
+
+    /// Linear power assignment `P_1` (power `scale · l_i^α`).
+    pub fn linear(scale: f64) -> Self {
+        PowerAssignment::Oblivious(PowerScheme::with_scale(1.0, scale))
+    }
+
+    /// Mean power assignment `P_{1/2}` with unit scale.
+    pub fn mean() -> Self {
+        PowerAssignment::Oblivious(PowerScheme::mean())
+    }
+
+    /// An oblivious assignment for an arbitrary `τ ∈ [0, 1]`, unit scale.
+    pub fn oblivious(tau: f64) -> Self {
+        PowerAssignment::Oblivious(PowerScheme::new(tau))
+    }
+
+    /// An explicit assignment from a per-link table keyed by link id index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use wagg_sinr::PowerAssignment;
+    ///
+    /// let mut table = HashMap::new();
+    /// table.insert(0, 1.5);
+    /// let p = PowerAssignment::explicit(table);
+    /// assert!(matches!(p, PowerAssignment::Explicit(_)));
+    /// ```
+    pub fn explicit(table: HashMap<usize, f64>) -> Self {
+        PowerAssignment::Explicit(table)
+    }
+
+    /// An explicit assignment from a vector of powers indexed by position, applied
+    /// to the given links (so the table is keyed by each link's id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len() != links.len()`.
+    pub fn explicit_for_links(links: &[Link], powers: &[f64]) -> Self {
+        assert_eq!(
+            links.len(),
+            powers.len(),
+            "one power per link is required"
+        );
+        let table = links
+            .iter()
+            .zip(powers.iter())
+            .map(|(l, &p)| (l.id.index(), p))
+            .collect();
+        PowerAssignment::Explicit(table)
+    }
+
+    /// The power used by `link` under this assignment, for path-loss exponent `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::MissingPower`] if this is an explicit assignment with no
+    /// entry for the link.
+    pub fn power(&self, link: &Link, alpha: f64) -> Result<f64, SinrError> {
+        match self {
+            PowerAssignment::Oblivious(scheme) => {
+                Ok(scheme.power_for_length(link.length(), alpha))
+            }
+            PowerAssignment::Explicit(table) => table
+                .get(&link.id.index())
+                .copied()
+                .ok_or(SinrError::MissingPower {
+                    link: link.id.index(),
+                }),
+        }
+    }
+
+    /// Whether this assignment is oblivious (depends only on link length).
+    pub fn is_oblivious(&self) -> bool {
+        matches!(self, PowerAssignment::Oblivious(_))
+    }
+
+    /// The `τ` parameter if this is an oblivious assignment.
+    pub fn tau(&self) -> Option<f64> {
+        match self {
+            PowerAssignment::Oblivious(scheme) => Some(scheme.tau()),
+            PowerAssignment::Explicit(_) => None,
+        }
+    }
+}
+
+impl Default for PowerAssignment {
+    fn default() -> Self {
+        PowerAssignment::mean()
+    }
+}
+
+impl From<PowerScheme> for PowerAssignment {
+    fn from(scheme: PowerScheme) -> Self {
+        PowerAssignment::Oblivious(scheme)
+    }
+}
+
+impl fmt::Display for PowerAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerAssignment::Oblivious(s) => write!(f, "oblivious {s}"),
+            PowerAssignment::Explicit(t) => write!(f, "explicit power table ({} links)", t.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::Point;
+
+    fn link(id: usize, len: f64) -> Link {
+        Link::new(id, Point::on_line(0.0), Point::on_line(len))
+    }
+
+    #[test]
+    fn uniform_power_is_length_independent() {
+        let p = PowerAssignment::uniform(2.5);
+        assert_eq!(p.power(&link(0, 1.0), 3.0).unwrap(), 2.5);
+        assert_eq!(p.power(&link(1, 100.0), 3.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn linear_power_scales_with_length_alpha() {
+        let p = PowerAssignment::linear(1.0);
+        assert_eq!(p.power(&link(0, 2.0), 2.5).unwrap(), 2.0_f64.powf(2.5));
+    }
+
+    #[test]
+    fn mean_power_is_geometric_mean() {
+        let p = PowerAssignment::mean();
+        let alpha = 4.0;
+        let pw = p.power(&link(0, 16.0), alpha).unwrap();
+        assert!((pw - 16.0_f64.powf(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_assignment_returns_table_entry() {
+        let links = vec![link(0, 1.0), link(1, 2.0)];
+        let p = PowerAssignment::explicit_for_links(&links, &[3.0, 7.0]);
+        assert_eq!(p.power(&links[0], 3.0).unwrap(), 3.0);
+        assert_eq!(p.power(&links[1], 3.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn explicit_assignment_missing_entry_errors() {
+        let p = PowerAssignment::explicit(HashMap::new());
+        let err = p.power(&link(5, 1.0), 3.0).unwrap_err();
+        assert_eq!(err, SinrError::MissingPower { link: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must lie in [0, 1]")]
+    fn scheme_rejects_out_of_range_tau() {
+        let _ = PowerScheme::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per link is required")]
+    fn explicit_for_links_requires_matching_lengths() {
+        let links = vec![link(0, 1.0)];
+        let _ = PowerAssignment::explicit_for_links(&links, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn tau_prime_is_symmetric() {
+        assert_eq!(PowerScheme::new(0.25).tau_prime(), PowerScheme::new(0.75).tau_prime());
+    }
+
+    #[test]
+    fn default_assignment_is_mean() {
+        assert_eq!(PowerAssignment::default().tau(), Some(0.5));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(PowerAssignment::mean().to_string().contains("P_0.5"));
+        assert!(PowerAssignment::explicit(HashMap::new())
+            .to_string()
+            .contains("explicit"));
+    }
+
+    #[test]
+    fn is_oblivious_flags() {
+        assert!(PowerAssignment::uniform(1.0).is_oblivious());
+        assert!(!PowerAssignment::explicit(HashMap::new()).is_oblivious());
+    }
+}

@@ -1,0 +1,448 @@
+//! Global (arbitrary) power control.
+//!
+//! A set of links is *feasible* (without qualification) when **some** power
+//! assignment makes it SINR-feasible. Classical results from power control
+//! characterise this exactly: write the normalised cross-gain matrix
+//!
+//! ```text
+//! B[i][j] = β · l_i^α / d_ji^α   (j ≠ i),    B[i][i] = 0,
+//! ```
+//!
+//! then a positive power vector with `P ≥ B·P + b` (where `b_i = β·N·l_i^α`)
+//! exists iff the spectral radius `ρ(B)` is below one (at most one in the
+//! noise-free case). When it exists, the component-wise minimal power vector is
+//! the fixed point of the Foschini–Miljanic iteration `P ← B·P + b`.
+//!
+//! These routines are what lets the scheduler evaluate the paper's *global power
+//! control* mode: a slot (set of links) is accepted iff it is feasible under some
+//! power assignment, and the witness powers are returned as an explicit
+//! [`PowerAssignment`].
+
+use crate::link::Link;
+use crate::model::SinrModel;
+use crate::power::PowerAssignment;
+use crate::SinrError;
+
+/// Maximum number of iterations used by the spectral-radius and power iterations.
+const MAX_ITERATIONS: usize = 500;
+
+/// Convergence tolerance for the iterative routines.
+const TOLERANCE: f64 = 1e-10;
+
+/// The normalised cross-gain matrix `B` of a link set under the given model.
+///
+/// `B[i][j] = β · l_i^α / d_ji^α` for `j ≠ i` and `0` on the diagonal, where
+/// `d_ji` is the distance from the sender of link `j` to the receiver of link `i`.
+/// Row/column order follows the order of `links`.
+///
+/// # Errors
+///
+/// Returns [`SinrError::DegenerateLink`] for zero-length links and
+/// [`SinrError::CollocatedNodes`] when a sender coincides with another link's
+/// receiver (infinite gain).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::{power_control::gain_matrix, Link, SinrModel};
+///
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(10.0, 0.0), Point::new(11.0, 0.0)),
+/// ];
+/// let b = gain_matrix(&SinrModel::default(), &links).unwrap();
+/// assert_eq!(b.len(), 2);
+/// assert_eq!(b[0][0], 0.0);
+/// assert!(b[0][1] > 0.0);
+/// ```
+pub fn gain_matrix(model: &SinrModel, links: &[Link]) -> Result<Vec<Vec<f64>>, SinrError> {
+    let n = links.len();
+    let alpha = model.alpha();
+    let beta = model.beta();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (i, target) in links.iter().enumerate() {
+        let len = target.length();
+        if len <= 0.0 {
+            return Err(SinrError::DegenerateLink {
+                link: target.id.index(),
+            });
+        }
+        let len_alpha = len.powf(alpha);
+        for (j, source) in links.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = source.sender_to_receiver_distance(target);
+            if d <= 0.0 {
+                return Err(SinrError::CollocatedNodes {
+                    first: source.id.index(),
+                    second: target.id.index(),
+                });
+            }
+            matrix[i][j] = beta * len_alpha / d.powf(alpha);
+        }
+    }
+    Ok(matrix)
+}
+
+/// Spectral radius of a non-negative square matrix, estimated by power iteration.
+///
+/// The matrices arising from link sets are non-negative, so the Perron–Frobenius
+/// eigenvalue equals the spectral radius and power iteration converges to it.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_sinr::power_control::spectral_radius;
+///
+/// let m = vec![vec![0.0, 0.5], vec![0.5, 0.0]];
+/// assert!((spectral_radius(&m) - 0.5).abs() < 1e-6);
+/// ```
+pub fn spectral_radius(matrix: &[Vec<f64>]) -> f64 {
+    let n = matrix.len();
+    if n == 0 {
+        return 0.0;
+    }
+    for row in matrix {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    // Power-iterate on the shifted matrix I + B: the shift keeps the iteration
+    // aperiodic (plain iteration on e.g. a bipartite zero-diagonal matrix
+    // oscillates and never converges), and ρ(I + B) = 1 + ρ(B) for non-negative B.
+    // Start from the all-ones vector, which has a non-zero component along the
+    // Perron vector of a non-negative matrix.
+    let mut v = vec![1.0_f64; n];
+    let mut estimate = 0.0_f64;
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = vec![0.0_f64; n];
+        for i in 0..n {
+            let mut acc = v[i];
+            for j in 0..n {
+                acc += matrix[i][j] * v[j];
+            }
+            next[i] = acc;
+        }
+        let norm = next.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        if norm == 0.0 {
+            return 0.0;
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        if (norm - estimate).abs() <= TOLERANCE * norm.max(1.0) {
+            return (norm - 1.0).max(0.0);
+        }
+        estimate = norm;
+        v = next;
+    }
+    (estimate - 1.0).max(0.0)
+}
+
+/// Whether the link set is feasible under **some** power assignment
+/// (the paper's unqualified "feasible").
+///
+/// Uses the spectral-radius criterion: feasible iff `ρ(B) < 1`, or `ρ(B) ≤ 1` in
+/// the noise-free case (where scaling powers up can absorb any slack).
+/// Degenerate inputs (shared endpoints, zero-length links) are infeasible.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::{power_control::is_feasible_with_power_control, Link, SinrModel};
+///
+/// let model = SinrModel::default();
+/// // A short and a long link that uniform power cannot schedule together,
+/// // but appropriate power control can.
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(6.0, 0.0), Point::new(18.0, 0.0)),
+/// ];
+/// assert!(is_feasible_with_power_control(&model, &links));
+/// ```
+pub fn is_feasible_with_power_control(model: &SinrModel, links: &[Link]) -> bool {
+    if links.len() <= 1 {
+        return links
+            .first()
+            .map(|l| l.length() > 0.0)
+            .unwrap_or(true);
+    }
+    let matrix = match gain_matrix(model, links) {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    let rho = spectral_radius(&matrix);
+    if model.noise() > 0.0 {
+        rho < 1.0 - 1e-12
+    } else {
+        rho <= 1.0 + 1e-9
+    }
+}
+
+/// Computes a feasible power vector for the link set by Foschini–Miljanic iteration,
+/// if one exists.
+///
+/// The iteration is `P ← B·P + b` with `b_i = β·N·l_i^α` (noise-free instances use
+/// `b_i = l_i^α`, which yields a strictly feasible witness with the natural scale of
+/// a linear power scheme). The fixed point, when the iteration converges, is the
+/// component-wise minimal power vector satisfying every SINR constraint with the
+/// given base demand.
+///
+/// # Errors
+///
+/// * [`SinrError::PowerIterationDiverged`] if the set is not feasible under any
+///   power assignment (spectral radius at least one),
+/// * gain-matrix errors for degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use wagg_geometry::Point;
+/// use wagg_sinr::{power_control::optimal_powers, Link, PowerAssignment, SinrModel};
+///
+/// let model = SinrModel::default();
+/// let links = vec![
+///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     Link::new(1, Point::new(6.0, 0.0), Point::new(18.0, 0.0)),
+/// ];
+/// let powers = optimal_powers(&model, &links).unwrap();
+/// let assignment = PowerAssignment::explicit_for_links(&links, &powers);
+/// assert!(model.is_feasible(&links, &assignment));
+/// ```
+pub fn optimal_powers(model: &SinrModel, links: &[Link]) -> Result<Vec<f64>, SinrError> {
+    let n = links.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let matrix = gain_matrix(model, links)?;
+    let alpha = model.alpha();
+    let beta = model.beta();
+    let base: Vec<f64> = links
+        .iter()
+        .map(|l| {
+            let demand = beta * model.noise() * l.length().powf(alpha);
+            if demand > 0.0 {
+                demand
+            } else {
+                l.length().powf(alpha)
+            }
+        })
+        .collect();
+
+    let mut powers = base.clone();
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = base.clone();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += matrix[i][j] * powers[j];
+            }
+            next[i] += acc;
+        }
+        let max_rel_change = powers
+            .iter()
+            .zip(next.iter())
+            .map(|(&old, &new)| ((new - old) / new.max(f64::MIN_POSITIVE)).abs())
+            .fold(0.0_f64, f64::max);
+        let diverged = next.iter().any(|&p| !p.is_finite() || p > 1e200);
+        powers = next;
+        if diverged {
+            return Err(SinrError::PowerIterationDiverged {
+                iterations: MAX_ITERATIONS,
+            });
+        }
+        if max_rel_change <= TOLERANCE {
+            return Ok(powers);
+        }
+    }
+    // Not converged within budget: decide by the spectral radius whether this is
+    // genuine infeasibility or merely slow convergence.
+    if spectral_radius(&matrix) < 1.0 - 1e-9 {
+        Ok(powers)
+    } else {
+        Err(SinrError::PowerIterationDiverged {
+            iterations: MAX_ITERATIONS,
+        })
+    }
+}
+
+/// Convenience wrapper producing an explicit [`PowerAssignment`] witnessing
+/// feasibility of the set, if one exists.
+///
+/// # Errors
+///
+/// Same as [`optimal_powers`].
+pub fn feasible_assignment(
+    model: &SinrModel,
+    links: &[Link],
+) -> Result<PowerAssignment, SinrError> {
+    let powers = optimal_powers(model, links)?;
+    Ok(PowerAssignment::explicit_for_links(links, &powers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_geometry::Point;
+
+    fn line_link(id: usize, s: f64, r: f64) -> Link {
+        Link::new(id, Point::on_line(s), Point::on_line(r))
+    }
+
+    #[test]
+    fn empty_and_singleton_sets_are_feasible() {
+        let model = SinrModel::default();
+        assert!(is_feasible_with_power_control(&model, &[]));
+        assert!(is_feasible_with_power_control(
+            &model,
+            &[line_link(0, 0.0, 1.0)]
+        ));
+        assert_eq!(optimal_powers(&model, &[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal_free_2x2() {
+        let m = vec![vec![0.0, 0.25], vec![0.25, 0.0]];
+        assert!((spectral_radius(&m) - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn spectral_radius_of_zero_matrix_is_zero() {
+        let m = vec![vec![0.0; 3]; 3];
+        assert_eq!(spectral_radius(&m), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be square")]
+    fn spectral_radius_rejects_non_square() {
+        let m = vec![vec![0.0, 1.0], vec![0.0]];
+        let _ = spectral_radius(&m);
+    }
+
+    #[test]
+    fn well_separated_links_are_feasible_and_powers_verify() {
+        let model = SinrModel::default();
+        let links = vec![
+            line_link(0, 0.0, 1.0),
+            line_link(1, 40.0, 42.0),
+            line_link(2, 100.0, 101.5),
+        ];
+        assert!(is_feasible_with_power_control(&model, &links));
+        let powers = optimal_powers(&model, &links).unwrap();
+        let assignment = PowerAssignment::explicit_for_links(&links, &powers);
+        assert!(model.is_feasible(&links, &assignment));
+    }
+
+    #[test]
+    fn power_control_beats_uniform_power() {
+        // A long link whose receiver sits close to a short link's sender:
+        // infeasible under uniform power (the long link's weak signal is swamped),
+        // feasible with the right (length-aware) power assignment.
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 30.0, 3.0)];
+        assert!(!model.is_feasible(&links, &PowerAssignment::uniform(1.0)));
+        assert!(is_feasible_with_power_control(&model, &links));
+        let assignment = feasible_assignment(&model, &links).unwrap();
+        assert!(model.is_feasible(&links, &assignment));
+    }
+
+    #[test]
+    fn links_sharing_endpoint_are_never_feasible_together() {
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 1.0, 3.0)];
+        assert!(!is_feasible_with_power_control(&model, &links));
+        assert!(optimal_powers(&model, &links).is_err());
+    }
+
+    #[test]
+    fn overlapping_equal_links_are_infeasible() {
+        // Two links crossing the same region with receivers inside each other's
+        // senders' near field.
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 1.2, 0.2)];
+        assert!(!is_feasible_with_power_control(&model, &links));
+    }
+
+    #[test]
+    fn optimal_powers_give_strict_sinr_slack_in_noise_free_case() {
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 20.0, 24.0)];
+        let powers = optimal_powers(&model, &links).unwrap();
+        let assignment = PowerAssignment::explicit_for_links(&links, &powers);
+        for l in &links {
+            let sinr = model.sinr(l, &links, &assignment).unwrap();
+            assert!(sinr > model.beta());
+        }
+    }
+
+    #[test]
+    fn optimal_powers_with_noise_meet_minimum_power() {
+        let model = SinrModel::new(3.0, 1.0, 0.1).unwrap();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 50.0, 52.0)];
+        let powers = optimal_powers(&model, &links).unwrap();
+        for (l, &p) in links.iter().zip(powers.iter()) {
+            assert!(p >= model.minimum_power(l));
+        }
+        let assignment = PowerAssignment::explicit_for_links(&links, &powers);
+        assert!(model.is_feasible(&links, &assignment));
+    }
+
+    #[test]
+    fn infeasible_with_noise_when_links_too_close() {
+        let model = SinrModel::new(3.0, 1.0, 0.01).unwrap();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 1.5, 0.5)];
+        assert!(!is_feasible_with_power_control(&model, &links));
+        assert!(matches!(
+            optimal_powers(&model, &links),
+            Err(SinrError::PowerIterationDiverged { .. })
+        ));
+    }
+
+    #[test]
+    fn gain_matrix_entries_match_definition() {
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 10.0, 11.0)];
+        let b = gain_matrix(&model, &links).unwrap();
+        // B[0][1] = beta * l_0^alpha / d_{1,0}^alpha; d from sender of 1 (x=10) to
+        // receiver of 0 (x=1) is 9.
+        let expected = 1.0 * 1.0 / 9.0_f64.powi(3);
+        assert!((b[0][1] - expected).abs() < 1e-15);
+        // B[1][0] = l_1^alpha / d_{0,1}^alpha; d from sender of 0 (x=0) to receiver
+        // of 1 (x=11) is 11.
+        let expected10 = 1.0 / 11.0_f64.powi(3);
+        assert!((b[1][0] - expected10).abs() < 1e-15);
+    }
+
+    #[test]
+    fn feasibility_consistent_with_brute_force_on_small_sets() {
+        // For pairs of links, arbitrary-power feasibility has a closed form:
+        // the pair is feasible iff beta^2 * (l1*l2)^alpha / (d12*d21)^alpha <= 1.
+        let model = SinrModel::default();
+        let cases = vec![
+            (line_link(0, 0.0, 1.0), line_link(1, 3.0, 4.0)),
+            (line_link(0, 0.0, 1.0), line_link(1, 2.0, 3.0)),
+            (line_link(0, 0.0, 2.0), line_link(1, 2.5, 4.5)),
+            (line_link(0, 0.0, 1.0), line_link(1, 100.0, 120.0)),
+        ];
+        for (a, b) in cases {
+            let l1 = a.length();
+            let l2 = b.length();
+            let d12 = a.sender_to_receiver_distance(&b);
+            let d21 = b.sender_to_receiver_distance(&a);
+            let product = model.beta().powi(2) * (l1 * l2).powf(model.alpha())
+                / (d12 * d21).powf(model.alpha());
+            let closed_form = product <= 1.0 + 1e-9;
+            let links = vec![a, b];
+            assert_eq!(
+                is_feasible_with_power_control(&model, &links),
+                closed_form,
+                "mismatch for pair {a:?}, {b:?}"
+            );
+        }
+    }
+}

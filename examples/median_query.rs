@@ -1,0 +1,79 @@
+//! Median and quantile queries over a scheduled sensor field.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example median_query
+//! ```
+//!
+//! The paper's schedules compute *compressible* aggregates (sum, max, …) in one
+//! convergecast per frame. Section 3.1 notes that selection queries — the median,
+//! arbitrary quantiles — reduce to a logarithmic number of *counting* convergecasts
+//! via binary search on the value axis. This example runs that procedure on a
+//! random temperature field, prices it in schedule slots, and compares it with the
+//! one-shot histogram approximation.
+
+use wireless_aggregation::aggfn::{
+    histogram_aggregation, median_by_counting, quantile, ConvergecastTree, MedianConfig,
+};
+use wireless_aggregation::instances::random::uniform_square;
+use wireless_aggregation::{AggregationProblem, PowerMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 100;
+    let deployment = uniform_square(n, 500.0, 77);
+    println!("Temperature field: {n} sensors in a 500 m square, sink at node {}", deployment.sink);
+
+    // Schedule the MST once; every counting round reuses this schedule.
+    let solution = AggregationProblem::from_instance(&deployment)
+        .with_power_mode(PowerMode::GlobalControl)
+        .solve()?;
+    let slots = solution.slots();
+    println!("MST schedule: {slots} slots per convergecast (rate {:.3})\n", solution.rate());
+
+    // Synthetic readings: a smooth temperature gradient plus sensor-local offsets.
+    let readings: Vec<f64> = deployment
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| 15.0 + p.x * 0.01 + p.y * 0.005 + ((i * 7) % 13) as f64 * 0.1)
+        .collect();
+    let mut sorted = readings.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let tree = ConvergecastTree::from_links(&solution.links)?;
+    let config = MedianConfig::default().with_schedule_length(slots);
+
+    // Exact median by binary search over counting convergecasts.
+    let median = median_by_counting(&tree, &readings, config)?;
+    println!("Exact median via counting aggregations");
+    println!("  value            : {:.3} °C (true median {:.3} °C)", median.value, sorted[(n + 1) / 2 - 1]);
+    println!("  convergecast rounds: {} ({} counting + {} support)", median.total_rounds, median.counting_rounds, median.support_rounds);
+    println!("  total slots      : {} ({:.2} slots per sensor)\n", median.total_slots, median.slots_per_reading());
+
+    // A few quantiles.
+    println!("Quantiles (same machinery)");
+    for q in [0.1, 0.25, 0.75, 0.9] {
+        let report = quantile(&tree, &readings, q, config)?;
+        println!(
+            "  q = {:>4}: {:.3} °C in {} rounds ({} slots)",
+            q,
+            report.value(),
+            report.selection.total_rounds,
+            report.selection.total_slots
+        );
+    }
+    println!();
+
+    // The one-shot alternative: a histogram convergecast (larger packets, one round).
+    let histogram = histogram_aggregation(&tree, &readings, sorted[0], sorted[n - 1], 16)?;
+    let approx_median = histogram.approx_quantile(0.5).unwrap();
+    println!("Histogram alternative (single convergecast, {}-counter packets)", histogram.packet_size);
+    println!("  approximate median: {:.3} °C (error {:.3} °C, at most one bucket width {:.3})",
+        approx_median,
+        (approx_median - median.value).abs(),
+        histogram.histogram.bucket_width()
+    );
+    println!("  slots             : {slots} (one round)");
+    Ok(())
+}

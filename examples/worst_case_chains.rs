@@ -1,0 +1,81 @@
+//! Worst-case chains: the instances behind the paper's lower bounds.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example worst_case_chains
+//! ```
+//!
+//! Three line instances are scheduled under all power modes:
+//!
+//! * the **exponential chain**, where no-power-control scheduling collapses to one
+//!   link per slot while power control stays near-constant (the separation that
+//!   motivates the paper),
+//! * the **doubly-exponential chain** of Fig. 2, where *every* oblivious power
+//!   scheme is stuck at one link per slot (Proposition 1) but global power control
+//!   is not,
+//! * the **MST-suboptimality instance** of Fig. 4, where a non-MST tree beats the
+//!   MST by a Θ(n) factor under `P_τ` (Proposition 3).
+
+use wireless_aggregation::instances::chains::{doubly_exponential_chain, exponential_chain};
+use wireless_aggregation::instances::suboptimal::suboptimal_instance;
+use wireless_aggregation::schedule::schedule_links;
+use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
+use wireless_aggregation::{AggregationProblem, PowerMode, Schedule, SchedulerConfig};
+
+fn report_modes(name: &str, instance: &wireless_aggregation::Instance) {
+    println!("== {name} ({} nodes, Δ = {:.3e}) ==", instance.len(), instance.length_diversity().unwrap());
+    for mode in [
+        PowerMode::Uniform,
+        PowerMode::Oblivious { tau: 0.5 },
+        PowerMode::GlobalControl,
+    ] {
+        let solution = AggregationProblem::from_instance(instance)
+            .with_power_mode(mode)
+            .solve()
+            .expect("chain instances are non-degenerate");
+        println!(
+            "  {:<26} {:>3} slots (rate {:.3})",
+            mode.to_string(),
+            solution.slots(),
+            solution.rate()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let expo = exponential_chain(14, 2.0).expect("representable");
+    report_modes("exponential chain", &expo);
+
+    let douexp = doubly_exponential_chain(7, 0.5, 3.0, 1.0).expect("representable");
+    report_modes("doubly-exponential chain (Fig. 2)", &douexp);
+
+    // Fig. 4: the designed non-MST tree schedules in two slots under P_tau, while the
+    // MST of the same points needs ~n slots.
+    let tau = 0.3;
+    let built = suboptimal_instance(4, tau, 4.0).expect("representable");
+    let model = SinrModel::default();
+    let power = PowerAssignment::oblivious(tau);
+    let designed = Schedule::new(vec![built.long_slot.clone(), built.short_slot.clone()]);
+    let designed_ok = designed
+        .slots()
+        .iter()
+        .all(|slot| {
+            let links: Vec<_> = slot.iter().map(|&i| built.designed_tree[i]).collect();
+            model.is_feasible(&links, &power)
+        });
+    let mst_links = built.instance.mst_links().expect("line instance");
+    let mst_schedule = schedule_links(
+        &mst_links,
+        SchedulerConfig::new(PowerMode::Oblivious { tau }),
+    );
+    println!("== MST sub-optimality (Fig. 4, τ = {tau}) ==");
+    println!(
+        "  designed non-MST tree : 2 slots (P_τ-feasible: {designed_ok})",
+    );
+    println!(
+        "  MST of the same points: {} slots under P_τ",
+        mst_schedule.schedule.len()
+    );
+}

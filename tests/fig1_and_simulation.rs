@@ -1,0 +1,92 @@
+//! Integration tests for the Fig. 1 walkthrough and the convergecast simulation of
+//! scheduler output (experiments E1 and E13).
+
+use wireless_aggregation::instances::fig1::{fig1_instance, fig1_links, fig1_schedule_slots};
+use wireless_aggregation::instances::random::uniform_square;
+use wireless_aggregation::sim::{ConvergecastSim, SimConfig};
+use wireless_aggregation::{AggregationProblem, PowerMode, Schedule};
+
+/// The paper's introductory example: rate 1/2, first-frame latency 3, bounded buffers.
+#[test]
+fn fig1_rate_and_latency_match_the_paper() {
+    let links = fig1_links();
+    let schedule = Schedule::new(fig1_schedule_slots().to_vec());
+    assert_eq!(schedule.len(), 2);
+    assert_eq!(schedule.rate(), 0.5);
+
+    let sim = ConvergecastSim::new(&links, &schedule).unwrap();
+    let report = sim.run(SimConfig {
+        frame_period: 2,
+        num_frames: 20,
+        max_slots: 2_000,
+    });
+    assert!(report.all_frames_completed);
+    assert_eq!(report.latencies[0], 3);
+    // Steady state: every frame completes within a small constant latency.
+    assert!(report.max_latency() <= 5);
+    assert!(report.max_buffer_occupancy <= 3);
+    assert!((report.throughput - 0.5).abs() < 0.15);
+}
+
+/// The solver, applied to the Fig. 1 pointset, recovers the drawn tree (the MST of
+/// the five collinear points) and a constant-length verified schedule. The
+/// conflict-graph coloring is a constant-factor approximation, so it may use a
+/// couple more slots than the hand-crafted 2-slot schedule, but never more than the
+/// number of links.
+#[test]
+fn solver_matches_fig1_schedule_length() {
+    let inst = fig1_instance();
+    let solution = AggregationProblem::from_instance(&inst)
+        .with_power_mode(PowerMode::GlobalControl)
+        .solve()
+        .unwrap();
+    assert_eq!(solution.links.len(), 4);
+    assert!(solution.slots() <= 4);
+    assert!(solution.verify());
+}
+
+/// End-to-end throughput (E13): running the convergecast simulator at the schedule's
+/// period sustains the rate 1/T with bounded buffers and latency proportional to
+/// depth × T, for random deployments under both power-control modes.
+#[test]
+fn simulated_throughput_matches_schedule_rate() {
+    for (seed, mode) in [(5, PowerMode::GlobalControl), (6, PowerMode::Oblivious { tau: 0.5 })] {
+        let inst = uniform_square(48, 200.0, seed);
+        let solution = AggregationProblem::from_instance(&inst)
+            .with_power_mode(mode)
+            .solve()
+            .unwrap();
+        let frames = 30;
+        let report = solution.simulate(frames).unwrap();
+        assert!(report.all_frames_completed, "mode {mode}");
+        // Throughput approaches 1/T (within a factor 2 for the draining tail).
+        assert!(report.throughput >= solution.rate() / 2.0);
+        // Buffers stay bounded by the node count (no overflow at the sustainable rate).
+        assert!(report.max_buffer_occupancy <= inst.len());
+    }
+}
+
+/// Driving frames faster than the schedule length makes buffers grow beyond the
+/// sustainable case — the "buffer overflow" criterion from the paper's Fig. 1
+/// discussion of why the rate cannot exceed 1/T.
+#[test]
+fn overdriving_the_schedule_grows_buffers() {
+    let inst = uniform_square(36, 150.0, 9);
+    let solution = AggregationProblem::from_instance(&inst)
+        .with_power_mode(PowerMode::GlobalControl)
+        .solve()
+        .unwrap();
+    let t = solution.slots().max(2);
+    let sim = ConvergecastSim::new(&solution.links, &solution.report.schedule).unwrap();
+    let sustainable = sim.run(SimConfig {
+        frame_period: t,
+        num_frames: 40,
+        max_slots: 40 * t * 4 + 200,
+    });
+    let overdriven = sim.run(SimConfig {
+        frame_period: 1,
+        num_frames: 40,
+        max_slots: 40 * t,
+    });
+    assert!(overdriven.max_buffer_occupancy > sustainable.max_buffer_occupancy);
+}

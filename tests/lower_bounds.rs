@@ -1,0 +1,124 @@
+//! Integration tests for the paper's lower-bound constructions (Sec. 4 and Sec. 5).
+
+use wireless_aggregation::instances::chains::{
+    doubly_exponential_chain, exponential_chain, max_representable_points,
+};
+use wireless_aggregation::instances::recursive::{recursive_instance, RecursiveParams};
+use wireless_aggregation::instances::suboptimal::suboptimal_instance;
+use wireless_aggregation::schedule::schedule_links;
+use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
+use wireless_aggregation::{AggregationProblem, PowerMode, SchedulerConfig};
+
+/// Proposition 1 (Fig. 2): on the doubly-exponential chain, no two links can share a
+/// `P_τ`-feasible slot, for several values of `τ` — so every oblivious schedule is
+/// one link per slot.
+#[test]
+fn oblivious_power_lower_bound_on_doubly_exponential_chain() {
+    let model = SinrModel::default();
+    for tau in [0.3, 0.5, 0.7] {
+        let n = max_representable_points(tau, model.alpha(), model.beta()).min(8);
+        let inst = doubly_exponential_chain(n, tau, model.alpha(), model.beta()).unwrap();
+        let links = inst.mst_links().unwrap();
+        let power = PowerAssignment::oblivious(tau);
+        // No pair of MST links is P_tau-feasible.
+        for i in 0..links.len() {
+            for j in (i + 1)..links.len() {
+                let pair = vec![links[i], links[j]];
+                assert!(
+                    !model.is_feasible(&pair, &power),
+                    "tau = {tau}: links {i}, {j} unexpectedly compatible"
+                );
+            }
+        }
+        // Consequently the scheduler outputs exactly n - 1 slots.
+        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
+        assert_eq!(report.schedule.len(), links.len());
+    }
+}
+
+/// The separation of experiment E9: exponential chains force `Θ(n)` slots without
+/// power control, while global power control stays below a constant multiple of
+/// `log* Δ`.
+#[test]
+fn power_control_separation_on_exponential_chains() {
+    for n in [12, 16, 20] {
+        let inst = exponential_chain(n, 2.0).unwrap();
+        let uniform = AggregationProblem::from_instance(&inst)
+            .with_power_mode(PowerMode::Uniform)
+            .solve()
+            .unwrap();
+        let global = AggregationProblem::from_instance(&inst)
+            .with_power_mode(PowerMode::GlobalControl)
+            .solve()
+            .unwrap();
+        // Uniform power: almost every link needs its own slot.
+        assert!(uniform.slots() >= n - 2, "n = {n}: {}", uniform.slots());
+        // Global power control: bounded independently of n (for these sizes ≤ 10).
+        assert!(global.slots() <= 10, "n = {n}: {}", global.slots());
+        assert!(global.slots() < uniform.slots());
+    }
+}
+
+/// Theorem 4 (Fig. 3): the recursive construction's MST needs more slots at every
+/// level, while its diversity explodes — the measured schedule grows like the level
+/// `t`, not like `log Δ`.
+#[test]
+fn recursive_construction_slots_grow_with_level() {
+    let params = RecursiveParams::default();
+    let mut previous_slots = 0usize;
+    for t in 1..=4 {
+        let rt = recursive_instance(t, params);
+        let links = rt.instance.mst_links().unwrap();
+        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        assert!(
+            report.schedule.len() >= previous_slots,
+            "level {t}: {} slots after {} at the previous level",
+            report.schedule.len(),
+            previous_slots
+        );
+        assert!(report.schedule.len() >= t.min(3));
+        previous_slots = report.schedule.len();
+    }
+}
+
+/// Proposition 3 (Fig. 4): the designed non-MST tree schedules in 2 slots under
+/// `P_τ`, while the MST of the same points needs a slot count that grows linearly
+/// with the number of levels.
+#[test]
+fn mst_suboptimality_gap_grows_with_levels() {
+    let model = SinrModel::default();
+    let tau = 0.3;
+    for levels in [3, 4] {
+        let built = suboptimal_instance(levels, tau, 4.0).unwrap();
+        // The designed tree's two slots are P_tau-feasible.
+        let power = PowerAssignment::oblivious(tau);
+        for slot in [&built.long_slot, &built.short_slot] {
+            let links: Vec<_> = slot.iter().map(|&i| built.designed_tree[i]).collect();
+            assert!(model.is_feasible(&links, &power), "levels {levels}");
+        }
+        // The MST needs at least levels - 1 slots under the same power scheme.
+        let mst_links = built.instance.mst_links().unwrap();
+        let report = schedule_links(
+            &mst_links,
+            SchedulerConfig::new(PowerMode::Oblivious { tau }),
+        );
+        assert!(
+            report.schedule.len() >= levels - 1,
+            "levels {levels}: MST scheduled in {} slots",
+            report.schedule.len()
+        );
+        assert!(report.schedule.len() > 2);
+    }
+}
+
+/// The recursive construction's diversity grows super-exponentially with the level,
+/// which is what makes the `log* Δ` lower bound non-trivial.
+#[test]
+fn recursive_construction_diversity_grows_tower_like() {
+    let params = RecursiveParams::default();
+    let d2 = recursive_instance(2, params).instance.length_diversity().unwrap();
+    let d3 = recursive_instance(3, params).instance.length_diversity().unwrap();
+    let d4 = recursive_instance(4, params).instance.length_diversity().unwrap();
+    assert!(d3 >= 4.0 * d2);
+    assert!(d4 >= 4.0 * d3);
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the Theorem 1 pipeline: pointset → MST → conflict graph →
+//! coloring → verified schedule, across power modes and instance families.
+
+use wireless_aggregation::geometry::logmath::{log_log2, log_star};
+use wireless_aggregation::instances::random::{clustered, grid, uniform_disk, uniform_square};
+use wireless_aggregation::{AggregationProblem, PowerMode};
+
+/// Every schedule returned by the solver is a partition of the MST links into slots
+/// that genuinely satisfy the SINR condition for the chosen power mode.
+#[test]
+fn schedules_are_verified_partitions_on_random_instances() {
+    for seed in 0..4 {
+        let inst = uniform_square(60, 200.0, seed);
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::Linear,
+            PowerMode::Oblivious { tau: 0.5 },
+            PowerMode::GlobalControl,
+        ] {
+            let solution = AggregationProblem::from_instance(&inst)
+                .with_power_mode(mode)
+                .solve()
+                .unwrap();
+            assert_eq!(solution.links.len(), inst.len() - 1);
+            assert!(solution.report.schedule.is_partition(solution.links.len()));
+            assert!(solution.verify(), "seed {seed}, mode {mode}");
+        }
+    }
+}
+
+/// Theorem 1 / Corollary 1 shape: on uniformly random deployments the schedule length
+/// under global power control stays within a small constant multiple of `log* Δ`, and
+/// under oblivious power within a small constant multiple of `log log Δ`, across a
+/// range of instance sizes.
+#[test]
+fn random_deployments_schedule_near_constant() {
+    for (n, seed) in [(32, 1), (64, 2), (128, 3), (256, 4)] {
+        let inst = uniform_square(n, 1_000.0, seed);
+        let delta = inst.length_diversity().unwrap();
+
+        let global = AggregationProblem::from_instance(&inst)
+            .with_power_mode(PowerMode::GlobalControl)
+            .solve()
+            .unwrap();
+        let oblivious = AggregationProblem::from_instance(&inst)
+            .with_power_mode(PowerMode::Oblivious { tau: 0.5 })
+            .solve()
+            .unwrap();
+
+        let log_star_delta = log_star(delta).max(1) as f64;
+        let log_log_delta = log_log2(delta).max(1.0);
+        assert!(
+            (global.slots() as f64) <= 8.0 * log_star_delta,
+            "n = {n}: {} slots vs log* Δ = {log_star_delta}",
+            global.slots()
+        );
+        assert!(
+            (oblivious.slots() as f64) <= 8.0 * log_log_delta,
+            "n = {n}: {} slots vs log log Δ = {log_log_delta}",
+            oblivious.slots()
+        );
+        // The schedule length does not scale with n (near-constant rate): even the
+        // 256-node instance uses a handful of slots.
+        assert!(global.slots() <= 16);
+        assert!(oblivious.slots() <= 24);
+    }
+}
+
+/// The same near-constant behaviour holds for disk deployments and clustered
+/// deployments (the latter have much larger Δ).
+#[test]
+fn other_deployment_shapes_schedule_near_constant() {
+    let disk = uniform_disk(96, 300.0, 11);
+    let clusters = clustered(10, 10, 5_000.0, 1.0, 13);
+    for inst in [disk, clusters] {
+        let solution = AggregationProblem::from_instance(&inst)
+            .with_power_mode(PowerMode::GlobalControl)
+            .solve()
+            .unwrap();
+        assert!(solution.verify());
+        assert!(
+            solution.slots() <= 20,
+            "{}: {} slots",
+            inst.name,
+            solution.slots()
+        );
+    }
+}
+
+/// Regular grids schedule in a constant number of slots in every mode — the classic
+/// constant-rate example from the related work.
+#[test]
+fn grids_schedule_in_constant_slots() {
+    for side in [4, 6, 8] {
+        let inst = grid(side, side, 1.0);
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::Oblivious { tau: 0.5 },
+            PowerMode::GlobalControl,
+        ] {
+            let solution = AggregationProblem::from_instance(&inst)
+                .with_power_mode(mode)
+                .solve()
+                .unwrap();
+            assert!(
+                solution.slots() <= 12,
+                "{side}x{side} grid, {mode}: {} slots",
+                solution.slots()
+            );
+        }
+    }
+}
+
+/// Scaling the whole pointset does not change schedule lengths (the problem is
+/// scale-invariant in the noise-free, interference-limited setting).
+#[test]
+fn schedules_are_scale_invariant() {
+    let base = uniform_square(48, 100.0, 21);
+    let scaled = wireless_aggregation::Instance::new(
+        "scaled",
+        base.points.iter().map(|p| p.scaled(250.0)).collect(),
+        base.sink,
+    );
+    for mode in [PowerMode::Oblivious { tau: 0.5 }, PowerMode::GlobalControl] {
+        let a = AggregationProblem::from_instance(&base)
+            .with_power_mode(mode)
+            .solve()
+            .unwrap();
+        let b = AggregationProblem::from_instance(&scaled)
+            .with_power_mode(mode)
+            .solve()
+            .unwrap();
+        assert_eq!(a.slots(), b.slots(), "mode {mode}");
+    }
+}
