@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate for the wireless-aggregation workspace. Run from anywhere:
+#   ./ci.sh          — the full gate (format, lints, builds, tests)
+#   ./ci.sh quick    — skip the release build and workspace test sweep
+#
+# The tier-1 contract is `cargo build --release && cargo test -q`; everything
+# else here is defence in depth (style, lints, the serial/no-default-features
+# configuration, and the full workspace test sweep including every crate's
+# unit, doc and property tests).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> serial build (--no-default-features: parallel kernels off)"
+cargo build --workspace --no-default-features
+
+echo "==> serial kernel tests"
+cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading
+
+if [[ "$MODE" != "quick" ]]; then
+  echo "==> release build (tier-1)"
+  cargo build --release
+
+  echo "==> root tests (tier-1)"
+  cargo test -q
+
+  echo "==> workspace tests"
+  cargo test -q --workspace
+fi
+
+echo "CI gate passed."

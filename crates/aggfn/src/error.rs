@@ -80,7 +80,10 @@ impl fmt::Display for AggfnError {
                 write!(f, "quantile {q} is outside the interval [0, 1]")
             }
             AggfnError::InvalidHistogram => {
-                write!(f, "histogram needs at least one bucket and a non-empty value range")
+                write!(
+                    f,
+                    "histogram needs at least one bucket and a non-empty value range"
+                )
             }
         }
     }
@@ -99,7 +102,10 @@ mod tests {
             AggfnError::MultipleParents { node: 5 },
             AggfnError::NotAConvergecastTree,
             AggfnError::EmptyTree,
-            AggfnError::MissingReading { node: 9, provided: 4 },
+            AggfnError::MissingReading {
+                node: 9,
+                provided: 4,
+            },
             AggfnError::NonFiniteReading { node: 1 },
             AggfnError::RankOutOfRange { k: 12, n: 5 },
             AggfnError::InvalidQuantile { q: "1.5".into() },

@@ -46,7 +46,7 @@ impl Histogram {
     /// Returns [`AggfnError::InvalidHistogram`] when `buckets == 0`, the range
     /// is empty, or the bounds are not finite.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self, AggfnError> {
-        if buckets == 0 || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+        if buckets == 0 || hi <= lo || !lo.is_finite() || !hi.is_finite() {
             return Err(AggfnError::InvalidHistogram);
         }
         Ok(Histogram {

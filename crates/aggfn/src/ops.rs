@@ -377,7 +377,10 @@ mod tests {
             assert_eq!(Sum.combine(&Sum.identity(), &Sum.lift(r)), Sum.lift(r));
             assert_eq!(Max.combine(&Max.identity(), &Max.lift(r)), Max.lift(r));
             assert_eq!(Min.combine(&Min.identity(), &Min.lift(r)), Min.lift(r));
-            assert_eq!(Count.combine(&Count.identity(), &Count.lift(r)), Count.lift(r));
+            assert_eq!(
+                Count.combine(&Count.identity(), &Count.lift(r)),
+                Count.lift(r)
+            );
         }
     }
 

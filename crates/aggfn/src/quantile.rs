@@ -84,11 +84,7 @@ pub fn quantile(
 /// # Ok(())
 /// # }
 /// ```
-pub fn rank_of(
-    tree: &ConvergecastTree,
-    readings: &[f64],
-    value: f64,
-) -> Result<usize, AggfnError> {
+pub fn rank_of(tree: &ConvergecastTree, readings: &[f64], value: f64) -> Result<usize, AggfnError> {
     counting_aggregation(tree, readings, value)
 }
 

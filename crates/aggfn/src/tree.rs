@@ -180,9 +180,7 @@ impl ConvergecastTree {
                         provided: readings.len(),
                     })
                 }
-                Some(r) if !r.is_finite() => {
-                    return Err(AggfnError::NonFiniteReading { node: v })
-                }
+                Some(r) if !r.is_finite() => return Err(AggfnError::NonFiniteReading { node: v }),
                 Some(_) => {}
             }
         }
@@ -200,11 +198,7 @@ impl ConvergecastTree {
     ///
     /// Returns [`AggfnError::MissingReading`] or
     /// [`AggfnError::NonFiniteReading`] when the readings are unusable.
-    pub fn aggregate<O: AggregateOp>(
-        &self,
-        op: &O,
-        readings: &[f64],
-    ) -> Result<f64, AggfnError> {
+    pub fn aggregate<O: AggregateOp>(&self, op: &O, readings: &[f64]) -> Result<f64, AggfnError> {
         Ok(op.finish(&self.aggregate_acc(op, readings)?))
     }
 
@@ -358,7 +352,13 @@ mod tests {
     #[test]
     fn two_component_forest_is_rejected() {
         let links = vec![
-            Link::with_nodes(0, Point::new(1.0, 0.0), Point::origin(), NodeId(1), NodeId(0)),
+            Link::with_nodes(
+                0,
+                Point::new(1.0, 0.0),
+                Point::origin(),
+                NodeId(1),
+                NodeId(0),
+            ),
             Link::with_nodes(
                 1,
                 Point::new(10.0, 0.0),
@@ -376,9 +376,27 @@ mod tests {
     #[test]
     fn cycle_is_rejected() {
         let links = vec![
-            Link::with_nodes(0, Point::new(1.0, 0.0), Point::new(2.0, 0.0), NodeId(1), NodeId(2)),
-            Link::with_nodes(1, Point::new(2.0, 0.0), Point::new(1.0, 0.0), NodeId(2), NodeId(1)),
-            Link::with_nodes(2, Point::new(3.0, 0.0), Point::origin(), NodeId(3), NodeId(0)),
+            Link::with_nodes(
+                0,
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                NodeId(1),
+                NodeId(2),
+            ),
+            Link::with_nodes(
+                1,
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 0.0),
+                NodeId(2),
+                NodeId(1),
+            ),
+            Link::with_nodes(
+                2,
+                Point::new(3.0, 0.0),
+                Point::origin(),
+                NodeId(3),
+                NodeId(0),
+            ),
         ];
         assert_eq!(
             ConvergecastTree::from_links(&links).unwrap_err(),
@@ -430,7 +448,7 @@ mod tests {
         assert_eq!(trace.forwarded.len(), 15);
         // Every forwarded value is the size of the sender's subtree (all readings 1).
         for &(_, _, value) in &trace.forwarded {
-            assert!(value >= 1.0 && value <= 16.0);
+            assert!((1.0..=16.0).contains(&value));
         }
     }
 

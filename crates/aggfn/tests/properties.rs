@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use wagg_aggfn::{
-    count_at_most, counting_aggregation, histogram_aggregation, kth_smallest,
-    median_by_counting, quantile, ConvergecastTree, Max, MedianConfig, Min, Sum,
+    count_at_most, counting_aggregation, histogram_aggregation, kth_smallest, median_by_counting,
+    quantile, ConvergecastTree, Max, MedianConfig, Min, Sum,
 };
 use wagg_instances::random::uniform_square;
 

@@ -28,8 +28,14 @@ fn bench_conflict_relations(c: &mut Criterion) {
     let links = mst_links(128, 3);
     let relations: Vec<(&str, ConflictRelation)> = vec![
         ("constant_gamma2", ConflictRelation::constant(2.0)),
-        ("polynomial_gamma2_delta05", ConflictRelation::polynomial(2.0, 0.5)),
-        ("log_shaped_gamma2_alpha3", ConflictRelation::log_shaped(2.0, 3.0)),
+        (
+            "polynomial_gamma2_delta05",
+            ConflictRelation::polynomial(2.0, 0.5),
+        ),
+        (
+            "log_shaped_gamma2_alpha3",
+            ConflictRelation::log_shaped(2.0, 3.0),
+        ),
     ];
     let mut group = c.benchmark_group("ablation_conflict_relation");
     for (name, relation) in relations {
@@ -52,7 +58,9 @@ fn bench_verification(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(if verify { "on" } else { "off" }),
             &config,
-            |b, config| b.iter(|| criterion::black_box(schedule_links(&links, *config).schedule.len())),
+            |b, config| {
+                b.iter(|| criterion::black_box(schedule_links(&links, *config).schedule.len()))
+            },
         );
     }
     group.finish();
@@ -72,7 +80,9 @@ fn bench_power_modes(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 criterion::black_box(
-                    schedule_links(&links, SchedulerConfig::new(mode)).schedule.len(),
+                    schedule_links(&links, SchedulerConfig::new(mode))
+                        .schedule
+                        .len(),
                 )
             })
         });
@@ -123,15 +133,27 @@ fn bench_fading_montecarlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fading_trials");
     group.sample_size(10);
     for trials in [20usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &trials| {
-            b.iter(|| {
-                criterion::black_box(
-                    effective_rate(&links, &schedule, &config.model, config.mode, fading, trials, 1)
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                b.iter(|| {
+                    criterion::black_box(
+                        effective_rate(
+                            &links,
+                            &schedule,
+                            &config.model,
+                            config.mode,
+                            fading,
+                            trials,
+                            1,
+                        )
                         .unwrap()
                         .effective_rate,
-                )
-            })
-        });
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,8 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use wagg_bench::{experiments, extensions};
 use wagg_bench::{Scale, Table};
 
+/// A named experiment entry point.
+type ExperimentRunner = fn(Scale) -> Table;
+
 fn bench_experiments(c: &mut Criterion) {
-    let runners: Vec<(&str, fn(Scale) -> Table)> = vec![
+    let runners: Vec<(&str, ExperimentRunner)> = vec![
         ("e1_fig1", experiments::run_e1),
         ("e2_theorem1_arbitrary", experiments::run_e2),
         ("e3_theorem1_oblivious", experiments::run_e3),

@@ -33,16 +33,12 @@ fn bench_conflict_coloring(c: &mut Criterion) {
             ("gobl", ConflictRelation::oblivious_default()),
             ("garb", ConflictRelation::arbitrary_default()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &links,
-                |b, links| {
-                    b.iter(|| {
-                        let graph = ConflictGraph::build(links, relation);
-                        greedy_color(&graph).num_colors()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &links, |b, links| {
+                b.iter(|| {
+                    let graph = ConflictGraph::build(links, relation);
+                    greedy_color(&graph).num_colors()
+                })
+            });
         }
     }
     group.finish();
@@ -79,19 +75,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     for &n in &SIZES {
         let inst = uniform_square(n, 500.0, n as u64);
         for mode in [PowerMode::Oblivious { tau: 0.5 }, PowerMode::GlobalControl] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{mode}"), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        AggregationProblem::from_instance(inst)
-                            .with_power_mode(mode)
-                            .solve()
-                            .unwrap()
-                            .slots()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{mode}"), n), &inst, |b, inst| {
+                b.iter(|| {
+                    AggregationProblem::from_instance(inst)
+                        .with_power_mode(mode)
+                        .solve()
+                        .unwrap()
+                        .slots()
+                })
+            });
         }
     }
     group.finish();

@@ -14,6 +14,9 @@ use std::time::Instant;
 use wagg_bench::{experiments, extensions};
 use wagg_bench::{Scale, Table};
 
+/// A named experiment entry point.
+type ExperimentRunner = fn(Scale) -> Table;
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -36,7 +39,7 @@ fn main() {
         only
     };
 
-    let runners: Vec<(&str, fn(Scale) -> Table)> = vec![
+    let runners: Vec<(&str, ExperimentRunner)> = vec![
         ("E1", experiments::run_e1),
         ("E2", experiments::run_e2),
         ("E3", experiments::run_e3),

@@ -8,7 +8,9 @@ use crate::{fmt_f, Scale, Table};
 use wagg_core::{AggregationProblem, PowerMode};
 use wagg_distributed::{simulate_distributed, DistributedConfig, DistributedMode};
 use wagg_geometry::logmath::{log_log2, log_star};
-use wagg_instances::chains::{doubly_exponential_chain, exponential_chain, max_representable_points};
+use wagg_instances::chains::{
+    doubly_exponential_chain, exponential_chain, max_representable_points,
+};
 use wagg_instances::fig1::{fig1_links, fig1_schedule_slots};
 use wagg_instances::random::{clustered, grid, uniform_square};
 use wagg_instances::recursive::{recursive_instance, RecursiveParams};
@@ -17,9 +19,7 @@ use wagg_instances::Instance;
 use wagg_mst::kconnect::KConnectedSpanner;
 use wagg_mst::sparsity::{measure_sparsity, refine_into_sparse_classes};
 use wagg_protocol::{schedule_protocol, ProtocolModel};
-use wagg_schedule::multicolor::{
-    cycle5_multicolor_schedule, cycle5_optimal_coloring_slots,
-};
+use wagg_schedule::multicolor::{cycle5_multicolor_schedule, cycle5_optimal_coloring_slots};
 use wagg_schedule::{schedule_links, PowerMode as Mode, Schedule, SchedulerConfig};
 use wagg_sim::{ConvergecastSim, SimConfig};
 use wagg_sinr::{PowerAssignment, SinrModel};
@@ -60,11 +60,7 @@ pub fn run_e1(_scale: Scale) -> Table {
         "2".into(),
         schedule.len().to_string(),
     ]);
-    table.push_row(vec![
-        "rate".into(),
-        "1/2".into(),
-        fmt_f(report.throughput),
-    ]);
+    table.push_row(vec!["rate".into(), "1/2".into(), fmt_f(report.throughput)]);
     table.push_row(vec![
         "latency of frame 1".into(),
         "3".into(),

@@ -44,7 +44,14 @@ pub fn run_e14(scale: Scale) -> Table {
     let mut table = Table::new(
         "E14",
         "Median by counting aggregations: rounds and slots on the MST schedule (global power)",
-        &["n", "slots/round", "rounds", "total slots", "slots per sensor", "exact"],
+        &[
+            "n",
+            "slots/round",
+            "rounds",
+            "total slots",
+            "slots per sensor",
+            "exact",
+        ],
     );
     for n in sizes(scale, &[32, 64, 128, 256], &[16, 32]) {
         let inst = uniform_square(n, 400.0, 7 + n as u64);
@@ -206,7 +213,15 @@ pub fn run_e17(scale: Scale) -> Table {
         let sim = ArqConvergecast::new(&solution.links, &solution.report.schedule)
             .expect("MST links form a tree");
         let wave = sim
-            .run(&config.model, mode, fading, ArqConfig { max_slots: 500_000, seed: 3 })
+            .run(
+                &config.model,
+                mode,
+                fading,
+                ArqConfig {
+                    max_slots: 500_000,
+                    seed: 3,
+                },
+            )
             .expect("slot powers are computable");
         table.push_row(vec![
             mode.to_string(),
@@ -270,7 +285,9 @@ pub fn run_e18(scale: Scale) -> Table {
 }
 
 fn schedule_slots_for(links: &[Link], mode: wagg_schedule::PowerMode) -> usize {
-    schedule_links(links, SchedulerConfig::new(mode)).schedule.len()
+    schedule_links(links, SchedulerConfig::new(mode))
+        .schedule
+        .len()
 }
 
 /// E19 — Remark 1: any tree with the Lemma 1 sparsity schedules like the MST;
@@ -326,7 +343,8 @@ pub fn run_e19(scale: Scale) -> Table {
     for (name, links, total_length) in trees {
         let sparsity = measure_sparsity(&links, alpha).max();
         let global = schedule_slots_for(&links, wagg_schedule::PowerMode::GlobalControl);
-        let oblivious = schedule_slots_for(&links, wagg_schedule::PowerMode::Oblivious { tau: 0.5 });
+        let oblivious =
+            schedule_slots_for(&links, wagg_schedule::PowerMode::Oblivious { tau: 0.5 });
         table.push_row(vec![
             name.to_string(),
             n.to_string(),
@@ -358,7 +376,8 @@ pub fn run_e20(scale: Scale) -> Table {
     // β sweep (global power control, verification on).
     for beta in [1.0, 2.0, 4.0] {
         let model = wagg_sinr::SinrModel::new(3.0, beta, 0.0).expect("valid model");
-        let config = SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl).with_model(model);
+        let config =
+            SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl).with_model(model);
         let slots = schedule_links(&links, config).schedule.len();
         table.push_row(vec![
             "beta".into(),
@@ -395,8 +414,8 @@ pub fn run_e20(scale: Scale) -> Table {
 
     // Verification on/off (global power control).
     for verify in [true, false] {
-        let config = SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl)
-            .with_verification(verify);
+        let config =
+            SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl).with_verification(verify);
         let slots = schedule_links(&links, config).schedule.len();
         table.push_row(vec![
             "verification".into(),
@@ -427,7 +446,11 @@ mod tests {
 
     #[test]
     fn quick_extension_experiments_produce_tables() {
-        for table in [run_e14(Scale::Quick), run_e19(Scale::Quick), run_e20(Scale::Quick)] {
+        for table in [
+            run_e14(Scale::Quick),
+            run_e19(Scale::Quick),
+            run_e20(Scale::Quick),
+        ] {
             assert!(!table.rows.is_empty());
             assert!(!table.to_markdown().is_empty());
         }

@@ -155,7 +155,10 @@ pub fn greedy_color_with_order(graph: &ConflictGraph, order: &[usize]) -> Colori
     assert_eq!(order.len(), n, "order must cover every vertex exactly once");
     let mut seen = vec![false; n];
     for &v in order {
-        assert!(v < n && !seen[v], "order must be a permutation of the vertices");
+        assert!(
+            v < n && !seen[v],
+            "order must be a permutation of the vertices"
+        );
         seen[v] = true;
     }
 

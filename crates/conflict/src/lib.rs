@@ -23,6 +23,19 @@
 //!   `G_{γ log}` whose independent sets are feasible under global power control; its
 //!   chromatic number is `O(log* Δ)` times that of `G_γ'`.
 //!
+//! # Performance
+//!
+//! [`ConflictGraph::build`] constructs the graph through per-length-class
+//! spatial grids (see the [`graph`] module docs) instead of checking all
+//! `O(n²)` pairs, and stores adjacency in a flat CSR layout (`offsets` +
+//! sorted `neighbors` arrays): neighbour rows are slice borrows, adjacency
+//! queries are binary searches, and independence checks allocate nothing. With
+//! the default-on `parallel` feature the per-vertex rows are computed across
+//! threads. [`ConflictGraph::build_naive`] retains the all-pairs reference
+//! construction; property tests assert the two are edge-identical, and the
+//! `kernel` benchmark in `wagg-bench` tracks the speedup (two orders of
+//! magnitude at 50k uniform-square links).
+//!
 //! # Examples
 //!
 //! ```

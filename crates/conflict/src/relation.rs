@@ -221,7 +221,10 @@ mod tests {
         ] {
             let a = line_link(0, 0.0, 1.0);
             let b = line_link(1, 1.0, 50.0);
-            assert!(rel.conflicting(&a, &b), "{rel} should mark them conflicting");
+            assert!(
+                rel.conflicting(&a, &b),
+                "{rel} should mark them conflicting"
+            );
         }
     }
 
@@ -288,7 +291,11 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(ConflictRelation::unit_constant().to_string(), "G_1");
-        assert!(ConflictRelation::oblivious_default().to_string().contains("G^0.5"));
-        assert!(ConflictRelation::arbitrary_default().to_string().contains("log"));
+        assert!(ConflictRelation::oblivious_default()
+            .to_string()
+            .contains("G^0.5"));
+        assert!(ConflictRelation::arbitrary_default()
+            .to_string()
+            .contains("log"));
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests: the grid-accelerated conflict-graph construction must be
+//! **edge-identical** to the all-pairs reference build, for every relation in
+//! the family and for adversarially shaped instances (uniform squares, tight
+//! chains, mixed length scales, degenerate links).
+
+use proptest::prelude::*;
+use wagg_conflict::{ConflictGraph, ConflictRelation};
+use wagg_geometry::Point;
+use wagg_sinr::Link;
+
+fn relation_for(which: u8) -> ConflictRelation {
+    match which % 3 {
+        0 => ConflictRelation::unit_constant(),
+        1 => ConflictRelation::oblivious_default(),
+        _ => ConflictRelation::arbitrary_default(),
+    }
+}
+
+/// Checks edge-for-edge equality (the CSR arrays make this a plain `==`), and
+/// a couple of derived invariants for good measure.
+fn assert_grid_matches_naive(links: &[Link], relation: ConflictRelation) {
+    let grid = ConflictGraph::build(links, relation);
+    let naive = ConflictGraph::build_naive(links, relation);
+    assert_eq!(
+        grid,
+        naive,
+        "grid and naive builds disagree under {relation} on {} links",
+        links.len()
+    );
+    assert_eq!(grid.edge_count(), naive.edge_count());
+    for v in 0..grid.len() {
+        assert_eq!(grid.neighbors(v), naive.neighbors(v), "row {v} differs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform random links in a square, lengths spanning two orders of
+    /// magnitude. 80+ links so the grid path (not the small-n fallback) runs.
+    #[test]
+    fn grid_equals_naive_on_uniform_squares(
+        raw in proptest::collection::vec((0.0f64..300.0, 0.0f64..300.0, 0.0f64..std::f64::consts::TAU, 0.1f64..20.0), 80..140),
+        which in 0u8..3,
+    ) {
+        let links: Vec<Link> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, angle, len))| {
+                let s = Point::new(x, y);
+                let r = Point::new(x + len * angle.cos(), y + len * angle.sin());
+                Link::new(i, s, r)
+            })
+            .collect();
+        assert_grid_matches_naive(&links, relation_for(which));
+    }
+
+    /// Exponentially diverse lengths exercise many length classes at once.
+    #[test]
+    fn grid_equals_naive_on_diverse_chains(
+        gaps in proptest::collection::vec(0.05f64..3.0, 70..110),
+        which in 0u8..3,
+    ) {
+        let mut x = 0.0;
+        let links: Vec<Link> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| {
+                // Length cycles through 1, 4, 16, 64: four length classes.
+                let len = 4.0f64.powi((i % 4) as i32);
+                let link = Link::new(i, Point::on_line(x), Point::on_line(x + len));
+                x += len + gap;
+                link
+            })
+            .collect();
+        assert_grid_matches_naive(&links, relation_for(which));
+    }
+
+    /// Degenerate (zero-length) links conflict with everything; they must
+    /// survive the grid path unchanged.
+    #[test]
+    fn grid_equals_naive_with_degenerate_links(
+        raw in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.2f64..5.0), 70..100),
+        degenerate_at in proptest::collection::vec(0usize..70, 1..4),
+        which in 0u8..3,
+    ) {
+        let mut links: Vec<Link> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, len))| Link::new(i, Point::new(x, y), Point::new(x + len, y)))
+            .collect();
+        for &d in &degenerate_at {
+            let p = links[d].sender;
+            links[d] = Link::new(1000 + d, p, p);
+        }
+        assert_grid_matches_naive(&links, relation_for(which));
+    }
+}

@@ -300,10 +300,7 @@ mod tests {
     #[test]
     fn solve_propagates_tree_errors() {
         let problem = AggregationProblem::new(vec![Point::origin(), Point::origin()], 0);
-        assert!(matches!(
-            problem.solve(),
-            Err(AggregationError::Tree(_))
-        ));
+        assert!(matches!(problem.solve(), Err(AggregationError::Tree(_))));
     }
 
     #[test]
@@ -333,8 +330,7 @@ mod tests {
         // while global power control can pack links together (the log* vs log log
         // separation shows up only at astronomically large diversity, which is
         // exactly what this instance provides).
-        let inst =
-            wagg_instances::chains::doubly_exponential_chain(6, 0.5, 3.0, 1.0).unwrap();
+        let inst = wagg_instances::chains::doubly_exponential_chain(6, 0.5, 3.0, 1.0).unwrap();
         let oblivious = AggregationProblem::from_instance(&inst)
             .with_power_mode(PowerMode::mean_oblivious())
             .solve()

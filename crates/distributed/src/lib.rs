@@ -234,20 +234,15 @@ pub fn simulate_distributed(links: &[Link], config: DistributedConfig) -> Distri
             // floating point issues anyway.
             if coloring_rounds > 4 * n + 16 {
                 for &v in &remaining {
-                    colors[v] = (0..).find(|c| {
-                        graph.neighbors(v).iter().all(|&u| colors[u] != *c)
-                    })
-                    .expect("some color is always free");
+                    colors[v] = (0..)
+                        .find(|c| graph.neighbors(v).iter().all(|&u| colors[u] != *c))
+                        .expect("some color is always free");
                 }
                 remaining.clear();
             }
         }
 
-        let colors_used = members
-            .iter()
-            .map(|&v| colors[v] + 1)
-            .max()
-            .unwrap_or(0);
+        let colors_used = members.iter().map(|&v| colors[v] + 1).max().unwrap_or(0);
         // Local broadcast cost, per the paper: O(opt_t + log² n) with collision
         // detection, O(opt_t · log n + log² n) without.
         let log_n = (n as f64).log2().max(1.0);
@@ -318,7 +313,10 @@ mod tests {
                     ..DistributedConfig::default()
                 };
                 let report = simulate_distributed(&links, config);
-                assert!(report.is_proper(&links, &config), "mode {mode:?} seed {seed}");
+                assert!(
+                    report.is_proper(&links, &config),
+                    "mode {mode:?} seed {seed}"
+                );
                 assert_eq!(report.colors.len(), links.len());
             }
         }

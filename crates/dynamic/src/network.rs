@@ -361,7 +361,10 @@ impl DynamicNetwork {
         }
         for link in links {
             let s = alive_indices[link.sender_node.expect("oriented links carry ids").index()];
-            let r = alive_indices[link.receiver_node.expect("oriented links carry ids").index()];
+            let r = alive_indices[link
+                .receiver_node
+                .expect("oriented links carry ids")
+                .index()];
             self.parent[s] = Some(r);
         }
         Ok(())
@@ -470,7 +473,10 @@ mod tests {
             }
             net.fail_node(victim).unwrap();
             assert!(net.is_valid_tree());
-            assert!((net.stretch() - 1.0).abs() < 1e-9, "rebuild drifted from the MST");
+            assert!(
+                (net.stretch() - 1.0).abs() < 1e-9,
+                "rebuild drifted from the MST"
+            );
         }
     }
 

@@ -251,11 +251,9 @@ impl ArqConvergecast {
                 })
                 .collect();
             if !active.is_empty() {
-                let active_links: Vec<Link> =
-                    active.iter().map(|&idx| self.links[idx]).collect();
+                let active_links: Vec<Link> = active.iter().map(|&idx| self.links[idx]).collect();
                 let powers = slot_powers(model, mode, &active_links)?;
-                let outcome =
-                    faded_slot_outcome(model, &active_links, &powers, fading, &mut rng);
+                let outcome = faded_slot_outcome(model, &active_links, &powers, fading, &mut rng);
                 for (pos, &idx) in active.iter().enumerate() {
                     attempts += 1;
                     attempts_per_link[idx] += 1;
@@ -291,7 +289,11 @@ mod tests {
     use wagg_schedule::{schedule_links, SchedulerConfig};
     use wagg_sinr::NodeId;
 
-    fn scheduled_instance(n: usize, seed: u64, mode: PowerMode) -> (Vec<Link>, Schedule, SinrModel) {
+    fn scheduled_instance(
+        n: usize,
+        seed: u64,
+        mode: PowerMode,
+    ) -> (Vec<Link>, Schedule, SinrModel) {
         let inst = uniform_square(n, 100.0, seed);
         let links = inst.mst_links().unwrap();
         let config = SchedulerConfig::new(mode);
@@ -326,7 +328,12 @@ mod tests {
         let (links, schedule, model) = scheduled_instance(30, 4, PowerMode::GlobalControl);
         let sim = ArqConvergecast::new(&links, &schedule).unwrap();
         let report = sim
-            .run(&model, PowerMode::GlobalControl, FadingModel::none(), ArqConfig::default())
+            .run(
+                &model,
+                PowerMode::GlobalControl,
+                FadingModel::none(),
+                ArqConfig::default(),
+            )
             .unwrap();
         assert!(report.completed);
         assert_eq!(report.retransmissions, 0);
@@ -348,7 +355,10 @@ mod tests {
                 &model,
                 PowerMode::GlobalControl,
                 FadingModel::rayleigh(1.0),
-                ArqConfig { max_slots: 200_000, seed: 3 },
+                ArqConfig {
+                    max_slots: 200_000,
+                    seed: 3,
+                },
             )
             .unwrap();
         assert!(report.completed, "wave did not complete under fading");
@@ -370,27 +380,40 @@ mod tests {
                 &model,
                 PowerMode::mean_oblivious(),
                 FadingModel::rayleigh(1.0).with_noise_sigma(0.1).unwrap(),
-                ArqConfig { max_slots: 200_000, seed: 7 },
+                ArqConfig {
+                    max_slots: 200_000,
+                    seed: 7,
+                },
             )
             .unwrap();
         assert!(report.completed);
         assert!(report.attempts >= links.len());
-        assert_eq!(
-            report.retransmissions,
-            report.attempts - report.successes
-        );
+        assert_eq!(report.retransmissions, report.attempts - report.successes);
     }
 
     #[test]
     fn runs_are_deterministic_given_the_seed() {
         let (links, schedule, model) = scheduled_instance(20, 2, PowerMode::GlobalControl);
         let sim = ArqConvergecast::new(&links, &schedule).unwrap();
-        let config = ArqConfig { max_slots: 100_000, seed: 99 };
+        let config = ArqConfig {
+            max_slots: 100_000,
+            seed: 99,
+        };
         let a = sim
-            .run(&model, PowerMode::GlobalControl, FadingModel::rayleigh(1.0), config)
+            .run(
+                &model,
+                PowerMode::GlobalControl,
+                FadingModel::rayleigh(1.0),
+                config,
+            )
             .unwrap();
         let b = sim
-            .run(&model, PowerMode::GlobalControl, FadingModel::rayleigh(1.0), config)
+            .run(
+                &model,
+                PowerMode::GlobalControl,
+                FadingModel::rayleigh(1.0),
+                config,
+            )
             .unwrap();
         assert_eq!(a, b);
     }

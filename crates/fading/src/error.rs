@@ -40,7 +40,10 @@ impl fmt::Display for FadingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FadingError::InvalidParameter { name, value } => {
-                write!(f, "fading parameter {name} = {value} is not positive and finite")
+                write!(
+                    f,
+                    "fading parameter {name} = {value} is not positive and finite"
+                )
             }
             FadingError::MissingNodeIds { link } => {
                 write!(f, "link {link} carries no sender/receiver node identifiers")
@@ -99,7 +102,8 @@ mod tests {
 
     #[test]
     fn power_errors_expose_their_source() {
-        let err: FadingError = wagg_sinr::SinrError::PowerIterationDiverged { iterations: 5 }.into();
+        let err: FadingError =
+            wagg_sinr::SinrError::PowerIterationDiverged { iterations: 5 }.into();
         assert!(err.source().is_some());
     }
 

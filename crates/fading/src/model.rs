@@ -63,7 +63,7 @@ impl FadingModel {
     /// Returns [`FadingError::InvalidParameter`] when `mean_gain` is not
     /// positive and finite.
     pub fn try_rayleigh(mean_gain: f64) -> Result<Self, FadingError> {
-        if !(mean_gain > 0.0) || !mean_gain.is_finite() {
+        if mean_gain <= 0.0 || !mean_gain.is_finite() {
             return Err(FadingError::InvalidParameter {
                 name: "mean_gain",
                 value: mean_gain,
@@ -150,12 +150,7 @@ impl FadingModel {
     /// let p = FadingModel::rayleigh(1.0).isolated_success_probability(&model, 2.0, 1.0);
     /// assert!((p - (-8.0e-3f64).exp()).abs() < 1e-12);
     /// ```
-    pub fn isolated_success_probability(
-        &self,
-        model: &SinrModel,
-        length: f64,
-        power: f64,
-    ) -> f64 {
+    pub fn isolated_success_probability(&self, model: &SinrModel, length: f64, power: f64) -> f64 {
         let mean = match self.mean_gain {
             None => return 1.0,
             Some(m) => m,
@@ -185,7 +180,9 @@ mod tests {
         assert!(FadingModel::try_rayleigh(0.0).is_err());
         assert!(FadingModel::try_rayleigh(f64::NAN).is_err());
         assert!(FadingModel::rayleigh(1.0).with_noise_sigma(-0.1).is_err());
-        assert!(FadingModel::rayleigh(1.0).with_noise_sigma(f64::INFINITY).is_err());
+        assert!(FadingModel::rayleigh(1.0)
+            .with_noise_sigma(f64::INFINITY)
+            .is_err());
     }
 
     #[test]
@@ -208,8 +205,10 @@ mod tests {
         let channel = FadingModel::rayleigh(2.0);
         let mut rng = seeded_rng(42);
         let samples = 20_000;
-        let mean: f64 =
-            (0..samples).map(|_| channel.sample_gain(&mut rng)).sum::<f64>() / samples as f64;
+        let mean: f64 = (0..samples)
+            .map(|_| channel.sample_gain(&mut rng))
+            .sum::<f64>()
+            / samples as f64;
         assert!((mean - 2.0).abs() < 0.1, "empirical mean {mean}");
     }
 
@@ -238,8 +237,14 @@ mod tests {
         assert!(p_short > p_long);
         assert!(p_long > 0.0 && p_short < 1.0);
         // No fading or no noise means certain success.
-        assert_eq!(FadingModel::none().isolated_success_probability(&model, 5.0, 1.0), 1.0);
+        assert_eq!(
+            FadingModel::none().isolated_success_probability(&model, 5.0, 1.0),
+            1.0
+        );
         let noise_free = SinrModel::new(3.0, 1.0, 0.0).unwrap();
-        assert_eq!(channel.isolated_success_probability(&noise_free, 5.0, 1.0), 1.0);
+        assert_eq!(
+            channel.isolated_success_probability(&noise_free, 5.0, 1.0),
+            1.0
+        );
     }
 }

@@ -15,6 +15,9 @@ use wagg_geometry::rng::{derive_seed, seeded_rng};
 use wagg_schedule::{PowerMode, Schedule};
 use wagg_sinr::{Link, SinrModel};
 
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
 /// The estimated effect of fading on a periodic schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FadingRateReport {
@@ -109,34 +112,57 @@ pub fn effective_rate(
     }
 
     let nominal_slots = schedule.len();
-    let mut effective_slots = 0.0f64;
-    let mut success_probs: Vec<f64> = Vec::new();
 
-    for (slot_index, slot) in schedule.slots().iter().enumerate() {
-        if slot.is_empty() {
-            effective_slots += 1.0;
-            continue;
-        }
-        let slot_links: Vec<Link> = slot.iter().map(|&idx| links[idx]).collect();
-        let powers = slot_powers(model, mode, &slot_links)?;
-        let mut successes = vec![0usize; slot_links.len()];
-        let mut rng = seeded_rng(derive_seed(seed, slot_index as u64));
-        for _ in 0..trials {
-            let outcome = faded_slot_outcome(model, &slot_links, &powers, fading, &mut rng);
-            for (i, &ok) in outcome.iter().enumerate() {
-                if ok {
-                    successes[i] += 1;
+    // Each slot's Monte-Carlo run is independent by construction (its RNG is
+    // seeded from `derive_seed(seed, slot_index)`), so the per-slot trials run
+    // across threads under the `parallel` feature. Results are folded in slot
+    // order afterwards, making the report identical to the serial build.
+    let estimate_slot =
+        |(slot_index, slot): (usize, &Vec<usize>)| -> Result<(f64, Vec<f64>), FadingError> {
+            if slot.is_empty() {
+                return Ok((1.0, Vec::new()));
+            }
+            let slot_links: Vec<Link> = slot.iter().map(|&idx| links[idx]).collect();
+            let powers = slot_powers(model, mode, &slot_links)?;
+            let mut successes = vec![0usize; slot_links.len()];
+            let mut rng = seeded_rng(derive_seed(seed, slot_index as u64));
+            for _ in 0..trials {
+                let outcome = faded_slot_outcome(model, &slot_links, &powers, fading, &mut rng);
+                for (i, &ok) in outcome.iter().enumerate() {
+                    if ok {
+                        successes[i] += 1;
+                    }
                 }
             }
-        }
-        // Clamp the estimate away from zero so a link that never succeeded in
-        // the sample contributes a large-but-finite repetition count.
-        let probs: Vec<f64> = successes
-            .iter()
-            .map(|&s| (s as f64 / trials as f64).max(0.5 / trials as f64))
-            .collect();
-        let slowest = probs.iter().cloned().fold(f64::INFINITY, f64::min);
-        effective_slots += 1.0 / slowest;
+            // Clamp the estimate away from zero so a link that never succeeded in
+            // the sample contributes a large-but-finite repetition count.
+            let probs: Vec<f64> = successes
+                .iter()
+                .map(|&s| (s as f64 / trials as f64).max(0.5 / trials as f64))
+                .collect();
+            let slowest = probs.iter().cloned().fold(f64::INFINITY, f64::min);
+            Ok((1.0 / slowest, probs))
+        };
+
+    #[cfg(feature = "parallel")]
+    let per_slot: Result<Vec<(f64, Vec<f64>)>, FadingError> = schedule
+        .slots()
+        .par_iter()
+        .enumerate()
+        .map(estimate_slot)
+        .collect();
+    #[cfg(not(feature = "parallel"))]
+    let per_slot: Result<Vec<(f64, Vec<f64>)>, FadingError> = schedule
+        .slots()
+        .iter()
+        .enumerate()
+        .map(estimate_slot)
+        .collect();
+
+    let mut effective_slots = 0.0f64;
+    let mut success_probs: Vec<f64> = Vec::new();
+    for (slot_cost, probs) in per_slot? {
+        effective_slots += slot_cost;
         success_probs.extend(probs);
     }
 
@@ -145,10 +171,7 @@ pub fn effective_rate(
     } else {
         success_probs.iter().sum::<f64>() / success_probs.len() as f64
     };
-    let min_success_probability = success_probs
-        .iter()
-        .cloned()
-        .fold(1.0f64, f64::min);
+    let min_success_probability = success_probs.iter().cloned().fold(1.0f64, f64::min);
     let expected_retransmissions_per_link = if success_probs.is_empty() {
         0.0
     } else {
@@ -193,12 +216,28 @@ mod tests {
     fn zero_trials_and_bad_schedules_are_rejected() {
         let (links, schedule, model) = scheduled(10, 1, PowerMode::Uniform);
         assert!(matches!(
-            effective_rate(&links, &schedule, &model, PowerMode::Uniform, FadingModel::none(), 0, 1),
+            effective_rate(
+                &links,
+                &schedule,
+                &model,
+                PowerMode::Uniform,
+                FadingModel::none(),
+                0,
+                1
+            ),
             Err(FadingError::InvalidParameter { name: "trials", .. })
         ));
         let bad = Schedule::new(vec![vec![999]]);
         assert!(matches!(
-            effective_rate(&links, &bad, &model, PowerMode::Uniform, FadingModel::none(), 10, 1),
+            effective_rate(
+                &links,
+                &bad,
+                &model,
+                PowerMode::Uniform,
+                FadingModel::none(),
+                10,
+                1
+            ),
             Err(FadingError::ScheduleOutOfRange { index: 999 })
         ));
     }

@@ -39,7 +39,11 @@ pub fn slot_powers(
     match mode.assignment() {
         Some(assignment) => links
             .iter()
-            .map(|l| assignment.power(l, model.alpha()).map_err(FadingError::from))
+            .map(|l| {
+                assignment
+                    .power(l, model.alpha())
+                    .map_err(FadingError::from)
+            })
             .collect(),
         None => optimal_powers(model, links).map_err(FadingError::from),
     }

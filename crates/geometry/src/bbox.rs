@@ -120,6 +120,25 @@ impl BoundingBox {
         )
     }
 
+    /// The bounding box of the segment `[a, b]` (used to index link segments
+    /// in the spatial grid).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_geometry::{BoundingBox, Point};
+    /// let bb = BoundingBox::of_segment(Point::new(2.0, 0.0), Point::new(0.0, 3.0));
+    /// assert_eq!(bb, BoundingBox::new(0.0, 0.0, 2.0, 3.0));
+    /// ```
+    pub fn of_segment(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
     /// Whether the box contains the point `p` (boundary inclusive).
     ///
     /// # Examples

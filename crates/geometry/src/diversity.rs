@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn diversity_undefined_for_duplicates() {
-        let pts = vec![Point::on_line(0.0), Point::on_line(0.0), Point::on_line(1.0)];
+        let pts = vec![
+            Point::on_line(0.0),
+            Point::on_line(0.0),
+            Point::on_line(1.0),
+        ];
         assert_eq!(length_diversity(&pts), None);
     }
 

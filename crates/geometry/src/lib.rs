@@ -6,6 +6,9 @@
 //!
 //! * [`Point`] — points in the Euclidean plane with exact-enough `f64` arithmetic,
 //! * [`BoundingBox`] — axis-aligned bounding boxes of pointsets,
+//! * [`UniformGrid`] — a uniform spatial hash over bounding boxes with
+//!   radius-bounded candidate queries, the index behind the fast conflict-graph
+//!   construction in `wagg-conflict`,
 //! * length-diversity computations ([`diversity::length_diversity`]) — the parameter `Δ`
 //!   that all of the paper's bounds are phrased in,
 //! * the slow-growing functions `log*` and `log log` ([`logmath`]) used to state the
@@ -29,9 +32,11 @@
 
 pub mod bbox;
 pub mod diversity;
+pub mod grid;
 pub mod logmath;
 pub mod point;
 pub mod rng;
 
 pub use bbox::BoundingBox;
+pub use grid::UniformGrid;
 pub use point::Point;

@@ -254,7 +254,13 @@ pub fn segments_intersect(p1: Point, q1: Point, p2: Point, q2: Point) -> bool {
     let o3 = orientation(p2, q2, p1);
     let o4 = orientation(p2, q2, q1);
 
-    if (o1 > 0.0) != (o2 > 0.0) && (o3 > 0.0) != (o4 > 0.0) && o1 != 0.0 && o2 != 0.0 && o3 != 0.0 && o4 != 0.0 {
+    if (o1 > 0.0) != (o2 > 0.0)
+        && (o3 > 0.0) != (o4 > 0.0)
+        && o1 != 0.0
+        && o2 != 0.0
+        && o3 != 0.0
+        && o4 != 0.0
+    {
         return true;
     }
     // Collinear special cases.

@@ -54,9 +54,7 @@ impl Error for ChainOverflow {}
 pub fn uniform_chain(n: usize, spacing: f64) -> Instance {
     assert!(n >= 2, "need at least two nodes");
     assert!(spacing > 0.0, "spacing must be positive");
-    let points = (0..n)
-        .map(|i| Point::on_line(i as f64 * spacing))
-        .collect();
+    let points = (0..n).map(|i| Point::on_line(i as f64 * spacing)).collect();
     Instance::new(format!("uniform-chain-n{n}"), points, 0)
 }
 
@@ -134,7 +132,10 @@ pub fn doubly_exponential_chain(
     beta: f64,
 ) -> Result<Instance, ChainOverflow> {
     assert!(n >= 2, "need at least two nodes");
-    assert!(tau > 0.0 && tau < 1.0, "tau must lie strictly between 0 and 1");
+    assert!(
+        tau > 0.0 && tau < 1.0,
+        "tau must lie strictly between 0 and 1"
+    );
     let tau_prime = tau.min(1.0 - tau);
     let x = base_separation(tau_prime, alpha, beta);
     let mut points = vec![Point::on_line(0.0)];
@@ -227,7 +228,10 @@ mod tests {
         // Each gap should be roughly the square of the previous one (1/tau' = 2),
         // far exceeding a constant-factor growth.
         for w in gaps.windows(2) {
-            assert!(w[1] > w[0] * w[0] * 0.5, "gaps {w:?} do not grow fast enough");
+            assert!(
+                w[1] > w[0] * w[0] * 0.5,
+                "gaps {w:?} do not grow fast enough"
+            );
         }
     }
 

@@ -116,21 +116,25 @@ mod tests {
 
     #[test]
     fn mst_links_count_is_n_minus_one() {
-        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, (i % 2) as f64)).collect();
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new(i as f64, (i % 2) as f64))
+            .collect();
         let inst = Instance::new("zigzag", pts, 3);
         let links = inst.mst_links().unwrap();
         assert_eq!(links.len(), 6);
         // Every link's receiver chain ends at the sink; at least one link enters it.
-        assert!(links
-            .iter()
-            .any(|l| l.receiver_node.unwrap().index() == 3));
+        assert!(links.iter().any(|l| l.receiver_node.unwrap().index() == 3));
     }
 
     #[test]
     fn diversity_and_bbox() {
         let inst = Instance::new(
             "line",
-            vec![Point::on_line(0.0), Point::on_line(1.0), Point::on_line(4.0)],
+            vec![
+                Point::on_line(0.0),
+                Point::on_line(1.0),
+                Point::on_line(4.0),
+            ],
             0,
         );
         assert_eq!(inst.length_diversity(), Some(4.0));

@@ -104,7 +104,10 @@ pub fn clustered(
     seed: u64,
 ) -> Instance {
     assert!(clusters * per_cluster >= 2, "need at least two nodes");
-    assert!(side > 0.0 && cluster_radius > 0.0, "geometry must be positive");
+    assert!(
+        side > 0.0 && cluster_radius > 0.0,
+        "geometry must be positive"
+    );
     let mut rng = seeded_rng(seed);
     let mut points = Vec::with_capacity(clusters * per_cluster);
     for c in 0..clusters {
@@ -125,11 +128,7 @@ pub fn clustered(
             }
         }
     }
-    Instance::new(
-        format!("clustered-{clusters}x{per_cluster}"),
-        points,
-        0,
-    )
+    Instance::new(format!("clustered-{clusters}x{per_cluster}"), points, 0)
 }
 
 #[cfg(test)]

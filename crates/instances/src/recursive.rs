@@ -156,10 +156,7 @@ fn sparsity_rho(offsets: &[f64], alpha: f64) -> f64 {
 /// The largest gap between consecutive offsets (the longest MST edge of a line
 /// instance).
 fn max_mst_gap(offsets: &[f64]) -> f64 {
-    offsets
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(0.0, f64::max)
+    offsets.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max)
 }
 
 /// Convenience: the MST link count of a built recursive instance (for reporting).

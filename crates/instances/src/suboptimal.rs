@@ -194,13 +194,7 @@ pub fn suboptimal_instance(
     for k in 0..levels {
         let sender_node = 2 * k;
         let receiver_node = 2 * k + 1;
-        let link = make_link(
-            next_id,
-            &points,
-            sender_node,
-            receiver_node,
-            reversed,
-        );
+        let link = make_link(next_id, &points, sender_node, receiver_node, reversed);
         long_slot.push(next_id);
         designed_tree.push(link);
         next_id += 1;
@@ -208,24 +202,14 @@ pub fn suboptimal_instance(
     for k in 0..levels - 1 {
         let sender_node = 2 * k + 1; // r_{k+1}
         let receiver_node = 2 * (k + 1); // s_{k+2}
-        let link = make_link(
-            next_id,
-            &points,
-            sender_node,
-            receiver_node,
-            reversed,
-        );
+        let link = make_link(next_id, &points, sender_node, receiver_node, reversed);
         short_slot.push(next_id);
         designed_tree.push(link);
         next_id += 1;
     }
 
     Ok(SuboptimalInstance {
-        instance: Instance::new(
-            format!("mst-suboptimal-m{levels}-tau{tau}"),
-            points,
-            sink,
-        ),
+        instance: Instance::new(format!("mst-suboptimal-m{levels}-tau{tau}"), points, sink),
         designed_tree,
         long_slot,
         short_slot,
@@ -234,13 +218,7 @@ pub fn suboptimal_instance(
     })
 }
 
-fn make_link(
-    id: usize,
-    points: &[Point],
-    from: usize,
-    to: usize,
-    reversed: bool,
-) -> Link {
+fn make_link(id: usize, points: &[Point], from: usize, to: usize, reversed: bool) -> Link {
     let (from, to) = if reversed { (to, from) } else { (from, to) };
     Link::with_nodes(id, points[from], points[to], NodeId(from), NodeId(to))
 }

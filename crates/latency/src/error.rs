@@ -82,7 +82,10 @@ mod tests {
         let errors = [
             LatencyError::TooFewPoints { found: 1 },
             LatencyError::SinkOutOfRange { sink: 3, nodes: 2 },
-            LatencyError::CoincidentPoints { first: 0, second: 1 },
+            LatencyError::CoincidentPoints {
+                first: 0,
+                second: 1,
+            },
             LatencyError::Tree(wagg_mst::MstError::TooFewPoints { found: 1 }),
         ];
         for err in errors {

@@ -42,6 +42,8 @@ pub mod pipeline;
 pub mod tradeoff;
 
 pub use error::LatencyError;
-pub use matching::{build_matching_tree, schedule_matching_tree, MatchingTree, MatchingTreeSchedule};
+pub use matching::{
+    build_matching_tree, schedule_matching_tree, MatchingTree, MatchingTreeSchedule,
+};
 pub use pipeline::{measured_latency, pipeline_depth_bound, PipelineLatencyReport};
 pub use tradeoff::{compare_rate_latency, RateLatencyPoint, TradeoffReport};

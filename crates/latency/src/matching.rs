@@ -92,7 +92,10 @@ pub fn build_matching_tree(points: &[Point], sink: usize) -> Result<MatchingTree
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
             if points[i].distance(points[j]) == 0.0 {
-                return Err(LatencyError::CoincidentPoints { first: i, second: j });
+                return Err(LatencyError::CoincidentPoints {
+                    first: i,
+                    second: j,
+                });
             }
         }
     }
@@ -145,7 +148,10 @@ pub fn build_matching_tree(points: &[Point], sink: usize) -> Result<MatchingTree
             next_id += 1;
             removed.push(forwarder);
         }
-        debug_assert!(!level_links.is_empty(), "a matching on >= 2 nodes is non-empty");
+        debug_assert!(
+            !level_links.is_empty(),
+            "a matching on >= 2 nodes is non-empty"
+        );
         active.retain(|v| !removed.contains(v));
         levels.push(level_links);
     }
@@ -264,7 +270,10 @@ mod tests {
         let points = vec![Point::origin(), Point::origin(), Point::new(1.0, 0.0)];
         assert!(matches!(
             build_matching_tree(&points, 0),
-            Err(LatencyError::CoincidentPoints { first: 0, second: 1 })
+            Err(LatencyError::CoincidentPoints {
+                first: 0,
+                second: 1
+            })
         ));
     }
 
@@ -276,7 +285,9 @@ mod tests {
         let mut senders: HashMap<usize, usize> = HashMap::new();
         for level in &tree.levels {
             for link in level {
-                *senders.entry(link.sender_node.unwrap().index()).or_insert(0) += 1;
+                *senders
+                    .entry(link.sender_node.unwrap().index())
+                    .or_insert(0) += 1;
             }
         }
         assert_eq!(senders.len(), 36);
@@ -322,10 +333,8 @@ mod tests {
         let inst = uniform_chain(32, 1.0);
         let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
         assert!(tree.level_count() <= 7);
-        let schedule = schedule_matching_tree(
-            &tree,
-            SchedulerConfig::new(PowerMode::GlobalControl),
-        );
+        let schedule =
+            schedule_matching_tree(&tree, SchedulerConfig::new(PowerMode::GlobalControl));
         // Latency (one wave) is the total schedule; much smaller than the chain's
         // 31-hop pipeline latency, but the rate is correspondingly lower than the
         // MST's near-constant rate.
@@ -339,15 +348,10 @@ mod tests {
     fn concatenated_schedule_indexes_all_links_once() {
         let inst = uniform_square(25, 60.0, 8);
         let tree = build_matching_tree(&inst.points, inst.sink).unwrap();
-        let schedule = schedule_matching_tree(
-            &tree,
-            SchedulerConfig::new(PowerMode::mean_oblivious()),
-        );
+        let schedule =
+            schedule_matching_tree(&tree, SchedulerConfig::new(PowerMode::mean_oblivious()));
         assert!(schedule.schedule.is_partition(tree.link_count()));
         assert_eq!(schedule.per_level_slots.len(), tree.level_count());
-        assert_eq!(
-            schedule.total_slots(),
-            schedule.schedule.len(),
-        );
+        assert_eq!(schedule.total_slots(), schedule.schedule.len(),);
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::error::LatencyError;
 use serde::{Deserialize, Serialize};
-use wagg_sim::{ConvergecastSim, SimConfig};
 use wagg_schedule::Schedule;
+use wagg_sim::{ConvergecastSim, SimConfig};
 use wagg_sinr::Link;
 
 /// Latency figures for a link set scheduled by a periodic coloring schedule.
@@ -153,7 +153,11 @@ mod tests {
         let schedule = schedule_for(&links, PowerMode::GlobalControl);
         let report = measured_latency(&links, &schedule, 12).unwrap();
         assert!(report.period <= 6, "chain schedule unexpectedly long");
-        assert!(report.max_latency >= 19, "latency {} not linear", report.max_latency);
+        assert!(
+            report.max_latency >= 19,
+            "latency {} not linear",
+            report.max_latency
+        );
         assert!(report.max_latency <= report.depth_bound);
         assert!(report.throughput > 0.0);
     }

@@ -112,8 +112,7 @@ pub fn compare_rate_latency(
     let matching_tree = build_matching_tree(points, sink)?;
     let matching_schedule = schedule_matching_tree(&matching_tree, config);
     let matching_links = matching_tree.all_links();
-    let matching_latency =
-        measured_latency(&matching_links, &matching_schedule.schedule, FRAMES)?;
+    let matching_latency = measured_latency(&matching_links, &matching_schedule.schedule, FRAMES)?;
     let matching = RateLatencyPoint {
         name: "matching".to_string(),
         slots: matching_schedule.total_slots(),
@@ -181,11 +180,8 @@ mod tests {
     #[test]
     fn degenerate_pointsets_are_rejected() {
         let points = vec![Point::origin()];
-        assert!(compare_rate_latency(
-            &points,
-            0,
-            SchedulerConfig::new(PowerMode::Uniform)
-        )
-        .is_err());
+        assert!(
+            compare_rate_latency(&points, 0, SchedulerConfig::new(PowerMode::Uniform)).is_err()
+        );
     }
 }

@@ -52,6 +52,6 @@ proptest! {
         let links = inst.mst_links().unwrap();
         let depth = pipeline_depth_bound(&links);
         prop_assert!(depth >= 1);
-        prop_assert!(depth <= n - 1);
+        prop_assert!(depth < n);
     }
 }

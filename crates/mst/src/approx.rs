@@ -58,7 +58,10 @@ fn validate(points: &[Point], sink: usize) -> Result<(), MstError> {
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
             if points[i].distance(points[j]) == 0.0 {
-                return Err(MstError::DuplicatePoints { first: i, second: j });
+                return Err(MstError::DuplicatePoints {
+                    first: i,
+                    second: j,
+                });
             }
         }
     }
@@ -150,7 +153,12 @@ mod tests {
     fn random_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
         let mut rng = seeded_rng(seed);
         (0..n)
-            .map(|_| Point::new(uniform_in(&mut rng, 0.0, side), uniform_in(&mut rng, 0.0, side)))
+            .map(|_| {
+                Point::new(
+                    uniform_in(&mut rng, 0.0, side),
+                    uniform_in(&mut rng, 0.0, side),
+                )
+            })
             .collect()
     }
 
@@ -165,7 +173,10 @@ mod tests {
         let dup = vec![Point::origin(), Point::origin(), Point::new(1.0, 0.0)];
         assert!(matches!(
             star_tree(&dup, 2),
-            Err(MstError::DuplicatePoints { first: 0, second: 1 })
+            Err(MstError::DuplicatePoints {
+                first: 0,
+                second: 1
+            })
         ));
     }
 
@@ -209,7 +220,10 @@ mod tests {
         let mst_total = euclidean_mst(&points).unwrap().total_length();
         let nn_total = nearest_neighbor_tree(&points, sink).unwrap().total_length();
         assert!(nn_total >= mst_total - 1e-9);
-        assert!(nn_total <= 4.0 * mst_total, "nn length {nn_total} vs mst {mst_total}");
+        assert!(
+            nn_total <= 4.0 * mst_total,
+            "nn length {nn_total} vs mst {mst_total}"
+        );
     }
 
     #[test]

@@ -61,16 +61,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MstError::TooFewPoints { found: 1 }.to_string().contains("at least 2"));
-        assert!(MstError::DuplicatePoints { first: 0, second: 3 }
+        assert!(MstError::TooFewPoints { found: 1 }
             .to_string()
-            .contains("coincide"));
+            .contains("at least 2"));
+        assert!(MstError::DuplicatePoints {
+            first: 0,
+            second: 3
+        }
+        .to_string()
+        .contains("coincide"));
         assert!(MstError::NodeOutOfRange { index: 9, nodes: 4 }
             .to_string()
             .contains("out of range"));
-        assert!(MstError::NotASpanningTree { reason: "disconnected" }
-            .to_string()
-            .contains("disconnected"));
+        assert!(MstError::NotASpanningTree {
+            reason: "disconnected"
+        }
+        .to_string()
+        .contains("disconnected"));
     }
 
     #[test]

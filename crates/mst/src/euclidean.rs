@@ -184,10 +184,7 @@ pub fn line_mst(points: &[Point]) -> Result<SpanningTree, MstError> {
     validate_points(points)?;
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_by(|&a, &b| points[a].x.total_cmp(&points[b].x));
-    let edges: Vec<Edge> = order
-        .windows(2)
-        .map(|w| Edge::new(w[0], w[1]))
-        .collect();
+    let edges: Vec<Edge> = order.windows(2).map(|w| Edge::new(w[0], w[1])).collect();
     SpanningTree::new(points.to_vec(), edges)
 }
 
@@ -258,7 +255,7 @@ mod tests {
             Err(MstError::DuplicatePoints { .. })
         ));
         assert!(kruskal_mst(&[Point::origin()], &[]).is_err());
-        assert!(line_mst(&[Point::origin()], ).is_err());
+        assert!(line_mst(&[Point::origin()],).is_err());
     }
 
     #[test]
@@ -283,11 +280,7 @@ mod tests {
             pts.push(Point::new(100.0 + i as f64 * 0.1, 0.0));
         }
         let t = euclidean_mst(&pts).unwrap();
-        let long_edges = t
-            .edge_lengths()
-            .into_iter()
-            .filter(|&l| l > 50.0)
-            .count();
+        let long_edges = t.edge_lengths().into_iter().filter(|&l| l > 50.0).count();
         assert_eq!(long_edges, 1);
     }
 

@@ -151,7 +151,9 @@ mod tests {
                 pts.push(Point::on_line(x));
                 gap *= 2.0;
             }
-            crate::euclidean::line_mst(&pts).unwrap().orient_arbitrarily()
+            crate::euclidean::line_mst(&pts)
+                .unwrap()
+                .orient_arbitrarily()
         }
     }
 
@@ -173,7 +175,11 @@ mod tests {
         // not grow with the grid size (checked below).
         let report_small = measure_sparsity(&grid_links(4), 3.0);
         let report_large = measure_sparsity(&grid_links(8), 3.0);
-        assert!(report_large.max() < 20.0, "max sparsity {}", report_large.max());
+        assert!(
+            report_large.max() < 20.0,
+            "max sparsity {}",
+            report_large.max()
+        );
         assert!(report_large.max() < report_small.max() + 6.0);
         assert!(report_large.mean() <= report_large.max());
     }

@@ -247,14 +247,14 @@ impl SpanningTree {
         let mut depth = vec![0usize; self.points.len()];
         // Nodes are processed in BFS order in `parents`, but we recompute here by
         // walking up; the tree is small enough that the O(n · depth) walk is fine.
-        for v in 0..self.points.len() {
+        for (v, slot) in depth.iter_mut().enumerate() {
             let mut d = 0;
             let mut cur = v;
             while let Some(p) = parent[cur] {
                 d += 1;
                 cur = p;
             }
-            depth[v] = d;
+            *slot = d;
         }
         Ok(depth)
     }
@@ -307,8 +307,8 @@ impl SpanningTree {
         let parent = self.parents(sink)?;
         let mut links = Vec::with_capacity(self.points.len().saturating_sub(1));
         let mut next_id = 0usize;
-        for v in 0..self.points.len() {
-            if let Some(p) = parent[v] {
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
                 links.push(Link::with_nodes(
                     next_id,
                     self.points[v],
@@ -387,7 +387,11 @@ mod tests {
 
     #[test]
     fn new_rejects_wrong_edge_count() {
-        let points = vec![Point::on_line(0.0), Point::on_line(1.0), Point::on_line(2.0)];
+        let points = vec![
+            Point::on_line(0.0),
+            Point::on_line(1.0),
+            Point::on_line(2.0),
+        ];
         let err = SpanningTree::new(points, vec![Edge::new(0, 1)]).unwrap_err();
         assert!(matches!(err, MstError::NotASpanningTree { .. }));
     }
@@ -408,9 +412,11 @@ mod tests {
             Point::on_line(3.0),
         ];
         // Three edges but node 3 is isolated (multi-edge between 0-1 pair).
-        let err =
-            SpanningTree::new(points, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
-                .unwrap_err();
+        let err = SpanningTree::new(
+            points,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)],
+        )
+        .unwrap_err();
         assert!(matches!(err, MstError::NotASpanningTree { .. }));
     }
 

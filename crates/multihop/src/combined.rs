@@ -152,8 +152,7 @@ impl MultihopPipeline {
             if cluster.len() < 2 {
                 continue;
             }
-            let cluster_points: Vec<Point> =
-                cluster.iter().map(|&v| self.points[v]).collect();
+            let cluster_points: Vec<Point> = cluster.iter().map(|&v| self.points[v]).collect();
             let cluster_mst = euclidean_mst(&cluster_points)?;
             let root_local = cluster
                 .iter()
@@ -161,7 +160,10 @@ impl MultihopPipeline {
                 .expect("leader is in its own cluster");
             for link in cluster_mst.try_orient_towards(root_local)? {
                 let s_local = link.sender_node.expect("oriented links carry ids").index();
-                let r_local = link.receiver_node.expect("oriented links carry ids").index();
+                let r_local = link
+                    .receiver_node
+                    .expect("oriented links carry ids")
+                    .index();
                 intra_links.push(Link::with_nodes(
                     intra_links.len(),
                     link.sender,
@@ -362,9 +364,8 @@ mod tests {
             .with_range(f64::INFINITY)
             .with_model(SinrModel::new(4.0, 2.0, 0.0).unwrap());
         assert_eq!(config.range, None);
-        let pipeline =
-            MultihopPipeline::new(vec![Point::origin(), Point::new(1.0, 0.0)], 0)
-                .with_config(config);
+        let pipeline = MultihopPipeline::new(vec![Point::origin(), Point::new(1.0, 0.0)], 0)
+            .with_config(config);
         assert_eq!(pipeline.config(), config);
         assert_eq!(pipeline.sink(), 0);
         assert_eq!(pipeline.points().len(), 2);

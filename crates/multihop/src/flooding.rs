@@ -87,8 +87,14 @@ pub fn flood_schedule(
             .position(|&l| l == sink_leader)
             .expect("the sink's leader is a leader");
         for link in overlay_mst.try_orient_towards(root_local)? {
-            let s_local = link.sender_node.expect("oriented links carry node ids").index();
-            let r_local = link.receiver_node.expect("oriented links carry node ids").index();
+            let s_local = link
+                .sender_node
+                .expect("oriented links carry node ids")
+                .index();
+            let r_local = link
+                .receiver_node
+                .expect("oriented links carry node ids")
+                .index();
             links.push(Link::with_nodes(
                 links.len(),
                 link.sender,
@@ -150,7 +156,10 @@ mod tests {
         let leaders = elect_leaders_mis(&inst.points, 10.0).unwrap();
         assert!(matches!(
             flood_schedule(&inst.points, &leaders, 99, config()),
-            Err(MultihopError::SinkOutOfRange { sink: 99, nodes: 20 })
+            Err(MultihopError::SinkOutOfRange {
+                sink: 99,
+                nodes: 20
+            })
         ));
     }
 
@@ -160,7 +169,11 @@ mod tests {
         let leaders = elect_leaders_mis(&inst.points, 60.0).unwrap();
         let report = flood_schedule(&inst.points, &leaders, inst.sink, config()).unwrap();
         let k = leaders.leader_count();
-        let expected_links = if leaders.is_leader(inst.sink) { k - 1 } else { k };
+        let expected_links = if leaders.is_leader(inst.sink) {
+            k - 1
+        } else {
+            k
+        };
         assert_eq!(report.links.len(), expected_links);
         // Every overlay sender is a leader; the only non-leader receiver is the sink.
         for link in &report.links {

@@ -93,7 +93,7 @@ fn validate(points: &[Point], radius: f64) -> Result<(), MultihopError> {
     if points.is_empty() {
         return Err(MultihopError::TooFewPoints { found: 0 });
     }
-    if !(radius > 0.0) || !radius.is_finite() {
+    if radius <= 0.0 || !radius.is_finite() {
         return Err(MultihopError::InvalidRadius { radius });
     }
     Ok(())
@@ -133,10 +133,7 @@ pub fn elect_leaders_mis(points: &[Point], radius: f64) -> Result<LeaderSet, Mul
 ///
 /// Returns [`MultihopError::TooFewPoints`] for an empty pointset and
 /// [`MultihopError::InvalidRadius`] for a non-positive cell side.
-pub fn elect_leaders_grid(
-    points: &[Point],
-    cell_side: f64,
-) -> Result<LeaderSet, MultihopError> {
+pub fn elect_leaders_grid(points: &[Point], cell_side: f64) -> Result<LeaderSet, MultihopError> {
     validate(points, cell_side)?;
     let bbox = BoundingBox::of_points(points).ok_or(MultihopError::TooFewPoints { found: 0 })?;
     let cell_of = |p: &Point| -> (i64, i64) {

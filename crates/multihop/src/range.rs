@@ -96,7 +96,7 @@ impl RangeGraph {
                 found: points.len(),
             });
         }
-        if !(range > 0.0) || !range.is_finite() {
+        if range <= 0.0 || !range.is_finite() {
             return Err(MultihopError::InvalidRange { range });
         }
         let n = points.len();
@@ -289,16 +289,13 @@ impl UnionFind {
 /// assert_eq!(tree.edges().len(), 5);
 /// assert!(range_restricted_mst(&points, 0.5).is_err());
 /// ```
-pub fn range_restricted_mst(
-    points: &[Point],
-    range: f64,
-) -> Result<SpanningTree, MultihopError> {
+pub fn range_restricted_mst(points: &[Point], range: f64) -> Result<SpanningTree, MultihopError> {
     if points.len() < 2 {
         return Err(MultihopError::TooFewPoints {
             found: points.len(),
         });
     }
-    if !(range > 0.0) || !range.is_finite() {
+    if range <= 0.0 || !range.is_finite() {
         return Err(MultihopError::InvalidRange { range });
     }
     let n = points.len();
@@ -340,7 +337,9 @@ mod tests {
     use wagg_instances::random::uniform_square;
 
     fn line(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(spacing * i as f64, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(spacing * i as f64, 0.0))
+            .collect()
     }
 
     #[test]
@@ -364,7 +363,7 @@ mod tests {
         let points = line(10, 2.0);
         let critical = critical_range(&points).unwrap();
         assert_eq!(critical, 2.0);
-        assert!(RangeGraph::new(points.clone(), 1.9).unwrap().is_connected() == false);
+        assert!(!RangeGraph::new(points.clone(), 1.9).unwrap().is_connected());
         assert!(RangeGraph::new(points, 2.0).unwrap().is_connected());
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for the power-limited / multi-hop layer.
 
 use proptest::prelude::*;
-use wagg_multihop::{
-    critical_range, elect_leaders_grid, elect_leaders_mis, range_restricted_mst,
-    MultihopConfig, MultihopPipeline, RangeGraph,
-};
 use wagg_instances::random::uniform_square;
+use wagg_multihop::{
+    critical_range, elect_leaders_grid, elect_leaders_mis, range_restricted_mst, MultihopConfig,
+    MultihopPipeline, RangeGraph,
+};
 use wagg_schedule::PowerMode;
 
 fn deployment() -> impl Strategy<Value = (usize, f64, u64)> {

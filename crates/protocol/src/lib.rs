@@ -266,7 +266,11 @@ mod tests {
         let links = exponential_chain(10, 2.0).unwrap().mst_links().unwrap();
         let slots = round_robin_slots(&links);
         assert_eq!(slots.len(), links.len());
-        assert!(verify_protocol_schedule(&links, &slots, ProtocolModel::default()));
+        assert!(verify_protocol_schedule(
+            &links,
+            &slots,
+            ProtocolModel::default()
+        ));
     }
 
     #[test]

@@ -17,9 +17,7 @@ use wagg_conflict::{greedy_color, ConflictGraph};
 /// in the SINR model with `β = 1`; here we work with the abstract structure, which is
 /// all the rate comparison needs.
 pub fn cycle5_adjacency() -> Vec<Vec<usize>> {
-    (0..5)
-        .map(|i| vec![(i + 4) % 5, (i + 1) % 5])
-        .collect()
+    (0..5).map(|i| vec![(i + 4) % 5, (i + 1) % 5]).collect()
 }
 
 /// The paper's 5-slot periodic schedule for the 5-cycle, achieving rate `2/5`:
@@ -74,8 +72,8 @@ pub fn cycle5_optimal_coloring_slots() -> usize {
                 assignment.push(rest % k);
                 rest /= k;
             }
-            let proper = (0..n)
-                .all(|v| adjacency[v].iter().all(|&u| assignment[u] != assignment[v]));
+            let proper =
+                (0..n).all(|v| adjacency[v].iter().all(|&u| assignment[u] != assignment[v]));
             if proper {
                 return k;
             }

@@ -142,7 +142,10 @@ mod tests {
         assert_eq!(PowerMode::Uniform.assignment().unwrap().tau(), Some(0.0));
         assert_eq!(PowerMode::Linear.assignment().unwrap().tau(), Some(1.0));
         assert_eq!(
-            PowerMode::Oblivious { tau: 0.25 }.assignment().unwrap().tau(),
+            PowerMode::Oblivious { tau: 0.25 }
+                .assignment()
+                .unwrap()
+                .tau(),
             Some(0.25)
         );
         assert!(PowerMode::GlobalControl.assignment().is_none());
@@ -172,7 +175,11 @@ mod tests {
             vec![line_link(0, 0.0, 1.0), line_link(1, 3.0, 4.0)],
         ];
         for links in pairs {
-            for mode in [PowerMode::Uniform, PowerMode::Linear, PowerMode::mean_oblivious()] {
+            for mode in [
+                PowerMode::Uniform,
+                PowerMode::Linear,
+                PowerMode::mean_oblivious(),
+            ] {
                 if mode.slot_feasible(&model, &links) {
                     assert!(PowerMode::GlobalControl.slot_feasible(&model, &links));
                 }

@@ -170,7 +170,12 @@ impl Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule with {} slots (rate {:.4})", self.len(), self.rate())
+        write!(
+            f,
+            "schedule with {} slots (rate {:.4})",
+            self.len(),
+            self.rate()
+        )
     }
 }
 
@@ -216,7 +221,13 @@ mod tests {
 
     #[test]
     fn multicolor_schedule_is_not_a_partition_but_covers() {
-        let s = Schedule::new(vec![vec![0, 2], vec![1, 3], vec![0, 3], vec![1, 4], vec![2, 4]]);
+        let s = Schedule::new(vec![
+            vec![0, 2],
+            vec![1, 3],
+            vec![0, 3],
+            vec![1, 4],
+            vec![2, 4],
+        ]);
         assert!(s.covers_all(5));
         assert!(!s.is_partition(5));
         assert_eq!(s.sustained_rate(5), 2.0 / 5.0);

@@ -217,9 +217,7 @@ mod tests {
     fn check_report(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
         let report = schedule_links(links, config);
         assert!(report.schedule.is_partition(links.len()));
-        assert!(report
-            .schedule
-            .verify(links, &config.model, config.mode));
+        assert!(report.schedule.verify(links, &config.model, config.mode));
         assert!(report.verified_slots >= report.coloring_slots.min(report.verified_slots));
         report
     }
@@ -336,8 +334,12 @@ mod tests {
         let points: Vec<Point> = (0..15)
             .map(|i| Point::new(i as f64, ((i * 3) % 5) as f64))
             .collect();
-        let report =
-            schedule_mst(&points, 7, SchedulerConfig::new(PowerMode::mean_oblivious())).unwrap();
+        let report = schedule_mst(
+            &points,
+            7,
+            SchedulerConfig::new(PowerMode::mean_oblivious()),
+        )
+        .unwrap();
         assert_eq!(report.num_links, 14);
         assert!(report.schedule.is_partition(14));
         assert!(report.rate() > 0.0);

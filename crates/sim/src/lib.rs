@@ -276,7 +276,7 @@ impl ConvergecastSim {
         let mut slot = 0usize;
         while slot < config.max_slots {
             // Frame generation at the start of the slot.
-            if config.frame_period > 0 && slot % config.frame_period == 0 {
+            if config.frame_period > 0 && slot.is_multiple_of(config.frame_period) {
                 let frame = slot / config.frame_period;
                 if frame < config.num_frames {
                     for &v in &self.nodes {
@@ -301,25 +301,17 @@ impl ConvergecastSim {
             let mut deliveries: Vec<(usize, usize, usize)> = Vec::new(); // (receiver, frame, amount)
             for &link_idx in active {
                 // Identify the sender of this link.
-                let (&sender, &(receiver, _)) = match self
-                    .parent
-                    .iter()
-                    .find(|(_, &(_, idx))| idx == link_idx)
-                {
-                    Some(entry) => entry,
-                    None => continue,
-                };
+                let (&sender, &(receiver, _)) =
+                    match self.parent.iter().find(|(_, &(_, idx))| idx == link_idx) {
+                        Some(entry) => entry,
+                        None => continue,
+                    };
                 let sender_contribs = contributions.get(&sender).expect("node present");
                 let sent = forwarded.get(&sender).expect("node present");
                 // The oldest complete, not-yet-forwarded frame at the sender.
-                let ready: Option<usize> = (0..config.num_frames)
-                    .filter(|&f| !sent[f])
-                    .find(|&f| {
-                        sender_contribs
-                            .get(&f)
-                            .copied()
-                            .unwrap_or(0)
-                            == self.subtree_size[&sender]
+                let ready: Option<usize> =
+                    (0..config.num_frames).filter(|&f| !sent[f]).find(|&f| {
+                        sender_contribs.get(&f).copied().unwrap_or(0) == self.subtree_size[&sender]
                     });
                 if let Some(frame) = ready {
                     let amount = self.subtree_size[&sender];
@@ -478,7 +470,8 @@ mod tests {
     fn sustained_rate_matches_schedule_length_on_random_mst() {
         let inst = uniform_square(24, 50.0, 3);
         let links = inst.mst_links().unwrap();
-        let report_schedule = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        let report_schedule =
+            schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
         let t = report_schedule.schedule.len();
         let sim = ConvergecastSim::new(&links, &report_schedule.schedule).unwrap();
         let run = sim.run(SimConfig {
@@ -503,8 +496,20 @@ mod tests {
         ));
         // Two outgoing links from one node.
         let double = vec![
-            Link::with_nodes(0, Point::on_line(1.0), Point::on_line(0.0), NodeId(1), NodeId(0)),
-            Link::with_nodes(1, Point::on_line(1.0), Point::on_line(2.0), NodeId(1), NodeId(2)),
+            Link::with_nodes(
+                0,
+                Point::on_line(1.0),
+                Point::on_line(0.0),
+                NodeId(1),
+                NodeId(0),
+            ),
+            Link::with_nodes(
+                1,
+                Point::on_line(1.0),
+                Point::on_line(2.0),
+                NodeId(1),
+                NodeId(2),
+            ),
         ];
         assert!(matches!(
             ConvergecastSim::new(&double, &Schedule::round_robin(2)),
@@ -512,8 +517,20 @@ mod tests {
         ));
         // Cycle.
         let cycle = vec![
-            Link::with_nodes(0, Point::on_line(0.0), Point::on_line(1.0), NodeId(0), NodeId(1)),
-            Link::with_nodes(1, Point::on_line(1.0), Point::on_line(0.0), NodeId(1), NodeId(0)),
+            Link::with_nodes(
+                0,
+                Point::on_line(0.0),
+                Point::on_line(1.0),
+                NodeId(0),
+                NodeId(1),
+            ),
+            Link::with_nodes(
+                1,
+                Point::on_line(1.0),
+                Point::on_line(0.0),
+                NodeId(1),
+                NodeId(0),
+            ),
         ];
         assert!(matches!(
             ConvergecastSim::new(&cycle, &Schedule::round_robin(2)),
@@ -545,8 +562,14 @@ mod tests {
     #[test]
     fn error_display_strings() {
         assert!(SimError::NotAConvergecastTree.to_string().contains("tree"));
-        assert!(SimError::MissingNodeIds { link: 2 }.to_string().contains("link 2"));
-        assert!(SimError::MultipleParents { node: 1 }.to_string().contains("node 1"));
-        assert!(SimError::ScheduleOutOfRange { index: 9 }.to_string().contains('9'));
+        assert!(SimError::MissingNodeIds { link: 2 }
+            .to_string()
+            .contains("link 2"));
+        assert!(SimError::MultipleParents { node: 1 }
+            .to_string()
+            .contains("node 1"));
+        assert!(SimError::ScheduleOutOfRange { index: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

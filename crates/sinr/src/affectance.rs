@@ -11,8 +11,12 @@
 
 use crate::link::Link;
 use crate::model::SinrModel;
+use crate::pathloss::{AlphaPow, PathLossCache};
 use crate::power::PowerAssignment;
 use crate::SinrError;
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// Relative interference of link `source` on link `target` under power assignment
 /// `power`: `I_P(j, i) = P(j)·l_i^α / (P(i)·d_ji^α)`.
@@ -66,26 +70,79 @@ pub fn relative_interference(
     if d <= 0.0 {
         return Ok(f64::INFINITY);
     }
-    Ok(p_source * target_len.powf(model.alpha()) / (p_target * d.powf(model.alpha())))
+    let pow = AlphaPow::new(model.alpha());
+    Ok(p_source * pow.pow(target_len) / (p_target * pow.pow(d)))
 }
 
 /// Total relative interference of a set on a single link:
 /// `I_P(S, i) = Σ_{j ∈ S} I_P(j, i)` (the term `j = i` contributes zero).
 ///
+/// The target-side quantities (`l_i^α`, `P(i)`) are computed once, and each
+/// pair costs one distance plus one [`AlphaPow`] evaluation. With the
+/// `parallel` feature the terms are computed across threads but summed in set
+/// order, so the total matches the serial sum bit for bit. (The in-order
+/// reduction — and with it the bitwise guarantee and the error-order
+/// guarantee below — is a documented property of the vendored `shims/rayon`
+/// engine; swapping in crates.io rayon would re-associate parallel sums and
+/// weaken both to "within floating-point re-association".)
+///
 /// # Errors
 ///
-/// Propagates errors from [`relative_interference`].
+/// Propagates errors from [`relative_interference`], in set order.
 pub fn relative_interference_on(
     model: &SinrModel,
     set: &[Link],
     target: &Link,
     power: &PowerAssignment,
 ) -> Result<f64, SinrError> {
-    let mut total = 0.0;
-    for source in set {
-        total += relative_interference(model, source, target, power)?;
+    let pow = AlphaPow::new(model.alpha());
+    // Target-side state (degenerate-length check, `l_i^α`, `P(i)`), resolved
+    // once. Each is kept as a Result so the seed's error order is preserved:
+    // a target-side error only surfaces for sources that would have evaluated
+    // it — non-self sources, with the power errors after the source's own
+    // power lookup.
+    let target_weight: Result<f64, SinrError> = {
+        let target_len = target.length();
+        if target_len <= 0.0 {
+            Err(SinrError::DegenerateLink {
+                link: target.id.index(),
+            })
+        } else {
+            Ok(pow.pow(target_len))
+        }
+    };
+    let target_power: Result<f64, SinrError> =
+        power.power(target, model.alpha()).and_then(|p_target| {
+            if p_target <= 0.0 {
+                Err(SinrError::InvalidParameter {
+                    name: "power",
+                    value: p_target,
+                })
+            } else {
+                Ok(p_target)
+            }
+        });
+    let term = |source: &Link| -> Result<f64, SinrError> {
+        if source.id == target.id {
+            return Ok(0.0);
+        }
+        let weight = target_weight.clone()?;
+        let p_source = power.power(source, model.alpha())?;
+        let p_target = target_power.clone()?;
+        let d = source.sender_to_receiver_distance(target);
+        if d <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(p_source * weight / (p_target * pow.pow(d)))
+    };
+    #[cfg(feature = "parallel")]
+    {
+        set.par_iter().map(term).sum()
     }
-    Ok(total)
+    #[cfg(not(feature = "parallel"))]
+    {
+        set.iter().map(term).sum()
+    }
 }
 
 /// Noise-free feasibility via relative interference: the set is `P`-feasible iff
@@ -108,16 +165,8 @@ pub fn relative_interference_on(
 /// ];
 /// assert!(is_feasible_by_affectance(&model, &links, &PowerAssignment::uniform(1.0)));
 /// ```
-pub fn is_feasible_by_affectance(
-    model: &SinrModel,
-    set: &[Link],
-    power: &PowerAssignment,
-) -> bool {
-    set.iter().all(|target| {
-        relative_interference_on(model, set, target, power)
-            .map(|total| total <= 1.0 / model.beta())
-            .unwrap_or(false)
-    })
+pub fn is_feasible_by_affectance(model: &SinrModel, set: &[Link], power: &PowerAssignment) -> bool {
+    PathLossCache::new(model, set, power).is_feasible()
 }
 
 /// The paper's additive operator `I(j, i) = min{1, l_j^α / d(i, j)^α}` (Sec. 3.2),
@@ -138,6 +187,14 @@ pub fn is_feasible_by_affectance(
 /// assert!((v - 1.0 / 64.0).abs() < 1e-12);
 /// ```
 pub fn additive_influence(source: &Link, target: &Link, alpha: f64) -> f64 {
+    additive_influence_pow(source, target, AlphaPow::new(alpha))
+}
+
+/// [`additive_influence`] with a pre-dispatched exponent — the form the
+/// batched sums below use so the `alpha` match happens once per sum, not once
+/// per pair.
+#[inline]
+pub fn additive_influence_pow(source: &Link, target: &Link, pow: AlphaPow) -> f64 {
     if source.id == target.id {
         return 0.0;
     }
@@ -146,21 +203,49 @@ pub fn additive_influence(source: &Link, target: &Link, alpha: f64) -> f64 {
         return 1.0;
     }
     let ratio = source.length() / d;
-    ratio.powf(alpha).min(1.0)
+    pow.pow(ratio).min(1.0)
 }
 
 /// `I(S, i) = Σ_{j ∈ S} I(j, i)`: total additive influence of a set on a link.
+///
+/// Terms are evaluated in parallel under the `parallel` feature and summed in
+/// set order — bit-identical to the serial sum under the vendored
+/// `shims/rayon` engine (crates.io rayon would only guarantee equality up to
+/// floating-point re-association).
 pub fn additive_influence_on(set: &[Link], target: &Link, alpha: f64) -> f64 {
-    set.iter()
-        .map(|source| additive_influence(source, target, alpha))
-        .sum()
+    let pow = AlphaPow::new(alpha);
+    #[cfg(feature = "parallel")]
+    {
+        set.par_iter()
+            .map(|source| additive_influence_pow(source, target, pow))
+            .sum()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        set.iter()
+            .map(|source| additive_influence_pow(source, target, pow))
+            .sum()
+    }
 }
 
 /// `I(i, S) = Σ_{j ∈ S} I(i, j)`: total additive influence of a link on a set.
+///
+/// Parallel and serial builds produce identical sums under the vendored
+/// engine (see [`additive_influence_on`]).
 pub fn additive_influence_of(source: &Link, set: &[Link], alpha: f64) -> f64 {
-    set.iter()
-        .map(|target| additive_influence(source, target, alpha))
-        .sum()
+    let pow = AlphaPow::new(alpha);
+    #[cfg(feature = "parallel")]
+    {
+        set.par_iter()
+            .map(|target| additive_influence_pow(source, target, pow))
+            .sum()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        set.iter()
+            .map(|target| additive_influence_pow(source, target, pow))
+            .sum()
+    }
 }
 
 /// The "in-influence from longer links" quantity `I(i, S_i^+)` of Lemma 1:
@@ -172,9 +257,10 @@ pub fn additive_influence_of(source: &Link, set: &[Link], alpha: f64) -> f64 {
 /// experiment harness verifies the constant empirically.
 pub fn influence_on_longer(link: &Link, set: &[Link], alpha: f64) -> f64 {
     let len = link.length();
+    let pow = AlphaPow::new(alpha);
     set.iter()
         .filter(|j| j.id != link.id && j.length() >= len)
-        .map(|j| additive_influence(link, j, alpha))
+        .map(|j| additive_influence_pow(link, j, pow))
         .sum()
 }
 
@@ -182,9 +268,10 @@ pub fn influence_on_longer(link: &Link, set: &[Link], alpha: f64) -> f64 {
 /// the total influence on link `i` from links in `set` that are no longer than `i`.
 pub fn influence_from_shorter(link: &Link, set: &[Link], alpha: f64) -> f64 {
     let len = link.length();
+    let pow = AlphaPow::new(alpha);
     set.iter()
         .filter(|j| j.id != link.id && j.length() <= len)
-        .map(|j| additive_influence(j, link, alpha))
+        .map(|j| additive_influence_pow(j, link, pow))
         .sum()
 }
 
@@ -288,8 +375,8 @@ mod tests {
     #[test]
     fn influence_on_longer_only_counts_longer_links() {
         let links = vec![
-            line_link(0, 0.0, 1.0),  // length 1
-            line_link(1, 3.0, 5.0),  // length 2
+            line_link(0, 0.0, 1.0),   // length 1
+            line_link(1, 3.0, 5.0),   // length 2
             line_link(2, 10.0, 10.5), // length 0.5 (shorter, should be ignored)
         ];
         let alpha = 3.0;

@@ -78,7 +78,10 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let errs: Vec<SinrError> = vec![
             SinrError::DegenerateLink { link: 3 },
-            SinrError::CollocatedNodes { first: 1, second: 2 },
+            SinrError::CollocatedNodes {
+                first: 1,
+                second: 2,
+            },
             SinrError::MissingPower { link: 0 },
             SinrError::InvalidParameter {
                 name: "alpha",

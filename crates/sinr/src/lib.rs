@@ -12,6 +12,10 @@
 //!   feasibility checks for a set of links under a given power assignment,
 //! * [`affectance`] — the relative interference `I_P(j, i)` and the additive
 //!   operator `I(j, i) = min{1, l_j^α / d(i, j)^α}` used by the paper's analysis,
+//! * [`pathloss`] — the shared high-performance kernel under the above: cached
+//!   per-link path-loss powers ([`PathLossCache`]) and integer-exponent fast
+//!   paths ([`AlphaPow`]), with multi-threaded batch feasibility checks behind
+//!   the (default-on) `parallel` feature,
 //! * [`power_control`] — *global* power control: deciding whether a set of links
 //!   is feasible under *some* power assignment (spectral-radius test over the
 //!   normalised gain matrix) and computing the component-wise minimal feasible
@@ -40,10 +44,12 @@ pub mod affectance;
 pub mod error;
 pub mod link;
 pub mod model;
+pub mod pathloss;
 pub mod power;
 pub mod power_control;
 
 pub use error::SinrError;
 pub use link::{Link, LinkId, NodeId};
 pub use model::SinrModel;
+pub use pathloss::{AlphaPow, PathLossCache};
 pub use power::{PowerAssignment, PowerScheme};

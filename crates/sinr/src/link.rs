@@ -98,6 +98,13 @@ pub struct Link {
     pub sender_node: Option<NodeId>,
     /// Index of the receiver node in the originating pointset, if known.
     pub receiver_node: Option<NodeId>,
+    /// Cached Euclidean length `l_i = d(s_i, r_i)`, computed at construction.
+    ///
+    /// `l_i` is read in every interference term, every conflict check and every
+    /// length-sorted processing order, so it is paid for once here instead of
+    /// recomputing a `sqrt` per call. Private (and endpoints are never mutated
+    /// in place) so the cache cannot go stale.
+    length: f64,
 }
 
 impl Link {
@@ -118,6 +125,7 @@ impl Link {
             receiver,
             sender_node: None,
             receiver_node: None,
+            length: sender.distance(receiver),
         }
     }
 
@@ -145,12 +153,14 @@ impl Link {
             receiver,
             sender_node: Some(sender_node),
             receiver_node: Some(receiver_node),
+            length: sender.distance(receiver),
         }
     }
 
-    /// The link length `l_i = d(s_i, r_i)`.
+    /// The link length `l_i = d(s_i, r_i)` (cached at construction).
+    #[inline]
     pub fn length(&self) -> f64 {
-        self.sender.distance(self.receiver)
+        self.length
     }
 
     /// Distance `d_ij = d(s_i, r_j)` from this link's sender to another link's receiver.
@@ -231,6 +241,7 @@ impl Link {
             receiver: self.sender,
             sender_node: self.receiver_node,
             receiver_node: self.sender_node,
+            length: self.length,
         }
     }
 }
@@ -291,8 +302,7 @@ pub fn indices_by_decreasing_length(links: &[Link]) -> Vec<usize> {
     idx.sort_by(|&a, &b| {
         links[b]
             .length()
-            .partial_cmp(&links[a].length())
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&links[a].length())
             .then(links[a].id.cmp(&links[b].id))
     });
     idx
@@ -344,7 +354,9 @@ mod tests {
         let i = horizontal(0, 0.0, 1.0);
         let j = Link::new(1, Point::new(4.0, 3.0), Point::new(4.0, 10.0));
         assert!((i.distance_to(&j) - j.distance_to(&i)).abs() < 1e-12);
-        assert!((i.distance_to(&j) - Point::new(1.0, 0.0).distance(Point::new(4.0, 3.0))).abs() < 1e-12);
+        assert!(
+            (i.distance_to(&j) - Point::new(1.0, 0.0).distance(Point::new(4.0, 3.0))).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -359,7 +371,13 @@ mod tests {
 
     #[test]
     fn reversed_preserves_id_and_length() {
-        let l = Link::with_nodes(3, Point::new(0.0, 0.0), Point::new(0.0, 2.0), NodeId(1), NodeId(0));
+        let l = Link::with_nodes(
+            3,
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 2.0),
+            NodeId(1),
+            NodeId(0),
+        );
         let r = l.reversed();
         assert_eq!(r.id, l.id);
         assert_eq!(r.length(), l.length());

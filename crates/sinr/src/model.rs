@@ -1,6 +1,7 @@
 //! The SINR (physical) model: path-loss parameters and feasibility checks.
 
 use crate::link::Link;
+use crate::pathloss::AlphaPow;
 use crate::power::PowerAssignment;
 use crate::SinrError;
 use serde::{Deserialize, Serialize};
@@ -57,19 +58,19 @@ impl SinrModel {
     /// assert!(SinrModel::new(3.0, 2.0, 0.1).is_ok());
     /// ```
     pub fn new(alpha: f64, beta: f64, noise: f64) -> Result<Self, SinrError> {
-        if !(alpha > 2.0) || !alpha.is_finite() {
+        if alpha <= 2.0 || !alpha.is_finite() {
             return Err(SinrError::InvalidParameter {
                 name: "alpha",
                 value: alpha,
             });
         }
-        if !(beta > 0.0) || !beta.is_finite() {
+        if beta <= 0.0 || !beta.is_finite() {
             return Err(SinrError::InvalidParameter {
                 name: "beta",
                 value: beta,
             });
         }
-        if !(noise >= 0.0) || !noise.is_finite() {
+        if noise < 0.0 || !noise.is_finite() {
             return Err(SinrError::InvalidParameter {
                 name: "noise",
                 value: noise,
@@ -126,11 +127,7 @@ impl SinrModel {
     ///
     /// Returns an error if the link has zero length or the assignment has no power
     /// for it.
-    pub fn received_signal(
-        &self,
-        link: &Link,
-        power: &PowerAssignment,
-    ) -> Result<f64, SinrError> {
+    pub fn received_signal(&self, link: &Link, power: &PowerAssignment) -> Result<f64, SinrError> {
         let len = link.length();
         if len <= 0.0 {
             return Err(SinrError::DegenerateLink {
@@ -138,7 +135,7 @@ impl SinrModel {
             });
         }
         let p = power.power(link, self.alpha)?;
-        Ok(p / len.powf(self.alpha))
+        Ok(p / AlphaPow::new(self.alpha).pow(len))
     }
 
     /// Interference caused by `source` at the receiver of `target`:
@@ -162,7 +159,7 @@ impl SinrModel {
             });
         }
         let p = power.power(source, self.alpha)?;
-        Ok(p / d.powf(self.alpha))
+        Ok(p / AlphaPow::new(self.alpha).pow(d))
     }
 
     /// The SINR of `link` when all links of `set` (which must contain `link`)
@@ -255,7 +252,7 @@ impl SinrModel {
     /// The minimum power needed to close link `i` in the absence of interference:
     /// `β · N · l_i^α`. Zero in the noise-free (interference-limited) setting.
     pub fn minimum_power(&self, link: &Link) -> f64 {
-        self.beta * self.noise * link.length().powf(self.alpha)
+        self.beta * self.noise * AlphaPow::new(self.alpha).pow(link.length())
     }
 }
 

@@ -108,7 +108,7 @@ impl PowerScheme {
     /// assert_eq!(p.power_for_length(2.0, 3.0), 8.0);
     /// ```
     pub fn power_for_length(&self, length: f64, alpha: f64) -> f64 {
-        self.scale * length.powf(self.tau * alpha)
+        self.scale * crate::pathloss::AlphaPow::new(self.tau * alpha).pow(length)
     }
 
     /// The effective `τ'` = `min(τ, 1 − τ)` used in the paper's oblivious-power
@@ -207,11 +207,7 @@ impl PowerAssignment {
     ///
     /// Panics if `powers.len() != links.len()`.
     pub fn explicit_for_links(links: &[Link], powers: &[f64]) -> Self {
-        assert_eq!(
-            links.len(),
-            powers.len(),
-            "one power per link is required"
-        );
+        assert_eq!(links.len(), powers.len(), "one power per link is required");
         let table = links
             .iter()
             .zip(powers.iter())
@@ -228,15 +224,15 @@ impl PowerAssignment {
     /// entry for the link.
     pub fn power(&self, link: &Link, alpha: f64) -> Result<f64, SinrError> {
         match self {
-            PowerAssignment::Oblivious(scheme) => {
-                Ok(scheme.power_for_length(link.length(), alpha))
+            PowerAssignment::Oblivious(scheme) => Ok(scheme.power_for_length(link.length(), alpha)),
+            PowerAssignment::Explicit(table) => {
+                table
+                    .get(&link.id.index())
+                    .copied()
+                    .ok_or(SinrError::MissingPower {
+                        link: link.id.index(),
+                    })
             }
-            PowerAssignment::Explicit(table) => table
-                .get(&link.id.index())
-                .copied()
-                .ok_or(SinrError::MissingPower {
-                    link: link.id.index(),
-                }),
         }
     }
 
@@ -335,7 +331,10 @@ mod tests {
 
     #[test]
     fn tau_prime_is_symmetric() {
-        assert_eq!(PowerScheme::new(0.25).tau_prime(), PowerScheme::new(0.75).tau_prime());
+        assert_eq!(
+            PowerScheme::new(0.25).tau_prime(),
+            PowerScheme::new(0.75).tau_prime()
+        );
     }
 
     #[test]

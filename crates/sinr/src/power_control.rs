@@ -20,8 +20,12 @@
 
 use crate::link::Link;
 use crate::model::SinrModel;
+use crate::pathloss::AlphaPow;
 use crate::power::PowerAssignment;
 use crate::SinrError;
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// Maximum number of iterations used by the spectral-radius and power iterations.
 const MAX_ITERATIONS: usize = 500;
@@ -57,18 +61,22 @@ const TOLERANCE: f64 = 1e-10;
 /// assert!(b[0][1] > 0.0);
 /// ```
 pub fn gain_matrix(model: &SinrModel, links: &[Link]) -> Result<Vec<Vec<f64>>, SinrError> {
-    let n = links.len();
-    let alpha = model.alpha();
+    let pow = AlphaPow::new(model.alpha());
     let beta = model.beta();
-    let mut matrix = vec![vec![0.0; n]; n];
-    for (i, target) in links.iter().enumerate() {
+    // Rows are independent, so they are computed across threads under the
+    // `parallel` feature; the vendored shims/rayon engine collects rows in
+    // input order, which also preserves which error surfaces first on
+    // degenerate inputs (crates.io rayon would return *an* error, not
+    // necessarily the first).
+    let row = |(i, target): (usize, &Link)| -> Result<Vec<f64>, SinrError> {
         let len = target.length();
         if len <= 0.0 {
             return Err(SinrError::DegenerateLink {
                 link: target.id.index(),
             });
         }
-        let len_alpha = len.powf(alpha);
+        let len_alpha = pow.pow(len);
+        let mut row = vec![0.0; links.len()];
         for (j, source) in links.iter().enumerate() {
             if i == j {
                 continue;
@@ -80,10 +88,18 @@ pub fn gain_matrix(model: &SinrModel, links: &[Link]) -> Result<Vec<Vec<f64>>, S
                     second: target.id.index(),
                 });
             }
-            matrix[i][j] = beta * len_alpha / d.powf(alpha);
+            row[j] = beta * len_alpha / pow.pow(d);
         }
+        Ok(row)
+    };
+    #[cfg(feature = "parallel")]
+    {
+        links.par_iter().enumerate().map(row).collect()
     }
-    Ok(matrix)
+    #[cfg(not(feature = "parallel"))]
+    {
+        links.iter().enumerate().map(row).collect()
+    }
 }
 
 /// Spectral radius of a non-negative square matrix, estimated by power iteration.
@@ -167,10 +183,7 @@ pub fn spectral_radius(matrix: &[Vec<f64>]) -> f64 {
 /// ```
 pub fn is_feasible_with_power_control(model: &SinrModel, links: &[Link]) -> bool {
     if links.len() <= 1 {
-        return links
-            .first()
-            .map(|l| l.length() > 0.0)
-            .unwrap_or(true);
+        return links.first().map(|l| l.length() > 0.0).unwrap_or(true);
     }
     let matrix = match gain_matrix(model, links) {
         Ok(m) => m,
@@ -220,16 +233,17 @@ pub fn optimal_powers(model: &SinrModel, links: &[Link]) -> Result<Vec<f64>, Sin
         return Ok(Vec::new());
     }
     let matrix = gain_matrix(model, links)?;
-    let alpha = model.alpha();
+    let pow = AlphaPow::new(model.alpha());
     let beta = model.beta();
     let base: Vec<f64> = links
         .iter()
         .map(|l| {
-            let demand = beta * model.noise() * l.length().powf(alpha);
+            let len_alpha = pow.pow(l.length());
+            let demand = beta * model.noise() * len_alpha;
             if demand > 0.0 {
                 demand
             } else {
-                l.length().powf(alpha)
+                len_alpha
             }
         })
         .collect();

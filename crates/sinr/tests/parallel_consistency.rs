@@ -1,0 +1,93 @@
+//! Property tests: the batched/parallel interference kernels must agree with
+//! straightforward serial reference sums within 1e-9 relative error (the
+//! documented tolerance for the integer-α fast paths; the parallel reduction
+//! itself is order-preserving and adds no drift).
+
+use proptest::prelude::*;
+use wagg_geometry::Point;
+use wagg_sinr::affectance::{
+    additive_influence, additive_influence_of, additive_influence_on, is_feasible_by_affectance,
+    relative_interference, relative_interference_on,
+};
+use wagg_sinr::{Link, PathLossCache, PowerAssignment, SinrModel};
+
+fn links_from(raw: &[(f64, f64, f64, f64)]) -> Vec<Link> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(x, y, angle, len))| {
+            let s = Point::new(x, y);
+            let r = Point::new(x + len * angle.cos(), y + len * angle.sin());
+            Link::new(i, s, r)
+        })
+        .collect()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities and exact zeros
+    }
+    (a - b).abs() <= a.abs().max(b.abs()) * 1e-9 + 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `relative_interference_on` (batched, parallel under the default
+    /// feature) equals the term-by-term serial sum.
+    #[test]
+    fn affectance_sums_match_serial(
+        raw in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0, 0.0f64..std::f64::consts::TAU, 0.5f64..8.0), 2..80),
+        tau in 0.0f64..=1.0,
+    ) {
+        let links = links_from(&raw);
+        let model = SinrModel::default();
+        let power = PowerAssignment::oblivious(tau);
+        for target in &links {
+            let batched = relative_interference_on(&model, &links, target, &power).unwrap();
+            let serial: f64 = links
+                .iter()
+                .map(|s| relative_interference(&model, s, target, &power).unwrap())
+                .sum();
+            prop_assert!(close(batched, serial), "target {}: {batched} vs {serial}", target.id);
+        }
+    }
+
+    /// The cached-path-loss feasibility kernel gives the same verdict and the
+    /// same per-target sums as the definitional check.
+    #[test]
+    fn cached_feasibility_matches_definition(
+        raw in proptest::collection::vec((0.0f64..300.0, 0.0f64..300.0, 0.0f64..std::f64::consts::TAU, 0.5f64..5.0), 2..60),
+        tau in 0.0f64..=1.0,
+    ) {
+        let links = links_from(&raw);
+        let model = SinrModel::default();
+        let power = PowerAssignment::oblivious(tau);
+        let cache = PathLossCache::new(&model, &links, &power);
+        let mut expected = true;
+        for (i, target) in links.iter().enumerate() {
+            let direct = relative_interference_on(&model, &links, target, &power).unwrap();
+            let cached = cache.relative_interference_on(i).unwrap();
+            prop_assert!(close(direct, cached), "target {i}: {direct} vs {cached}");
+            expected &= direct <= 1.0 / model.beta();
+        }
+        prop_assert_eq!(is_feasible_by_affectance(&model, &links, &power), expected);
+    }
+
+    /// Additive-influence batch sums equal serial term-by-term sums.
+    #[test]
+    fn additive_sums_match_serial(
+        raw in proptest::collection::vec((0.0f64..150.0, 0.0f64..150.0, 0.0f64..std::f64::consts::TAU, 0.2f64..10.0), 2..80),
+        alpha in 2.1f64..5.0,
+    ) {
+        let links = links_from(&raw);
+        for target in &links {
+            let batched = additive_influence_on(&links, target, alpha);
+            let serial: f64 = links.iter().map(|s| additive_influence(s, target, alpha)).sum();
+            prop_assert!(close(batched, serial));
+
+            let batched_of = additive_influence_of(target, &links, alpha);
+            let serial_of: f64 = links.iter().map(|t| additive_influence(target, t, alpha)).sum();
+            prop_assert!(close(batched_of, serial_of));
+        }
+    }
+}

@@ -20,15 +20,22 @@ use wireless_aggregation::PowerMode;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 120;
     let deployment = uniform_square(n, 600.0, 21);
-    println!("Deployment: {n} nodes in a 600 m square, sink at node {}", deployment.sink);
+    println!(
+        "Deployment: {n} nodes in a 600 m square, sink at node {}",
+        deployment.sink
+    );
 
     let churn = ChurnConfig {
         events: 40,
         failure_probability: 0.6,
         seed: 9,
     };
-    println!("Churn: {} events, {:.0}% failures / {:.0}% arrivals\n",
-        churn.events, churn.failure_probability * 100.0, (1.0 - churn.failure_probability) * 100.0);
+    println!(
+        "Churn: {} events, {:.0}% failures / {:.0}% arrivals\n",
+        churn.events,
+        churn.failure_probability * 100.0,
+        (1.0 - churn.failure_probability) * 100.0
+    );
 
     println!(
         "{:<16} {:>14} {:>14} {:>12} {:>12} {:>12}",

@@ -56,7 +56,11 @@ fn main() {
         .expect("non-degenerate");
     let sim = ConvergecastSim::new(&solution.links, &solution.report.schedule)
         .expect("solution links form a convergecast tree");
-    for period in [best_slots.saturating_sub(1).max(1), best_slots, best_slots * 2] {
+    for period in [
+        best_slots.saturating_sub(1).max(1),
+        best_slots,
+        best_slots * 2,
+    ] {
         let report = sim.run(SimConfig {
             frame_period: period,
             num_frames: 30,

@@ -19,7 +19,10 @@ use wireless_aggregation::{AggregationProblem, PowerMode};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 80;
     let deployment = uniform_square(n, 400.0, 5);
-    println!("Deployment: {n} nodes in a 400 m square, sink at node {}\n", deployment.sink);
+    println!(
+        "Deployment: {n} nodes in a 400 m square, sink at node {}\n",
+        deployment.sink
+    );
 
     let fading = FadingModel::rayleigh(1.0).with_noise_sigma(0.1)?;
     println!(
@@ -51,7 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Operational view: one ARQ aggregation wave.
         let sim = ArqConvergecast::new(&solution.links, &solution.report.schedule)?;
-        let wave = sim.run(&config.model, mode, fading, ArqConfig { max_slots: 500_000, seed: 3 })?;
+        let wave = sim.run(
+            &config.model,
+            mode,
+            fading,
+            ArqConfig {
+                max_slots: 500_000,
+                seed: 3,
+            },
+        )?;
 
         println!(
             "{:<28} {:>7} {:>12.4} {:>12.4} {:>9.2}x {:>11.1}%",

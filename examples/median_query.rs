@@ -22,14 +22,20 @@ use wireless_aggregation::{AggregationProblem, PowerMode};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 100;
     let deployment = uniform_square(n, 500.0, 77);
-    println!("Temperature field: {n} sensors in a 500 m square, sink at node {}", deployment.sink);
+    println!(
+        "Temperature field: {n} sensors in a 500 m square, sink at node {}",
+        deployment.sink
+    );
 
     // Schedule the MST once; every counting round reuses this schedule.
     let solution = AggregationProblem::from_instance(&deployment)
         .with_power_mode(PowerMode::GlobalControl)
         .solve()?;
     let slots = solution.slots();
-    println!("MST schedule: {slots} slots per convergecast (rate {:.3})\n", solution.rate());
+    println!(
+        "MST schedule: {slots} slots per convergecast (rate {:.3})\n",
+        solution.rate()
+    );
 
     // Synthetic readings: a smooth temperature gradient plus sensor-local offsets.
     let readings: Vec<f64> = deployment
@@ -47,9 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exact median by binary search over counting convergecasts.
     let median = median_by_counting(&tree, &readings, config)?;
     println!("Exact median via counting aggregations");
-    println!("  value            : {:.3} °C (true median {:.3} °C)", median.value, sorted[(n + 1) / 2 - 1]);
-    println!("  convergecast rounds: {} ({} counting + {} support)", median.total_rounds, median.counting_rounds, median.support_rounds);
-    println!("  total slots      : {} ({:.2} slots per sensor)\n", median.total_slots, median.slots_per_reading());
+    println!(
+        "  value            : {:.3} °C (true median {:.3} °C)",
+        median.value,
+        sorted[n.div_ceil(2) - 1]
+    );
+    println!(
+        "  convergecast rounds: {} ({} counting + {} support)",
+        median.total_rounds, median.counting_rounds, median.support_rounds
+    );
+    println!(
+        "  total slots      : {} ({:.2} slots per sensor)\n",
+        median.total_slots,
+        median.slots_per_reading()
+    );
 
     // A few quantiles.
     println!("Quantiles (same machinery)");
@@ -68,8 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The one-shot alternative: a histogram convergecast (larger packets, one round).
     let histogram = histogram_aggregation(&tree, &readings, sorted[0], sorted[n - 1], 16)?;
     let approx_median = histogram.approx_quantile(0.5).unwrap();
-    println!("Histogram alternative (single convergecast, {}-counter packets)", histogram.packet_size);
-    println!("  approximate median: {:.3} °C (error {:.3} °C, at most one bucket width {:.3})",
+    println!(
+        "Histogram alternative (single convergecast, {}-counter packets)",
+        histogram.packet_size
+    );
+    println!(
+        "  approximate median: {:.3} °C (error {:.3} °C, at most one bucket width {:.3})",
         approx_median,
         (approx_median - median.value).abs(),
         histogram.histogram.bucket_width()

@@ -14,17 +14,20 @@
 //! sweep of cluster radii, comparing its slot count against the single-tier MST
 //! schedule.
 
+use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::multihop::{
     critical_range, max_range_for_power, MultihopConfig, MultihopPipeline,
 };
-use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::sinr::SinrModel;
 use wireless_aggregation::PowerMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 150;
     let deployment = uniform_square(n, 800.0, 11);
-    println!("Deployment: {n} nodes in an 800 m square, sink at node {}", deployment.sink);
+    println!(
+        "Deployment: {n} nodes in an 800 m square, sink at node {}",
+        deployment.sink
+    );
 
     // How far must the radios reach for the network to be connected at all?
     let critical = critical_range(&deployment.points)?;
@@ -34,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = SinrModel::new(3.0, 1.0, 1e-9)?;
     for power_mw in [0.5, 2.0, 8.0] {
         let range = max_range_for_power(power_mw * 1e-3, &model, 0.5);
-        let status = if range >= critical { "connected" } else { "DISCONNECTED" };
+        let status = if range >= critical {
+            "connected"
+        } else {
+            "DISCONNECTED"
+        };
         println!("  budget {power_mw:>4.1} mW -> range {range:>7.1} m ({status})");
     }
     println!();
@@ -44,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // budget: the last column shows the longest link each organisation needs.
     println!(
         "{:>14} {:>8} {:>12} {:>13} {:>10} {:>10} {:>14}",
-        "cluster radius", "leaders", "intra slots", "overlay slots", "two-tier", "vs 1-tier", "longest link"
+        "cluster radius",
+        "leaders",
+        "intra slots",
+        "overlay slots",
+        "two-tier",
+        "vs 1-tier",
+        "longest link"
     );
     for radius in [60.0, 100.0, 160.0, 240.0] {
         let pipeline = MultihopPipeline::new(deployment.points.clone(), deployment.sink)

@@ -42,7 +42,10 @@ fn main() {
             .with_power_mode(mode)
             .solve()
             .expect("random deployments are non-degenerate");
-        assert!(solution.verify(), "every returned schedule is SINR-verified");
+        assert!(
+            solution.verify(),
+            "every returned schedule is SINR-verified"
+        );
         println!(
             "{:<28} {:>8} {:>10.4}",
             mode.to_string(),

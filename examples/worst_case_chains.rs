@@ -24,7 +24,11 @@ use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
 use wireless_aggregation::{AggregationProblem, PowerMode, Schedule, SchedulerConfig};
 
 fn report_modes(name: &str, instance: &wireless_aggregation::Instance) {
-    println!("== {name} ({} nodes, Δ = {:.3e}) ==", instance.len(), instance.length_diversity().unwrap());
+    println!(
+        "== {name} ({} nodes, Δ = {:.3e}) ==",
+        instance.len(),
+        instance.length_diversity().unwrap()
+    );
     for mode in [
         PowerMode::Uniform,
         PowerMode::Oblivious { tau: 0.5 },
@@ -58,22 +62,17 @@ fn main() {
     let model = SinrModel::default();
     let power = PowerAssignment::oblivious(tau);
     let designed = Schedule::new(vec![built.long_slot.clone(), built.short_slot.clone()]);
-    let designed_ok = designed
-        .slots()
-        .iter()
-        .all(|slot| {
-            let links: Vec<_> = slot.iter().map(|&i| built.designed_tree[i]).collect();
-            model.is_feasible(&links, &power)
-        });
+    let designed_ok = designed.slots().iter().all(|slot| {
+        let links: Vec<_> = slot.iter().map(|&i| built.designed_tree[i]).collect();
+        model.is_feasible(&links, &power)
+    });
     let mst_links = built.instance.mst_links().expect("line instance");
     let mst_schedule = schedule_links(
         &mst_links,
         SchedulerConfig::new(PowerMode::Oblivious { tau }),
     );
     println!("== MST sub-optimality (Fig. 4, τ = {tau}) ==");
-    println!(
-        "  designed non-MST tree : 2 slots (P_τ-feasible: {designed_ok})",
-    );
+    println!("  designed non-MST tree : 2 slots (P_τ-feasible: {designed_ok})",);
     println!(
         "  MST of the same points: {} slots under P_τ",
         mst_schedule.schedule.len()

@@ -1,0 +1,363 @@
+//! Offline stand-in for `rayon`, covering the `par_iter` subset the
+//! interference kernels use.
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! rayon API shape the workspace needs on top of `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).sum::<f64>()` / `.collect::<Vec<_>>()` / `.all(p)`
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//!
+//! Work is distributed over [`num_threads`] workers through a block-stealing
+//! atomic cursor (so irregular per-item costs balance), and **results are
+//! always reassembled in input order**. Adapters are *eager*: `map` runs the
+//! closure in parallel immediately and hands back a [`ParResults`] holding the
+//! mapped values, whose `sum`/`collect`/`reduce` then fold **serially in input
+//! order**. Parallel sums are therefore bit-identical to their serial
+//! counterparts — a stronger guarantee than crates.io rayon's tree reduction,
+//! and the property the SINR kernels' "parallel equals serial" tests rely on.
+//!
+//! Inputs shorter than [`MIN_PARALLEL_LEN`] are processed inline: below that
+//! size thread-spawn latency dominates any speedup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Inputs shorter than this are mapped serially on the calling thread.
+pub const MIN_PARALLEL_LEN: usize = 16;
+
+/// Number of worker threads used by parallel operations.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel, returning results in index
+/// order. The core primitive behind every adapter in this crate.
+fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads();
+    if n < MIN_PARALLEL_LEN || threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Block-stealing: workers pull fixed-size index blocks from a shared
+    // cursor, so a few expensive items cannot serialise the whole call.
+    let block = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n / block + 1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + block).min(n);
+                let chunk: Vec<R> = (start..end).map(&f).collect();
+                done.lock().unwrap().push((start, chunk));
+            });
+        }
+    });
+    let mut blocks = done.into_inner().unwrap();
+    blocks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, chunk) in blocks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Whether `f(i)` holds for every `i in 0..n`, with cooperative
+/// short-circuiting: the first failure raises a cancellation flag that every
+/// worker checks per item, so an early counterexample stops the whole call in
+/// ~one item per worker (matching the serial `Iterator::all` cost profile on
+/// infeasible inputs instead of paying for the full scan).
+fn par_all_indexed<F>(n: usize, f: F) -> bool
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let threads = num_threads();
+    if n < MIN_PARALLEL_LEN || threads <= 1 {
+        return (0..n).all(f);
+    }
+    let block = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| 'work: loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + block).min(n) {
+                    if failed.load(Ordering::Relaxed) {
+                        break 'work;
+                    }
+                    if !f(i) {
+                        failed.store(true, Ordering::Relaxed);
+                        break 'work;
+                    }
+                }
+            });
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// The values produced by a parallel `map`, consumed by order-preserving folds.
+#[derive(Debug)]
+pub struct ParResults<R> {
+    items: Vec<R>,
+}
+
+impl<R: Send> ParResults<R> {
+    /// Serial, input-order sum of the mapped values.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects the mapped values (already in input order).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Serial, input-order fold with `identity` as the empty value.
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> R
+    where
+        Id: Fn() -> R,
+        F: Fn(R, R) -> R,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Maximum of the mapped values.
+    pub fn max(self) -> Option<R>
+    where
+        R: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Whether all mapped values satisfy `p` (evaluated after the parallel map).
+    pub fn all<P: Fn(R) -> bool>(self, p: P) -> bool {
+        self.items.into_iter().all(p)
+    }
+}
+
+/// Parallel iterator over `&[T]`, created by [`IntoParallelRefIterator::par_iter`].
+#[derive(Debug)]
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParResults {
+            items: par_map_indexed(self.slice.len(), |i| f(&self.slice[i])),
+        }
+    }
+
+    /// Pairs every element with its index, as rayon's `enumerate` does.
+    pub fn enumerate(self) -> ParSliceEnumerate<'a, T> {
+        ParSliceEnumerate { slice: self.slice }
+    }
+
+    /// Whether `p` holds for every element, with cooperative short-circuiting
+    /// on the first failure (see [`par_all_indexed`]).
+    pub fn all<P>(self, p: P) -> bool
+    where
+        P: Fn(&'a T) -> bool + Sync,
+    {
+        par_all_indexed(self.slice.len(), |i| p(&self.slice[i]))
+    }
+
+    /// Runs `f` on every element in parallel, for side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+/// Enumerated variant of [`ParSliceIter`].
+#[derive(Debug)]
+pub struct ParSliceEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
+    /// Applies `f` to every `(index, element)` pair in parallel.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParResults {
+            items: par_map_indexed(self.slice.len(), |i| f((i, &self.slice[i]))),
+        }
+    }
+}
+
+/// Parallel iterator over an index range, created by
+/// [`IntoParallelIterator::into_par_iter`].
+#[derive(Debug)]
+pub struct ParRangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParRangeIter {
+    /// Applies `f` to every index in parallel.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = self.start;
+        ParResults {
+            items: par_map_indexed(self.end.saturating_sub(start), |i| f(start + i)),
+        }
+    }
+
+    /// Runs `f` on every index in parallel, for side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.start;
+        par_map_indexed(self.end.saturating_sub(start), |i| f(start + i));
+    }
+
+    /// Whether `p` holds for every index, with cooperative short-circuiting
+    /// on the first failure (see [`par_all_indexed`]).
+    pub fn all<P>(self, p: P) -> bool
+    where
+        P: Fn(usize) -> bool + Sync,
+    {
+        let start = self.start;
+        par_all_indexed(self.end.saturating_sub(start), |i| p(start + i))
+    }
+}
+
+/// Mirror of rayon's by-reference conversion trait.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator borrowing from `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Mirror of rayon's by-value conversion trait (ranges only).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRangeIter;
+
+    fn into_par_iter(self) -> ParRangeIter {
+        ParRangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// The usual glob-import module: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial_bitwise() {
+        let xs: Vec<f64> = (0..5000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let serial: f64 = xs.iter().map(|x| x.sin()).sum();
+        let parallel: f64 = xs.par_iter().map(|x| x.sin()).sum();
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn range_map_and_enumerate() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 9801);
+        let xs = vec![10, 20, 30];
+        let tagged: Vec<(usize, i32)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(tagged, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn all_detects_failures() {
+        let xs: Vec<usize> = (0..1000).collect();
+        assert!(xs.par_iter().all(|&x| x < 1000));
+        assert!(!xs.par_iter().all(|&x| x < 999));
+        assert!((0..1000usize).into_par_iter().all(|x| x < 1000));
+        assert!(!(0..1000usize).into_par_iter().all(|x| x != 0));
+    }
+
+    #[test]
+    fn all_short_circuits_quickly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let evaluated = AtomicUsize::new(0);
+        let xs: Vec<usize> = (0..100_000).collect();
+        let ok = xs.par_iter().all(|&x| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            x != 0 // fails immediately on the first element
+        });
+        assert!(!ok);
+        // Cancellation is cooperative, not instant, but must prune the bulk.
+        assert!(evaluated.load(Ordering::Relaxed) < 50_000);
+    }
+
+    #[test]
+    fn tiny_inputs_run_serially() {
+        let xs = vec![1, 2, 3];
+        let s: i32 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* — both the marker traits and
+//! the no-op derive macros — so that `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives expand to
+//! nothing (see `shims/serde_derive`), which is sound because no code in this
+//! workspace is bounded on these traits. If the real `serde` ever becomes
+//! available, dropping it in via `[workspace.dependencies]` is a one-line change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented or required).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented or required).
+pub trait Deserialize<'de> {}

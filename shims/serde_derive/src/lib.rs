@@ -1,0 +1,24 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The build environment is offline, so the workspace cannot pull the real
+//! `serde`/`serde_derive` from crates.io. Nothing in this codebase serialises
+//! data through serde traits (there is no `serde_json` and no generic code
+//! bounded on `Serialize`/`Deserialize`); the derives exist purely so that the
+//! annotated types keep their declared, forward-compatible shape. Each derive
+//! therefore expands to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

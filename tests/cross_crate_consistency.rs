@@ -90,7 +90,10 @@ fn distributed_schedule_close_to_centralized() {
     for seed in [2, 7] {
         let links = uniform_square(80, 300.0, seed).mst_links().unwrap();
         for (mode, power_mode) in [
-            (DistributedMode::Oblivious, PowerMode::Oblivious { tau: 0.5 }),
+            (
+                DistributedMode::Oblivious,
+                PowerMode::Oblivious { tau: 0.5 },
+            ),
             (DistributedMode::GlobalControl, PowerMode::GlobalControl),
         ] {
             let config = DistributedConfig {

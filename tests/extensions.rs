@@ -16,7 +16,13 @@ use wireless_aggregation::multihop::{MultihopConfig, MultihopPipeline};
 use wireless_aggregation::schedule::{schedule_links, SchedulerConfig};
 use wireless_aggregation::{AggregationProblem, PowerMode};
 
-fn solved(n: usize, seed: u64) -> (wireless_aggregation::instances::Instance, wireless_aggregation::AggregationSolution) {
+fn solved(
+    n: usize,
+    seed: u64,
+) -> (
+    wireless_aggregation::instances::Instance,
+    wireless_aggregation::AggregationSolution,
+) {
     let inst = uniform_square(n, 300.0, seed);
     let solution = AggregationProblem::from_instance(&inst)
         .with_power_mode(PowerMode::GlobalControl)
@@ -29,7 +35,9 @@ fn solved(n: usize, seed: u64) -> (wireless_aggregation::instances::Instance, wi
 fn median_and_histogram_run_on_the_solved_schedule() {
     let (inst, solution) = solved(60, 3);
     let tree = ConvergecastTree::from_links(&solution.links).unwrap();
-    let readings: Vec<f64> = (0..inst.len()).map(|i| ((i * 29) % 83) as f64 * 0.5).collect();
+    let readings: Vec<f64> = (0..inst.len())
+        .map(|i| ((i * 29) % 83) as f64 * 0.5)
+        .collect();
     let mut sorted = readings.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
@@ -39,7 +47,8 @@ fn median_and_histogram_run_on_the_solved_schedule() {
     assert_eq!(median.value, sorted[inst.len().div_ceil(2) - 1]);
     assert_eq!(median.total_slots, median.total_rounds * solution.slots());
 
-    let histogram = histogram_aggregation(&tree, &readings, sorted[0], sorted[inst.len() - 1], 12).unwrap();
+    let histogram =
+        histogram_aggregation(&tree, &readings, sorted[0], sorted[inst.len() - 1], 12).unwrap();
     assert_eq!(histogram.histogram.total() as usize, inst.len());
     let approx = histogram.approx_quantile(0.5).unwrap();
     assert!((approx - median.value).abs() <= histogram.histogram.bucket_width() + 1e-9);
@@ -54,7 +63,10 @@ fn two_tier_pipeline_and_single_tier_solution_agree_on_the_instance() {
         .unwrap();
     assert_eq!(report.single_tier_slots, solution.slots());
     let extra_hop = usize::from(!report.leaders.is_leader(inst.sink));
-    assert_eq!(report.intra_links + report.overlay_links, inst.len() - 1 + extra_hop);
+    assert_eq!(
+        report.intra_links + report.overlay_links,
+        inst.len() - 1 + extra_hop
+    );
     assert!(report.overhead_vs_single_tier() < 10.0);
 }
 
@@ -80,7 +92,15 @@ fn fading_keeps_the_solved_schedule_usable() {
 
     let wave = ArqConvergecast::new(&solution.links, &solution.report.schedule)
         .unwrap()
-        .run(&config.model, config.mode, fading, ArqConfig { max_slots: 400_000, seed: 2 })
+        .run(
+            &config.model,
+            config.mode,
+            fading,
+            ArqConfig {
+                max_slots: 400_000,
+                seed: 2,
+            },
+        )
         .unwrap();
     assert!(wave.completed);
     assert!(wave.slowdown() >= 1.0);
@@ -104,7 +124,13 @@ fn rate_latency_tradeoff_is_consistent_with_the_solution() {
 fn churn_repair_keeps_the_instance_schedulable() {
     let (inst, _) = solved(45, 17);
     let config = SchedulerConfig::new(PowerMode::GlobalControl);
-    let mut net = DynamicNetwork::new(inst.points.clone(), inst.sink, config, RepairStrategy::LocalReattach).unwrap();
+    let mut net = DynamicNetwork::new(
+        inst.points.clone(),
+        inst.sink,
+        config,
+        RepairStrategy::LocalReattach,
+    )
+    .unwrap();
     for step in 0..8 {
         let victim = (inst.sink + 1 + step * 5) % inst.len();
         if !net.is_alive(victim) || victim == inst.sink {
@@ -113,7 +139,10 @@ fn churn_repair_keeps_the_instance_schedulable() {
         net.fail_node(victim).unwrap();
         assert!(net.is_valid_tree());
         let links = net.links();
-        assert!(net.schedule_report().schedule.verify(&links, &config.model, config.mode));
+        assert!(net
+            .schedule_report()
+            .schedule
+            .verify(&links, &config.model, config.mode));
     }
     assert!(net.stretch() >= 1.0 - 1e-9);
 }

@@ -50,7 +50,10 @@ fn solver_matches_fig1_schedule_length() {
 /// depth × T, for random deployments under both power-control modes.
 #[test]
 fn simulated_throughput_matches_schedule_rate() {
-    for (seed, mode) in [(5, PowerMode::GlobalControl), (6, PowerMode::Oblivious { tau: 0.5 })] {
+    for (seed, mode) in [
+        (5, PowerMode::GlobalControl),
+        (6, PowerMode::Oblivious { tau: 0.5 }),
+    ] {
         let inst = uniform_square(48, 200.0, seed);
         let solution = AggregationProblem::from_instance(&inst)
             .with_power_mode(mode)

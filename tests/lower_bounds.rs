@@ -116,9 +116,18 @@ fn mst_suboptimality_gap_grows_with_levels() {
 #[test]
 fn recursive_construction_diversity_grows_tower_like() {
     let params = RecursiveParams::default();
-    let d2 = recursive_instance(2, params).instance.length_diversity().unwrap();
-    let d3 = recursive_instance(3, params).instance.length_diversity().unwrap();
-    let d4 = recursive_instance(4, params).instance.length_diversity().unwrap();
+    let d2 = recursive_instance(2, params)
+        .instance
+        .length_diversity()
+        .unwrap();
+    let d3 = recursive_instance(3, params)
+        .instance
+        .length_diversity()
+        .unwrap();
+    let d4 = recursive_instance(4, params)
+        .instance
+        .length_diversity()
+        .unwrap();
     assert!(d3 >= 4.0 * d2);
     assert!(d4 >= 4.0 * d3);
 }
