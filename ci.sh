@@ -22,7 +22,7 @@ echo "==> serial build (--no-default-features: parallel kernels off)"
 cargo build --workspace --no-default-features
 
 echo "==> serial kernel tests"
-cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading
+cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine
 
 if [[ "$MODE" != "quick" ]]; then
   echo "==> release build (tier-1)"

@@ -1,0 +1,203 @@
+//! The incremental-engine perf suite: per-event maintenance cost of the
+//! `wagg-engine` incremental structures versus a from-scratch rebuild.
+//!
+//! Run with
+//!
+//! ```text
+//! CRITERION_BENCH_JSON=$PWD/BENCH_engine.json cargo bench -p wagg-bench --bench engine
+//! ```
+//!
+//! from the repository root to refresh `BENCH_engine.json`. Two dynamic
+//! workloads are measured at n ∈ {1 000, 10 000, 50 000} live links:
+//!
+//! * **churn** — one link departs and one arrives per event (the
+//!   `wagg-dynamic` repair workload),
+//! * **mobility** — one random-waypoint node move per event, re-seating the
+//!   (≤ 2) links touching the node.
+//!
+//! For each workload, `incremental/*` applies the event to an
+//! [`InterferenceEngine`] (grids patched, adjacency overlaid, path-loss state
+//! updated in place), while `full_rebuild/*` applies the same mutation to a
+//! plain link vector and then rebuilds what every event used to rebuild:
+//! `ConflictGraph::build` plus `PathLossCache::new` over all live links.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use wagg_conflict::{ConflictGraph, ConflictRelation};
+use wagg_engine::{EngineConfig, InterferenceEngine};
+use wagg_geometry::rng::{seeded_rng, uniform_in};
+use wagg_geometry::Point;
+use wagg_sinr::{Link, PathLossCache, PowerAssignment, SinrModel};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::new(
+        ConflictRelation::unit_constant(),
+        SinrModel::default(),
+        PowerAssignment::mean(),
+    )
+}
+
+/// Unit links at constant density (the kernel bench's uniform-square family).
+fn uniform_unit_links(n: usize, seed: u64) -> Vec<Link> {
+    let side = (n as f64).sqrt() * 4.0;
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|i| {
+            let x = uniform_in(&mut rng, 0.0, side);
+            let y = uniform_in(&mut rng, 0.0, side);
+            let angle = uniform_in(&mut rng, 0.0, std::f64::consts::TAU);
+            Link::new(
+                i,
+                Point::new(x, y),
+                Point::new(x + angle.cos(), y + angle.sin()),
+            )
+        })
+        .collect()
+}
+
+/// What every churn event used to pay: a full conflict-graph and path-loss
+/// rebuild over the live links.
+fn full_rebuild(links: &[Link]) -> usize {
+    let graph = ConflictGraph::build(links, ConflictRelation::unit_constant());
+    let cache = PathLossCache::new(&SinrModel::default(), links, &PowerAssignment::mean());
+    black_box(cache.alpha_pow());
+    graph.edge_count()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_churn");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let initial = uniform_unit_links(n, n as u64);
+        let side = (n as f64).sqrt() * 4.0;
+
+        // Incremental: one departure + one arrival per event, applied to the
+        // persistent engine.
+        {
+            let state = RefCell::new((
+                InterferenceEngine::with_links(engine_config(), &initial),
+                seeded_rng(99 + n as u64),
+            ));
+            group.bench_function(BenchmarkId::new("incremental", n), |b| {
+                b.iter(|| {
+                    let (engine, rng) = &mut *state.borrow_mut();
+                    let live = engine.live_slots();
+                    let victim = live[uniform_in(rng, 0.0, live.len() as f64) as usize];
+                    engine.remove_link(victim).unwrap();
+                    let x = uniform_in(rng, 0.0, side);
+                    let y = uniform_in(rng, 0.0, side);
+                    let angle = uniform_in(rng, 0.0, std::f64::consts::TAU);
+                    let slot = engine.insert_link(
+                        Point::new(x, y),
+                        Point::new(x + angle.cos(), y + angle.sin()),
+                    );
+                    black_box(slot)
+                })
+            });
+        }
+
+        // Full rebuild: the same mutation on a plain vector, then rebuild.
+        {
+            let state = RefCell::new((initial.clone(), seeded_rng(99 + n as u64)));
+            group.bench_function(BenchmarkId::new("full_rebuild", n), |b| {
+                b.iter(|| {
+                    let (links, rng) = &mut *state.borrow_mut();
+                    let victim = uniform_in(rng, 0.0, links.len() as f64) as usize;
+                    links.swap_remove(victim);
+                    let x = uniform_in(rng, 0.0, side);
+                    let y = uniform_in(rng, 0.0, side);
+                    let angle = uniform_in(rng, 0.0, std::f64::consts::TAU);
+                    let id = links.len();
+                    links.push(Link::new(
+                        id,
+                        Point::new(x, y),
+                        Point::new(x + angle.cos(), y + angle.sin()),
+                    ));
+                    full_rebuild(links)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_mobility");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let side = (n as f64).sqrt() * 4.0;
+        // n mobile transmitter/receiver pairs: link k connects node 2k
+        // (sender) to node 2k + 1 (receiver) one unit away. A mobility event
+        // relocates one pair — two `move_node` calls, each re-seating one
+        // link — so link lengths and density stay constant no matter how many
+        // events run (unlike free waypoint drift, which would degenerate the
+        // instance over hundreds of thousands of bench iterations).
+        let initial = uniform_unit_links(n, 7 + n as u64);
+        let pair_links = |links: &[Link]| -> Vec<Link> {
+            links
+                .iter()
+                .enumerate()
+                .map(|(k, l)| {
+                    Link::with_nodes(k, l.sender, l.receiver, (2 * k).into(), (2 * k + 1).into())
+                })
+                .collect()
+        };
+
+        // Incremental: one pair relocation per event.
+        {
+            let mut engine = InterferenceEngine::new(engine_config());
+            for l in pair_links(&initial) {
+                engine.insert_link_with_nodes(
+                    l.sender,
+                    l.receiver,
+                    l.sender_node.unwrap(),
+                    l.receiver_node.unwrap(),
+                );
+            }
+            let state = RefCell::new((engine, seeded_rng(13 + n as u64)));
+            group.bench_function(BenchmarkId::new("incremental", n), |b| {
+                b.iter(|| {
+                    let (engine, rng) = &mut *state.borrow_mut();
+                    let pair = uniform_in(rng, 0.0, n as f64) as usize;
+                    let x = uniform_in(rng, 0.0, side);
+                    let y = uniform_in(rng, 0.0, side);
+                    let angle = uniform_in(rng, 0.0, std::f64::consts::TAU);
+                    let moved = engine.move_node(2 * pair, Point::new(x, y))
+                        + engine
+                            .move_node(2 * pair + 1, Point::new(x + angle.cos(), y + angle.sin()));
+                    black_box(moved)
+                })
+            });
+        }
+
+        // Full rebuild: the same relocation on a plain vector, then rebuild.
+        {
+            let state = RefCell::new((pair_links(&initial), seeded_rng(13 + n as u64)));
+            group.bench_function(BenchmarkId::new("full_rebuild", n), |b| {
+                b.iter(|| {
+                    let (links, rng) = &mut *state.borrow_mut();
+                    let pair = uniform_in(rng, 0.0, links.len() as f64) as usize;
+                    let x = uniform_in(rng, 0.0, side);
+                    let y = uniform_in(rng, 0.0, side);
+                    let angle = uniform_in(rng, 0.0, std::f64::consts::TAU);
+                    let old = links[pair];
+                    let mut moved = Link::new(
+                        pair,
+                        Point::new(x, y),
+                        Point::new(x + angle.cos(), y + angle.sin()),
+                    );
+                    moved.sender_node = old.sender_node;
+                    moved.receiver_node = old.receiver_node;
+                    links[pair] = moved;
+                    full_rebuild(links)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_mobility);
+criterion_main!(benches);

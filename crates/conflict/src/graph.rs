@@ -241,6 +241,50 @@ impl ConflictGraph {
         }
     }
 
+    /// Assembles a conflict graph from prebuilt CSR arrays.
+    ///
+    /// This is the materialisation hook for callers that *maintain* adjacency
+    /// themselves (the incremental engine in `wagg-engine`): they can snapshot
+    /// their current state into a regular [`ConflictGraph`] without re-running
+    /// any geometry. The caller asserts that the arrays describe exactly the
+    /// graph [`ConflictGraph::build`] would produce for `links` under
+    /// `relation`: `offsets` must have length `links.len() + 1`, start at 0,
+    /// be non-decreasing and end at `neighbors.len()`, and every row must be
+    /// sorted ascending with in-range, non-self entries. Structural violations
+    /// panic (debug assertions check row sortedness).
+    pub fn from_parts(
+        links: Vec<Link>,
+        relation: ConflictRelation,
+        offsets: Vec<usize>,
+        neighbors: Vec<usize>,
+    ) -> Self {
+        assert_eq!(offsets.len(), links.len() + 1, "offsets must cover n + 1");
+        assert_eq!(offsets.first(), Some(&0), "offsets must start at zero");
+        assert_eq!(
+            offsets.last(),
+            Some(&neighbors.len()),
+            "offsets must end at the neighbour count"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..links.len()).all(|v| {
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            row.windows(2).all(|w| w[0] < w[1]) && row.iter().all(|&u| u < links.len() && u != v)
+        }));
+        ConflictGraph {
+            links,
+            relation,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// The raw CSR arrays `(offsets, neighbors)` backing the adjacency — the
+    /// counterpart of [`ConflictGraph::from_parts`] for callers seeding an
+    /// incremental structure from a bulk build.
+    pub fn csr(&self) -> (&[usize], &[usize]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// The links the graph was built over, in vertex order.
     pub fn links(&self) -> &[Link] {
         &self.links

@@ -43,6 +43,7 @@ pub use wagg_aggfn as aggfn;
 pub use wagg_conflict as conflict;
 pub use wagg_distributed as distributed;
 pub use wagg_dynamic as dynamic;
+pub use wagg_engine as engine;
 pub use wagg_fading as fading;
 pub use wagg_geometry as geometry;
 pub use wagg_instances as instances;

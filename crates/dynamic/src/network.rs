@@ -3,6 +3,7 @@
 use crate::error::DynamicError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use wagg_engine::{EngineConfig, InterferenceEngine};
 use wagg_geometry::Point;
 use wagg_mst::euclidean_mst;
 use wagg_schedule::{schedule_links, ScheduleReport, SchedulerConfig};
@@ -52,6 +53,14 @@ pub struct ChangeReport {
 /// repaired with the configured strategy, and the schedule is recomputed
 /// after every event.
 ///
+/// Interference state is **not** rebuilt from scratch per event: the network
+/// carries a [`wagg_engine::InterferenceEngine`] mirroring the current tree
+/// links, and each repair diffs the old and new parent assignments and
+/// applies only the per-link insert/remove events for the edges that actually
+/// changed. The engine incrementally maintains the spatial grids, the
+/// conflict adjacency and the path-loss state, and rescheduling goes through
+/// [`InterferenceEngine::schedule`], which reuses all of it.
+///
 /// See the [crate documentation](crate) for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct DynamicNetwork {
@@ -62,6 +71,12 @@ pub struct DynamicNetwork {
     config: SchedulerConfig,
     strategy: RepairStrategy,
     report: ScheduleReport,
+    /// Incrementally maintained interference state over the tree links.
+    engine: InterferenceEngine,
+    /// The parent assignment currently mirrored into the engine.
+    engine_parent: Vec<Option<usize>>,
+    /// Engine slot of each node's uplink (child node → slot).
+    slot_of: Vec<Option<usize>>,
 }
 
 impl DynamicNetwork {
@@ -98,6 +113,9 @@ impl DynamicNetwork {
             config,
             strategy,
             report: schedule_links(&[], config),
+            engine: InterferenceEngine::new(EngineConfig::for_scheduler(config)),
+            engine_parent: vec![None; n],
+            slot_of: vec![None; n],
         };
         net.rebuild_tree()?;
         net.reschedule();
@@ -130,24 +148,16 @@ impl DynamicNetwork {
         self.alive.get(node).copied().unwrap_or(false)
     }
 
-    /// The current convergecast links (one per alive non-sink node).
+    /// The current convergecast links (one per alive non-sink node), in the
+    /// engine's vertex order — the order the current schedule indexes into.
     pub fn links(&self) -> Vec<Link> {
-        let mut links = Vec::new();
-        for (v, &p) in self.parent.iter().enumerate() {
-            if !self.alive[v] || v == self.sink {
-                continue;
-            }
-            if let Some(p) = p {
-                links.push(Link::with_nodes(
-                    links.len(),
-                    self.points[v],
-                    self.points[p],
-                    NodeId(v),
-                    NodeId(p),
-                ));
-            }
-        }
-        links
+        self.engine.links()
+    }
+
+    /// The incrementally maintained interference engine behind the network
+    /// (maintenance counters, adjacency queries).
+    pub fn engine(&self) -> &InterferenceEngine {
+        &self.engine
     }
 
     /// The latest schedule report.
@@ -370,8 +380,47 @@ impl DynamicNetwork {
         Ok(())
     }
 
+    /// Mirrors the current parent assignment into the engine by **diffing**:
+    /// only uplinks that actually changed are removed/inserted, so the
+    /// engine's incremental maintenance cost tracks the size of the repair,
+    /// not the network. Returns the number of uplinks touched.
+    fn sync_engine(&mut self) -> usize {
+        let n = self.points.len();
+        self.engine_parent.resize(n, None);
+        self.slot_of.resize(n, None);
+        let mut touched = 0;
+        for v in 0..n {
+            let desired = if self.alive[v] && v != self.sink {
+                self.parent[v]
+            } else {
+                None
+            };
+            if desired == self.engine_parent[v] {
+                continue;
+            }
+            if let Some(slot) = self.slot_of[v].take() {
+                self.engine
+                    .remove_link(slot)
+                    .expect("tracked uplink slot is live");
+            }
+            if let Some(p) = desired {
+                let slot = self.engine.insert_link_with_nodes(
+                    self.points[v],
+                    self.points[p],
+                    NodeId(v),
+                    NodeId(p),
+                );
+                self.slot_of[v] = Some(slot);
+            }
+            self.engine_parent[v] = desired;
+            touched += 1;
+        }
+        touched
+    }
+
     fn reschedule(&mut self) {
-        self.report = schedule_links(&self.links(), self.config);
+        self.sync_engine();
+        self.report = self.engine.schedule(self.config);
     }
 }
 
@@ -543,6 +592,32 @@ mod tests {
             net.fail_node(third),
             Err(DynamicError::TooFewNodes { found: 1 })
         ));
+    }
+
+    #[test]
+    fn churn_repair_flows_through_the_engine() {
+        let mut net = network(30, 19, RepairStrategy::LocalReattach);
+        assert_eq!(net.engine().len(), 29); // one uplink per non-sink node
+        let before = net.engine().stats();
+        let victim = (net.sink() + 3) % 30;
+        let report = net.fail_node(victim).unwrap();
+        let after = net.engine().stats();
+        // The repair was applied as engine events, and only for the edges the
+        // repair actually changed (victim's uplink + each orphan's), not as a
+        // from-scratch rebuild of all ~29 links.
+        assert!(after.removals > before.removals);
+        assert_eq!(
+            after.inserts - before.inserts + (after.removals - before.removals),
+            report.links_changed,
+            "engine events should match the repair's changed links"
+        );
+        assert_eq!(net.engine().len(), net.alive_count() - 1);
+        // The engine-produced schedule stays verifiable against the links.
+        let links = net.links();
+        assert!(net
+            .schedule_report()
+            .schedule
+            .verify(&links, &net.config.model, net.config.mode));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Per-length-class spatial indexes with tombstones and threshold rebuilds.
+//!
+//! The static `ConflictGraph::build` bins links into power-of-two length
+//! classes and queries one `UniformGrid` per class; this module is the
+//! *mutable* counterpart. A grid cannot be updated in place (it is a flat
+//! counting-sorted table), so each class keeps
+//!
+//! * an immutable grid over the members indexed at the last rebuild,
+//! * a **pending** suffix of members inserted since (scanned exactly, no
+//!   pruning — correct because the caller applies the exact conflict
+//!   predicate to every candidate anyway), and
+//! * a **tombstone** count of members removed since.
+//!
+//! When `pending + tombstones` crosses an occupancy threshold (a configurable
+//! fraction of the live membership), the class rebuilds its grid in one pass,
+//! so maintenance stays amortised `O(1)`-ish per event while queries keep the
+//! grid's pruning power.
+//!
+//! Class length bounds `lo`/`hi` are maintained *monotonically* between
+//! rebuilds (they may only widen), which keeps the per-class conflict radius
+//! a sound upper bound — exactness is restored at each rebuild.
+
+use wagg_geometry::grid::UniformGrid;
+use wagg_geometry::BoundingBox;
+use wagg_sinr::Link;
+
+/// Minimum churn (pending + tombstones) before a class rebuild is considered.
+const REBUILD_MIN: usize = 16;
+
+/// The absolute power-of-two length-class key of a positive length.
+pub(crate) fn class_key(length: f64) -> i32 {
+    debug_assert!(length > 0.0);
+    length.log2().floor() as i32
+}
+
+/// One mutable length class.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassIndex {
+    /// Lower bound on every live member's length (exact after a rebuild,
+    /// only ever lowered between rebuilds).
+    lo: f64,
+    /// Upper bound on every live member's length (exact after a rebuild).
+    hi: f64,
+    /// Member slots; `members[..indexed]` are covered by `grid` (at their
+    /// position when the grid was built), the rest are pending. May contain
+    /// tombstoned (dead) or superseded entries until the next rebuild.
+    members: Vec<usize>,
+    /// Spatial index over the bounding boxes of `members[..indexed]`.
+    grid: UniformGrid,
+    /// Length of the grid-covered prefix of `members`.
+    indexed: usize,
+    /// Members removed (or re-classed) since the last rebuild.
+    tombstones: usize,
+}
+
+/// All length classes of the engine, keyed by [`class_key`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LengthClasses {
+    classes: std::collections::BTreeMap<i32, ClassIndex>,
+    rebuilds: usize,
+}
+
+impl LengthClasses {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of grid rebuilds performed so far (stats).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Number of populated classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Registers a live slot holding a positive-length link. `links` and
+    /// `bboxes` are the engine's slot tables (used if a rebuild triggers).
+    pub fn insert(
+        &mut self,
+        slot: usize,
+        links: &[Option<Link>],
+        bboxes: &[BoundingBox],
+        slack: f64,
+    ) {
+        let link = links[slot].as_ref().expect("inserting a live slot");
+        let len = link.length();
+        let key = class_key(len);
+        let class = self.classes.entry(key).or_insert_with(|| ClassIndex {
+            lo: len,
+            hi: len,
+            members: Vec::new(),
+            grid: UniformGrid::build(len, &[]),
+            indexed: 0,
+            tombstones: 0,
+        });
+        class.lo = class.lo.min(len);
+        class.hi = class.hi.max(len);
+        class.members.push(slot);
+        self.maybe_rebuild(key, links, bboxes, slack);
+    }
+
+    /// Unregisters a slot that held a link of length `len` (the engine calls
+    /// this before clearing the slot, passing the departing length).
+    pub fn remove(&mut self, len: f64, links: &[Option<Link>], bboxes: &[BoundingBox], slack: f64) {
+        let key = class_key(len);
+        let class = self
+            .classes
+            .get_mut(&key)
+            .expect("removing from a populated class");
+        class.tombstones += 1;
+        self.maybe_rebuild(key, links, bboxes, slack);
+    }
+
+    /// Rebuilds the class grid when the churn since the last rebuild exceeds
+    /// `max(REBUILD_MIN, slack · live)`; drops the class when it emptied.
+    fn maybe_rebuild(
+        &mut self,
+        key: i32,
+        links: &[Option<Link>],
+        bboxes: &[BoundingBox],
+        slack: f64,
+    ) {
+        let class = &self.classes[&key];
+        let pending = class.members.len() - class.indexed;
+        let live = class.members.len().saturating_sub(class.tombstones);
+        let threshold = REBUILD_MIN.max((slack * live as f64).ceil() as usize);
+        if pending + class.tombstones <= threshold {
+            return;
+        }
+        self.rebuild(key, links, bboxes);
+    }
+
+    /// Unconditionally rebuilds one class from the engine's current state.
+    fn rebuild(&mut self, key: i32, links: &[Option<Link>], bboxes: &[BoundingBox]) {
+        let class = self.classes.get_mut(&key).expect("rebuilding a live class");
+        let mut live: Vec<usize> = class
+            .members
+            .iter()
+            .copied()
+            .filter(|&slot| {
+                links[slot]
+                    .as_ref()
+                    .is_some_and(|l| l.length() > 0.0 && class_key(l.length()) == key)
+            })
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        if live.is_empty() {
+            self.classes.remove(&key);
+            self.rebuilds += 1;
+            return;
+        }
+        let lengths = live
+            .iter()
+            .map(|&slot| links[slot].as_ref().expect("live").length());
+        let lo = lengths.clone().fold(f64::INFINITY, f64::min);
+        let hi = lengths.fold(0.0f64, f64::max);
+        let boxes: Vec<BoundingBox> = live.iter().map(|&slot| bboxes[slot]).collect();
+        class.grid = UniformGrid::build(hi, &boxes);
+        class.indexed = live.len();
+        class.members = live;
+        class.lo = lo;
+        class.hi = hi;
+        class.tombstones = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Visits every slot that could conflict with `link` (whose bounding box
+    /// is `bbox`) under `f`-radius pruning, class by class. Visited slots may
+    /// repeat, may be dead, and may be false positives — the caller applies
+    /// the exact conflict predicate. No true conflict partner is ever
+    /// skipped: each class's radius is computed from sound `lo`/`hi` bounds,
+    /// and members not yet indexed by the grid are scanned unconditionally.
+    pub fn for_each_candidate<F: FnMut(usize)>(
+        &self,
+        link: &Link,
+        bbox: &BoundingBox,
+        relation: wagg_conflict::ConflictRelation,
+        mut visit: F,
+    ) {
+        let li = link.length();
+        debug_assert!(li > 0.0, "degenerate links are not class-indexed");
+        for class in self.classes.values() {
+            // Largest distance at which a member with length in [lo, hi]
+            // could conflict with `link` — sound because f is non-decreasing
+            // and lo/hi bound every live member's length (see module docs).
+            let l_min = li.min(class.hi);
+            let ratio = li.max(class.hi) / li.min(class.lo);
+            let radius = l_min * relation.f(ratio);
+            if radius.is_finite() {
+                class
+                    .grid
+                    .for_each_candidate(bbox, radius, |local| visit(class.members[local]));
+            } else {
+                for &slot in &class.members[..class.indexed] {
+                    visit(slot);
+                }
+            }
+            for &slot in &class.members[class.indexed..] {
+                visit(slot);
+            }
+        }
+    }
+}

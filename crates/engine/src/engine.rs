@@ -1,0 +1,759 @@
+//! The incremental interference engine.
+
+use crate::classes::LengthClasses;
+use crate::error::EngineError;
+use crate::overlay::DeltaAdjacency;
+use std::collections::HashMap;
+use wagg_conflict::{ConflictGraph, ConflictRelation};
+use wagg_geometry::{BoundingBox, Point};
+use wagg_schedule::{schedule_prebuilt, ScheduleReport, SchedulerConfig};
+use wagg_sinr::pathloss::relative_interference_sum;
+use wagg_sinr::{Link, LinkId, NodeId, PathLossCache, PowerAssignment, SinrModel};
+
+/// Configuration of an [`InterferenceEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The conflict relation the maintained adjacency realises.
+    pub relation: ConflictRelation,
+    /// SINR model parameters (the path-loss exponent drives the cache).
+    pub model: SinrModel,
+    /// The power assignment the maintained path-loss state is computed under.
+    pub power: PowerAssignment,
+    /// Class-grid rebuild slack: a class rebuilds its grid once the churn
+    /// since the last rebuild (pending inserts + tombstones) exceeds this
+    /// fraction of its live membership. Smaller values mean snappier queries
+    /// and more frequent rebuilds.
+    pub grid_slack: f64,
+    /// Adjacency compaction slack: the delta overlay folds into a fresh CSR
+    /// base once it exceeds this fraction of the edge set.
+    pub compact_slack: f64,
+}
+
+impl EngineConfig {
+    /// A configuration with default maintenance thresholds.
+    pub fn new(relation: ConflictRelation, model: SinrModel, power: PowerAssignment) -> Self {
+        EngineConfig {
+            relation,
+            model,
+            power,
+            grid_slack: 0.25,
+            compact_slack: 0.25,
+        }
+    }
+
+    /// The engine configuration matching a scheduler configuration: the
+    /// conflict relation implied by its power mode and, for fixed-assignment
+    /// modes, that assignment (global power control tracks the mean scheme —
+    /// its slot probes never consult the cache).
+    pub fn for_scheduler(config: SchedulerConfig) -> Self {
+        let relation = config.mode.conflict_relation(config.model.alpha());
+        let power = config
+            .mode
+            .assignment()
+            .unwrap_or_else(PowerAssignment::mean);
+        EngineConfig::new(relation, config.model, power)
+    }
+
+    /// Overrides both maintenance slacks (useful to force threshold
+    /// crossings in tests).
+    pub fn with_slacks(mut self, grid_slack: f64, compact_slack: f64) -> Self {
+        assert!(
+            grid_slack > 0.0 && compact_slack > 0.0,
+            "slacks must be positive"
+        );
+        self.grid_slack = grid_slack;
+        self.compact_slack = compact_slack;
+        self
+    }
+}
+
+/// Maintenance counters, exposed for experiments and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Links inserted (including the reinsert half of moves).
+    pub inserts: usize,
+    /// Links removed (including the remove half of moves).
+    pub removals: usize,
+    /// `move_node` events applied.
+    pub moves: usize,
+    /// Class-grid rebuilds triggered by occupancy thresholds.
+    pub grid_rebuilds: usize,
+    /// Delta-overlay compactions of the conflict adjacency.
+    pub compactions: usize,
+    /// Populated length classes right now.
+    pub length_classes: usize,
+    /// Half-edges currently sitting in the adjacency overlay.
+    pub overlay_half_edges: usize,
+}
+
+/// A mutable link universe whose interference state — per-length-class
+/// spatial grids, conflict adjacency and per-link path-loss values — is
+/// maintained **incrementally** under insertions, removals and node moves,
+/// instead of being rebuilt from scratch per event.
+///
+/// Links live in **slots**: a slot index is assigned at insertion, stays
+/// stable for the link's lifetime, is the link's `LinkId`, and is recycled
+/// after removal. The maintained adjacency is equivalent, edge for edge, to
+/// `ConflictGraph::build` over the live links (the property tests assert
+/// this after arbitrary event sequences), and the per-link path-loss state
+/// matches a fresh `PathLossCache` (see [`InterferenceEngine::schedule`] for
+/// how it is shared with the scheduler's slot probes).
+///
+/// # Examples
+///
+/// ```
+/// use wagg_engine::{EngineConfig, InterferenceEngine};
+/// use wagg_conflict::ConflictRelation;
+/// use wagg_geometry::Point;
+/// use wagg_sinr::{PowerAssignment, SinrModel};
+///
+/// let config = EngineConfig::new(
+///     ConflictRelation::unit_constant(),
+///     SinrModel::default(),
+///     PowerAssignment::mean(),
+/// );
+/// let mut engine = InterferenceEngine::new(config);
+/// let a = engine.insert_link(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+/// let b = engine.insert_link(Point::new(1.5, 0.0), Point::new(2.5, 0.0));
+/// let c = engine.insert_link(Point::new(50.0, 0.0), Point::new(51.0, 0.0));
+/// assert!(engine.are_adjacent(a, b));
+/// assert!(!engine.are_adjacent(a, c));
+/// engine.remove_link(b).unwrap();
+/// assert_eq!(engine.len(), 2);
+/// assert!(engine.subset_feasible(&[a, c]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterferenceEngine {
+    config: EngineConfig,
+    /// Slot table: `links[s]` is the live link in slot `s`, if any.
+    links: Vec<Option<Link>>,
+    /// Segment bounding boxes, parallel to `links` (valid while live).
+    bboxes: Vec<BoundingBox>,
+    /// Recycled slots.
+    free: Vec<usize>,
+    /// Number of live links.
+    live: usize,
+    /// Per-length-class spatial indexes over positive-length live links.
+    classes: LengthClasses,
+    /// Live zero-length links (they conflict with everything), sorted.
+    degenerate: Vec<usize>,
+    /// Conflict adjacency: CSR base + delta overlay.
+    adj: DeltaAdjacency,
+    /// Per-slot power `P(i)` under `config.power` (the `PathLossCache` state).
+    powers: Vec<Option<f64>>,
+    /// Per-slot target weight `l_i^α / P(i)` (the `PathLossCache` state).
+    weights: Vec<Option<f64>>,
+    /// Node index → slots of live links touching that node (for `move_node`).
+    node_links: HashMap<usize, Vec<usize>>,
+    stats: EngineStats,
+}
+
+impl InterferenceEngine {
+    /// An empty engine.
+    pub fn new(config: EngineConfig) -> Self {
+        InterferenceEngine {
+            config,
+            links: Vec::new(),
+            bboxes: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            classes: LengthClasses::new(),
+            degenerate: Vec::new(),
+            adj: DeltaAdjacency::new(),
+            powers: Vec::new(),
+            weights: Vec::new(),
+            node_links: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Bulk-seeds an engine from a link set, assigning slots `0..n` in input
+    /// order, and returns it. Uses the grid-accelerated
+    /// [`ConflictGraph::build`] once for the whole set (much faster than `n`
+    /// single insertions) and adopts its CSR arrays as the adjacency base.
+    pub fn with_links(config: EngineConfig, links: &[Link]) -> Self {
+        let relabeled: Vec<Link> = links
+            .iter()
+            .enumerate()
+            .map(|(slot, link)| {
+                let mut l = *link;
+                l.id = LinkId(slot);
+                l
+            })
+            .collect();
+        let graph = ConflictGraph::build(&relabeled, config.relation);
+        let (offsets, neighbors) = graph.csr();
+        let cache = PathLossCache::new(&config.model, &relabeled, &config.power);
+        let (powers, weights) = cache.into_parts();
+
+        let mut engine = InterferenceEngine::new(config);
+        engine.adj = DeltaAdjacency::from_csr(offsets, neighbors);
+        engine.powers = powers;
+        engine.weights = weights;
+        engine.bboxes = relabeled
+            .iter()
+            .map(|l| BoundingBox::of_segment(l.sender, l.receiver))
+            .collect();
+        engine.live = relabeled.len();
+        engine.links = relabeled.into_iter().map(Some).collect();
+        for slot in 0..engine.links.len() {
+            let link = engine.links[slot].as_ref().expect("just inserted");
+            if link.length() <= 0.0 {
+                engine.degenerate.push(slot);
+            }
+            Self::register_node_links(&mut engine.node_links, link, slot);
+        }
+        // Populate the class grids from the live slots (one rebuild per class
+        // at most, via the shared insert path).
+        for slot in 0..engine.links.len() {
+            if engine.links[slot].as_ref().expect("live").length() > 0.0 {
+                engine.classes.insert(
+                    slot,
+                    &engine.links,
+                    &engine.bboxes,
+                    engine.config.grid_slack,
+                );
+            }
+        }
+        engine
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of live links.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no links are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slot capacity (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of (undirected) conflict edges among the live links.
+    pub fn edge_count(&self) -> usize {
+        self.adj.edge_count()
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats;
+        stats.grid_rebuilds = self.classes.rebuilds();
+        stats.compactions = self.adj.compactions();
+        stats.length_classes = self.classes.class_count();
+        stats.overlay_half_edges = self.adj.delta_half_edges();
+        stats
+    }
+
+    /// The live link in `slot`, if any.
+    pub fn link(&self, slot: usize) -> Option<&Link> {
+        self.links.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Sorted slots of the live links.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.links.len())
+            .filter(|&s| self.links[s].is_some())
+            .collect()
+    }
+
+    /// The current conflict neighbours of a live slot, sorted ascending.
+    pub fn neighbors(&self, slot: usize) -> Vec<usize> {
+        self.adj.row(slot)
+    }
+
+    /// Whether two live slots conflict.
+    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
+        self.adj.are_adjacent(u, v)
+    }
+
+    /// Inserts a link between two positions, returning its slot.
+    pub fn insert_link(&mut self, sender: Point, receiver: Point) -> usize {
+        let slot = self.alloc_slot();
+        let link = Link::new(slot, sender, receiver);
+        self.attach(slot, link);
+        slot
+    }
+
+    /// Inserts a link that records the pointset nodes it connects (required
+    /// for the link to follow [`InterferenceEngine::move_node`] events).
+    pub fn insert_link_with_nodes(
+        &mut self,
+        sender: Point,
+        receiver: Point,
+        sender_node: NodeId,
+        receiver_node: NodeId,
+    ) -> usize {
+        let slot = self.alloc_slot();
+        let link = Link::with_nodes(slot, sender, receiver, sender_node, receiver_node);
+        self.attach(slot, link);
+        let link = self.links[slot].expect("just attached");
+        Self::register_node_links(&mut self.node_links, &link, slot);
+        slot
+    }
+
+    /// Removes the link in `slot`, freeing the slot for reuse, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSlot`] / [`EngineError::EmptySlot`] when the slot
+    /// does not hold a live link.
+    pub fn remove_link(&mut self, slot: usize) -> Result<Link, EngineError> {
+        if slot >= self.links.len() {
+            return Err(EngineError::UnknownSlot { slot });
+        }
+        if self.links[slot].is_none() {
+            return Err(EngineError::EmptySlot { slot });
+        }
+        let link = self.detach(slot);
+        Self::unregister_node_links(&mut self.node_links, &link, slot);
+        self.free.push(slot);
+        Ok(link)
+    }
+
+    /// Moves a pointset node to a new position: every live link recorded as
+    /// touching `node` (via `sender_node`/`receiver_node`) is re-seated —
+    /// removed and reinserted **in its own slot** with the updated endpoint —
+    /// so only the affected neighbourhoods are recomputed. Returns the number
+    /// of links touched (0 for nodes no live link references).
+    pub fn move_node(&mut self, node: usize, to: Point) -> usize {
+        let slots = match self.node_links.get(&node) {
+            Some(slots) => slots.clone(),
+            None => return 0,
+        };
+        for &slot in &slots {
+            let old = self.detach(slot);
+            let sender = if old.sender_node == Some(NodeId(node)) {
+                to
+            } else {
+                old.sender
+            };
+            let receiver = if old.receiver_node == Some(NodeId(node)) {
+                to
+            } else {
+                old.receiver
+            };
+            let mut link = Link::new(slot, sender, receiver);
+            link.sender_node = old.sender_node;
+            link.receiver_node = old.receiver_node;
+            self.attach(slot, link);
+        }
+        self.stats.moves += 1;
+        slots.len()
+    }
+
+    /// Allocates a slot (recycling freed ones) and grows the slot tables.
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = self.links.len();
+        self.links.push(None);
+        self.bboxes.push(BoundingBox::new(0.0, 0.0, 0.0, 0.0));
+        self.powers.push(None);
+        self.weights.push(None);
+        slot
+    }
+
+    /// Wires a link into every maintained structure at `slot`.
+    fn attach(&mut self, slot: usize, link: Link) {
+        assert!(
+            link.sender.x.is_finite()
+                && link.sender.y.is_finite()
+                && link.receiver.x.is_finite()
+                && link.receiver.y.is_finite(),
+            "link endpoints must be finite"
+        );
+        debug_assert!(self.links[slot].is_none(), "attaching over a live slot");
+        let bbox = BoundingBox::of_segment(link.sender, link.receiver);
+
+        // Conflict row of the new link against every live link, via the
+        // class grids — the O(affected neighbourhood) step.
+        let row = self.conflict_row(&link, &bbox, slot);
+        self.adj.ensure_capacity(slot + 1);
+        for &w in &row {
+            self.adj.link(slot, w);
+        }
+        self.adj.maybe_compact(self.config.compact_slack);
+
+        // Path-loss state: one link's worth of `PathLossCache` values,
+        // computed by the cache itself so the formulas can never drift.
+        let (p, w) = PathLossCache::new(
+            &self.config.model,
+            std::slice::from_ref(&link),
+            &self.config.power,
+        )
+        .into_parts();
+        self.powers[slot] = p[0];
+        self.weights[slot] = w[0];
+
+        self.bboxes[slot] = bbox;
+        self.links[slot] = Some(link);
+        self.live += 1;
+        if link.length() > 0.0 {
+            self.classes
+                .insert(slot, &self.links, &self.bboxes, self.config.grid_slack);
+        } else if let Err(pos) = self.degenerate.binary_search(&slot) {
+            self.degenerate.insert(pos, slot);
+        }
+        self.stats.inserts += 1;
+    }
+
+    /// Unwires the link at `slot` from every maintained structure (the slot
+    /// itself is not freed — `move_node` re-attaches in place).
+    fn detach(&mut self, slot: usize) -> Link {
+        let link = self.links[slot].take().expect("detaching a live slot");
+        self.adj.isolate(slot);
+        self.adj.maybe_compact(self.config.compact_slack);
+        self.powers[slot] = None;
+        self.weights[slot] = None;
+        if link.length() > 0.0 {
+            self.classes.remove(
+                link.length(),
+                &self.links,
+                &self.bboxes,
+                self.config.grid_slack,
+            );
+        } else if let Ok(pos) = self.degenerate.binary_search(&slot) {
+            self.degenerate.remove(pos);
+        }
+        self.live -= 1;
+        self.stats.removals += 1;
+        link
+    }
+
+    /// The sorted conflict row of `link` against every live link except
+    /// `exclude` (the slot the link is being attached to).
+    fn conflict_row(&self, link: &Link, bbox: &BoundingBox, exclude: usize) -> Vec<usize> {
+        let mut row: Vec<usize> = Vec::new();
+        let mut push = |j: usize| {
+            if j != exclude {
+                if let Some(other) = self.links[j].as_ref() {
+                    if self.config.relation.conflicting(link, other) {
+                        row.push(j);
+                    }
+                }
+            }
+        };
+        if link.length() <= 0.0 {
+            // A degenerate link conflicts with every distinct live link.
+            for j in 0..self.links.len() {
+                push(j);
+            }
+        } else {
+            self.classes
+                .for_each_candidate(link, bbox, self.config.relation, &mut push);
+            for &j in &self.degenerate {
+                push(j);
+            }
+        }
+        row.sort_unstable();
+        row.dedup();
+        row
+    }
+
+    fn register_node_links(map: &mut HashMap<usize, Vec<usize>>, link: &Link, slot: usize) {
+        for node in [link.sender_node, link.receiver_node].into_iter().flatten() {
+            let slots = map.entry(node.index()).or_default();
+            if !slots.contains(&slot) {
+                slots.push(slot);
+            }
+        }
+    }
+
+    fn unregister_node_links(map: &mut HashMap<usize, Vec<usize>>, link: &Link, slot: usize) {
+        for node in [link.sender_node, link.receiver_node].into_iter().flatten() {
+            if let Some(slots) = map.get_mut(&node.index()) {
+                slots.retain(|&s| s != slot);
+                if slots.is_empty() {
+                    map.remove(&node.index());
+                }
+            }
+        }
+    }
+
+    /// The live links renumbered to contiguous ids `0..len()` in slot order
+    /// (node annotations preserved) — the vertex order of
+    /// [`InterferenceEngine::snapshot`].
+    pub fn links(&self) -> Vec<Link> {
+        self.live_slots()
+            .into_iter()
+            .enumerate()
+            .map(|(pos, slot)| {
+                let mut link = self.links[slot].expect("live slot");
+                link.id = LinkId(pos);
+                link
+            })
+            .collect()
+    }
+
+    /// Materialises the maintained state into `(links, conflict graph)`
+    /// without re-running any geometry: live slots are renumbered to
+    /// contiguous vertices and the adjacency rows are remapped. The result
+    /// equals `ConflictGraph::build(&links, relation)` edge for edge.
+    pub fn snapshot(&self) -> (Vec<Link>, ConflictGraph) {
+        let slots = self.live_slots();
+        let mut pos_of = vec![usize::MAX; self.links.len()];
+        for (pos, &slot) in slots.iter().enumerate() {
+            pos_of[slot] = pos;
+        }
+        let links = self.links();
+        let mut offsets = Vec::with_capacity(slots.len() + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::new();
+        for &slot in &slots {
+            // Slot order is ascending, so the remapped row stays sorted.
+            neighbors.extend(self.adj.row(slot).into_iter().map(|w| pos_of[w]));
+            offsets.push(neighbors.len());
+        }
+        let graph =
+            ConflictGraph::from_parts(links.clone(), self.config.relation, offsets, neighbors);
+        (links, graph)
+    }
+
+    /// Total relative interference on the link in `slot` from every other
+    /// live link (set order = ascending slots), using the incrementally
+    /// patched per-link state. `None` when a needed power or the target
+    /// weight is unavailable, mirroring `PathLossCache`.
+    pub fn relative_interference_on(&self, slot: usize) -> Option<f64> {
+        let members = self.live_slots();
+        let target = members
+            .binary_search(&slot)
+            .expect("slot must hold a live link");
+        relative_interference_sum(
+            wagg_sinr::AlphaPow::new(self.config.model.alpha()),
+            &members,
+            target,
+            self.weights[slot],
+            |j| self.links[j].as_ref().expect("live slot"),
+            |j| self.powers[j],
+        )
+    }
+
+    /// Whether the live links in `slots` can transmit together under the
+    /// engine's model and power assignment — the engine-side counterpart of
+    /// [`PathLossCache::subset_feasible`], evaluated from the patched
+    /// per-link state (no cache rebuild). Singletons are trivially feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slot does not hold a live link.
+    pub fn subset_feasible(&self, slots: &[usize]) -> bool {
+        let pow = wagg_sinr::AlphaPow::new(self.config.model.alpha());
+        let inv_beta = 1.0 / self.config.model.beta();
+        (0..slots.len()).all(|k| {
+            let total = relative_interference_sum(
+                pow,
+                slots,
+                k,
+                self.weights[slots[k]],
+                |j| self.links[j].as_ref().expect("live slot"),
+                |j| self.powers[j],
+            );
+            match total {
+                Some(total) => total <= inv_beta,
+                None => false,
+            }
+        })
+    }
+
+    /// Schedules the current live links under `config`, reusing the
+    /// incrementally maintained state end to end: the conflict graph is a
+    /// [`InterferenceEngine::snapshot`] (no geometric rebuild) and — when the
+    /// scheduler's power mode matches the engine's assignment — the patched
+    /// per-link path-loss values are lent to **all** slot probes of the run
+    /// via [`PathLossCache::from_parts`], so nothing is recomputed per probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` implies a different conflict relation or SINR
+    /// model than the engine maintains.
+    pub fn schedule(&self, config: SchedulerConfig) -> ScheduleReport {
+        assert_eq!(
+            config.model, self.config.model,
+            "scheduler model differs from the engine's"
+        );
+        let (links, graph) = self.snapshot();
+        let lend_cache = config.model.noise() == 0.0
+            && config.mode.assignment().as_ref() == Some(&self.config.power);
+        if lend_cache {
+            let slots = self.live_slots();
+            let powers: Vec<Option<f64>> = slots.iter().map(|&s| self.powers[s]).collect();
+            let weights: Vec<Option<f64>> = slots.iter().map(|&s| self.weights[s]).collect();
+            let cache = PathLossCache::from_parts(&config.model, &links, powers, weights);
+            schedule_prebuilt(&graph, Some(&cache), config)
+        } else {
+            schedule_prebuilt(&graph, None, config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_schedule::PowerMode;
+
+    fn engine() -> InterferenceEngine {
+        InterferenceEngine::new(EngineConfig::new(
+            ConflictRelation::unit_constant(),
+            SinrModel::default(),
+            PowerAssignment::mean(),
+        ))
+    }
+
+    fn line(engine: &mut InterferenceEngine, s: f64, r: f64) -> usize {
+        engine.insert_link(Point::on_line(s), Point::on_line(r))
+    }
+
+    fn assert_matches_scratch(engine: &InterferenceEngine) {
+        let (links, graph) = engine.snapshot();
+        let scratch = ConflictGraph::build(&links, engine.config().relation);
+        assert_eq!(
+            graph, scratch,
+            "engine adjacency diverged from a fresh build"
+        );
+        let fresh = PathLossCache::new(&engine.config().model, &links, &engine.config().power);
+        for (pos, &slot) in engine.live_slots().iter().enumerate() {
+            assert_eq!(
+                engine.relative_interference_on(slot),
+                fresh.relative_interference_on(pos),
+                "cache diverged at slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_engine_is_consistent() {
+        let engine = engine();
+        assert!(engine.is_empty());
+        assert_eq!(engine.edge_count(), 0);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn inserts_discover_conflicts_and_removals_clear_them() {
+        let mut e = engine();
+        let a = line(&mut e, 0.0, 1.0);
+        let b = line(&mut e, 1.5, 2.5);
+        let c = line(&mut e, 40.0, 41.0);
+        assert!(e.are_adjacent(a, b));
+        assert!(!e.are_adjacent(a, c));
+        assert_eq!(e.edge_count(), 1);
+        assert_matches_scratch(&e);
+        e.remove_link(b).unwrap();
+        assert_eq!(e.edge_count(), 0);
+        assert_matches_scratch(&e);
+    }
+
+    #[test]
+    fn slots_are_recycled_on_reinsert() {
+        let mut e = engine();
+        let a = line(&mut e, 0.0, 1.0);
+        let b = line(&mut e, 10.0, 11.0);
+        e.remove_link(a).unwrap();
+        let c = line(&mut e, 10.8, 11.8); // reuses slot `a`, conflicts with b
+        assert_eq!(c, a);
+        assert!(e.are_adjacent(c, b));
+        assert_matches_scratch(&e);
+    }
+
+    #[test]
+    fn remove_errors_are_typed() {
+        let mut e = engine();
+        let a = line(&mut e, 0.0, 1.0);
+        assert_eq!(e.remove_link(7), Err(EngineError::UnknownSlot { slot: 7 }));
+        e.remove_link(a).unwrap();
+        assert_eq!(e.remove_link(a), Err(EngineError::EmptySlot { slot: a }));
+    }
+
+    #[test]
+    fn degenerate_links_conflict_with_everything() {
+        let mut e = engine();
+        let a = line(&mut e, 0.0, 1.0);
+        let b = line(&mut e, 30.0, 31.0);
+        let z = line(&mut e, 60.0, 60.0); // zero length
+        assert!(e.are_adjacent(z, a));
+        assert!(e.are_adjacent(z, b));
+        assert_matches_scratch(&e);
+        e.remove_link(z).unwrap();
+        assert_matches_scratch(&e);
+    }
+
+    #[test]
+    fn move_node_reseats_every_touching_link() {
+        let mut e = engine();
+        // A 3-node chain 0 -> 1 -> 2; node 1 is on both links.
+        let l0 = e.insert_link_with_nodes(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            NodeId(0),
+            NodeId(1),
+        );
+        let l1 = e.insert_link_with_nodes(
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            NodeId(1),
+            NodeId(2),
+        );
+        assert!(e.are_adjacent(l0, l1)); // shared endpoint
+        let touched = e.move_node(1, Point::new(100.0, 100.0));
+        assert_eq!(touched, 2);
+        let moved = *e.link(l0).unwrap();
+        assert_eq!(moved.receiver, Point::new(100.0, 100.0));
+        assert!(e.are_adjacent(l0, l1)); // still share node 1
+        assert_matches_scratch(&e);
+        assert_eq!(e.move_node(99, Point::origin()), 0);
+    }
+
+    #[test]
+    fn bulk_seeding_matches_incremental_insertion() {
+        let links: Vec<Link> = (0..120)
+            .map(|i| {
+                let x = i as f64 * 1.4;
+                Link::new(i, Point::on_line(x), Point::on_line(x + 1.0))
+            })
+            .collect();
+        let config = EngineConfig::new(
+            ConflictRelation::unit_constant(),
+            SinrModel::default(),
+            PowerAssignment::mean(),
+        );
+        let bulk = InterferenceEngine::with_links(config.clone(), &links);
+        let mut incremental = InterferenceEngine::new(config);
+        for l in &links {
+            incremental.insert_link(l.sender, l.receiver);
+        }
+        assert_eq!(bulk.snapshot(), incremental.snapshot());
+        assert_matches_scratch(&bulk);
+    }
+
+    #[test]
+    fn schedule_reuses_engine_state_and_matches_schedule_links() {
+        let links: Vec<Link> = (0..60)
+            .map(|i| {
+                let x = (i % 10) as f64 * 4.0;
+                let y = (i / 10) as f64 * 4.0;
+                Link::new(i, Point::new(x, y), Point::new(x + 1.0, y))
+            })
+            .collect();
+        for mode in [PowerMode::mean_oblivious(), PowerMode::GlobalControl] {
+            let sched_config = SchedulerConfig::new(mode);
+            let engine =
+                InterferenceEngine::with_links(EngineConfig::for_scheduler(sched_config), &links);
+            let via_engine = engine.schedule(sched_config);
+            let direct = wagg_schedule::schedule_links(&engine.links(), sched_config);
+            assert_eq!(
+                via_engine, direct,
+                "{mode}: engine path changed the schedule"
+            );
+        }
+    }
+}

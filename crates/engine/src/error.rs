@@ -1,0 +1,58 @@
+//! Errors of the incremental engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::InterferenceEngine`] operations and the trace
+/// runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The slot index exceeds the engine's capacity.
+    UnknownSlot {
+        /// The offending slot.
+        slot: usize,
+    },
+    /// The slot exists but holds no live link.
+    EmptySlot {
+        /// The offending slot.
+        slot: usize,
+    },
+    /// A trace event referenced a key that is not currently live.
+    UnknownTraceKey {
+        /// The offending trace key.
+        key: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownSlot { slot } => write!(f, "slot {slot} is out of range"),
+            EngineError::EmptySlot { slot } => write!(f, "slot {slot} holds no live link"),
+            EngineError::UnknownTraceKey { key } => {
+                write!(f, "trace key {key} does not name a live link")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::UnknownSlot { slot: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(EngineError::EmptySlot { slot: 3 }
+            .to_string()
+            .contains("no live"));
+        assert!(EngineError::UnknownTraceKey { key: 7 }
+            .to_string()
+            .contains("key 7"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Conflict adjacency as a CSR base plus a delta overlay.
+//!
+//! The engine cannot afford to rewrite a flat CSR adjacency on every churn
+//! event, and a `Vec<Vec<usize>>` of rows would give up the cache behaviour
+//! the PR-1 kernel bought. [`DeltaAdjacency`] keeps both: an immutable CSR
+//! **base** snapshot (identical layout to `wagg_conflict::ConflictGraph`) and
+//! two small per-vertex overlays — edges **added** since the snapshot and
+//! base edges **removed** since. Queries consult overlay-then-base; once the
+//! overlay grows past a fixed fraction of the edge set, [`DeltaAdjacency::
+//! maybe_compact`] folds it into a fresh base in one `O(V + E)` pass, so the
+//! amortised cost per edge mutation stays constant.
+
+/// Inserts `x` into a sorted vector, returning whether it was absent.
+fn sorted_insert(v: &mut Vec<usize>, x: usize) -> bool {
+    match v.binary_search(&x) {
+        Err(pos) => {
+            v.insert(pos, x);
+            true
+        }
+        Ok(_) => false,
+    }
+}
+
+/// Removes `x` from a sorted vector, returning whether it was present.
+fn sorted_remove(v: &mut Vec<usize>, x: usize) -> bool {
+    match v.binary_search(&x) {
+        Ok(pos) => {
+            v.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Overlay half-edge count that always justifies keeping the overlay (no
+/// compaction below it — a compaction pass costs `O(V + E)`).
+const COMPACT_MIN_DELTA: usize = 256;
+
+/// Mutable adjacency: CSR base + added/removed overlay sets.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaAdjacency {
+    /// CSR row boundaries of the base snapshot (covers `base_offsets.len() - 1`
+    /// slots; slots beyond it have empty base rows).
+    base_offsets: Vec<usize>,
+    /// Concatenated sorted base rows.
+    base_neighbors: Vec<usize>,
+    /// Per-slot sorted edges added since the base snapshot (disjoint from base).
+    added: Vec<Vec<usize>>,
+    /// Per-slot sorted base edges removed since the snapshot (subset of base).
+    removed: Vec<Vec<usize>>,
+    /// Half-edges currently held in the overlays (added + removed).
+    delta_half_edges: usize,
+    /// Effective half-edge count (base − removed + added).
+    half_edges: usize,
+    /// How many times the overlay was folded into the base.
+    compactions: usize,
+}
+
+impl DeltaAdjacency {
+    /// An empty adjacency over zero slots.
+    pub fn new() -> Self {
+        DeltaAdjacency {
+            base_offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Adopts a bulk-built CSR as the base snapshot (the fast path for
+    /// seeding the engine from `ConflictGraph::build`). Overlays start empty.
+    pub fn from_csr(offsets: &[usize], neighbors: &[usize]) -> Self {
+        let slots = offsets.len().saturating_sub(1);
+        DeltaAdjacency {
+            base_offsets: offsets.to_vec(),
+            base_neighbors: neighbors.to_vec(),
+            added: vec![Vec::new(); slots],
+            removed: vec![Vec::new(); slots],
+            delta_half_edges: 0,
+            half_edges: neighbors.len(),
+            compactions: 0,
+        }
+    }
+
+    /// Number of slots the overlay covers.
+    pub fn capacity(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Grows the overlay to cover at least `slots` slots.
+    pub fn ensure_capacity(&mut self, slots: usize) {
+        if slots > self.added.len() {
+            self.added.resize_with(slots, Vec::new);
+            self.removed.resize_with(slots, Vec::new);
+        }
+    }
+
+    /// Number of (undirected) edges currently represented.
+    pub fn edge_count(&self) -> usize {
+        self.half_edges / 2
+    }
+
+    /// Half-edges sitting in the overlays (compaction pressure).
+    pub fn delta_half_edges(&self) -> usize {
+        self.delta_half_edges
+    }
+
+    /// How many times the overlay has been folded into the base.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    fn base_row(&self, slot: usize) -> &[usize] {
+        if slot + 1 < self.base_offsets.len() {
+            &self.base_neighbors[self.base_offsets[slot]..self.base_offsets[slot + 1]]
+        } else {
+            &[]
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`, which must currently be absent.
+    pub fn link(&mut self, u: usize, v: usize) {
+        debug_assert!(u != v && !self.are_adjacent(u, v));
+        if sorted_remove(&mut self.removed[u], v) {
+            // The edge exists in the base and was tombstoned: resurrect it.
+            let also = sorted_remove(&mut self.removed[v], u);
+            debug_assert!(also, "removal overlay out of sync");
+            self.delta_half_edges -= 2;
+        } else {
+            sorted_insert(&mut self.added[u], v);
+            sorted_insert(&mut self.added[v], u);
+            self.delta_half_edges += 2;
+        }
+        self.half_edges += 2;
+    }
+
+    /// Removes the undirected edge `{u, v}`, which must currently be present.
+    pub fn unlink(&mut self, u: usize, v: usize) {
+        debug_assert!(self.are_adjacent(u, v));
+        if sorted_remove(&mut self.added[u], v) {
+            let also = sorted_remove(&mut self.added[v], u);
+            debug_assert!(also, "addition overlay out of sync");
+            self.delta_half_edges -= 2;
+        } else {
+            // A base edge: tombstone it on both sides.
+            sorted_insert(&mut self.removed[u], v);
+            sorted_insert(&mut self.removed[v], u);
+            self.delta_half_edges += 2;
+        }
+        self.half_edges -= 2;
+    }
+
+    /// Whether `{u, v}` is an edge (overlay first, then the base).
+    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
+        if u >= self.capacity() || v >= self.capacity() {
+            return false;
+        }
+        if self.added[u].binary_search(&v).is_ok() {
+            return true;
+        }
+        if self.removed[u].binary_search(&v).is_ok() {
+            return false;
+        }
+        self.base_row(u).binary_search(&v).is_ok()
+    }
+
+    /// The effective neighbour row of `slot`, sorted ascending:
+    /// `(base \ removed) ∪ added`.
+    pub fn row(&self, slot: usize) -> Vec<usize> {
+        if slot >= self.capacity() {
+            return Vec::new();
+        }
+        let base = self.base_row(slot);
+        let rem = &self.removed[slot];
+        let add = &self.added[slot];
+        let mut out = Vec::with_capacity(base.len().saturating_sub(rem.len()) + add.len());
+        // Merge two disjoint sorted sequences: base-minus-removed and added.
+        let mut surviving = base.iter().filter(|v| rem.binary_search(v).is_err());
+        let mut a_iter = add.iter();
+        let (mut s, mut a) = (surviving.next(), a_iter.next());
+        loop {
+            match (s, a) {
+                (Some(&x), Some(&y)) => {
+                    if x < y {
+                        out.push(x);
+                        s = surviving.next();
+                    } else {
+                        out.push(y);
+                        a = a_iter.next();
+                    }
+                }
+                (Some(&x), None) => {
+                    out.push(x);
+                    s = surviving.next();
+                }
+                (None, Some(&y)) => {
+                    out.push(y);
+                    a = a_iter.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// Removes every edge incident to `slot` (used when a link leaves the
+    /// universe). Afterwards the slot's effective row is empty.
+    pub fn isolate(&mut self, slot: usize) {
+        for w in self.row(slot) {
+            self.unlink(slot, w);
+        }
+    }
+
+    /// Folds the overlay into a fresh CSR base if it has grown past a quarter
+    /// of the edge set; returns whether a compaction ran.
+    pub fn maybe_compact(&mut self, slack: f64) {
+        let threshold =
+            COMPACT_MIN_DELTA.max((slack * self.half_edges.max(1) as f64).ceil() as usize);
+        if self.delta_half_edges > threshold {
+            self.compact();
+        }
+    }
+
+    /// Unconditionally folds the overlay into the base.
+    pub fn compact(&mut self) {
+        let cap = self.capacity();
+        let mut offsets = Vec::with_capacity(cap + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::with_capacity(self.half_edges);
+        for slot in 0..cap {
+            neighbors.extend(self.row(slot));
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(neighbors.len(), self.half_edges);
+        self.base_offsets = offsets;
+        self.base_neighbors = neighbors;
+        for row in &mut self.added {
+            row.clear();
+        }
+        for row in &mut self.removed {
+            row.clear();
+        }
+        self.delta_half_edges = 0;
+        self.compactions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_rows(adj: &DeltaAdjacency) -> Vec<Vec<usize>> {
+        (0..adj.capacity()).map(|s| adj.row(s)).collect()
+    }
+
+    #[test]
+    fn empty_overlay_has_no_edges() {
+        let mut adj = DeltaAdjacency::new();
+        adj.ensure_capacity(4);
+        assert_eq!(adj.edge_count(), 0);
+        assert!(!adj.are_adjacent(0, 1));
+        assert!(adj.row(2).is_empty());
+    }
+
+    #[test]
+    fn link_unlink_roundtrip() {
+        let mut adj = DeltaAdjacency::new();
+        adj.ensure_capacity(5);
+        adj.link(0, 3);
+        adj.link(0, 1);
+        adj.link(3, 4);
+        assert_eq!(adj.row(0), vec![1, 3]);
+        assert_eq!(adj.row(3), vec![0, 4]);
+        assert_eq!(adj.edge_count(), 3);
+        adj.unlink(0, 3);
+        assert_eq!(adj.row(0), vec![1]);
+        assert!(!adj.are_adjacent(3, 0));
+        assert_eq!(adj.edge_count(), 2);
+    }
+
+    #[test]
+    fn base_edges_tombstone_and_resurrect() {
+        // Base: 0-1, 1-2.
+        let adj_base = {
+            let mut a = DeltaAdjacency::new();
+            a.ensure_capacity(3);
+            a.link(0, 1);
+            a.link(1, 2);
+            a.compact();
+            a
+        };
+        let mut adj = adj_base.clone();
+        adj.unlink(1, 0);
+        assert!(!adj.are_adjacent(0, 1));
+        assert_eq!(adj.row(1), vec![2]);
+        assert_eq!(adj.delta_half_edges(), 2);
+        adj.link(0, 1); // resurrect: cancels the tombstone instead of growing `added`
+        assert_eq!(adj.delta_half_edges(), 0);
+        assert_eq!(full_rows(&adj), full_rows(&adj_base));
+    }
+
+    #[test]
+    fn compaction_preserves_the_graph() {
+        let mut adj = DeltaAdjacency::new();
+        adj.ensure_capacity(10);
+        for u in 0..10usize {
+            for v in (u + 1)..10 {
+                if (u + v) % 3 != 0 {
+                    adj.link(u, v);
+                }
+            }
+        }
+        adj.compact();
+        let before = full_rows(&adj);
+        let edges = adj.edge_count();
+        // Mutate through the overlay, then compact and compare against a
+        // freshly mutated copy.
+        let mut overlaid = adj.clone();
+        overlaid.unlink(0, 1);
+        overlaid.link(0, 3);
+        overlaid.isolate(7);
+        let rows_overlay = full_rows(&overlaid);
+        overlaid.compact();
+        assert_eq!(full_rows(&overlaid), rows_overlay);
+        assert_eq!(overlaid.delta_half_edges(), 0);
+        assert!(overlaid.compactions() >= 2);
+        // The original is untouched.
+        assert_eq!(full_rows(&adj), before);
+        assert_eq!(adj.edge_count(), edges);
+    }
+
+    #[test]
+    fn isolate_clears_a_vertex() {
+        let mut adj = DeltaAdjacency::new();
+        adj.ensure_capacity(4);
+        adj.link(2, 0);
+        adj.link(2, 1);
+        adj.compact();
+        adj.link(2, 3); // one base edge pair plus one overlay edge
+        adj.isolate(2);
+        assert!(adj.row(2).is_empty());
+        for v in [0usize, 1, 3] {
+            assert!(!adj.are_adjacent(v, 2));
+        }
+        assert_eq!(adj.edge_count(), 0);
+    }
+
+    #[test]
+    fn maybe_compact_respects_threshold() {
+        let mut adj = DeltaAdjacency::new();
+        adj.ensure_capacity(600);
+        for i in 0..500usize {
+            adj.link(i, i + 100);
+        }
+        assert_eq!(adj.delta_half_edges(), 1000);
+        adj.maybe_compact(0.25);
+        assert_eq!(adj.delta_half_edges(), 0);
+        assert_eq!(adj.compactions(), 1);
+        // A small overlay stays put.
+        adj.unlink(0, 100);
+        adj.maybe_compact(0.25);
+        assert_eq!(adj.compactions(), 1);
+        assert_eq!(adj.delta_half_edges(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Engine event traces: churn and mobility workloads, replayable event by
+//! event.
+//!
+//! A trace is a flat, serialisable list of [`EngineEvent`]s referring to
+//! links by caller-chosen **keys** (slots are an engine-internal detail the
+//! generator cannot know in advance); [`run_trace`] replays a trace against
+//! an [`InterferenceEngine`], maintaining the key → slot binding. Two
+//! generators are provided:
+//!
+//! * [`churn_trace`] — random link departures and arrivals at a steady
+//!   population, the dynamic-network workload of `wagg-dynamic`,
+//! * [`EngineTrace::from_mobility`] — adapts a
+//!   [`wagg_instances::mobility`] random-waypoint trace: nodes are chained
+//!   (`node i` transmits to `node i − 1`) and every waypoint step becomes a
+//!   [`EngineEvent::MoveNode`], so each event re-seats at most two links.
+
+use crate::engine::InterferenceEngine;
+use crate::error::EngineError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wagg_geometry::rng::seeded_rng;
+use wagg_geometry::Point;
+use wagg_instances::mobility::MobilityTrace;
+use wagg_sinr::NodeId;
+
+/// One replayable engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// A link arrives under a fresh trace key.
+    Insert {
+        /// Caller-chosen key later events refer to.
+        key: u64,
+        /// Sender position.
+        sender: Point,
+        /// Receiver position.
+        receiver: Point,
+        /// Pointset node of the sender, if the link should follow
+        /// [`EngineEvent::MoveNode`] events.
+        sender_node: Option<usize>,
+        /// Pointset node of the receiver, if any.
+        receiver_node: Option<usize>,
+    },
+    /// The link inserted under `key` departs.
+    Remove {
+        /// The departing link's trace key.
+        key: u64,
+    },
+    /// A pointset node moves; every live link annotated with it follows.
+    MoveNode {
+        /// The moving node.
+        node: usize,
+        /// Its new position.
+        to: Point,
+    },
+}
+
+/// A named sequence of engine events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineTrace {
+    /// Trace name (reported by benches and experiments).
+    pub name: String,
+    /// The events, in application order.
+    pub events: Vec<EngineEvent>,
+}
+
+impl EngineTrace {
+    /// Adapts a random-waypoint mobility trace: nodes are chained (`i → i−1`
+    /// for `i ≥ 1`) with their initial positions, then every waypoint move
+    /// becomes a [`EngineEvent::MoveNode`]. Each move touches at most two
+    /// links (the node's uplink and its child's), which is exactly the
+    /// "affected neighbourhood" workload the engine is built for.
+    pub fn from_mobility(trace: &MobilityTrace) -> Self {
+        let mut events = Vec::with_capacity(trace.initial.len() + trace.moves.len());
+        for (i, w) in trace.initial.windows(2).enumerate() {
+            events.push(EngineEvent::Insert {
+                key: (i + 1) as u64,
+                sender: w[1],
+                receiver: w[0],
+                sender_node: Some(i + 1),
+                receiver_node: Some(i),
+            });
+        }
+        events.extend(trace.moves.iter().map(|m| EngineEvent::MoveNode {
+            node: m.node,
+            to: m.to,
+        }));
+        EngineTrace {
+            name: format!("mobility-n{}-s{}", trace.initial.len(), trace.config.steps),
+            events,
+        }
+    }
+}
+
+/// A steady-state churn trace: `n` initial unit-ish links uniformly placed in
+/// a square scaled to constant density, followed by `events` alternating
+/// departures of a random live link and arrivals of a fresh one (so the
+/// population stays around `n`). Deterministic in `seed`.
+pub fn churn_trace(n: usize, events: usize, seed: u64) -> EngineTrace {
+    let side = (n.max(1) as f64).sqrt() * 4.0;
+    let mut rng = seeded_rng(seed);
+    let mut next_key = 0u64;
+    let mut live: Vec<u64> = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n + events);
+    let mut insert = |rng: &mut wagg_geometry::rng::DeterministicRng,
+                      live: &mut Vec<u64>,
+                      out: &mut Vec<EngineEvent>| {
+        let key = next_key;
+        next_key += 1;
+        let x = rng.gen_range(0.0..side);
+        let y = rng.gen_range(0.0..side);
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        out.push(EngineEvent::Insert {
+            key,
+            sender: Point::new(x, y),
+            receiver: Point::new(x + angle.cos(), y + angle.sin()),
+            sender_node: None,
+            receiver_node: None,
+        });
+        live.push(key);
+    };
+    for _ in 0..n {
+        insert(&mut rng, &mut live, &mut out);
+    }
+    for round in 0..events {
+        let depart = round % 2 == 0 && !live.is_empty();
+        if depart {
+            let victim = rng.gen_range(0..live.len());
+            out.push(EngineEvent::Remove {
+                key: live.swap_remove(victim),
+            });
+        } else {
+            insert(&mut rng, &mut live, &mut out);
+        }
+    }
+    EngineTrace {
+        name: format!("churn-n{n}-e{events}"),
+        events: out,
+    }
+}
+
+/// What replaying a trace did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOutcome {
+    /// Number of events applied.
+    pub applied: usize,
+    /// Live links after the final event.
+    pub final_links: usize,
+    /// Conflict edges after the final event.
+    pub final_edges: usize,
+}
+
+/// Replays a trace against an engine, binding trace keys to engine slots.
+///
+/// # Errors
+///
+/// [`EngineError::UnknownTraceKey`] when a `Remove` names a key that is not
+/// live (including double-removes); engine errors are propagated.
+pub fn run_trace(
+    engine: &mut InterferenceEngine,
+    trace: &EngineTrace,
+) -> Result<TraceOutcome, EngineError> {
+    let mut slot_of: HashMap<u64, usize> = HashMap::new();
+    for event in &trace.events {
+        match *event {
+            EngineEvent::Insert {
+                key,
+                sender,
+                receiver,
+                sender_node,
+                receiver_node,
+            } => {
+                let slot = match (sender_node, receiver_node) {
+                    (Some(s), Some(r)) => {
+                        engine.insert_link_with_nodes(sender, receiver, NodeId(s), NodeId(r))
+                    }
+                    _ => engine.insert_link(sender, receiver),
+                };
+                slot_of.insert(key, slot);
+            }
+            EngineEvent::Remove { key } => {
+                let slot = slot_of
+                    .remove(&key)
+                    .ok_or(EngineError::UnknownTraceKey { key })?;
+                engine.remove_link(slot)?;
+            }
+            EngineEvent::MoveNode { node, to } => {
+                engine.move_node(node, to);
+            }
+        }
+    }
+    Ok(TraceOutcome {
+        applied: trace.events.len(),
+        final_links: engine.len(),
+        final_edges: engine.edge_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use wagg_conflict::ConflictRelation;
+    use wagg_instances::mobility::{random_waypoint, WaypointConfig};
+    use wagg_sinr::{PowerAssignment, SinrModel};
+
+    fn engine() -> InterferenceEngine {
+        InterferenceEngine::new(EngineConfig::new(
+            ConflictRelation::unit_constant(),
+            SinrModel::default(),
+            PowerAssignment::mean(),
+        ))
+    }
+
+    #[test]
+    fn churn_traces_are_deterministic_and_keep_population_steady() {
+        let a = churn_trace(40, 30, 3);
+        let b = churn_trace(40, 30, 3);
+        assert_eq!(a, b);
+        let mut e = engine();
+        let outcome = run_trace(&mut e, &a).unwrap();
+        assert_eq!(outcome.applied, 70);
+        assert_eq!(outcome.final_links, 40); // 15 removes, 15 inserts
+        assert_eq!(e.len(), 40);
+    }
+
+    #[test]
+    fn mobility_traces_drive_move_events() {
+        let trace = random_waypoint(&WaypointConfig {
+            nodes: 8,
+            side: 30.0,
+            speed: 2.0,
+            steps: 5,
+            seed: 11,
+        });
+        let engine_trace = EngineTrace::from_mobility(&trace);
+        assert_eq!(engine_trace.events.len(), 7 + 40);
+        let mut e = engine();
+        let outcome = run_trace(&mut e, &engine_trace).unwrap();
+        assert_eq!(outcome.final_links, 7);
+        // The links ended up where the trace says the nodes are.
+        let finals = trace.final_positions();
+        let moved = e
+            .live_slots()
+            .into_iter()
+            .map(|s| *e.link(s).unwrap())
+            .all(|l| {
+                let s = l.sender_node.unwrap().index();
+                let r = l.receiver_node.unwrap().index();
+                l.sender == finals[s] && l.receiver == finals[r]
+            });
+        assert!(moved, "links did not follow their nodes");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let mut e = engine();
+        let trace = EngineTrace {
+            name: "bad".into(),
+            events: vec![EngineEvent::Remove { key: 5 }],
+        };
+        assert_eq!(
+            run_trace(&mut e, &trace),
+            Err(EngineError::UnknownTraceKey { key: 5 })
+        );
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`recursive`] — the recursive construction `R_t` of Fig. 3 behind the
 //!   `O(1/log* Δ)` lower bound for arbitrary power control (Theorem 4),
 //! * [`suboptimal`] — the Fig. 4 family showing that the MST is not an optimal
-//!   aggregation tree for `P_τ` on the line (Proposition 3).
+//!   aggregation tree for `P_τ` on the line (Proposition 3),
+//! * [`mobility`] — random-waypoint node motion traces (seeded and
+//!   serialisable), the workload behind the `wagg-engine` dynamic
+//!   experiments.
 //!
 //! # Examples
 //!
@@ -30,6 +33,7 @@
 pub mod chains;
 pub mod fig1;
 pub mod instance;
+pub mod mobility;
 pub mod random;
 pub mod recursive;
 pub mod suboptimal;

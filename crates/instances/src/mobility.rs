@@ -1,0 +1,219 @@
+//! Random-waypoint node mobility: seeded, serialisable motion traces.
+//!
+//! The classic random-waypoint model drives the dynamic experiments of the
+//! `wagg-engine` crate: every node draws a waypoint uniformly inside the
+//! deployment square, walks towards it at constant speed, and draws a fresh
+//! waypoint on arrival. Each simulation step emits one [`NodeMove`] per node,
+//! so a trace of `steps` steps over `nodes` nodes contains exactly
+//! `steps · nodes` moves, in `(step, node)` order. Traces are deterministic
+//! in the seed and `serde`-serialisable, so an experiment can be archived and
+//! replayed event for event.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_instances::mobility::{random_waypoint, WaypointConfig};
+//!
+//! let trace = random_waypoint(&WaypointConfig {
+//!     nodes: 10,
+//!     side: 100.0,
+//!     speed: 2.5,
+//!     steps: 8,
+//!     seed: 7,
+//! });
+//! assert_eq!(trace.initial.len(), 10);
+//! assert_eq!(trace.moves.len(), 80);
+//! assert!(trace.moves.iter().all(|m| m.to.x >= 0.0 && m.to.x <= 100.0));
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wagg_geometry::rng::seeded_rng;
+use wagg_geometry::Point;
+
+/// Configuration of a random-waypoint motion trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// Number of moving nodes.
+    pub nodes: usize,
+    /// Side length of the (axis-aligned, origin-cornered) deployment square.
+    pub side: f64,
+    /// Distance every node covers per step.
+    pub speed: f64,
+    /// Number of simulation steps (each emits one move per node).
+    pub steps: usize,
+    /// RNG seed; equal seeds give identical traces.
+    pub seed: u64,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig {
+            nodes: 50,
+            side: 200.0,
+            speed: 2.0,
+            steps: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// One node relocation: at `step`, node `node` is at position `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeMove {
+    /// The simulation step the move belongs to (0-based).
+    pub step: usize,
+    /// The moving node's index.
+    pub node: usize,
+    /// The node's position after the move.
+    pub to: Point,
+}
+
+/// A complete random-waypoint trace: initial deployment plus every move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityTrace {
+    /// The configuration the trace was generated with.
+    pub config: WaypointConfig,
+    /// Initial node positions (index = node).
+    pub initial: Vec<Point>,
+    /// All moves, ordered by `(step, node)`.
+    pub moves: Vec<NodeMove>,
+}
+
+impl MobilityTrace {
+    /// The node positions after replaying the whole trace.
+    pub fn final_positions(&self) -> Vec<Point> {
+        let mut positions = self.initial.clone();
+        for m in &self.moves {
+            positions[m.node] = m.to;
+        }
+        positions
+    }
+}
+
+/// Generates a random-waypoint trace under `config`.
+///
+/// Every node starts at a uniform position with a uniform waypoint; each step
+/// it advances `config.speed` towards its waypoint (clamping at the waypoint
+/// and drawing the next one once reached). All positions stay inside the
+/// deployment square by construction.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `side <= 0` or `speed < 0`.
+pub fn random_waypoint(config: &WaypointConfig) -> MobilityTrace {
+    assert!(config.nodes > 0, "need at least one node");
+    assert!(config.side > 0.0, "side must be positive");
+    assert!(
+        config.speed >= 0.0 && config.speed.is_finite(),
+        "speed must be non-negative"
+    );
+    let mut rng = seeded_rng(config.seed);
+    let sample = |rng: &mut wagg_geometry::rng::DeterministicRng| {
+        Point::new(
+            rng.gen_range(0.0..config.side),
+            rng.gen_range(0.0..config.side),
+        )
+    };
+    let initial: Vec<Point> = (0..config.nodes).map(|_| sample(&mut rng)).collect();
+    let mut positions = initial.clone();
+    let mut waypoints: Vec<Point> = (0..config.nodes).map(|_| sample(&mut rng)).collect();
+
+    let mut moves = Vec::with_capacity(config.nodes * config.steps);
+    for step in 0..config.steps {
+        for node in 0..config.nodes {
+            let here = positions[node];
+            let goal = waypoints[node];
+            let dist = here.distance(goal);
+            let next = if dist <= config.speed {
+                // Arrived: land on the waypoint and draw the next one.
+                waypoints[node] = sample(&mut rng);
+                goal
+            } else {
+                let t = config.speed / dist;
+                Point::new(
+                    here.x + (goal.x - here.x) * t,
+                    here.y + (goal.y - here.y) * t,
+                )
+            };
+            positions[node] = next;
+            moves.push(NodeMove {
+                step,
+                node,
+                to: next,
+            });
+        }
+    }
+    MobilityTrace {
+        config: *config,
+        initial,
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> WaypointConfig {
+        WaypointConfig {
+            nodes: 12,
+            side: 50.0,
+            speed: 3.0,
+            steps: 30,
+            seed,
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let a = random_waypoint(&config(5));
+        let b = random_waypoint(&config(5));
+        assert_eq!(a, b);
+        let c = random_waypoint(&config(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_position_stays_in_the_square() {
+        let trace = random_waypoint(&config(1));
+        let inside = |p: &Point| p.x >= 0.0 && p.x <= 50.0 && p.y >= 0.0 && p.y <= 50.0;
+        assert!(trace.initial.iter().all(inside));
+        assert!(trace.moves.iter().all(|m| inside(&m.to)));
+    }
+
+    #[test]
+    fn moves_are_speed_bounded_and_ordered() {
+        let trace = random_waypoint(&config(3));
+        let mut positions = trace.initial.clone();
+        for (i, m) in trace.moves.iter().enumerate() {
+            assert_eq!(m.step, i / 12);
+            assert_eq!(m.node, i % 12);
+            let hop = positions[m.node].distance(m.to);
+            assert!(hop <= 3.0 + 1e-9, "move {i} jumped {hop}");
+            positions[m.node] = m.to;
+        }
+        assert_eq!(positions, trace.final_positions());
+    }
+
+    #[test]
+    fn nodes_actually_travel() {
+        let trace = random_waypoint(&config(9));
+        let finals = trace.final_positions();
+        let moved = trace
+            .initial
+            .iter()
+            .zip(&finals)
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(moved >= 10, "only {moved}/12 nodes moved noticeably");
+    }
+
+    #[test]
+    fn zero_speed_keeps_everyone_in_place() {
+        let mut cfg = config(2);
+        cfg.speed = 0.0;
+        let trace = random_waypoint(&cfg);
+        assert_eq!(trace.final_positions(), trace.initial);
+    }
+}

@@ -28,4 +28,6 @@ pub mod scheduler;
 
 pub use power_mode::PowerMode;
 pub use schedule::Schedule;
-pub use scheduler::{schedule_links, schedule_mst, ScheduleReport, SchedulerConfig};
+pub use scheduler::{
+    schedule_links, schedule_mst, schedule_prebuilt, ScheduleReport, SchedulerConfig,
+};

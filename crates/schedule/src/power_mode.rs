@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wagg_conflict::ConflictRelation;
+use wagg_sinr::affectance::is_feasible_by_affectance;
 use wagg_sinr::power_control::is_feasible_with_power_control;
 use wagg_sinr::{Link, PowerAssignment, SinrModel};
 
@@ -94,6 +95,13 @@ impl PowerMode {
             return links.iter().all(|l| l.length() > 0.0);
         }
         match self.assignment() {
+            // Noise-free fixed assignments go through the cached affectance
+            // kernel — mathematically the SINR quotient rearranged, and the
+            // *same* predicate the scheduler's shared-cache slot probes use,
+            // so a schedule built from subset probes always verifies.
+            Some(assignment) if model.noise() == 0.0 => {
+                is_feasible_by_affectance(model, links, &assignment)
+            }
             Some(assignment) => model.is_feasible(links, &assignment),
             None => is_feasible_with_power_control(model, links),
         }

@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 use wagg_conflict::{greedy_color, ConflictGraph};
 use wagg_geometry::logmath::{log_log2, log_star};
 use wagg_mst::MstError;
-use wagg_sinr::link::{indices_by_decreasing_length, link_diversity};
-use wagg_sinr::{Link, SinrModel};
+use wagg_sinr::link::link_diversity;
+use wagg_sinr::{Link, PathLossCache, SinrModel};
 
 /// Configuration of the end-to-end scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,8 +109,67 @@ impl ScheduleReport {
 pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
     let relation = config.mode.conflict_relation(config.model.alpha());
     let graph = ConflictGraph::build(links, relation);
-    let coloring = greedy_color(&graph);
+    schedule_prebuilt(&graph, None, config)
+}
+
+/// Schedules the links of an already-built conflict graph, optionally reusing
+/// an already-built path-loss cache for the slot probes.
+///
+/// This is the entry point for callers that maintain the interference state
+/// *incrementally* (the `wagg-engine` crate): after a churn or mobility event
+/// they materialise their patched adjacency into a [`ConflictGraph`] snapshot
+/// and lend their patched per-link path-loss state as `cache`, so rescheduling
+/// performs no geometric work beyond the coloring and the slot probes
+/// themselves. [`schedule_links`] is exactly `schedule_prebuilt(&build(..),
+/// None, config)`.
+///
+/// When `cache` is `None` and the power mode has a fixed assignment (and the
+/// model is noise-free), the cache is built **once** here and shared across
+/// every slot-feasibility probe of the run — the seed rebuilt it per
+/// `is_feasible_by_affectance` call, i.e. per probe.
+///
+/// A lent `cache` must hold exactly what `PathLossCache::new` would compute
+/// for `graph.links()` (in vertex order) under the assignment of
+/// `config.mode` — only the lengths are checked here. The cache kernel is
+/// noise-free, so under a noisy model a lent cache is ignored and every
+/// probe falls back to the materialised SINR check.
+///
+/// # Panics
+///
+/// Panics if the graph was built under a different conflict relation than
+/// `config.mode` implies, or if `cache` covers a different number of links.
+pub fn schedule_prebuilt(
+    graph: &ConflictGraph,
+    cache: Option<&PathLossCache<'_>>,
+    config: SchedulerConfig,
+) -> ScheduleReport {
+    assert_eq!(
+        graph.relation(),
+        config.mode.conflict_relation(config.model.alpha()),
+        "conflict graph was built for a different power mode"
+    );
+    let links = graph.links();
+    if let Some(cache) = cache {
+        assert_eq!(
+            cache.links().len(),
+            links.len(),
+            "path-loss cache covers a different link set"
+        );
+    }
+    // The affectance kernel the cache feeds is noise-free; with noise the
+    // probes must evaluate the full SINR quotient per materialised slot.
+    let cache = cache.filter(|_| config.model.noise() == 0.0);
+    let coloring = greedy_color(graph);
     let coloring_slots = coloring.num_colors();
+
+    // One shared cache for every slot probe of this run (unless the caller
+    // lent one, or the mode/model need per-slot treatment).
+    let owned_cache = match cache {
+        Some(_) => None,
+        None if config.verify_slots => fixed_probe_cache(links, &config),
+        None => None,
+    };
+    let cache = cache.or(owned_cache.as_ref());
 
     let mut slots: Vec<Vec<usize>> = Vec::new();
     for class in coloring.classes() {
@@ -121,7 +180,7 @@ pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport
             slots.push(class);
             continue;
         }
-        slots.extend(split_into_feasible(links, &class, &config));
+        slots.extend(split_into_feasible(links, &class, &config, cache));
     }
 
     let diversity = link_diversity(links).unwrap_or(1.0);
@@ -137,6 +196,39 @@ pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport
     }
 }
 
+/// The shared slot-probe cache for fixed power assignments under a noise-free
+/// model; `None` when probes must be evaluated per materialised slot (global
+/// power control's spectral test, or a noisy model).
+fn fixed_probe_cache<'a>(links: &'a [Link], config: &SchedulerConfig) -> Option<PathLossCache<'a>> {
+    if config.model.noise() != 0.0 {
+        return None;
+    }
+    config
+        .mode
+        .assignment()
+        .map(|assignment| PathLossCache::new(&config.model, links, &assignment))
+}
+
+/// Whether the subset `members` of `links` can share a slot, probing through
+/// the shared `cache` when one is available (identical verdict to
+/// [`PowerMode::slot_feasible`] on the materialised subset — see
+/// [`PathLossCache::subset_feasible`]) and materialising the subset otherwise.
+fn slot_ok(
+    links: &[Link],
+    members: &[usize],
+    config: &SchedulerConfig,
+    cache: Option<&PathLossCache<'_>>,
+) -> bool {
+    if members.len() <= 1 {
+        return members.iter().all(|&i| links[i].length() > 0.0);
+    }
+    if let Some(cache) = cache {
+        return cache.subset_feasible(members);
+    }
+    let slot_links: Vec<Link> = members.iter().map(|&i| links[i]).collect();
+    config.mode.slot_feasible(&config.model, &slot_links)
+}
+
 /// Splits one candidate slot into SINR-feasible sub-slots by first-fit over links in
 /// non-increasing length order. Singleton slots are always feasible (for positive
 /// length links), so the split terminates with at most `|class|` sub-slots.
@@ -144,28 +236,34 @@ fn split_into_feasible(
     links: &[Link],
     class: &[usize],
     config: &SchedulerConfig,
+    cache: Option<&PathLossCache<'_>>,
 ) -> Vec<Vec<usize>> {
     // Fast path: the whole class verifies.
-    let class_links: Vec<Link> = class.iter().map(|&i| links[i]).collect();
-    if config.mode.slot_feasible(&config.model, &class_links) {
+    if slot_ok(links, class, config, cache) {
         return vec![class.to_vec()];
     }
 
-    // First-fit split in non-increasing length order.
+    // First-fit split in non-increasing length order (ties by link id, the
+    // same deterministic order `indices_by_decreasing_length` uses).
     let class_order = {
-        let order_within = indices_by_decreasing_length(&class_links);
-        order_within
-            .into_iter()
-            .map(|pos| class[pos])
-            .collect::<Vec<usize>>()
+        let mut order = class.to_vec();
+        order.sort_by(|&a, &b| {
+            links[b]
+                .length()
+                .total_cmp(&links[a].length())
+                .then(links[a].id.cmp(&links[b].id))
+        });
+        order
     };
     let mut sub_slots: Vec<Vec<usize>> = Vec::new();
+    let mut candidate: Vec<usize> = Vec::new();
     for idx in class_order {
         let mut placed = false;
         for slot in sub_slots.iter_mut() {
-            let mut candidate: Vec<Link> = slot.iter().map(|&i| links[i]).collect();
-            candidate.push(links[idx]);
-            if config.mode.slot_feasible(&config.model, &candidate) {
+            candidate.clear();
+            candidate.extend_from_slice(slot);
+            candidate.push(idx);
+            if slot_ok(links, &candidate, config, cache) {
                 slot.push(idx);
                 placed = true;
                 break;
@@ -343,6 +441,43 @@ mod tests {
         assert_eq!(report.num_links, 14);
         assert!(report.schedule.is_partition(14));
         assert!(report.rate() > 0.0);
+    }
+
+    #[test]
+    fn prebuilt_graph_and_shared_cache_reproduce_schedule_links() {
+        let inst = uniform_square(48, 90.0, 21);
+        let links = inst.mst_links().unwrap();
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::mean_oblivious(),
+            PowerMode::GlobalControl,
+        ] {
+            let config = SchedulerConfig::new(mode);
+            let direct = schedule_links(&links, config);
+            let graph = ConflictGraph::build(&links, mode.conflict_relation(config.model.alpha()));
+            let prebuilt = schedule_prebuilt(&graph, None, config);
+            assert_eq!(
+                direct, prebuilt,
+                "{mode}: prebuilt graph changed the schedule"
+            );
+            if let Some(assignment) = mode.assignment() {
+                let cache = PathLossCache::new(&config.model, &links, &assignment);
+                let shared = schedule_prebuilt(&graph, Some(&cache), config);
+                assert_eq!(direct, shared, "{mode}: lent cache changed the schedule");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different power mode")]
+    fn prebuilt_rejects_mismatched_relations() {
+        let inst = uniform_square(16, 40.0, 2);
+        let links = inst.mst_links().unwrap();
+        let graph = ConflictGraph::build(
+            &links,
+            PowerMode::Uniform.conflict_relation(SinrModel::default().alpha()),
+        );
+        let _ = schedule_prebuilt(&graph, None, SchedulerConfig::new(PowerMode::GlobalControl));
     }
 
     #[test]

@@ -134,6 +134,44 @@ impl<'a> PathLossCache<'a> {
         }
     }
 
+    /// Reassembles a cache from previously extracted per-link state
+    /// (see [`PathLossCache::into_parts`]).
+    ///
+    /// This is how the incremental engine (`wagg-engine`) shares its
+    /// event-patched per-link powers and weights with the scheduler's slot
+    /// probes without recomputing them: the engine maintains the vectors
+    /// across insert/remove/move events and lends them to a borrowed cache
+    /// per scheduling run. The caller asserts that `powers[i]`/`weights[i]`
+    /// are exactly what [`PathLossCache::new`] would compute for `links[i]`
+    /// under `model` and the original power assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector lengths disagree with `links`.
+    pub fn from_parts(
+        model: &SinrModel,
+        links: &'a [Link],
+        powers: Vec<Option<f64>>,
+        weights: Vec<Option<f64>>,
+    ) -> Self {
+        assert_eq!(powers.len(), links.len(), "one power per link");
+        assert_eq!(weights.len(), links.len(), "one weight per link");
+        PathLossCache {
+            links,
+            pow: AlphaPow::new(model.alpha()),
+            inv_beta: 1.0 / model.beta(),
+            powers,
+            weights,
+        }
+    }
+
+    /// Dismantles the cache into its per-link `(powers, weights)` vectors —
+    /// the counterpart of [`PathLossCache::from_parts`] for callers that keep
+    /// the state alive across link-set mutations.
+    pub fn into_parts(self) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+        (self.powers, self.weights)
+    }
+
     /// The exponent dispatcher the cache was built with.
     pub fn alpha_pow(&self) -> AlphaPow {
         self.pow
@@ -185,6 +223,46 @@ impl<'a> PathLossCache<'a> {
         }
     }
 
+    /// Total relative interference on `members[target]` from the other links
+    /// of the subset `members` (positions into the cached link set), summed in
+    /// subset order.
+    ///
+    /// Bit-identical to building a fresh cache over just the subset's links
+    /// and calling [`PathLossCache::relative_interference_on`] there: the
+    /// per-link powers and weights do not depend on the rest of the set, and
+    /// the terms are the same values added in the same order. This is what
+    /// lets one cache per scheduling run serve *every* slot probe instead of
+    /// being rebuilt per probe.
+    pub fn subset_relative_interference_on(&self, members: &[usize], target: usize) -> Option<f64> {
+        relative_interference_sum(
+            self.pow,
+            members,
+            target,
+            self.weights[members[target]],
+            |j| &self.links[j],
+            |j| self.powers[j],
+        )
+    }
+
+    /// Noise-free feasibility of the subset `members` (positions into the
+    /// cached link set) by relative interference — the subset counterpart of
+    /// [`PathLossCache::is_feasible`], with the same verdict a fresh
+    /// subset-only cache would give.
+    pub fn subset_feasible(&self, members: &[usize]) -> bool {
+        let check = |k: usize| match self.subset_relative_interference_on(members, k) {
+            Some(total) => total <= self.inv_beta,
+            None => false,
+        };
+        #[cfg(feature = "parallel")]
+        {
+            (0..members.len()).into_par_iter().all(check)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            (0..members.len()).all(check)
+        }
+    }
+
     /// Noise-free feasibility of the whole set by relative interference:
     /// every link's affectance sum must stay within `1/β`.
     ///
@@ -204,6 +282,56 @@ impl<'a> PathLossCache<'a> {
             (0..self.links.len()).all(|i| self.target_feasible(i))
         }
     }
+}
+
+/// The one affectance-sum inner loop, shared by every subset-indexed consumer
+/// (this cache's [`PathLossCache::subset_relative_interference_on`] and the
+/// slot-table views of `wagg-engine`, which store links non-contiguously and
+/// so cannot borrow a `PathLossCache` directly).
+///
+/// `members` are the caller's indices, `target` a position **within**
+/// `members`, and `link_of`/`power_of` the caller's per-index lookups;
+/// `target_weight` is the target's cached `l_i^α / P(i)`, consulted lazily —
+/// exactly like [`PathLossCache::relative_interference_on`], an unavailable
+/// weight only surfaces (`None`) once a non-self source is actually summed,
+/// which preserves the "a singleton set is trivially feasible" corner.
+/// Terms are added in `members` order; `Some(INFINITY)` reports a collocated
+/// interferer.
+pub fn relative_interference_sum<'a, L, P>(
+    pow: AlphaPow,
+    members: &[usize],
+    target: usize,
+    target_weight: Option<f64>,
+    link_of: L,
+    power_of: P,
+) -> Option<f64>
+where
+    L: Fn(usize) -> &'a Link,
+    P: Fn(usize) -> Option<f64>,
+{
+    let t = link_of(members[target]);
+    let receiver = t.receiver;
+    let target_id = t.id;
+    let mut weight = f64::NAN;
+    let mut weight_loaded = false;
+    let mut total = 0.0;
+    for &j in members {
+        let source = link_of(j);
+        if source.id == target_id {
+            continue;
+        }
+        if !weight_loaded {
+            weight = target_weight?;
+            weight_loaded = true;
+        }
+        let p_j = power_of(j)?;
+        let d = source.sender.distance(receiver);
+        if d <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        total += p_j * weight / pow.pow(d);
+    }
+    Some(total)
 }
 
 #[cfg(test)]
@@ -280,6 +408,59 @@ mod tests {
         let cache = PathLossCache::new(&model, &links, &empty);
         assert_eq!(cache.relative_interference_on(0), None);
         assert!(!cache.is_feasible());
+    }
+
+    #[test]
+    fn subset_checks_match_fresh_subset_caches() {
+        let model = SinrModel::default();
+        let links = vec![
+            line_link(0, 0.0, 1.0),
+            line_link(1, 4.0, 5.0),
+            line_link(2, 11.0, 13.0),
+            line_link(3, 20.0, 20.5),
+            line_link(4, 31.0, 36.0),
+        ];
+        let power = PowerAssignment::mean();
+        let cache = PathLossCache::new(&model, &links, &power);
+        let subsets: Vec<Vec<usize>> = vec![vec![0], vec![1, 3], vec![0, 2, 4], vec![4, 2, 0, 1]];
+        for members in subsets {
+            let subset_links: Vec<Link> = members.iter().map(|&i| links[i]).collect();
+            let fresh = PathLossCache::new(&model, &subset_links, &power);
+            assert_eq!(
+                cache.subset_feasible(&members),
+                fresh.is_feasible(),
+                "verdict differs on subset {members:?}"
+            );
+            for k in 0..members.len() {
+                let via_subset = cache.subset_relative_interference_on(&members, k);
+                let via_fresh = fresh.relative_interference_on(k);
+                match (via_subset, via_fresh) {
+                    (Some(a), Some(b)) => assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "sum differs for target {k} of {members:?}"
+                    ),
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_the_cache() {
+        let model = SinrModel::default();
+        let links = vec![line_link(0, 0.0, 1.0), line_link(1, 5.0, 7.0)];
+        let power = PowerAssignment::mean();
+        let fresh = PathLossCache::new(&model, &links, &power);
+        let expect: Vec<Option<f64>> = (0..links.len())
+            .map(|i| fresh.relative_interference_on(i))
+            .collect();
+        let (powers, weights) = fresh.into_parts();
+        let rebuilt = PathLossCache::from_parts(&model, &links, powers, weights);
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(rebuilt.relative_interference_on(i), *want);
+        }
+        assert!(rebuilt.is_feasible());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Mobile networks through the incremental engine: random-waypoint motion,
+//! per-event maintenance, periodic rescheduling.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mobile_network
+//! ```
+//!
+//! The paper's schedules are computed for a static deployment; this example
+//! exercises the other regime the convergecast setting naturally lives in —
+//! *moving* nodes. A seeded random-waypoint trace
+//! (`wagg_instances::mobility`) drives `MoveNode` events through the
+//! `wagg-engine` incremental interference engine, which patches its spatial
+//! grids, conflict adjacency and path-loss state per event instead of
+//! rebuilding them; every few steps the current link set is rescheduled from
+//! the maintained state.
+
+use wireless_aggregation::engine::{run_trace, EngineConfig, EngineTrace, InterferenceEngine};
+use wireless_aggregation::instances::mobility::{random_waypoint, WaypointConfig};
+use wireless_aggregation::schedule::SchedulerConfig;
+use wireless_aggregation::PowerMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let waypoints = WaypointConfig {
+        nodes: 60,
+        side: 150.0,
+        speed: 4.0,
+        steps: 12,
+        seed: 5,
+    };
+    let trace = random_waypoint(&waypoints);
+    println!(
+        "Random-waypoint trace: {} nodes in a {:.0} m square, {} steps at speed {:.1}",
+        waypoints.nodes, waypoints.side, waypoints.steps, waypoints.speed
+    );
+
+    let sched_config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let mut engine = InterferenceEngine::new(EngineConfig::for_scheduler(sched_config));
+
+    // Replay the trace one step at a time, rescheduling after each step.
+    let engine_trace = EngineTrace::from_mobility(&trace);
+    let moves_per_step = waypoints.nodes;
+    let setup = engine_trace.events.len() - trace.moves.len();
+    let (initial, moves) = engine_trace.events.split_at(setup);
+    run_trace(
+        &mut engine,
+        &EngineTrace {
+            name: "setup".into(),
+            events: initial.to_vec(),
+        },
+    )?;
+    println!(
+        "Initial chain: {} links, {} conflict edges\n",
+        engine.len(),
+        engine.edge_count()
+    );
+    println!("step | conflict edges | slots | rate    | engine events applied");
+    for (step, chunk) in moves.chunks(moves_per_step).enumerate() {
+        run_trace(
+            &mut engine,
+            &EngineTrace {
+                name: format!("step-{step}"),
+                events: chunk.to_vec(),
+            },
+        )?;
+        let report = engine.schedule(sched_config);
+        println!(
+            "{step:>4} | {:>14} | {:>5} | {:.5} | {:>6}",
+            engine.edge_count(),
+            report.schedule.len(),
+            report.rate(),
+            engine.stats().inserts + engine.stats().removals,
+        );
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nEngine maintenance: {} inserts, {} removals, {} moves, \
+         {} grid rebuilds, {} adjacency compactions",
+        stats.inserts, stats.removals, stats.moves, stats.grid_rebuilds, stats.compactions
+    );
+    println!(
+        "Every event patched only the affected neighbourhood — no full \
+         conflict-graph or path-loss rebuild happened at any step."
+    );
+    Ok(())
+}

@@ -2,34 +2,246 @@
 //! interference kernels use.
 //!
 //! The build environment has no crates.io access, so this crate implements the
-//! rayon API shape the workspace needs on top of `std::thread::scope`:
+//! rayon API shape the workspace needs on top of a **persistent worker pool**:
 //!
 //! * `slice.par_iter().map(f).sum::<f64>()` / `.collect::<Vec<_>>()` / `.all(p)`
 //! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
 //!
-//! Work is distributed over [`num_threads`] workers through a block-stealing
-//! atomic cursor (so irregular per-item costs balance), and **results are
-//! always reassembled in input order**. Adapters are *eager*: `map` runs the
-//! closure in parallel immediately and hands back a [`ParResults`] holding the
-//! mapped values, whose `sum`/`collect`/`reduce` then fold **serially in input
-//! order**. Parallel sums are therefore bit-identical to their serial
-//! counterparts — a stronger guarantee than crates.io rayon's tree reduction,
-//! and the property the SINR kernels' "parallel equals serial" tests rely on.
+//! Worker threads are spawned **once**, on the first parallel call, and reused
+//! by every subsequent call (they park between jobs), which amortises the
+//! thread-spawn latency the previous `std::thread::scope`-per-call engine paid
+//! on every kernel invocation — a visible win for the fine-grained calls the
+//! incremental engine makes per churn event. Work is distributed over the
+//! workers through a block-stealing atomic cursor (so irregular per-item costs
+//! balance), and **results are always reassembled in input order**. Adapters
+//! are *eager*: `map` runs the closure in parallel immediately and hands back
+//! a [`ParResults`] holding the mapped values, whose `sum`/`collect`/`reduce`
+//! then fold **serially in input order**. Parallel sums are therefore
+//! bit-identical to their serial counterparts — a stronger guarantee than
+//! crates.io rayon's tree reduction, and the property the SINR kernels'
+//! "parallel equals serial" tests rely on.
+//!
+//! Pool mechanics worth knowing:
+//!
+//! * **Scoped borrows** — jobs may capture non-`'static` references; the
+//!   submitting thread never returns before every worker has finished the
+//!   job (a completion barrier), so the borrows outlive all uses.
+//! * **Reentrancy** — a parallel call made from inside a pool job (nested
+//!   parallelism) runs serially inline instead of deadlocking on the pool.
+//! * **Panics** — a panic in any worker is caught and re-raised on the
+//!   submitting thread once the job has fully drained, matching the
+//!   `std::thread::scope` behaviour the previous engine had.
 //!
 //! Inputs shorter than [`MIN_PARALLEL_LEN`] are processed inline: below that
-//! size thread-spawn latency dominates any speedup.
+//! size even a parked-thread wakeup dominates any speedup.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Inputs shorter than this are mapped serially on the calling thread.
 pub const MIN_PARALLEL_LEN: usize = 16;
 
-/// Number of worker threads used by parallel operations.
+/// Number of threads parallel operations fan out over (workers + caller).
 pub fn num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A job pointer broadcast to the workers. The `'static` lifetime is a lie
+/// erased by [`run_on_pool`]; soundness comes from its completion barrier
+/// (the submitter blocks until every worker is done with the job).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared execution is fine) and the barrier in
+// `run_on_pool` guarantees it outlives every worker's use.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Monotone job counter; workers run one pass per unseen epoch.
+    epoch: u64,
+    /// The job of the current epoch, if one is in flight.
+    job: Option<JobPtr>,
+    /// Workers still executing the current job.
+    running: usize,
+    /// First panic payload raised by a worker during the current job.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// The persistent worker pool: spawned once, reused by every parallel call.
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work: Condvar,
+    /// The submitter waits here for `running == 0`.
+    done: Condvar,
+    /// Number of worker threads the pool wants to run.
+    workers: usize,
+    /// Number of worker threads that actually spawned (a failed spawn —
+    /// thread limits, OOM — must not leave the barrier waiting for a
+    /// decrement that can never come).
+    spawned: AtomicUsize,
+    /// Serialises top-level parallel calls: one broadcast job at a time.
+    gate: Mutex<()>,
+}
+
+static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+
+thread_local! {
+    /// Set while this thread is executing (part of) a pool job; nested
+    /// parallel calls check it and run inline instead of re-entering the pool.
+    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn in_pool_job() -> bool {
+    IN_POOL_JOB.with(|f| f.get())
+}
+
+/// The process-wide pool, spawning its workers on first use. `None` when the
+/// machine has a single hardware thread (everything runs serially then).
+fn pool() -> Option<&'static Pool> {
+    let pool = POOL
+        .get_or_init(|| {
+            let workers = num_threads().saturating_sub(1);
+            if workers == 0 {
+                return None;
+            }
+            Some(Pool {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    running: 0,
+                    panic: None,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                workers,
+                spawned: AtomicUsize::new(0),
+                gate: Mutex::new(()),
+            })
+        })
+        .as_ref();
+    if let Some(pool) = pool {
+        spawn_workers(pool);
+    }
+    pool
+}
+
+/// Spawns the worker threads exactly once (detached; they park between jobs
+/// and die with the process).
+fn spawn_workers(pool: &'static Pool) {
+    static SPAWNED: OnceLock<()> = OnceLock::new();
+    SPAWNED.get_or_init(|| {
+        for i in 0..pool.workers {
+            if std::thread::Builder::new()
+                .name(format!("wagg-par-{i}"))
+                .spawn(move || worker_loop(pool))
+                .is_ok()
+            {
+                pool.spawned.fetch_add(1, Ordering::Release);
+            }
+        }
+    });
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(job) = st.job {
+                        break job;
+                    }
+                }
+                st = pool.work.wait(st).unwrap();
+            }
+        };
+        IN_POOL_JOB.with(|f| f.set(true));
+        // SAFETY: the submitter's barrier keeps the job alive until `running`
+        // drops to zero below.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)() }));
+        IN_POOL_JOB.with(|f| f.set(false));
+        let mut st = pool.state.lock().unwrap();
+        if let Err(payload) = outcome {
+            st.panic.get_or_insert(payload);
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            pool.done.notify_all();
+        }
+    }
+}
+
+/// Runs `f` once on the calling thread and once on every pool worker,
+/// returning only after all of them finish (the completion barrier that makes
+/// borrowing jobs sound). Falls back to a single inline call when no pool is
+/// available or the call is nested inside a pool job.
+fn run_on_pool(f: &(dyn Fn() + Sync)) {
+    let Some(pool) = pool() else {
+        f();
+        return;
+    };
+    if in_pool_job() {
+        // Nested parallelism: the pool is (or may be) busy with the job this
+        // thread is part of; run inline to avoid deadlock.
+        f();
+        return;
+    }
+    // Another top-level job in flight (or a poisoned gate): rather than
+    // blocking idle until it drains, do this call's whole share serially on
+    // the calling thread — work-conserving, and the block-stealing cursor
+    // makes the result identical.
+    let Ok(gate) = pool.gate.try_lock() else {
+        f();
+        return;
+    };
+    let workers = pool.spawned.load(Ordering::Acquire);
+    if workers == 0 {
+        // Every spawn failed: the calling thread is the whole pool.
+        f();
+        return;
+    }
+    // SAFETY (lifetime erasure): workers only dereference the pointer before
+    // the barrier below releases, while `f` is still live on this frame.
+    let job = JobPtr(unsafe {
+        std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+            f as *const _,
+        )
+    });
+    {
+        let mut st = pool.state.lock().unwrap();
+        st.epoch += 1;
+        st.job = Some(job);
+        st.running = workers;
+        st.panic = None;
+        pool.work.notify_all();
+    }
+    // The submitting thread participates too; even if its share panics, the
+    // barrier must still drain before unwinding past the borrowed job.
+    IN_POOL_JOB.with(|flag| flag.set(true));
+    let mine = catch_unwind(AssertUnwindSafe(f));
+    IN_POOL_JOB.with(|flag| flag.set(false));
+    let worker_panic = {
+        let mut st = pool.state.lock().unwrap();
+        while st.running > 0 {
+            st = pool.done.wait(st).unwrap();
+        }
+        st.job = None;
+        st.panic.take()
+    };
+    drop(gate);
+    if let Err(payload) = mine {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
 }
 
 /// Runs `f(i)` for every `i in 0..n` in parallel, returning results in index
@@ -40,26 +252,22 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = num_threads();
-    if n < MIN_PARALLEL_LEN || threads <= 1 {
+    if n < MIN_PARALLEL_LEN || threads <= 1 || in_pool_job() {
         return (0..n).map(f).collect();
     }
-    // Block-stealing: workers pull fixed-size index blocks from a shared
+    // Block-stealing: participants pull fixed-size index blocks from a shared
     // cursor, so a few expensive items cannot serialise the whole call.
     let block = (n / (threads * 8)).max(1);
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n / block + 1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(block, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + block).min(n);
-                let chunk: Vec<R> = (start..end).map(&f).collect();
-                done.lock().unwrap().push((start, chunk));
-            });
+    run_on_pool(&|| loop {
+        let start = cursor.fetch_add(block, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
+        let end = (start + block).min(n);
+        let chunk: Vec<R> = (start..end).map(&f).collect();
+        done.lock().unwrap().push((start, chunk));
     });
     let mut blocks = done.into_inner().unwrap();
     blocks.sort_unstable_by_key(|&(start, _)| start);
@@ -72,40 +280,36 @@ where
 
 /// Whether `f(i)` holds for every `i in 0..n`, with cooperative
 /// short-circuiting: the first failure raises a cancellation flag that every
-/// worker checks per item, so an early counterexample stops the whole call in
-/// ~one item per worker (matching the serial `Iterator::all` cost profile on
-/// infeasible inputs instead of paying for the full scan).
+/// participant checks per item, so an early counterexample stops the whole
+/// call in ~one item per worker (matching the serial `Iterator::all` cost
+/// profile on infeasible inputs instead of paying for the full scan).
 fn par_all_indexed<F>(n: usize, f: F) -> bool
 where
     F: Fn(usize) -> bool + Sync,
 {
     let threads = num_threads();
-    if n < MIN_PARALLEL_LEN || threads <= 1 {
+    if n < MIN_PARALLEL_LEN || threads <= 1 || in_pool_job() {
         return (0..n).all(f);
     }
     let block = (n / (threads * 8)).max(1);
     let cursor = AtomicUsize::new(0);
     let failed = std::sync::atomic::AtomicBool::new(false);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| 'work: loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let start = cursor.fetch_add(block, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                for i in start..(start + block).min(n) {
-                    if failed.load(Ordering::Relaxed) {
-                        break 'work;
-                    }
-                    if !f(i) {
-                        failed.store(true, Ordering::Relaxed);
-                        break 'work;
-                    }
-                }
-            });
+    run_on_pool(&|| 'work: loop {
+        if failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let start = cursor.fetch_add(block, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        for i in start..(start + block).min(n) {
+            if failed.load(Ordering::Relaxed) {
+                break 'work;
+            }
+            if !f(i) {
+                failed.store(true, Ordering::Relaxed);
+                break 'work;
+            }
         }
     });
     !failed.load(Ordering::Relaxed)
@@ -359,5 +563,66 @@ mod tests {
         let xs = vec![1, 2, 3];
         let s: i32 = xs.par_iter().map(|&x| x).sum();
         assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn workers_are_persistent_across_calls() {
+        // With spawn-per-call engines every call creates fresh threads (Rust
+        // ThreadIds are never reused); with the persistent pool the set of
+        // distinct executing threads across many calls stays bounded by
+        // workers + callers.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..25 {
+            let xs: Vec<usize> = (0..50_000).collect();
+            let _: usize = xs
+                .par_iter()
+                .map(|&x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    x
+                })
+                .sum();
+        }
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= super::num_threads() + 1,
+            "{distinct} distinct threads across 25 calls — workers were not reused"
+        );
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        // A parallel call issued from inside a pool job must not deadlock;
+        // it runs serially on the worker instead.
+        let outer: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| (0..64usize).into_par_iter().map(|j| i + j).sum::<usize>())
+            .collect();
+        let expect: Vec<usize> = (0..64usize)
+            .map(|i| (0..64usize).map(|j| i + j).sum::<usize>())
+            .collect();
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<usize> = (0..10_000).collect();
+            let _: Vec<usize> = xs
+                .par_iter()
+                .map(|&x| {
+                    if x == 7777 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic in a pool job must propagate");
+        // The pool must stay usable after a panicked job.
+        let xs: Vec<usize> = (0..10_000).collect();
+        let s: usize = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 9999 * 10_000 / 2);
     }
 }
