@@ -21,17 +21,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> serial build (--no-default-features: parallel kernels off)"
 cargo build --workspace --no-default-features
 
-echo "==> serial kernel tests"
-cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine
+echo "==> serial kernel tests (incl. the sharded-scheduling sweep)"
+cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition
 
 if [[ "$MODE" != "quick" ]]; then
   echo "==> release build (tier-1)"
   cargo build --release
 
+  echo "==> examples compile check"
+  cargo build --workspace --examples
+
   echo "==> root tests (tier-1)"
   cargo test -q
 
-  echo "==> workspace tests"
+  echo "==> workspace tests (incl. wagg-partition shard-invariance properties)"
   cargo test -q --workspace
 fi
 

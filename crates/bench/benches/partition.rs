@@ -1,0 +1,102 @@
+//! The sharded-scheduling perf suite: build + schedule wall-clock of
+//! `wagg_partition::schedule_sharded` against the unsharded
+//! `wagg_schedule::schedule_links` path.
+//!
+//! Run with
+//!
+//! ```text
+//! CRITERION_BENCH_JSON=$PWD/BENCH_partition.json cargo bench -p wagg-bench --bench partition
+//! ```
+//!
+//! from the repository root to refresh `BENCH_partition.json`. The workload
+//! is the kernel/engine suites' constant-density uniform unit-link square at
+//! n ∈ {50 000, 200 000, 1 000 000}, scheduled under the oblivious mean
+//! power mode with slot verification on (the production configuration).
+//! Shard counts {1, 4, 16, 64} are measured at every size.
+//!
+//! The **unsharded baseline is measured at 50k and 200k only**: its slot
+//! verification is a quadratic `subset_feasible` scan per color class
+//! (`O(n²/colors)` pairs), which at n = 1M means ~10¹¹ pair evaluations per
+//! run — hours, not minutes, which is precisely the ceiling this crate
+//! removes. The sharded path replaces that scan with the certified
+//! tile-bound verifier, so even `shards = 1` completes at n = 1M.
+//!
+//! Feasibility of the sharded schedules is asserted once per size outside
+//! the timed loops (slot-by-slot affectance at 50k, partition structure at
+//! the larger sizes where the exact check would dwarf the bench itself).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wagg_geometry::rng::{seeded_rng, uniform_in};
+use wagg_geometry::Point;
+use wagg_partition::schedule_sharded;
+use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+use wagg_sinr::affectance::is_feasible_by_affectance;
+use wagg_sinr::Link;
+
+/// `(n, measure the unsharded baseline?)`.
+const CASES: [(usize, bool); 3] = [(50_000, true), (200_000, true), (1_000_000, false)];
+const SHARDS: [usize; 4] = [1, 4, 16, 64];
+
+/// Unit links at constant density (the kernel/engine bench family).
+fn uniform_unit_links(n: usize, seed: u64) -> Vec<Link> {
+    let side = (n as f64).sqrt() * 4.0;
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|i| {
+            let x = uniform_in(&mut rng, 0.0, side);
+            let y = uniform_in(&mut rng, 0.0, side);
+            let angle = uniform_in(&mut rng, 0.0, std::f64::consts::TAU);
+            Link::new(
+                i,
+                Point::new(x, y),
+                Point::new(x + angle.cos(), y + angle.sin()),
+            )
+        })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_build_schedule");
+    group.sample_size(10);
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    for &(n, baseline) in &CASES {
+        let links = uniform_unit_links(n, n as u64);
+
+        // One-time correctness gate per size, outside the timing loops.
+        let gate = schedule_sharded(&links, config, 16);
+        assert!(gate.report.schedule.is_partition(n));
+        if n <= 50_000 {
+            let assignment = config.mode.assignment().expect("oblivious mode is fixed");
+            for slot in gate.report.schedule.slots() {
+                let slot_links: Vec<Link> = slot.iter().map(|&i| links[i]).collect();
+                assert!(is_feasible_by_affectance(
+                    &config.model,
+                    &slot_links,
+                    &assignment
+                ));
+            }
+        }
+
+        if baseline {
+            group.bench_function(BenchmarkId::new("unsharded", n), |b| {
+                b.iter(|| black_box(schedule_links(&links, config).schedule.len()))
+            });
+        }
+        for &shards in &SHARDS {
+            group.bench_function(BenchmarkId::new(format!("shards{shards}"), n), |b| {
+                b.iter(|| {
+                    black_box(
+                        schedule_sharded(&links, config, shards)
+                            .report
+                            .schedule
+                            .len(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

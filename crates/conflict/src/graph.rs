@@ -285,6 +285,82 @@ impl ConflictGraph {
         (&self.offsets, &self.neighbors)
     }
 
+    /// The subgraph induced by `vertices` (strictly ascending indices into
+    /// this graph), with **stable id remapping**: vertex `vertices[k]` becomes
+    /// vertex `k` of the subgraph, its link is relabeled to id `k`, and
+    /// `vertices` itself is the local → original id map. Rows are extracted by
+    /// membership filtering of the CSR rows, so no geometry is re-run and the
+    /// result equals `ConflictGraph::build` over the relabeled sub-links.
+    ///
+    /// This is the extraction hook of the sharded scheduler (`wagg-partition`):
+    /// a shard builds one graph over its owned + ghost links, then schedules
+    /// the owned-only restriction without rebuilding anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vertices` is not strictly ascending or contains an
+    /// out-of-range index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_geometry::Point;
+    /// use wagg_sinr::Link;
+    /// use wagg_conflict::{ConflictGraph, ConflictRelation};
+    ///
+    /// let links = vec![
+    ///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+    ///     Link::new(1, Point::new(1.5, 0.0), Point::new(2.5, 0.0)),
+    ///     Link::new(2, Point::new(3.0, 0.0), Point::new(4.0, 0.0)),
+    /// ];
+    /// let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+    /// let sub = g.induced_subgraph(&[0, 2]);
+    /// assert_eq!(sub.len(), 2);
+    /// assert!(!sub.are_adjacent(0, 1)); // links 0 and 2 are independent
+    /// ```
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> ConflictGraph {
+        assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "vertices must be strictly ascending"
+        );
+        if let Some(&last) = vertices.last() {
+            assert!(last < self.len(), "vertex {last} out of range");
+        }
+        let mut local_of = vec![usize::MAX; self.len()];
+        for (local, &v) in vertices.iter().enumerate() {
+            local_of[v] = local;
+        }
+        let links: Vec<Link> = vertices
+            .iter()
+            .enumerate()
+            .map(|(local, &v)| {
+                let mut link = self.links[v];
+                link.id = local.into();
+                link
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(vertices.len() + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::new();
+        for &v in vertices {
+            // The source row is ascending and the remap is monotone, so the
+            // filtered row stays sorted.
+            neighbors.extend(
+                self.neighbors(v)
+                    .iter()
+                    .map(|&u| local_of[u])
+                    .filter(|&u| u != usize::MAX),
+            );
+            offsets.push(neighbors.len());
+        }
+        ConflictGraph {
+            links,
+            relation: self.relation,
+            offsets,
+            neighbors,
+        }
+    }
+
     /// The links the graph was built over, in vertex order.
     pub fn links(&self) -> &[Link] {
         &self.links
@@ -562,6 +638,49 @@ mod tests {
         assert_eq!(grid, naive);
         // The degenerate link conflicts with everything.
         assert_eq!(grid.degree(links.len() - 1), links.len() - 1);
+    }
+
+    #[test]
+    fn induced_subgraph_matches_a_rebuild_over_the_sublinks() {
+        let links = chain(120, 0.4);
+        for relation in [
+            ConflictRelation::unit_constant(),
+            ConflictRelation::oblivious_default(),
+        ] {
+            let g = ConflictGraph::build(&links, relation);
+            // Every third link, plus a boundary-ish tail.
+            let vertices: Vec<usize> = (0..links.len()).filter(|v| v % 3 != 1).collect();
+            let sub = g.induced_subgraph(&vertices);
+            let relabeled: Vec<Link> = vertices
+                .iter()
+                .enumerate()
+                .map(|(local, &v)| {
+                    let mut l = links[v];
+                    l.id = local.into();
+                    l
+                })
+                .collect();
+            let rebuilt = ConflictGraph::build(&relabeled, relation);
+            assert_eq!(sub, rebuilt, "subgraph mismatch under {relation}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_of_everything_is_the_graph_itself() {
+        let links = chain(30, 0.6);
+        let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        let all: Vec<usize> = (0..links.len()).collect();
+        assert_eq!(g.induced_subgraph(&all), g);
+        let empty = g.induced_subgraph(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn induced_subgraph_rejects_unsorted_vertices() {
+        let links = chain(5, 0.5);
+        let g = ConflictGraph::build(&links, ConflictRelation::unit_constant());
+        let _ = g.induced_subgraph(&[2, 1]);
     }
 
     #[test]

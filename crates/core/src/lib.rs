@@ -50,6 +50,7 @@ pub use wagg_instances as instances;
 pub use wagg_latency as latency;
 pub use wagg_mst as mst;
 pub use wagg_multihop as multihop;
+pub use wagg_partition as partition;
 pub use wagg_protocol as protocol;
 pub use wagg_schedule as schedule;
 pub use wagg_sim as sim;

@@ -14,14 +14,14 @@
 //!   (`node i` transmits to `node i − 1`) and every waypoint step becomes a
 //!   [`EngineEvent::MoveNode`], so each event re-seats at most two links.
 
-use crate::engine::InterferenceEngine;
+use crate::engine::{BatchOp, InterferenceEngine};
 use crate::error::EngineError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wagg_geometry::rng::seeded_rng;
 use wagg_geometry::Point;
-use wagg_instances::mobility::MobilityTrace;
+use wagg_instances::mobility::{handover_events, MobilityTrace};
 use wagg_sinr::NodeId;
 
 /// One replayable engine event.
@@ -90,6 +90,70 @@ impl EngineTrace {
             events,
         }
     }
+
+    /// Adapts a mobility trace to **handover mobility** against a static
+    /// relay set: every mobile node `i` (pointset nodes `0..n`) keeps one
+    /// uplink to its associated relay (pointset nodes `n..n + relays.len()`,
+    /// never moving), waypoint moves become [`EngineEvent::MoveNode`]s that
+    /// drag the uplink's sender endpoint along, and whenever the node drifts
+    /// past the hysteresis `margin`
+    /// ([`wagg_instances::mobility::handover_events`]) the uplink is
+    /// re-associated — a [`EngineEvent::Remove`] of the old uplink followed
+    /// by an [`EngineEvent::Insert`] towards the new nearest relay. Each
+    /// handover therefore touches exactly one link's neighbourhood, the
+    /// workload the incremental engine is built for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `relays` is empty or `margin` is negative (propagated
+    /// from `handover_events`).
+    pub fn from_handover(trace: &MobilityTrace, relays: &[Point], margin: f64) -> Self {
+        let n = trace.initial.len();
+        let (initial_assoc, handovers) = handover_events(trace, relays, margin);
+        let mut events = Vec::with_capacity(n + trace.moves.len() + 2 * handovers.len());
+        // Uplink of node i starts under key i; re-associations mint fresh keys.
+        let mut uplink_key: Vec<u64> = (0..n as u64).collect();
+        let mut next_key = n as u64;
+        for (i, (&pos, &relay)) in trace.initial.iter().zip(&initial_assoc).enumerate() {
+            events.push(EngineEvent::Insert {
+                key: i as u64,
+                sender: pos,
+                receiver: relays[relay],
+                sender_node: Some(i),
+                receiver_node: Some(n + relay),
+            });
+        }
+        let mut pending = handovers.iter().peekable();
+        for (move_index, m) in trace.moves.iter().enumerate() {
+            events.push(EngineEvent::MoveNode {
+                node: m.node,
+                to: m.to,
+            });
+            while let Some(h) = pending.peek() {
+                if h.move_index != move_index {
+                    break;
+                }
+                events.push(EngineEvent::Remove {
+                    key: uplink_key[h.node],
+                });
+                let key = next_key;
+                next_key += 1;
+                uplink_key[h.node] = key;
+                events.push(EngineEvent::Insert {
+                    key,
+                    sender: m.to,
+                    receiver: relays[h.to_relay],
+                    sender_node: Some(h.node),
+                    receiver_node: Some(n + h.to_relay),
+                });
+                pending.next();
+            }
+        }
+        EngineTrace {
+            name: format!("handover-n{}-r{}-s{}", n, relays.len(), trace.config.steps),
+            events,
+        }
+    }
 }
 
 /// A steady-state churn trace: `n` initial unit-ish links uniformly placed in
@@ -150,6 +214,71 @@ pub struct TraceOutcome {
     pub final_edges: usize,
 }
 
+/// A persistent trace-key → engine-slot binding, for replaying a trace in
+/// pieces (e.g. one mobility step at a time, rescheduling in between).
+/// [`run_trace`] is a one-shot wrapper around it; a binding must only ever
+/// be used with the engine it has been applying events to.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBinding {
+    slot_of: HashMap<u64, usize>,
+}
+
+impl TraceBinding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        TraceBinding::default()
+    }
+
+    /// The engine slot currently bound to `key`, if live.
+    pub fn slot_of(&self, key: u64) -> Option<usize> {
+        self.slot_of.get(&key).copied()
+    }
+
+    /// Applies `events` to `engine` one by one, updating the binding.
+    /// Returns the number of events applied.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTraceKey`] when a `Remove` names a key that is
+    /// not live (including double-removes); engine errors are propagated.
+    pub fn apply(
+        &mut self,
+        engine: &mut InterferenceEngine,
+        events: &[EngineEvent],
+    ) -> Result<usize, EngineError> {
+        for event in events {
+            match *event {
+                EngineEvent::Insert {
+                    key,
+                    sender,
+                    receiver,
+                    sender_node,
+                    receiver_node,
+                } => {
+                    let slot = match (sender_node, receiver_node) {
+                        (Some(s), Some(r)) => {
+                            engine.insert_link_with_nodes(sender, receiver, NodeId(s), NodeId(r))
+                        }
+                        _ => engine.insert_link(sender, receiver),
+                    };
+                    self.slot_of.insert(key, slot);
+                }
+                EngineEvent::Remove { key } => {
+                    let slot = self
+                        .slot_of
+                        .remove(&key)
+                        .ok_or(EngineError::UnknownTraceKey { key })?;
+                    engine.remove_link(slot)?;
+                }
+                EngineEvent::MoveNode { node, to } => {
+                    engine.move_node(node, to);
+                }
+            }
+        }
+        Ok(events.len())
+    }
+}
+
 /// Replays a trace against an engine, binding trace keys to engine slots.
 ///
 /// # Errors
@@ -160,7 +289,62 @@ pub fn run_trace(
     engine: &mut InterferenceEngine,
     trace: &EngineTrace,
 ) -> Result<TraceOutcome, EngineError> {
+    let mut binding = TraceBinding::new();
+    binding.apply(engine, &trace.events)?;
+    Ok(TraceOutcome {
+        applied: trace.events.len(),
+        final_links: engine.len(),
+        final_edges: engine.edge_count(),
+    })
+}
+
+/// Replays a trace in batches of (at most) `batch` events through
+/// [`InterferenceEngine::apply_batch`], so each affected conflict row is
+/// recomputed once per batch instead of once per event — the natural way to
+/// apply a whole simulation step (e.g. one mobility step moves every node;
+/// pass `batch = nodes`). The final engine state is identical to
+/// [`run_trace`] (property-tested), only the maintenance cost differs.
+///
+/// A `Remove` whose key was inserted earlier **in the same pending batch**
+/// forces an early flush (its slot is only known once the batch runs), so
+/// batches never reorder events.
+///
+/// # Errors
+///
+/// Same contract as [`run_trace`]: [`EngineError::UnknownTraceKey`] for
+/// removes of keys that are not live, engine errors propagated.
+///
+/// # Panics
+///
+/// Panics when `batch == 0`.
+pub fn run_trace_batched(
+    engine: &mut InterferenceEngine,
+    trace: &EngineTrace,
+    batch: usize,
+) -> Result<TraceOutcome, EngineError> {
+    assert!(batch > 0, "batch size must be positive");
     let mut slot_of: HashMap<u64, usize> = HashMap::new();
+    let mut ops: Vec<BatchOp> = Vec::with_capacity(batch);
+    let mut pending_keys: Vec<u64> = Vec::new();
+
+    fn flush(
+        engine: &mut InterferenceEngine,
+        ops: &mut Vec<BatchOp>,
+        pending_keys: &mut Vec<u64>,
+        slot_of: &mut HashMap<u64, usize>,
+    ) -> Result<(), EngineError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let slots = engine.apply_batch(ops)?;
+        debug_assert_eq!(slots.len(), pending_keys.len());
+        for (key, slot) in pending_keys.drain(..).zip(slots) {
+            slot_of.insert(key, slot);
+        }
+        ops.clear();
+        Ok(())
+    }
+
     for event in &trace.events {
         match *event {
             EngineEvent::Insert {
@@ -170,25 +354,35 @@ pub fn run_trace(
                 sender_node,
                 receiver_node,
             } => {
-                let slot = match (sender_node, receiver_node) {
-                    (Some(s), Some(r)) => {
-                        engine.insert_link_with_nodes(sender, receiver, NodeId(s), NodeId(r))
-                    }
-                    _ => engine.insert_link(sender, receiver),
-                };
-                slot_of.insert(key, slot);
+                pending_keys.push(key);
+                ops.push(BatchOp::Insert {
+                    sender,
+                    receiver,
+                    sender_node: sender_node.map(NodeId),
+                    receiver_node: receiver_node.map(NodeId),
+                });
             }
             EngineEvent::Remove { key } => {
-                let slot = slot_of
-                    .remove(&key)
-                    .ok_or(EngineError::UnknownTraceKey { key })?;
-                engine.remove_link(slot)?;
+                if pending_keys.contains(&key) {
+                    flush(engine, &mut ops, &mut pending_keys, &mut slot_of)?;
+                }
+                let Some(slot) = slot_of.remove(&key) else {
+                    // Fail in the same engine state the per-event path
+                    // would: everything before the bad event applied.
+                    flush(engine, &mut ops, &mut pending_keys, &mut slot_of)?;
+                    return Err(EngineError::UnknownTraceKey { key });
+                };
+                ops.push(BatchOp::Remove { slot });
             }
             EngineEvent::MoveNode { node, to } => {
-                engine.move_node(node, to);
+                ops.push(BatchOp::MoveNode { node, to });
             }
         }
+        if ops.len() >= batch {
+            flush(engine, &mut ops, &mut pending_keys, &mut slot_of)?;
+        }
     }
+    flush(engine, &mut ops, &mut pending_keys, &mut slot_of)?;
     Ok(TraceOutcome {
         applied: trace.events.len(),
         final_links: engine.len(),
@@ -250,6 +444,92 @@ mod tests {
                 l.sender == finals[s] && l.receiver == finals[r]
             });
         assert!(moved, "links did not follow their nodes");
+    }
+
+    #[test]
+    fn handover_traces_reassociate_uplinks_to_the_nearest_relay() {
+        let trace = random_waypoint(&WaypointConfig {
+            nodes: 9,
+            side: 60.0,
+            speed: 6.0,
+            steps: 20,
+            seed: 21,
+        });
+        let relays = vec![
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+            Point::new(0.0, 60.0),
+            Point::new(60.0, 60.0),
+        ];
+        let engine_trace = EngineTrace::from_handover(&trace, &relays, 0.0);
+        let (_, handovers) = wagg_instances::mobility::handover_events(&trace, &relays, 0.0);
+        assert!(
+            !handovers.is_empty(),
+            "a 20-step trace across the square must hand over"
+        );
+        assert_eq!(
+            engine_trace.events.len(),
+            9 + trace.moves.len() + 2 * handovers.len()
+        );
+        let mut e = engine();
+        let outcome = run_trace(&mut e, &engine_trace).unwrap();
+        assert_eq!(outcome.final_links, 9); // one uplink per mobile node
+                                            // Every uplink ends at its node's final position, pointing at that
+                                            // node's margin-0 nearest relay.
+        let finals = trace.final_positions();
+        for slot in e.live_slots() {
+            let link = *e.link(slot).unwrap();
+            let node = link.sender_node.unwrap().index();
+            assert!(node < 9, "uplink sender must be a mobile node");
+            assert_eq!(link.sender, finals[node]);
+            let relay = link.receiver_node.unwrap().index() - 9;
+            let best = wagg_instances::mobility::nearest_relay(finals[node], &relays);
+            let d_assoc = finals[node].distance(relays[relay]);
+            let d_best = finals[node].distance(relays[best]);
+            assert!(
+                d_assoc <= d_best + 1e-9,
+                "node {node} associated to relay {relay}, nearest is {best}"
+            );
+        }
+        // Batched replay agrees event for event.
+        let mut batched = engine();
+        run_trace_batched(&mut batched, &engine_trace, 9).unwrap();
+        assert_eq!(e.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn batched_replay_matches_per_event_replay() {
+        let trace = churn_trace(60, 50, 9);
+        for batch in [1usize, 3, 16, 200] {
+            let mut per_event = engine();
+            let a = run_trace(&mut per_event, &trace).unwrap();
+            let mut batched = engine();
+            let b = run_trace_batched(&mut batched, &trace, batch).unwrap();
+            assert_eq!(a, b, "outcome differs at batch size {batch}");
+            assert_eq!(
+                per_event.snapshot(),
+                batched.snapshot(),
+                "state differs at batch size {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_replay_handles_mobility_steps() {
+        let trace = random_waypoint(&WaypointConfig {
+            nodes: 10,
+            side: 40.0,
+            speed: 3.0,
+            steps: 6,
+            seed: 4,
+        });
+        let engine_trace = EngineTrace::from_mobility(&trace);
+        let mut per_event = engine();
+        run_trace(&mut per_event, &engine_trace).unwrap();
+        let mut batched = engine();
+        // One batch per mobility step.
+        run_trace_batched(&mut batched, &engine_trace, trace.initial.len()).unwrap();
+        assert_eq!(per_event.snapshot(), batched.snapshot());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`UniformGrid`] — a uniform spatial hash over bounding boxes with
 //!   radius-bounded candidate queries, the index behind the fast conflict-graph
 //!   construction in `wagg-conflict`,
+//! * [`tiling::TileLayout`] — deterministic rectangular tilings with
+//!   halo-overlap queries, the domain decomposition behind the sharded
+//!   scheduler in `wagg-partition`,
 //! * length-diversity computations ([`diversity::length_diversity`]) — the parameter `Δ`
 //!   that all of the paper's bounds are phrased in,
 //! * the slow-growing functions `log*` and `log log` ([`logmath`]) used to state the
@@ -36,6 +39,7 @@ pub mod grid;
 pub mod logmath;
 pub mod point;
 pub mod rng;
+pub mod tiling;
 
 pub use bbox::BoundingBox;
 pub use grid::UniformGrid;

@@ -151,6 +151,102 @@ pub fn random_waypoint(config: &WaypointConfig) -> MobilityTrace {
     }
 }
 
+/// One handover decision: while applying move `move_index` (position
+/// `step`/`node` of the trace), the node's uplink re-associates from
+/// `from_relay` to `to_relay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandoverEvent {
+    /// Index into [`MobilityTrace::moves`] of the triggering move.
+    pub move_index: usize,
+    /// The simulation step of the triggering move.
+    pub step: usize,
+    /// The re-associating node.
+    pub node: usize,
+    /// Relay index the uplink leaves.
+    pub from_relay: usize,
+    /// Relay index the uplink re-associates to.
+    pub to_relay: usize,
+}
+
+/// The relay nearest to `p` (ties broken towards the lowest index, so the
+/// association is deterministic).
+///
+/// # Panics
+///
+/// Panics when `relays` is empty.
+pub fn nearest_relay(p: Point, relays: &[Point]) -> usize {
+    assert!(!relays.is_empty(), "need at least one relay");
+    let mut best = 0;
+    let mut best_d = p.distance_squared(relays[0]);
+    for (i, r) in relays.iter().enumerate().skip(1) {
+        let d = p.distance_squared(*r);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    best
+}
+
+/// Replays a mobility trace against a static relay set and computes every
+/// handover under a hysteresis margin: each node starts associated to its
+/// nearest relay, and re-associates to the (then) nearest relay whenever its
+/// current relay drifts past `(1 + margin)` times the nearest relay's
+/// distance. `margin = 0` hands over eagerly on any strict improvement;
+/// larger margins suppress ping-ponging between nearly equidistant relays.
+///
+/// Returns `(initial association per node, handovers in move order)` — the
+/// pure decision sequence; `wagg_engine::EngineTrace::from_handover` turns
+/// it into replayable engine events.
+///
+/// # Panics
+///
+/// Panics when `relays` is empty or `margin` is negative or non-finite.
+pub fn handover_events(
+    trace: &MobilityTrace,
+    relays: &[Point],
+    margin: f64,
+) -> (Vec<usize>, Vec<HandoverEvent>) {
+    assert!(!relays.is_empty(), "need at least one relay");
+    assert!(
+        margin >= 0.0 && margin.is_finite(),
+        "margin must be non-negative and finite"
+    );
+    let mut assoc: Vec<usize> = trace
+        .initial
+        .iter()
+        .map(|&p| nearest_relay(p, relays))
+        .collect();
+    let mut events = Vec::new();
+    for (move_index, m) in trace.moves.iter().enumerate() {
+        let current = assoc[m.node];
+        let best = nearest_relay(m.to, relays);
+        if best == current {
+            continue;
+        }
+        let d_current = m.to.distance(relays[current]);
+        let d_best = m.to.distance(relays[best]);
+        if d_current > (1.0 + margin) * d_best {
+            events.push(HandoverEvent {
+                move_index,
+                step: m.step,
+                node: m.node,
+                from_relay: current,
+                to_relay: best,
+            });
+            assoc[m.node] = best;
+        }
+    }
+    (
+        trace
+            .initial
+            .iter()
+            .map(|&p| nearest_relay(p, relays))
+            .collect(),
+        events,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +311,72 @@ mod tests {
         cfg.speed = 0.0;
         let trace = random_waypoint(&cfg);
         assert_eq!(trace.final_positions(), trace.initial);
+    }
+
+    fn corner_relays() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(0.0, 50.0),
+            Point::new(50.0, 50.0),
+        ]
+    }
+
+    #[test]
+    fn nearest_relay_breaks_ties_deterministically() {
+        let relays = corner_relays();
+        // The exact center is equidistant from all four corners.
+        assert_eq!(nearest_relay(Point::new(25.0, 25.0), &relays), 0);
+        assert_eq!(nearest_relay(Point::new(40.0, 5.0), &relays), 1);
+    }
+
+    #[test]
+    fn handovers_track_the_nearest_relay_and_are_deterministic() {
+        let trace = random_waypoint(&config(7));
+        let relays = corner_relays();
+        let (initial, events) = handover_events(&trace, &relays, 0.0);
+        let (initial2, events2) = handover_events(&trace, &relays, 0.0);
+        assert_eq!(initial, initial2);
+        assert_eq!(events, events2);
+        assert_eq!(initial.len(), 12);
+        // With margin 0, replaying the handovers keeps every node associated
+        // to a relay that is nearest at its latest position.
+        let mut assoc = initial.clone();
+        let mut positions = trace.initial.clone();
+        let mut next_event = events.iter().peekable();
+        for (i, m) in trace.moves.iter().enumerate() {
+            positions[m.node] = m.to;
+            while let Some(e) = next_event.peek() {
+                if e.move_index != i {
+                    break;
+                }
+                assert_eq!(e.node, m.node);
+                assert_eq!(assoc[e.node], e.from_relay);
+                assoc[e.node] = e.to_relay;
+                next_event.next();
+            }
+            let d_assoc = positions[m.node].distance(relays[assoc[m.node]]);
+            let d_best =
+                positions[m.node].distance(relays[nearest_relay(positions[m.node], &relays)]);
+            assert!(
+                d_assoc <= d_best + 1e-9,
+                "association not nearest at move {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_large_margin_suppresses_handovers() {
+        let trace = random_waypoint(&config(3));
+        let relays = corner_relays();
+        let (_, eager) = handover_events(&trace, &relays, 0.0);
+        let (_, reluctant) = handover_events(&trace, &relays, 1e6);
+        assert!(reluctant.is_empty());
+        // The eager policy hands over at least once on a 30-step trace
+        // crossing a 50-unit square.
+        assert!(!eager.is_empty());
+        // Intermediate margins hand over at most as often as margin 0.
+        let (_, medium) = handover_events(&trace, &relays, 0.5);
+        assert!(medium.len() <= eager.len());
     }
 }

@@ -1,0 +1,526 @@
+//! Per-shard incremental maintenance: churn events touch only the owning
+//! shard and its halo neighbours.
+//!
+//! [`PartitionedEngine`] keeps one `wagg_engine::InterferenceEngine` per
+//! tile of a fixed [`TileLayout`]. A link lives in its **owner** shard (the
+//! tile containing its midpoint) and as a **ghost** copy in every shard its
+//! halo-expanded bounding box overlaps — the same ownership rule the static
+//! [`PartitionLayout`](crate::PartitionLayout) uses, so the stitching
+//! invariants carry over: interior links have no cross-shard conflicts and
+//! every cross-shard conflict edge is present in both owners' member
+//! graphs. An insert or removal therefore updates a handful of engines
+//! (each incrementally, in `O(affected neighbourhood)`), never all of them.
+//!
+//! Because the tiling and its halo margin are fixed at construction, the
+//! engine declares the deployment extent and the link length bounds up
+//! front; inserting a link outside the declared length bounds would silently
+//! break the ghosting invariant, so it panics instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_geometry::{BoundingBox, Point};
+//! use wagg_partition::{PartitionedEngine, PartitionedEngineConfig};
+//! use wagg_schedule::{PowerMode, SchedulerConfig};
+//!
+//! let scheduler = SchedulerConfig::new(PowerMode::mean_oblivious());
+//! let config = PartitionedEngineConfig::new(
+//!     scheduler,
+//!     BoundingBox::new(0.0, 0.0, 100.0, 100.0),
+//!     (1.0, 2.0), // declared link length bounds
+//!     4,
+//! );
+//! let mut engine = PartitionedEngine::new(config);
+//! let a = engine.insert_link(Point::new(10.0, 10.0), Point::new(11.0, 10.0));
+//! let _b = engine.insert_link(Point::new(80.0, 80.0), Point::new(81.0, 80.0));
+//! engine.remove_link(a).unwrap();
+//! let sharded = engine.schedule();
+//! assert!(sharded.report.schedule.is_partition(engine.len()));
+//! ```
+
+use crate::layout::conflict_radius_bound;
+use crate::pipeline::{self, ShardPieces};
+use crate::ShardedReport;
+use std::collections::BTreeMap;
+use wagg_engine::{EngineConfig, EngineError, InterferenceEngine};
+use wagg_geometry::logmath::{log_log2, log_star};
+use wagg_geometry::tiling::TileLayout;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_schedule::{Schedule, ScheduleReport, SchedulerConfig};
+use wagg_sinr::link::link_diversity;
+use wagg_sinr::Link;
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Configuration of a [`PartitionedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedEngineConfig {
+    /// The scheduler configuration shard schedules are computed for (fixes
+    /// the conflict relation the shard engines maintain).
+    pub scheduler: SchedulerConfig,
+    /// The deployment region the tiling covers (links outside it clamp to
+    /// border tiles — correct, just less balanced).
+    pub extent: BoundingBox,
+    /// Declared bounds `(min, max)` on every inserted link's length; they
+    /// size the halo margin, so they are enforced per insert.
+    pub length_bounds: (f64, f64),
+    /// Target shard count (the halo-derived minimum tile side may cap it).
+    pub target_shards: usize,
+}
+
+impl PartitionedEngineConfig {
+    /// A configuration over `extent` for links with lengths in
+    /// `length_bounds`, aiming for `target_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are not `0 < min ≤ max < ∞`, the extent is not
+    /// finite, or `target_shards == 0`.
+    pub fn new(
+        scheduler: SchedulerConfig,
+        extent: BoundingBox,
+        length_bounds: (f64, f64),
+        target_shards: usize,
+    ) -> Self {
+        let (lo, hi) = length_bounds;
+        assert!(
+            lo > 0.0 && lo <= hi && hi.is_finite(),
+            "length bounds must satisfy 0 < min <= max < inf"
+        );
+        assert!(target_shards > 0, "need at least one shard");
+        assert!(
+            extent.min_x.is_finite()
+                && extent.min_y.is_finite()
+                && extent.max_x.is_finite()
+                && extent.max_y.is_finite(),
+            "extent must be finite"
+        );
+        PartitionedEngineConfig {
+            scheduler,
+            extent,
+            length_bounds,
+            target_shards,
+        }
+    }
+}
+
+/// Aggregate maintenance accounting across the shard engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionedStats {
+    /// Live links (each counted once, not per copy).
+    pub links: usize,
+    /// Ghost copies currently held by non-owner shards.
+    pub ghost_copies: usize,
+    /// Shards (tiles) in the decomposition.
+    pub shards: usize,
+    /// Engine events applied across all shards (inserts + removals,
+    /// including ghost-copy maintenance).
+    pub events: usize,
+}
+
+/// Where one link lives: its owner shard/slot plus its ghost copies.
+#[derive(Debug, Clone)]
+struct LinkSites {
+    owner_shard: u32,
+    owner_slot: u32,
+    /// `(shard, slot)` of each ghost copy, ascending by shard.
+    ghosts: Vec<(u32, u32)>,
+}
+
+/// A sharded, incrementally maintained link universe with a stitched
+/// scheduler (see the [module docs](self)).
+#[derive(Debug)]
+pub struct PartitionedEngine {
+    config: PartitionedEngineConfig,
+    tiles: TileLayout,
+    radius: f64,
+    halo: f64,
+    engines: Vec<InterferenceEngine>,
+    /// Per shard, per engine slot: `(key, owned)` of the link in the slot.
+    meta: Vec<Vec<Option<(u64, bool)>>>,
+    /// Key → placement; BTreeMap so iteration (and thus scheduling) is
+    /// deterministic.
+    sites: BTreeMap<u64, LinkSites>,
+    next_key: u64,
+}
+
+impl PartitionedEngine {
+    /// An empty engine over the configured tiling.
+    pub fn new(config: PartitionedEngineConfig) -> Self {
+        let relation = config
+            .scheduler
+            .mode
+            .conflict_relation(config.scheduler.model.alpha());
+        let radius = conflict_radius_bound(config.length_bounds, config.length_bounds, relation);
+        let halo = radius + config.length_bounds.1 / 2.0;
+        let tiles = TileLayout::cover(&config.extent, config.target_shards, 2.0 * halo);
+        let engines = (0..tiles.tiles())
+            .map(|_| InterferenceEngine::new(EngineConfig::for_scheduler(config.scheduler)))
+            .collect::<Vec<_>>();
+        let meta = vec![Vec::new(); tiles.tiles()];
+        PartitionedEngine {
+            config,
+            tiles,
+            radius,
+            halo,
+            engines,
+            meta,
+            sites: BTreeMap::new(),
+            next_key: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &PartitionedEngineConfig {
+        &self.config
+    }
+
+    /// Number of live links.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no links are live.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of shards in the decomposition.
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Live links (owned + ghost copies) in `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.engines[shard].len()
+    }
+
+    /// Aggregate accounting.
+    pub fn stats(&self) -> PartitionedStats {
+        let ghost_copies = self.sites.values().map(|s| s.ghosts.len()).sum();
+        let events = self
+            .engines
+            .iter()
+            .map(|e| {
+                let s = e.stats();
+                s.inserts + s.removals
+            })
+            .sum();
+        PartitionedStats {
+            links: self.sites.len(),
+            ghost_copies,
+            shards: self.engines.len(),
+            events,
+        }
+    }
+
+    /// The ownership rule, in one place: the owner tile (under the
+    /// midpoint) and the ghost tiles (halo-expanded bounding-box overlap,
+    /// owner excluded) of a link at this geometry. Everything that places,
+    /// re-places or predicts placement must go through here — the stitching
+    /// invariants depend on all of them agreeing.
+    fn site_tiles(&self, sender: Point, receiver: Point) -> (usize, Vec<usize>) {
+        let owner = self.tiles.tile_of(sender.midpoint(receiver));
+        let bbox = BoundingBox::of_segment(sender, receiver);
+        let mut ghosts = Vec::new();
+        self.tiles.for_each_tile_overlapping(&bbox, self.halo, |t| {
+            if t != owner {
+                ghosts.push(t);
+            }
+        });
+        (owner, ghosts)
+    }
+
+    /// Validates the declared length bounds for an insertion at this
+    /// geometry (the halo margin — and with it the correctness of the
+    /// decomposition — is sized from them).
+    fn assert_length_bounds(&self, sender: Point, receiver: Point) {
+        let len = sender.distance(receiver);
+        let (lo, hi) = self.config.length_bounds;
+        assert!(
+            len >= lo && len <= hi,
+            "link length {len} outside the configured bounds [{lo}, {hi}]"
+        );
+    }
+
+    /// Places a link into its owner and ghost engines under `key` and
+    /// records the sites.
+    fn place_link(&mut self, key: u64, sender: Point, receiver: Point) {
+        let (owner, ghost_tiles) = self.site_tiles(sender, receiver);
+        let owner_slot = self.place(owner, sender, receiver, key, true);
+        let mut ghosts = Vec::with_capacity(ghost_tiles.len());
+        for t in ghost_tiles {
+            let slot = self.place(t, sender, receiver, key, false);
+            ghosts.push((t as u32, slot as u32));
+        }
+        self.sites.insert(
+            key,
+            LinkSites {
+                owner_shard: owner as u32,
+                owner_slot: owner_slot as u32,
+                ghosts,
+            },
+        );
+    }
+
+    /// The number of shards an insert at this geometry would touch (owner
+    /// plus ghosts) — 1 for interior links.
+    pub fn shards_touched(&self, sender: Point, receiver: Point) -> usize {
+        1 + self.site_tiles(sender, receiver).1.len()
+    }
+
+    /// Inserts a link, returning its stable key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the link's length is outside the configured bounds.
+    pub fn insert_link(&mut self, sender: Point, receiver: Point) -> u64 {
+        self.assert_length_bounds(sender, receiver);
+        let key = self.next_key;
+        self.next_key += 1;
+        self.place_link(key, sender, receiver);
+        key
+    }
+
+    /// Inserts into one shard engine and records the slot's metadata.
+    fn place(
+        &mut self,
+        shard: usize,
+        sender: Point,
+        receiver: Point,
+        key: u64,
+        owned: bool,
+    ) -> usize {
+        let slot = self.engines[shard].insert_link(sender, receiver);
+        let meta = &mut self.meta[shard];
+        if slot >= meta.len() {
+            meta.resize(slot + 1, None);
+        }
+        meta[slot] = Some((key, owned));
+        slot
+    }
+
+    /// Removes the link under `key` from its owner shard and every ghost.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTraceKey`] when no live link has this key.
+    pub fn remove_link(&mut self, key: u64) -> Result<(), EngineError> {
+        let sites = self
+            .sites
+            .remove(&key)
+            .ok_or(EngineError::UnknownTraceKey { key })?;
+        self.engines[sites.owner_shard as usize].remove_link(sites.owner_slot as usize)?;
+        self.meta[sites.owner_shard as usize][sites.owner_slot as usize] = None;
+        for &(shard, slot) in &sites.ghosts {
+            self.engines[shard as usize].remove_link(slot as usize)?;
+            self.meta[shard as usize][slot as usize] = None;
+        }
+        Ok(())
+    }
+
+    /// Moves the link under `key` to a new geometry, re-deriving its owner
+    /// and ghost shards (the key stays stable).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTraceKey`] when no live link has this key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new length is outside the configured bounds.
+    pub fn relocate_link(
+        &mut self,
+        key: u64,
+        sender: Point,
+        receiver: Point,
+    ) -> Result<(), EngineError> {
+        if !self.sites.contains_key(&key) {
+            return Err(EngineError::UnknownTraceKey { key });
+        }
+        self.assert_length_bounds(sender, receiver);
+        self.remove_link(key)?;
+        // Re-place under the original key.
+        self.place_link(key, sender, receiver);
+        Ok(())
+    }
+
+    /// The live links, ascending by key, relabeled to contiguous ids — the
+    /// link universe [`PartitionedEngine::schedule`] schedules.
+    pub fn links(&self) -> Vec<Link> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(gid, (_, sites))| {
+                let mut link = *self.engines[sites.owner_shard as usize]
+                    .link(sites.owner_slot as usize)
+                    .expect("owner slot is live");
+                link.id = gid.into();
+                link
+            })
+            .collect()
+    }
+
+    /// Schedules the current link universe through the sharded pipeline,
+    /// reusing every shard engine's incrementally maintained conflict state
+    /// (member graphs are engine snapshots — no geometric rebuild).
+    pub fn schedule(&self) -> ShardedReport {
+        let config = self.config.scheduler;
+        let links = self.links();
+        // gid lookup by key (keys ascending = gid order).
+        let keys: Vec<u64> = self.sites.keys().copied().collect();
+        let gid_of = |key: u64| -> usize { keys.binary_search(&key).expect("live key") };
+
+        let assemble = |s: usize| -> ShardPieces {
+            let engine = &self.engines[s];
+            let (_, graph) = engine.snapshot();
+            let live = engine.live_slots();
+            let mut member_globals = Vec::with_capacity(live.len());
+            let mut owned_local = Vec::new();
+            for (local, &slot) in live.iter().enumerate() {
+                let (key, owned) = self.meta[s][slot].expect("live slot has metadata");
+                member_globals.push(gid_of(key));
+                if owned {
+                    owned_local.push(local);
+                }
+            }
+            ShardPieces {
+                member_globals,
+                owned_local,
+                graph,
+                parity: self.tiles.parity(s),
+            }
+        };
+        #[cfg(feature = "parallel")]
+        let pieces: Vec<ShardPieces> = (0..self.engines.len())
+            .into_par_iter()
+            .map(assemble)
+            .collect();
+        #[cfg(not(feature = "parallel"))]
+        let pieces: Vec<ShardPieces> = (0..self.engines.len()).map(assemble).collect();
+
+        let mut boundary = vec![false; links.len()];
+        for (gid, sites) in self.sites.values().enumerate() {
+            boundary[gid] = !sites.ghosts.is_empty();
+        }
+        let mut owner_of = vec![(0u32, 0u32); links.len()];
+        for (pi, piece) in pieces.iter().enumerate() {
+            for &local in &piece.owned_local {
+                owner_of[piece.member_globals[local]] = (pi as u32, local as u32);
+            }
+        }
+        let outcome = pipeline::schedule_pieces(&links, &pieces, &boundary, &owner_of, config);
+
+        let diversity = link_diversity(&links).unwrap_or(1.0);
+        let report = ScheduleReport {
+            verified_slots: outcome.slots.len(),
+            coloring_slots: outcome.coloring_slots,
+            schedule: Schedule::new(outcome.slots),
+            diversity,
+            log_star_diversity: log_star(diversity),
+            log_log_diversity: log_log2(diversity),
+            mode: config.mode,
+            num_links: links.len(),
+        };
+        ShardedReport {
+            report,
+            shards: self.engines.len(),
+            radius: self.radius,
+            boundary_links: outcome.boundary_links,
+            repaired_links: outcome.repaired_links,
+            evicted_links: outcome.evicted_links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wagg_schedule::PowerMode;
+
+    fn engine(shards: usize) -> PartitionedEngine {
+        PartitionedEngine::new(PartitionedEngineConfig::new(
+            SchedulerConfig::new(PowerMode::mean_oblivious()),
+            BoundingBox::new(0.0, 0.0, 120.0, 120.0),
+            (1.0, 1.5),
+            shards,
+        ))
+    }
+
+    #[test]
+    fn inserts_route_to_owner_and_halo_neighbours_only() {
+        let mut e = engine(16);
+        assert!(e.shard_count() >= 4);
+        // A link well inside a tile touches exactly one shard.
+        let interior = e.insert_link(Point::new(15.0, 15.0), Point::new(16.0, 15.0));
+        assert_eq!(e.stats().ghost_copies, 0);
+        // A link near a tile border is ghosted into the neighbouring shard.
+        let tile = e.tiles.tile_size();
+        let near = e.insert_link(Point::new(tile - 0.5, 15.0), Point::new(tile + 0.5, 15.0));
+        assert!(e.stats().ghost_copies >= 1);
+        assert_eq!(e.len(), 2);
+        e.remove_link(interior).unwrap();
+        e.remove_link(near).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(e.stats().ghost_copies, 0);
+    }
+
+    #[test]
+    fn unknown_keys_error() {
+        let mut e = engine(4);
+        assert_eq!(
+            e.remove_link(3),
+            Err(EngineError::UnknownTraceKey { key: 3 })
+        );
+        assert_eq!(
+            e.relocate_link(3, Point::origin(), Point::on_line(1.0)),
+            Err(EngineError::UnknownTraceKey { key: 3 })
+        );
+    }
+
+    #[test]
+    fn relocation_rederives_ownership() {
+        let mut e = engine(16);
+        let key = e.insert_link(Point::new(10.0, 10.0), Point::new(11.0, 10.0));
+        let before = e.sites[&key].owner_shard;
+        e.relocate_link(key, Point::new(110.0, 110.0), Point::new(111.0, 110.0))
+            .unwrap();
+        let after = e.sites[&key].owner_shard;
+        assert_ne!(before, after);
+        assert_eq!(e.len(), 1);
+        let sharded = e.schedule();
+        assert!(sharded.report.schedule.is_partition(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured bounds")]
+    fn out_of_bounds_lengths_are_rejected() {
+        let mut e = engine(4);
+        let _ = e.insert_link(Point::new(0.0, 0.0), Point::new(50.0, 0.0));
+    }
+
+    #[test]
+    fn schedule_is_feasible_under_churn() {
+        let mut e = engine(9);
+        let mut keys = Vec::new();
+        for i in 0..80u64 {
+            let x = (i % 10) as f64 * 12.0;
+            let y = (i / 10) as f64 * 12.0;
+            keys.push(e.insert_link(Point::new(x, y), Point::new(x + 1.0, y)));
+        }
+        for (round, &k) in keys.iter().enumerate().take(20) {
+            if round % 2 == 0 {
+                e.remove_link(k).unwrap();
+            }
+        }
+        let links = e.links();
+        let sharded = e.schedule();
+        assert!(sharded.report.schedule.is_partition(links.len()));
+        let config = e.config().scheduler;
+        assert!(sharded
+            .report
+            .schedule
+            .verify(&links, &config.model, config.mode));
+    }
+}

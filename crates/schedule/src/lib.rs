@@ -29,5 +29,6 @@ pub mod scheduler;
 pub use power_mode::PowerMode;
 pub use schedule::Schedule;
 pub use scheduler::{
-    schedule_links, schedule_mst, schedule_prebuilt, ScheduleReport, SchedulerConfig,
+    schedule_links, schedule_mst, schedule_prebuilt, split_class_into_feasible, ScheduleReport,
+    SchedulerConfig,
 };

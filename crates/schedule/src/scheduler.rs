@@ -180,7 +180,7 @@ pub fn schedule_prebuilt(
             slots.push(class);
             continue;
         }
-        slots.extend(split_into_feasible(links, &class, &config, cache));
+        slots.extend(split_class_into_feasible(links, &class, &config, cache));
     }
 
     let diversity = link_diversity(links).unwrap_or(1.0);
@@ -232,12 +232,22 @@ fn slot_ok(
 /// Splits one candidate slot into SINR-feasible sub-slots by first-fit over links in
 /// non-increasing length order. Singleton slots are always feasible (for positive
 /// length links), so the split terminates with at most `|class|` sub-slots.
-fn split_into_feasible(
+///
+/// This is the verification-splitting primitive [`schedule_prebuilt`] applies
+/// to every color class; it is public so out-of-crate schedulers (the sharded
+/// stitcher in `wagg-partition`) can re-verify *stitched* slots with exactly
+/// the semantics the unsharded path has. `class` holds indices into `links`;
+/// `cache`, when given, must cover `links` in order (same contract as
+/// [`schedule_prebuilt`]) and is only consulted for noise-free models.
+pub fn split_class_into_feasible(
     links: &[Link],
     class: &[usize],
     config: &SchedulerConfig,
     cache: Option<&PathLossCache<'_>>,
 ) -> Vec<Vec<usize>> {
+    // The cache kernel is noise-free; under a noisy model every probe must
+    // materialise the slot (the same filter schedule_prebuilt applies).
+    let cache = cache.filter(|_| config.model.noise() == 0.0);
     // Fast path: the whole class verifies.
     if slot_ok(links, class, config, cache) {
         return vec![class.to_vec()];

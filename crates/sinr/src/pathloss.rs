@@ -172,6 +172,30 @@ impl<'a> PathLossCache<'a> {
         (self.powers, self.weights)
     }
 
+    /// The `(powers, weights)` slice for a subset of the cached links — the
+    /// per-link state [`PathLossCache::new`] would compute for exactly those
+    /// links, extracted instead of recomputed. Feed the result (together with
+    /// the correspondingly relabeled links) to [`PathLossCache::from_parts`]
+    /// to obtain a subset cache; the sharded scheduler uses this to hand each
+    /// shard its slice of one globally built cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member index is out of range.
+    pub fn subset_parts(&self, members: &[usize]) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+        (
+            members.iter().map(|&i| self.powers[i]).collect(),
+            members.iter().map(|&i| self.weights[i]).collect(),
+        )
+    }
+
+    /// Borrows the full per-link `(powers, weights)` state — the zero-copy
+    /// counterpart of [`PathLossCache::subset_parts`] for callers that need
+    /// the whole cache (the sharded scheduler's global verifier).
+    pub fn parts(&self) -> (&[Option<f64>], &[Option<f64>]) {
+        (&self.powers, &self.weights)
+    }
+
     /// The exponent dispatcher the cache was built with.
     pub fn alpha_pow(&self) -> AlphaPow {
         self.pow
@@ -461,6 +485,34 @@ mod tests {
             assert_eq!(rebuilt.relative_interference_on(i), *want);
         }
         assert!(rebuilt.is_feasible());
+    }
+
+    #[test]
+    fn subset_parts_slice_what_a_fresh_subset_cache_computes() {
+        let model = SinrModel::default();
+        let links = vec![
+            line_link(0, 0.0, 1.0),
+            line_link(1, 4.0, 5.0),
+            line_link(2, 11.0, 13.0),
+            line_link(3, 20.0, 20.0), // degenerate: weight is None
+        ];
+        let power = PowerAssignment::mean();
+        let cache = PathLossCache::new(&model, &links, &power);
+        let members = [1usize, 3];
+        let (powers, weights) = cache.subset_parts(&members);
+        let sub_links: Vec<Link> = members
+            .iter()
+            .enumerate()
+            .map(|(local, &i)| {
+                let mut l = links[i];
+                l.id = local.into();
+                l
+            })
+            .collect();
+        let fresh = PathLossCache::new(&model, &sub_links, &power);
+        let (fresh_powers, fresh_weights) = fresh.into_parts();
+        assert_eq!(powers, fresh_powers);
+        assert_eq!(weights, fresh_weights);
     }
 
     #[test]
