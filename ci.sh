@@ -24,6 +24,16 @@ cargo build --workspace --no-default-features
 echo "==> serial kernel tests (incl. the sharded-scheduling sweep)"
 cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition
 
+# The serial wagg-partition run above already covers the hierarchical-verifier
+# battery (bound soundness + flat/hier differential across the pyramid-depth
+# matrix + churn traces); in quick mode, run it under the parallel feature too
+# so both configurations are certified. (Full mode's workspace sweep below
+# already repeats the battery with default features.)
+if [[ "$MODE" == "quick" ]]; then
+  echo "==> hierarchical-verifier property sweep, parallel build"
+  cargo test -q -p wagg-partition --test hierarchy --test engine_churn
+fi
+
 if [[ "$MODE" != "quick" ]]; then
   echo "==> release build (tier-1)"
   cargo build --release

@@ -23,6 +23,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::cell::RefCell;
+use wagg_bench::uniform_unit_links;
 use wagg_conflict::{ConflictGraph, ConflictRelation};
 use wagg_engine::{EngineConfig, InterferenceEngine};
 use wagg_geometry::rng::{seeded_rng, uniform_in};
@@ -37,24 +38,6 @@ fn engine_config() -> EngineConfig {
         SinrModel::default(),
         PowerAssignment::mean(),
     )
-}
-
-/// Unit links at constant density (the kernel bench's uniform-square family).
-fn uniform_unit_links(n: usize, seed: u64) -> Vec<Link> {
-    let side = (n as f64).sqrt() * 4.0;
-    let mut rng = seeded_rng(seed);
-    (0..n)
-        .map(|i| {
-            let x = uniform_in(&mut rng, 0.0, side);
-            let y = uniform_in(&mut rng, 0.0, side);
-            let angle = uniform_in(&mut rng, 0.0, std::f64::consts::TAU);
-            Link::new(
-                i,
-                Point::new(x, y),
-                Point::new(x + angle.cos(), y + angle.sin()),
-            )
-        })
-        .collect()
 }
 
 /// What every churn event used to pay: a full conflict-graph and path-loss

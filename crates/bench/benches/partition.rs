@@ -1,6 +1,7 @@
 //! The sharded-scheduling perf suite: build + schedule wall-clock of
 //! `wagg_partition::schedule_sharded` against the unsharded
-//! `wagg_schedule::schedule_links` path.
+//! `wagg_schedule::schedule_links` path, and of the **hierarchical**
+//! far-field verifier (the default) against the flat PR-3 grid.
 //!
 //! Run with
 //!
@@ -8,11 +9,14 @@
 //! CRITERION_BENCH_JSON=$PWD/BENCH_partition.json cargo bench -p wagg-bench --bench partition
 //! ```
 //!
-//! from the repository root to refresh `BENCH_partition.json`. The workload
-//! is the kernel/engine suites' constant-density uniform unit-link square at
-//! n ∈ {50 000, 200 000, 1 000 000}, scheduled under the oblivious mean
-//! power mode with slot verification on (the production configuration).
-//! Shard counts {1, 4, 16, 64} are measured at every size.
+//! from the repository root to refresh `BENCH_partition.json`; set
+//! `WAGG_PARTITION_BENCH_SIZES=50000,200000` to re-measure a subset of the
+//! sizes. The workload is the kernel/engine suites' constant-density uniform
+//! unit-link square at n ∈ {50 000, 200 000, 1 000 000}, scheduled under the
+//! oblivious mean power mode with slot verification on (the production
+//! configuration). Shard counts {1, 4, 16, 64} are measured at every size
+//! with the hierarchical verifier (`shardsN`); `flat_shards16` pins the flat
+//! verifier at 16 shards for the flat-vs-hierarchical comparison.
 //!
 //! The **unsharded baseline is measured at 50k and 200k only**: its slot
 //! verification is a quadratic `subset_feasible` scan per color class
@@ -21,14 +25,15 @@
 //! removes. The sharded path replaces that scan with the certified
 //! tile-bound verifier, so even `shards = 1` completes at n = 1M.
 //!
-//! Feasibility of the sharded schedules is asserted once per size outside
-//! the timed loops (slot-by-slot affectance at 50k, partition structure at
-//! the larger sizes where the exact check would dwarf the bench itself).
+//! Correctness gates run once per size outside the timed loops: the
+//! hierarchical schedule is a partition at every size, slot-by-slot
+//! affectance-feasible at 50k, and identical to the flat verifier's
+//! schedule at 50k and 200k (the differential battery's property, asserted
+//! here at bench scale; at 1M the extra flat run would double the bench).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use wagg_geometry::rng::{seeded_rng, uniform_in};
-use wagg_geometry::Point;
-use wagg_partition::schedule_sharded;
+use wagg_bench::uniform_unit_links;
+use wagg_partition::{schedule_sharded, schedule_sharded_with, VerifierStrategy};
 use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
 use wagg_sinr::affectance::is_feasible_by_affectance;
 use wagg_sinr::Link;
@@ -37,32 +42,27 @@ use wagg_sinr::Link;
 const CASES: [(usize, bool); 3] = [(50_000, true), (200_000, true), (1_000_000, false)];
 const SHARDS: [usize; 4] = [1, 4, 16, 64];
 
-/// Unit links at constant density (the kernel/engine bench family).
-fn uniform_unit_links(n: usize, seed: u64) -> Vec<Link> {
-    let side = (n as f64).sqrt() * 4.0;
-    let mut rng = seeded_rng(seed);
-    (0..n)
-        .map(|i| {
-            let x = uniform_in(&mut rng, 0.0, side);
-            let y = uniform_in(&mut rng, 0.0, side);
-            let angle = uniform_in(&mut rng, 0.0, std::f64::consts::TAU);
-            Link::new(
-                i,
-                Point::new(x, y),
-                Point::new(x + angle.cos(), y + angle.sin()),
-            )
-        })
-        .collect()
+/// Optional size filter from `WAGG_PARTITION_BENCH_SIZES` (comma-separated).
+fn size_filter() -> Option<Vec<usize>> {
+    std::env::var("WAGG_PARTITION_BENCH_SIZES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
 }
 
 fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_build_schedule");
     group.sample_size(10);
     let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let filter = size_filter();
     for &(n, baseline) in &CASES {
+        if let Some(sizes) = &filter {
+            if !sizes.contains(&n) {
+                continue;
+            }
+        }
         let links = uniform_unit_links(n, n as u64);
 
-        // One-time correctness gate per size, outside the timing loops.
+        // One-time correctness gates per size, outside the timing loops.
         let gate = schedule_sharded(&links, config, 16);
         assert!(gate.report.schedule.is_partition(n));
         if n <= 50_000 {
@@ -76,12 +76,29 @@ fn bench_partition(c: &mut Criterion) {
                 ));
             }
         }
+        if n <= 200_000 {
+            let flat = schedule_sharded_with(&links, config, 16, VerifierStrategy::Flat);
+            assert_eq!(
+                flat, gate,
+                "flat and hierarchical verifiers must schedule identically"
+            );
+        }
 
         if baseline {
             group.bench_function(BenchmarkId::new("unsharded", n), |b| {
                 b.iter(|| black_box(schedule_links(&links, config).schedule.len()))
             });
         }
+        group.bench_function(BenchmarkId::new("flat_shards16", n), |b| {
+            b.iter(|| {
+                black_box(
+                    schedule_sharded_with(&links, config, 16, VerifierStrategy::Flat)
+                        .report
+                        .schedule
+                        .len(),
+                )
+            })
+        });
         for &shards in &SHARDS {
             group.bench_function(BenchmarkId::new(format!("shards{shards}"), n), |b| {
                 b.iter(|| {

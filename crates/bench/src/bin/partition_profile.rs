@@ -1,0 +1,42 @@
+//! One-shot wall-clock probe for the sharded scheduler: times a single
+//! `schedule_sharded_with` run per verifier strategy on the partition
+//! bench's constant-density workload — the quick way to compare the flat
+//! and hierarchical far-field verifiers (or to tune the pyramid cutoff)
+//! without sitting through the full criterion sweep.
+//!
+//! ```text
+//! cargo run --release -p wagg-bench --bin partition_profile -- [n] [shards]
+//! ```
+//!
+//! Defaults: `n = 200000`, `shards = 16`.
+
+use std::time::Instant;
+use wagg_bench::uniform_unit_links;
+use wagg_partition::{schedule_sharded_with, VerifierStrategy};
+use wagg_schedule::{PowerMode, SchedulerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let shards: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    eprintln!("generating n={n} links...");
+    let links = uniform_unit_links(n, n as u64);
+    for (label, strategy) in [
+        ("flat", VerifierStrategy::Flat),
+        ("hierarchical", VerifierStrategy::default()),
+    ] {
+        let t0 = Instant::now();
+        let sharded = schedule_sharded_with(&links, config, shards, strategy);
+        let dt = t0.elapsed();
+        println!(
+            "{label:>13}: {:.3} s  (shards={}, slots={}, boundary={}, repaired={}, evicted={})",
+            dt.as_secs_f64(),
+            sharded.shards,
+            sharded.report.schedule.len(),
+            sharded.boundary_links,
+            sharded.repaired_links,
+            sharded.evicted_links,
+        );
+    }
+}

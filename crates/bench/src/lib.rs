@@ -23,6 +23,30 @@ pub mod extensions;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use wagg_geometry::rng::{seeded_rng, uniform_in};
+use wagg_geometry::Point;
+use wagg_sinr::Link;
+
+/// Unit links at constant density — the shared workload of the engine and
+/// partition bench families and the `partition_profile` bin. One definition,
+/// so the tracked `BENCH_*.json` rows and one-shot profile runs stay
+/// comparable run over run.
+pub fn uniform_unit_links(n: usize, seed: u64) -> Vec<Link> {
+    let side = (n as f64).sqrt() * 4.0;
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|i| {
+            let x = uniform_in(&mut rng, 0.0, side);
+            let y = uniform_in(&mut rng, 0.0, side);
+            let angle = uniform_in(&mut rng, 0.0, std::f64::consts::TAU);
+            Link::new(
+                i,
+                Point::new(x, y),
+                Point::new(x + angle.cos(), y + angle.sin()),
+            )
+        })
+        .collect()
+}
 
 /// How much work an experiment should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

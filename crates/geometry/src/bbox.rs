@@ -152,6 +152,25 @@ impl BoundingBox {
     pub fn contains(&self, p: Point) -> bool {
         p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
     }
+
+    /// Euclidean distance from `p` to the box (zero when the box contains
+    /// `p`). This lower-bounds the distance from `p` to every point inside
+    /// the box, which is what makes aggregated `power / distance^α` terms
+    /// over a box of senders a certified upper bound.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wagg_geometry::{BoundingBox, Point};
+    /// let bb = BoundingBox::new(0.0, 0.0, 2.0, 1.0);
+    /// assert_eq!(bb.distance_to(Point::new(1.0, 0.5)), 0.0);
+    /// assert_eq!(bb.distance_to(Point::new(5.0, 5.0)), 5.0);
+    /// ```
+    pub fn distance_to(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(p.x - self.max_x).max(0.0);
+        let dy = (self.min_y - p.y).max(p.y - self.max_y).max(0.0);
+        dx.hypot(dy)
+    }
 }
 
 #[cfg(test)]

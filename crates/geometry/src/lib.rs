@@ -12,6 +12,10 @@
 //! * [`tiling::TileLayout`] — deterministic rectangular tilings with
 //!   halo-overlap queries, the domain decomposition behind the sharded
 //!   scheduler in `wagg-partition`,
+//! * [`pyramid::GridPyramid`] — level-stacked cell → super-cell grids
+//!   (child/parent indexing, per-level point-to-box distances), the geometry
+//!   under hierarchical far-field aggregation in `wagg-partition`'s
+//!   certified slot verifier,
 //! * length-diversity computations ([`diversity::length_diversity`]) — the parameter `Δ`
 //!   that all of the paper's bounds are phrased in,
 //! * the slow-growing functions `log*` and `log log` ([`logmath`]) used to state the
@@ -38,6 +42,7 @@ pub mod diversity;
 pub mod grid;
 pub mod logmath;
 pub mod point;
+pub mod pyramid;
 pub mod rng;
 pub mod tiling;
 

@@ -1,0 +1,337 @@
+//! Level-stacked grid geometry: the cell → super-cell pyramid under
+//! hierarchical far-field aggregation.
+//!
+//! A [`GridPyramid`] stacks coarsening levels on top of a finest `cols ×
+//! rows` grid of square cells: every level halves the cell count per axis
+//! (rounding up), so level `L` cells have side `2^L` times the finest side
+//! and each covers up to four children of level `L - 1`. The pyramid owns
+//! only the **geometry** — level shapes, flat cell indexing across levels,
+//! child/parent traversal, nominal boxes and point-to-box distances at every
+//! level; consumers attach their own per-cell aggregates (power sums, tight
+//! bounding boxes) to the flat index space.
+//!
+//! This is the index structure behind the hierarchical
+//! `wagg_partition::AffectanceVerifier`: a far-field query descends the
+//! pyramid, pricing whole super-cells by one point-to-box distance each and
+//! expanding only the cells too close for their aggregate bound to certify.
+//! It lives here, next to [`TileLayout`](crate::tiling::TileLayout), so
+//! engine and scheduler layers share one definition of the stacked box
+//! geometry.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_geometry::pyramid::GridPyramid;
+//! use wagg_geometry::Point;
+//!
+//! // An 8x6 finest grid of unit cells, fully coarsened (8x6 → 4x3 → 2x2 → 1x1).
+//! let pyr = GridPyramid::build(0.0, 0.0, 1.0, 8, 6, usize::MAX);
+//! assert_eq!(pyr.depth(), 4);
+//! assert_eq!(pyr.shape(0), (8, 6));
+//! assert_eq!(pyr.shape(3), (1, 1));
+//! // A level-1 cell covers its four finest children.
+//! let kids: Vec<_> = pyr.children(1, 1, 1).collect();
+//! assert_eq!(kids, vec![(2, 2), (3, 2), (2, 3), (3, 3)]);
+//! assert_eq!(pyr.parent(0, 3, 2), (1, 1));
+//! ```
+
+use crate::{BoundingBox, Point};
+
+/// The shape of one pyramid level and where its cells live in the flat
+/// cross-level index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PyramidLevel {
+    /// Cell columns at this level.
+    cols: usize,
+    /// Cell rows at this level.
+    rows: usize,
+    /// Index of this level's cell `(0, 0)` in the flat index space.
+    offset: usize,
+}
+
+/// A stack of coarsening square grids over one rectangular extent (see the
+/// [module docs](self)).
+///
+/// Level 0 is the finest grid; every higher level halves the per-axis cell
+/// count (rounding up) and doubles the cell side. The layout is a pure
+/// function of its inputs, so serial and parallel consumers agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPyramid {
+    /// Lower-left corner of finest cell `(0, 0)`.
+    min_x: f64,
+    /// Lower-left corner of finest cell `(0, 0)`.
+    min_y: f64,
+    /// Finest cell side length.
+    cell: f64,
+    /// Level shapes, finest first.
+    levels: Vec<PyramidLevel>,
+}
+
+impl GridPyramid {
+    /// Builds the pyramid over a finest grid of `cols × rows` cells of side
+    /// `cell` anchored at `(min_x, min_y)`, stacking at most `depth` levels
+    /// (clamped to [`GridPyramid::natural_depth`]; a `depth` of 1 keeps only
+    /// the finest grid, `usize::MAX` coarsens all the way to a single cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cols == 0`, `rows == 0`, `depth == 0`, or `cell` is not
+    /// positive and finite.
+    pub fn build(
+        min_x: f64,
+        min_y: f64,
+        cell: f64,
+        cols: usize,
+        rows: usize,
+        depth: usize,
+    ) -> Self {
+        assert!(cols > 0 && rows > 0, "the finest grid must be non-empty");
+        assert!(depth > 0, "a pyramid has at least its finest level");
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "cell side must be positive and finite"
+        );
+        let depth = depth.min(Self::natural_depth(cols, rows));
+        let mut levels = Vec::with_capacity(depth);
+        let (mut c, mut r, mut offset) = (cols, rows, 0usize);
+        for _ in 0..depth {
+            levels.push(PyramidLevel {
+                cols: c,
+                rows: r,
+                offset,
+            });
+            offset += c * r;
+            c = c.div_ceil(2);
+            r = r.div_ceil(2);
+        }
+        GridPyramid {
+            min_x,
+            min_y,
+            cell,
+            levels,
+        }
+    }
+
+    /// The number of levels a full coarsening of a `cols × rows` grid needs
+    /// to reach a single cell: 1 + ⌈log₂ max(cols, rows)⌉.
+    pub fn natural_depth(cols: usize, rows: usize) -> usize {
+        let mut side = cols.max(rows).max(1);
+        let mut depth = 1;
+        while side > 1 {
+            side = side.div_ceil(2);
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Number of levels (≥ 1; level 0 is the finest).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `(cols, rows)` of `level`.
+    pub fn shape(&self, level: usize) -> (usize, usize) {
+        let l = &self.levels[level];
+        (l.cols, l.rows)
+    }
+
+    /// Total number of cells across all levels (the flat index space).
+    pub fn total_cells(&self) -> usize {
+        let last = self.levels.last().expect("at least one level");
+        last.offset + last.cols * last.rows
+    }
+
+    /// The flat cross-level index of cell `(c, r)` at `level` — stable across
+    /// queries, dense in `0..total_cells()`.
+    #[inline]
+    pub fn index(&self, level: usize, c: usize, r: usize) -> usize {
+        let l = &self.levels[level];
+        debug_assert!(c < l.cols && r < l.rows, "cell out of range");
+        l.offset + r * l.cols + c
+    }
+
+    /// Cell side length at `level` (`cell · 2^level`).
+    #[inline]
+    pub fn side(&self, level: usize) -> f64 {
+        self.cell * (1u64 << level.min(63)) as f64
+    }
+
+    /// The finest-grid cell containing `p`, clamped to the grid so every
+    /// finite point maps to a cell.
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let l = &self.levels[0];
+        let c = (((p.x - self.min_x) / self.cell).floor().max(0.0) as usize).min(l.cols - 1);
+        let r = (((p.y - self.min_y) / self.cell).floor().max(0.0) as usize).min(l.rows - 1);
+        (c, r)
+    }
+
+    /// The parent coordinates (at `level + 1`) of cell `(c, r)` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` is the top level.
+    #[inline]
+    pub fn parent(&self, level: usize, c: usize, r: usize) -> (usize, usize) {
+        assert!(level + 1 < self.levels.len(), "the top level has no parent");
+        (c / 2, r / 2)
+    }
+
+    /// The children (at `level - 1`, row-major) of cell `(c, r)` at `level` —
+    /// up to four, clipped at the grid border.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level == 0`.
+    pub fn children(
+        &self,
+        level: usize,
+        c: usize,
+        r: usize,
+    ) -> impl Iterator<Item = (usize, usize)> + '_ {
+        assert!(level > 0, "the finest level has no children");
+        let child = &self.levels[level - 1];
+        let (cols, rows) = (child.cols, child.rows);
+        (0..2usize).flat_map(move |dr| {
+            (0..2usize).filter_map(move |dc| {
+                let (cc, cr) = (2 * c + dc, 2 * r + dr);
+                (cc < cols && cr < rows).then_some((cc, cr))
+            })
+        })
+    }
+
+    /// The nominal box of cell `(c, r)` at `level` (border cells may extend
+    /// past the anchored extent; contained points may have been clamped in
+    /// from outside).
+    pub fn cell_box(&self, level: usize, c: usize, r: usize) -> BoundingBox {
+        let side = self.side(level);
+        BoundingBox::new(
+            self.min_x + c as f64 * side,
+            self.min_y + r as f64 * side,
+            self.min_x + (c + 1) as f64 * side,
+            self.min_y + (r + 1) as f64 * side,
+        )
+    }
+
+    /// Euclidean distance from `p` to the nominal box of cell `(c, r)` at
+    /// `level` (zero when the box contains `p`) — a sound per-level
+    /// point-to-box bound for consumers that price by nominal cell geometry.
+    /// (The partition verifier prices by the *tight* bounding box of each
+    /// cell's actual senders via [`BoundingBox::distance_to`], which is
+    /// strictly sharper; this nominal form needs no per-cell aggregates.)
+    pub fn distance_to_cell(&self, level: usize, c: usize, r: usize, p: Point) -> f64 {
+        self.cell_box(level, c, r).distance_to(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_depth_reaches_a_single_cell() {
+        assert_eq!(GridPyramid::natural_depth(1, 1), 1);
+        assert_eq!(GridPyramid::natural_depth(2, 1), 2);
+        assert_eq!(GridPyramid::natural_depth(5, 3), 4);
+        assert_eq!(GridPyramid::natural_depth(1024, 1024), 11);
+        let pyr = GridPyramid::build(0.0, 0.0, 1.0, 5, 3, usize::MAX);
+        assert_eq!(pyr.shape(pyr.depth() - 1), (1, 1));
+    }
+
+    #[test]
+    fn depth_is_clamped_and_levels_halve() {
+        let pyr = GridPyramid::build(0.0, 0.0, 2.0, 7, 4, 99);
+        assert_eq!(pyr.depth(), GridPyramid::natural_depth(7, 4));
+        assert_eq!(pyr.shape(0), (7, 4));
+        assert_eq!(pyr.shape(1), (4, 2));
+        assert_eq!(pyr.shape(2), (2, 1));
+        assert_eq!(pyr.shape(3), (1, 1));
+        assert_eq!(pyr.total_cells(), 7 * 4 + 4 * 2 + 2 + 1);
+        assert_eq!(pyr.side(0), 2.0);
+        assert_eq!(pyr.side(2), 8.0);
+    }
+
+    #[test]
+    fn flat_indices_are_dense_and_unique() {
+        let pyr = GridPyramid::build(-3.0, 1.0, 0.5, 6, 5, usize::MAX);
+        let mut seen = vec![false; pyr.total_cells()];
+        for level in 0..pyr.depth() {
+            let (cols, rows) = pyr.shape(level);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = pyr.index(level, c, r);
+                    assert!(!seen[i], "index {i} reused");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn children_partition_their_parent() {
+        let pyr = GridPyramid::build(0.0, 0.0, 1.0, 5, 5, usize::MAX);
+        for level in 1..pyr.depth() {
+            let (cols, rows) = pyr.shape(level);
+            let (ccols, crows) = pyr.shape(level - 1);
+            let mut covered = vec![false; ccols * crows];
+            for r in 0..rows {
+                for c in 0..cols {
+                    for (cc, cr) in pyr.children(level, c, r) {
+                        assert_eq!(pyr.parent(level - 1, cc, cr), (c, r));
+                        let i = cr * ccols + cc;
+                        assert!(!covered[i], "child ({cc},{cr}) claimed twice");
+                        covered[i] = true;
+                        // The child's box is inside the parent's box.
+                        let pb = pyr.cell_box(level, c, r);
+                        let cb = pyr.cell_box(level - 1, cc, cr);
+                        assert!(pb.min_x <= cb.min_x + 1e-12 && cb.max_x <= pb.max_x + 1e-12);
+                        assert!(pb.min_y <= cb.min_y + 1e-12 && cb.max_y <= pb.max_y + 1e-12);
+                    }
+                }
+            }
+            assert!(covered.into_iter().all(|s| s), "level {level} has orphans");
+        }
+    }
+
+    #[test]
+    fn cell_of_clamps_and_boxes_contain_interior_points() {
+        let pyr = GridPyramid::build(0.0, 0.0, 1.0, 4, 4, 2);
+        assert_eq!(pyr.cell_of(Point::new(-5.0, -5.0)), (0, 0));
+        assert_eq!(pyr.cell_of(Point::new(9.0, 9.0)), (3, 3));
+        let (c, r) = pyr.cell_of(Point::new(2.5, 1.5));
+        assert_eq!((c, r), (2, 1));
+        assert!(pyr.cell_box(0, c, r).contains(Point::new(2.5, 1.5)));
+        assert_eq!(pyr.distance_to_cell(0, c, r, Point::new(2.5, 1.5)), 0.0);
+    }
+
+    #[test]
+    fn point_to_cell_distance_lower_bounds_member_distances() {
+        let pyr = GridPyramid::build(0.0, 0.0, 1.0, 8, 8, usize::MAX);
+        let q = Point::new(-2.0, 3.5);
+        for level in 0..pyr.depth() {
+            let (cols, rows) = pyr.shape(level);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let b = pyr.cell_box(level, c, r);
+                    let d = pyr.distance_to_cell(level, c, r, q);
+                    // Corners of the box are at least d away.
+                    for (x, y) in [
+                        (b.min_x, b.min_y),
+                        (b.max_x, b.min_y),
+                        (b.min_x, b.max_y),
+                        (b.max_x, b.max_y),
+                    ] {
+                        assert!(q.distance(Point::new(x, y)) >= d - 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least its finest level")]
+    fn zero_depth_is_rejected() {
+        let _ = GridPyramid::build(0.0, 0.0, 1.0, 2, 2, 0);
+    }
+}

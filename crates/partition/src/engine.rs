@@ -40,6 +40,7 @@
 
 use crate::layout::conflict_radius_bound;
 use crate::pipeline::{self, ShardPieces};
+use crate::verify::VerifierStrategy;
 use crate::ShardedReport;
 use std::collections::BTreeMap;
 use wagg_engine::{EngineConfig, EngineError, InterferenceEngine};
@@ -67,6 +68,10 @@ pub struct PartitionedEngineConfig {
     pub length_bounds: (f64, f64),
     /// Target shard count (the halo-derived minimum tile side may cap it).
     pub target_shards: usize,
+    /// The far-field strategy of the certified slot verifier
+    /// ([`PartitionedEngine::schedule`]'s verification passes); defaults to
+    /// the hierarchical pyramid.
+    pub verifier: VerifierStrategy,
 }
 
 impl PartitionedEngineConfig {
@@ -101,7 +106,14 @@ impl PartitionedEngineConfig {
             extent,
             length_bounds,
             target_shards,
+            verifier: VerifierStrategy::default(),
         }
+    }
+
+    /// Replaces the slot-verifier far-field strategy.
+    pub fn with_verifier(mut self, verifier: VerifierStrategy) -> Self {
+        self.verifier = verifier;
+        self
     }
 }
 
@@ -410,7 +422,14 @@ impl PartitionedEngine {
                 owner_of[piece.member_globals[local]] = (pi as u32, local as u32);
             }
         }
-        let outcome = pipeline::schedule_pieces(&links, &pieces, &boundary, &owner_of, config);
+        let outcome = pipeline::schedule_pieces(
+            &links,
+            &pieces,
+            &boundary,
+            &owner_of,
+            config,
+            self.config.verifier,
+        );
 
         let diversity = link_diversity(&links).unwrap_or(1.0);
         let report = ScheduleReport {

@@ -16,7 +16,10 @@
 //!   `wagg_geometry::tiling::TileLayout`);
 //! * [`verify`] — [`AffectanceVerifier`]: certified-upper-bound slot
 //!   verification with exact fallback, the piece that keeps million-link
-//!   verification off the `O(s²)` cliff;
+//!   verification off the `O(s²)` cliff. The default [`VerifierStrategy`]
+//!   prices the far field through a cell → super-cell aggregation pyramid
+//!   (`O(log m)`-ish per target); the flat PR-3 grid survives as the
+//!   differential baseline;
 //! * `pipeline` (internal) — per-shard coloring via
 //!   `wagg_schedule::schedule_prebuilt`, parity-offset boundary repair and
 //!   the global verification/eviction pass;
@@ -57,7 +60,7 @@ mod pipeline;
 
 pub use engine::{PartitionedEngine, PartitionedEngineConfig, PartitionedStats};
 pub use layout::{conflict_radius_bound, max_conflict_radius, PartitionLayout};
-pub use verify::AffectanceVerifier;
+pub use verify::{AffectanceVerifier, VerifierStrategy};
 
 use serde::{Deserialize, Serialize};
 use wagg_geometry::logmath::{log_log2, log_star};
@@ -107,6 +110,25 @@ pub fn schedule_sharded(
     config: SchedulerConfig,
     target_shards: usize,
 ) -> ShardedReport {
+    schedule_sharded_with(links, config, target_shards, VerifierStrategy::default())
+}
+
+/// [`schedule_sharded`] with an explicit far-field [`VerifierStrategy`] for
+/// the certified slot-verification passes. The strategy only changes how the
+/// verifier *prices* slots — accept/evict decisions (and with them the final
+/// schedule) match `is_feasible_by_affectance` under every strategy, which
+/// the differential test battery pins; [`VerifierStrategy::Flat`] is the
+/// PR-3 baseline, the default descends the aggregation pyramid.
+///
+/// # Panics
+///
+/// Panics when `target_shards == 0`.
+pub fn schedule_sharded_with(
+    links: &[Link],
+    config: SchedulerConfig,
+    target_shards: usize,
+    strategy: VerifierStrategy,
+) -> ShardedReport {
     assert!(target_shards > 0, "need at least one shard");
     let relation = config.mode.conflict_relation(config.model.alpha());
 
@@ -131,7 +153,8 @@ pub fn schedule_sharded(
             owner_of[piece.member_globals[local]] = (pi as u32, local as u32);
         }
     }
-    let outcome = pipeline::schedule_pieces(&plinks, &pieces, &boundary, &owner_of, config);
+    let outcome =
+        pipeline::schedule_pieces(&plinks, &pieces, &boundary, &owner_of, config, strategy);
 
     // Back to the caller's indices; degenerate links close the schedule as
     // singleton slots.

@@ -29,7 +29,9 @@
 //!    color while being graph-adjacent — physically fine, and phase 4
 //!    re-verifies every slot by affectance anyway.)
 //! 4. **Verify globally**: every stitched slot passes through the
-//!    [`AffectanceVerifier`] (certified bounds, exact fallback) and failing
+//!    [`AffectanceVerifier`] (certified bounds — hierarchical far-field
+//!    aggregation by default, the flat grid under
+//!    [`VerifierStrategy::Flat`] — with exact fallback) and failing
 //!    members are evicted and re-packed — so each final slot passes
 //!    `is_feasible_by_affectance`. Power modes without a fixed assignment
 //!    (global control) and noisy models use
@@ -37,7 +39,7 @@
 //!    splitter.
 
 use crate::layout::PartitionLayout;
-use crate::verify::AffectanceVerifier;
+use crate::verify::{AffectanceVerifier, VerifierStrategy};
 use wagg_conflict::{ConflictGraph, ConflictRelation};
 use wagg_schedule::{schedule_prebuilt, split_class_into_feasible, SchedulerConfig};
 use wagg_sinr::{Link, PathLossCache};
@@ -131,6 +133,7 @@ pub(crate) fn schedule_pieces(
     boundary: &[bool],
     owner_of: &[(u32, u32)],
     config: SchedulerConfig,
+    strategy: VerifierStrategy,
 ) -> PipelineOutcome {
     // One globally built cache (fixed assignment, noise-free) feeds every
     // shard slice and the global verifier; other configurations verify by
@@ -159,7 +162,8 @@ pub(crate) fn schedule_pieces(
             if let Some(cache) = &global_cache {
                 let (powers, weights) = cache.subset_parts(&piece.member_globals);
                 let verifier =
-                    AffectanceVerifier::new(&config.model, piece.graph.links(), &powers, &weights);
+                    AffectanceVerifier::new(&config.model, piece.graph.links(), &powers, &weights)
+                        .with_strategy(strategy);
                 let mut classes: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
                 for (p, &local) in piece.owned_local.iter().enumerate() {
                     classes[colors[p]].push(local);
@@ -242,7 +246,8 @@ pub(crate) fn schedule_pieces(
         slots.extend(classes.into_iter().filter(|c| !c.is_empty()));
     } else if let Some(cache) = &global_cache {
         let (powers, weights) = cache.parts();
-        let verifier = AffectanceVerifier::new(&config.model, links, powers, weights);
+        let verifier =
+            AffectanceVerifier::new(&config.model, links, powers, weights).with_strategy(strategy);
         let mut all_evicted: Vec<usize> = Vec::new();
         for class in classes.into_iter().filter(|c| !c.is_empty()) {
             let (kept, evicted) = verifier.evict_infeasible(&class);

@@ -6,15 +6,31 @@
 //! the slot sizes one conflict graph produces at `n ≤ 50k`, ruinous for the
 //! `~n / slots` member counts of a million-link schedule. The
 //! [`AffectanceVerifier`] replaces the quadratic scan with a **certified
-//! upper bound**:
+//! upper bound** built from sender aggregates over a grid:
 //!
-//! * slot members are binned by sender into a small square grid;
-//! * for each target, interferers in the target's own and adjacent cells are
-//!   summed **exactly** (the same terms, in deterministic cell-then-member
-//!   order, via [`relative_interference_sum`]'s formulas);
-//! * every other cell contributes `(Σ_j P_j) · w_i / d(cell, r_i)^α`, where
-//!   `d` is the exact point-to-box distance — a rigorous **upper bound** on
-//!   its members' total contribution, costing `O(1)` per cell.
+//! * slot members are binned by sender into square cells, and each cell
+//!   carries its members' total power and their *tight* sender bounding box;
+//! * interferers close to the target are summed **exactly** (the same terms,
+//!   in deterministic cell-then-member order, via
+//!   [`relative_interference_sum`]'s formulas);
+//! * every other cell contributes `(Σ_j P_j) · w_i / d^α`, where `d` is the
+//!   exact point-to-box distance to the cell's tight sender box — a rigorous
+//!   **upper bound** on its members' total contribution, costing `O(1)` per
+//!   aggregate.
+//!
+//! Two strategies share that contract (see [`VerifierStrategy`]):
+//!
+//! * **Flat** — one coarse level (`Θ(√m)` cells, `~m^(1/4)` per axis), every
+//!   cell priced per target: the PR-3 verifier, kept as the differential
+//!   baseline.
+//! * **Hierarchical** (the default) — a fine grid (a few members per cell)
+//!   under a [`GridPyramid`] of super-cells, each aggregating its children's
+//!   power sum and tight box. A target query descends from the top: a node
+//!   whose tight box lies at distance `d ≥ 2 · side(level)` is accepted as
+//!   one aggregate term, anything closer is expanded; finest-level cells
+//!   within the gate are summed exactly. Per-target cost drops from the flat
+//!   grid's `Θ(√m)` to `O(log m)` opened nodes, and a depth of 1 collapses
+//!   to the flat strategy byte for byte.
 //!
 //! If `exact_near + bound_far ≤ 1/β` the target is certified feasible (the
 //! true sum can only be smaller). Otherwise the target's sum is recomputed
@@ -22,15 +38,22 @@
 //! slots containing links with unavailable powers, whose failure semantics
 //! the bound cannot reproduce) skip the grid and go straight to the exact
 //! kernel, so the verifier's verdicts always match
-//! `is_feasible_by_affectance` on the slot's links.
+//! `is_feasible_by_affectance` on the slot's links — under **every** strategy
+//! and pyramid depth, which is what the differential test battery pins.
 //!
 //! [`AffectanceVerifier::evict_infeasible`] exploits a monotonicity: every
 //! term of the affectance sum is non-negative, so removing members never
 //! hurts the remaining targets. One verification sweep therefore yields a
 //! feasible slot — keep the passing targets, evict the failing ones — and
 //! the evicted links are re-packed first-fit by
-//! [`AffectanceVerifier::pack_first_fit`].
+//! [`AffectanceVerifier::pack_first_fit`]. The grid-shape state (the sender
+//! extent every slot grid is anchored to) is hoisted into the verifier at
+//! construction, so the repack loop's repeated feasibility probes and the
+//! query path share one layout instead of re-deriving it per call.
 
+use wagg_geometry::pyramid::GridPyramid;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_sinr::link::LinkId;
 use wagg_sinr::pathloss::relative_interference_sum;
 use wagg_sinr::{AlphaPow, Link, SinrModel};
 
@@ -39,6 +62,62 @@ use rayon::prelude::*;
 
 /// Below this member count the exact `O(s²)` scan beats building the grid.
 const EXACT_CUTOFF: usize = 192;
+
+/// A node (or finest cell) is accepted as one aggregate term when its tight
+/// box is at least this many level-sides away from the target; anything
+/// closer is expanded (or, at the finest level, summed exactly).
+const OPEN_GATE: f64 = 2.0;
+
+/// Below this slot size the adaptive default prices the far field with the
+/// flat grid: the descent's per-level node visits only amortise once the
+/// flat scan's `Θ(√m)` far cells dwarf them (empirically around `10⁴`
+/// members on the bench workloads).
+const PYRAMID_CUTOFF: usize = 8192;
+
+/// How the verifier prices the far field of a target query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifierStrategy {
+    /// The single-level grid of PR 3: `~m^(1/4)` cells per axis, exact sums
+    /// over the 3×3 cell neighbourhood of the target, one aggregate term per
+    /// far cell. Per-target far-field cost `Θ(√m)`.
+    Flat,
+    /// Fine cells (a few members each) under a cell → super-cell aggregation
+    /// pyramid; target queries descend the pyramid and expand only nodes too
+    /// close for their aggregate bound. Per-target cost `O(log m)`-ish.
+    Hierarchical {
+        /// Number of pyramid levels, or `None` for the adaptive default:
+        /// flat below [`PYRAMID_CUTOFF`] members, the naturally deep
+        /// pyramid above it (always clamped to
+        /// [`GridPyramid::natural_depth`]). An explicit depth of 1 collapses
+        /// to the [`VerifierStrategy::Flat`] code path exactly.
+        depth: Option<usize>,
+    },
+}
+
+impl Default for VerifierStrategy {
+    /// The production strategy: adaptively hierarchical.
+    fn default() -> Self {
+        VerifierStrategy::Hierarchical { depth: None }
+    }
+}
+
+impl VerifierStrategy {
+    /// The pyramid depth this strategy requests for a slot of `m` members
+    /// (1 means the flat path).
+    fn requested_depth(self, m: usize) -> usize {
+        match self {
+            VerifierStrategy::Flat => 1,
+            VerifierStrategy::Hierarchical { depth: Some(d) } => d.max(1),
+            VerifierStrategy::Hierarchical { depth: None } => {
+                if m < PYRAMID_CUTOFF {
+                    1
+                } else {
+                    usize::MAX
+                }
+            }
+        }
+    }
+}
 
 /// Per-target interference state over a link universe — a borrowed view of
 /// `PathLossCache` parts (global, or a shard's slice via
@@ -50,12 +129,17 @@ pub struct AffectanceVerifier<'a> {
     weights: &'a [Option<f64>],
     pow: AlphaPow,
     inv_beta: f64,
+    strategy: VerifierStrategy,
+    /// Bounding box of every sender in the universe, computed once at
+    /// construction — the shared grid anchor for every slot query and every
+    /// repack probe (`None` only for an empty universe).
+    sender_extent: Option<BoundingBox>,
 }
 
 impl<'a> AffectanceVerifier<'a> {
     /// A verifier over `links` with the given per-link cache parts (exactly
     /// what `PathLossCache::new` computes for `links` under the power
-    /// assignment being verified).
+    /// assignment being verified), using the default hierarchical strategy.
     ///
     /// # Panics
     ///
@@ -68,13 +152,40 @@ impl<'a> AffectanceVerifier<'a> {
     ) -> Self {
         assert_eq!(powers.len(), links.len(), "one power per link");
         assert_eq!(weights.len(), links.len(), "one weight per link");
+        let mut sender_extent: Option<BoundingBox> = None;
+        for link in links {
+            let s = link.sender;
+            sender_extent = Some(match sender_extent {
+                None => BoundingBox::new(s.x, s.y, s.x, s.y),
+                Some(e) => BoundingBox::new(
+                    e.min_x.min(s.x),
+                    e.min_y.min(s.y),
+                    e.max_x.max(s.x),
+                    e.max_y.max(s.y),
+                ),
+            });
+        }
         AffectanceVerifier {
             links,
             powers,
             weights,
             pow: AlphaPow::new(model.alpha()),
             inv_beta: 1.0 / model.beta(),
+            strategy: VerifierStrategy::default(),
+            sender_extent,
         }
+    }
+
+    /// Replaces the far-field strategy (the default is hierarchical at
+    /// natural depth).
+    pub fn with_strategy(mut self, strategy: VerifierStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured far-field strategy.
+    pub fn strategy(&self) -> VerifierStrategy {
+        self.strategy
     }
 
     /// The exact affectance total on `members[k]` from the rest of the
@@ -90,6 +201,28 @@ impl<'a> AffectanceVerifier<'a> {
         )
     }
 
+    /// The exact affectance total on `members[k]`, exposed for the
+    /// soundness test battery: [`AffectanceVerifier::hierarchical_bound`]
+    /// must upper-bound this at every pyramid depth.
+    pub fn exact_affectance(&self, members: &[usize], k: usize) -> Option<f64> {
+        self.exact_total(members, k)
+    }
+
+    /// The certified upper bound a `depth`-level pyramid computes for the
+    /// affectance total on `members[k]`, without the early exit the verdict
+    /// path uses (`depth` is clamped to the pyramid's natural depth; 1 is
+    /// the flat grid). Returns `None` when the grid path cannot price the
+    /// slot — unknown member powers, an unknown target weight, a degenerate
+    /// (collocated) sender extent, or a zero interferer distance — exactly
+    /// the cases the verifier resolves with the exact kernel instead.
+    pub fn hierarchical_bound(&self, members: &[usize], k: usize, depth: usize) -> Option<f64> {
+        assert!(k < members.len(), "target index out of range");
+        if members.iter().any(|&i| self.powers[i].is_none()) {
+            return None;
+        }
+        SlotPyramid::build(self, members, depth.max(1))?.certify(k, f64::INFINITY)
+    }
+
     fn exact_ok(&self, members: &[usize], k: usize) -> bool {
         match self.exact_total(members, k) {
             Some(total) => total <= self.inv_beta,
@@ -97,176 +230,47 @@ impl<'a> AffectanceVerifier<'a> {
         }
     }
 
+    /// Exact per-target verdicts (the reference kernel, used below the grid
+    /// cutoff and wherever the grid path cannot run).
+    fn exact_verdicts(&self, members: &[usize]) -> Vec<bool> {
+        let check = |k: usize| self.exact_ok(members, k);
+        #[cfg(feature = "parallel")]
+        {
+            (0..members.len()).into_par_iter().map(check).collect()
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            (0..members.len()).map(check).collect()
+        }
+    }
+
     /// Per-target verdicts for one slot, `verdicts[k]` for `members[k]`.
     fn verdicts(&self, members: &[usize]) -> Vec<bool> {
         let all_powers_known = members.iter().all(|&i| self.powers[i].is_some());
         if members.len() <= EXACT_CUTOFF || !all_powers_known {
-            let check = |k: usize| self.exact_ok(members, k);
-            #[cfg(feature = "parallel")]
-            {
-                return (0..members.len()).into_par_iter().map(check).collect();
-            }
-            #[cfg(not(feature = "parallel"))]
-            {
-                return (0..members.len()).map(check).collect();
-            }
+            return self.exact_verdicts(members);
         }
-        self.certified_verdicts(members)
-    }
-
-    /// The grid-certified path (all member powers known, slot large).
-    fn certified_verdicts(&self, members: &[usize]) -> Vec<bool> {
-        let m = members.len();
-        // Sender extent.
-        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
-        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for &i in members {
-            let s = self.links[i].sender;
-            min_x = min_x.min(s.x);
-            min_y = min_y.min(s.y);
-            max_x = max_x.max(s.x);
-            max_y = max_y.max(s.y);
-        }
-        let width = (max_x - min_x).max(0.0);
-        let height = (max_y - min_y).max(0.0);
-        if width == 0.0 && height == 0.0 {
+        let depth = self.strategy.requested_depth(members.len());
+        let Some(pyramid) = SlotPyramid::build(self, members, depth) else {
             // All senders collocated — no useful binning; exact it is.
-            let check = |k: usize| self.exact_ok(members, k);
-            #[cfg(feature = "parallel")]
-            {
-                return (0..m).into_par_iter().map(check).collect();
-            }
-            #[cfg(not(feature = "parallel"))]
-            {
-                return (0..m).map(check).collect();
-            }
-        }
-        // Grid dimension ~ m^(1/4) per axis balances the per-target far-cell
-        // scan (g²) against the near-cell exact work (9 m / g²).
-        let g = ((m as f64).powf(0.25) * 1.8).ceil().max(1.0) as usize;
-        let cell = (width.max(height) / g as f64).max(f64::MIN_POSITIVE);
-        let cols = ((width / cell).floor() as usize + 1).min(g.max(1));
-        let rows = ((height / cell).floor() as usize + 1).min(g.max(1));
-        let cell_of = |x: f64, y: f64| -> (usize, usize) {
-            let c = (((x - min_x) / cell).floor().max(0.0) as usize).min(cols - 1);
-            let r = (((y - min_y) / cell).floor().max(0.0) as usize).min(rows - 1);
-            (c, r)
+            return self.exact_verdicts(members);
         };
-        // Counting-sorted member lists per cell, plus per-cell power sums.
-        let n_cells = cols * rows;
-        let mut counts = vec![0u32; n_cells + 1];
-        let cells: Vec<usize> = members
-            .iter()
-            .map(|&i| {
-                let s = self.links[i].sender;
-                let (c, r) = cell_of(s.x, s.y);
-                r * cols + c
-            })
-            .collect();
-        for &c in &cells {
-            counts[c + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut binned = vec![0u32; m];
-        for (pos, &c) in cells.iter().enumerate() {
-            binned[cursor[c] as usize] = pos as u32;
-            cursor[c] += 1;
-        }
-        // Per-cell power sums and *exact* sender bounding boxes (clamped
-        // binning may park a borderline sender outside its cell's nominal
-        // square; the far bound below needs a box that provably contains
-        // every sender it aggregates).
-        let mut power_sums = vec![0.0f64; n_cells];
-        let mut cell_boxes = vec![
-            (
-                f64::INFINITY,
-                f64::INFINITY,
-                f64::NEG_INFINITY,
-                f64::NEG_INFINITY
-            );
-            n_cells
-        ];
-        for c in 0..n_cells {
-            let mut sum = 0.0;
-            let b = &mut cell_boxes[c];
-            for &pos in &binned[offsets[c] as usize..offsets[c + 1] as usize] {
-                let i = members[pos as usize];
-                sum += self.powers[i].expect("powers known");
-                let s = self.links[i].sender;
-                b.0 = b.0.min(s.x);
-                b.1 = b.1.min(s.y);
-                b.2 = b.2.max(s.x);
-                b.3 = b.3.max(s.y);
-            }
-            power_sums[c] = sum;
-        }
-
-        let check = |k: usize| -> bool {
-            let target = &self.links[members[k]];
-            let Some(w) = self.weights[members[k]] else {
-                return false;
-            };
-            let r_pos = target.receiver;
-            let (tc, tr) = cell_of(r_pos.x, r_pos.y);
-            let mut total = 0.0f64;
-            for cr in 0..rows {
-                for cc in 0..cols {
-                    let c = cr * cols + cc;
-                    let near = cc.abs_diff(tc) <= 1 && cr.abs_diff(tr) <= 1;
-                    if near {
-                        // Exact terms for this cell, in binned (member) order.
-                        for &pos in &binned[offsets[c] as usize..offsets[c + 1] as usize] {
-                            let j = members[pos as usize];
-                            let source = &self.links[j];
-                            if source.id == target.id {
-                                continue;
-                            }
-                            let d = source.sender.distance(r_pos);
-                            if d <= 0.0 {
-                                return self.exact_ok(members, k);
-                            }
-                            total += self.powers[j].expect("powers known") * w / self.pow.pow(d);
-                        }
-                    } else {
-                        let sum = power_sums[c];
-                        if sum == 0.0 {
-                            continue;
-                        }
-                        // Exact point-to-box distance over the cell's true
-                        // sender bounding box lower-bounds every member's
-                        // sender distance, so this term upper-bounds the
-                        // cell's contribution.
-                        let (bx0, by0, bx1, by1) = cell_boxes[c];
-                        let dx = (bx0 - r_pos.x).max(r_pos.x - bx1).max(0.0);
-                        let dy = (by0 - r_pos.y).max(r_pos.y - by1).max(0.0);
-                        let d = dx.hypot(dy);
-                        if d <= 0.0 {
-                            return self.exact_ok(members, k);
-                        }
-                        total += sum * w / self.pow.pow(d);
-                    }
-                    if total > self.inv_beta {
-                        // The bound failed; only an exact sum can acquit.
-                        return self.exact_ok(members, k);
-                    }
-                }
-            }
+        let check = |k: usize| match pyramid.certify(k, self.inv_beta) {
             // Certified: the exact total is ≤ the bound ≤ 1/β. The target's
-            // own sender contributed at most extra non-negative terms, which
-            // only makes the certificate more conservative.
-            true
+            // own sender contributed at most extra non-negative aggregate
+            // terms, which only makes the certificate more conservative.
+            Some(total) if total <= self.inv_beta => true,
+            // The bound failed (or met a zero distance / unknown weight);
+            // only an exact sum can acquit.
+            _ => self.exact_ok(members, k),
         };
         #[cfg(feature = "parallel")]
         {
-            (0..m).into_par_iter().map(check).collect()
+            (0..members.len()).into_par_iter().map(check).collect()
         }
         #[cfg(not(feature = "parallel"))]
         {
-            (0..m).map(check).collect()
+            (0..members.len()).map(check).collect()
         }
     }
 
@@ -302,6 +306,8 @@ impl<'a> AffectanceVerifier<'a> {
     /// length order (ties by index — the deterministic order the unsharded
     /// splitter uses). A link that fits nowhere opens its own slot, so the
     /// packing always terminates; singleton slots are trivially feasible.
+    /// The result depends only on the evicted *set* (the sort canonicalises
+    /// the input order) and the verifier's construction inputs.
     pub fn pack_first_fit(&self, evicted: &[usize]) -> Vec<Vec<usize>> {
         let mut order = evicted.to_vec();
         order.sort_by(|&a, &b| {
@@ -332,6 +338,326 @@ impl<'a> AffectanceVerifier<'a> {
     }
 }
 
+/// One slot's aggregation structure: members binned into the finest grid,
+/// per-cell power sums and tight sender boxes at every pyramid level.
+///
+/// With depth 1 and the flat grid resolution this *is* the PR-3 flat
+/// verifier — same cells, same term order, same early exit — which is what
+/// the depth-1 differential equivalence rests on.
+struct SlotPyramid<'v, 'a> {
+    v: &'v AffectanceVerifier<'a>,
+    members: &'v [usize],
+    pyr: GridPyramid,
+    /// Counting-sort offsets per finest cell (`offsets[c]..offsets[c + 1]`
+    /// indexes `binned`).
+    offsets: Vec<u32>,
+    /// Member positions (into `members`) sorted by finest cell.
+    binned: Vec<u32>,
+    /// Aggregated member power per cell, all levels, indexed by
+    /// [`GridPyramid::index`].
+    sums: Vec<f64>,
+    /// Tight sender bounding box per cell `(min_x, min_y, max_x, max_y)`,
+    /// inverted (∞, ∞, −∞, −∞) when empty. Clamped binning may park a
+    /// borderline sender outside its cell's nominal square; the far bound
+    /// needs a box that provably contains every sender it aggregates.
+    boxes: Vec<(f64, f64, f64, f64)>,
+    /// Flat near-field rule (3×3 cell adjacency) instead of the distance
+    /// gate — the depth-1 / legacy configuration.
+    near_by_adjacency: bool,
+}
+
+/// One target's query context, shared by every cell-pricing step of a
+/// [`SlotPyramid`] descent.
+struct TargetQuery {
+    /// The target link's receiver position.
+    receiver: Point,
+    /// The target link's id (its own sender is skipped in exact scans).
+    target_id: LinkId,
+    /// The target's cached `l_i^α / P(i)` weight.
+    weight: f64,
+    /// The finest-level cell containing the receiver.
+    cell: (usize, usize),
+    /// Finest cells with a tight box closer than this are summed exactly
+    /// (distance-gated mode; adjacency mode ignores it).
+    near_gate: f64,
+}
+
+impl<'v, 'a> SlotPyramid<'v, 'a> {
+    /// Bins `members` and aggregates the pyramid, or `None` when the
+    /// verifier's sender extent is degenerate (no useful binning).
+    fn build(
+        v: &'v AffectanceVerifier<'a>,
+        members: &'v [usize],
+        requested_depth: usize,
+    ) -> Option<Self> {
+        let extent = v.sender_extent?;
+        let width = extent.width().max(0.0);
+        let height = extent.height().max(0.0);
+        if width == 0.0 && height == 0.0 {
+            return None;
+        }
+        let m = members.len();
+        // Flat (depth 1): ~m^(1/4) cells per axis balances the per-target
+        // far-cell scan (g²) against the near-cell exact work (9 m / g²).
+        // Hierarchical: ~4 members per cell — the descent prices far cells
+        // per *node*, so finer cells only sharpen the near field.
+        let (g, near_by_adjacency) = if requested_depth == 1 {
+            (
+                (((m as f64).powf(0.25)) * 1.8).ceil().max(1.0) as usize,
+                true,
+            )
+        } else {
+            ((((m as f64) / 4.0).sqrt().ceil() as usize).max(2), false)
+        };
+        let cell = (width.max(height) / g as f64).max(f64::MIN_POSITIVE);
+        let cols = ((width / cell).floor() as usize + 1).min(g.max(1));
+        let rows = ((height / cell).floor() as usize + 1).min(g.max(1));
+        let pyr = GridPyramid::build(
+            extent.min_x,
+            extent.min_y,
+            cell,
+            cols,
+            rows,
+            requested_depth,
+        );
+
+        // Counting-sorted member lists per finest cell.
+        let n0 = cols * rows;
+        let mut counts = vec![0u32; n0 + 1];
+        let cells: Vec<u32> = members
+            .iter()
+            .map(|&i| {
+                let (c, r) = pyr.cell_of(v.links[i].sender);
+                (r * cols + c) as u32
+            })
+            .collect();
+        for &c in &cells {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut binned = vec![0u32; m];
+        for (pos, &c) in cells.iter().enumerate() {
+            binned[cursor[c as usize] as usize] = pos as u32;
+            cursor[c as usize] += 1;
+        }
+
+        // Finest-level power sums and tight boxes, then aggregate upward —
+        // each super-cell folds its (row-major) children.
+        let total = pyr.total_cells();
+        let mut sums = vec![0.0f64; total];
+        let mut boxes = vec![
+            (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY
+            );
+            total
+        ];
+        for c in 0..n0 {
+            let mut sum = 0.0;
+            let b = &mut boxes[c];
+            for &pos in &binned[offsets[c] as usize..offsets[c + 1] as usize] {
+                let i = members[pos as usize];
+                sum += v.powers[i].expect("powers known");
+                let s = v.links[i].sender;
+                b.0 = b.0.min(s.x);
+                b.1 = b.1.min(s.y);
+                b.2 = b.2.max(s.x);
+                b.3 = b.3.max(s.y);
+            }
+            sums[c] = sum;
+        }
+        for level in 1..pyr.depth() {
+            let (lc, lr) = pyr.shape(level);
+            for r in 0..lr {
+                for c in 0..lc {
+                    let pi = pyr.index(level, c, r);
+                    let mut sum = 0.0;
+                    let mut b = (
+                        f64::INFINITY,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::NEG_INFINITY,
+                    );
+                    for (cc, cr) in pyr.children(level, c, r) {
+                        let ci = pyr.index(level - 1, cc, cr);
+                        sum += sums[ci];
+                        let cb = boxes[ci];
+                        b.0 = b.0.min(cb.0);
+                        b.1 = b.1.min(cb.1);
+                        b.2 = b.2.max(cb.2);
+                        b.3 = b.3.max(cb.3);
+                    }
+                    sums[pi] = sum;
+                    boxes[pi] = b;
+                }
+            }
+        }
+        Some(SlotPyramid {
+            v,
+            members,
+            pyr,
+            offsets,
+            binned,
+            sums,
+            boxes,
+            near_by_adjacency,
+        })
+    }
+
+    /// Distance from the target receiver to a cell's tight sender box —
+    /// `BoundingBox::distance_to`'s formula, inlined here because empty
+    /// cells carry *inverted* boxes (∞, ∞, −∞, −∞), which the `BoundingBox`
+    /// constructor's invariant forbids (an inverted box yields `∞`, and
+    /// empty cells are skipped via their zero power sum anyway).
+    #[inline]
+    fn box_distance(&self, idx: usize, p: Point) -> f64 {
+        let (bx0, by0, bx1, by1) = self.boxes[idx];
+        let dx = (bx0 - p.x).max(p.x - bx1).max(0.0);
+        let dy = (by0 - p.y).max(p.y - by1).max(0.0);
+        dx.hypot(dy)
+    }
+
+    /// Prices one finest-level cell for the target: exact member terms when
+    /// near, one aggregate bound otherwise. Returns the cell's contribution,
+    /// or `None` when only the exact kernel can price it (a zero distance:
+    /// collocated interferer, or a tight box reaching the receiver).
+    #[inline]
+    fn level0_term(&self, c: usize, r: usize, q: &TargetQuery) -> Option<f64> {
+        let v = self.v;
+        let idx = self.pyr.index(0, c, r);
+        let sum = self.sums[idx];
+        let (tc, tr) = q.cell;
+        let mut cached_d = f64::NAN;
+        let near = if self.near_by_adjacency {
+            c.abs_diff(tc) <= 1 && r.abs_diff(tr) <= 1
+        } else if sum == 0.0 {
+            return Some(0.0);
+        } else {
+            cached_d = self.box_distance(idx, q.receiver);
+            cached_d < q.near_gate
+        };
+        if near {
+            let mut term = 0.0;
+            for &pos in &self.binned[self.offsets[idx] as usize..self.offsets[idx + 1] as usize] {
+                let j = self.members[pos as usize];
+                let source = &v.links[j];
+                if source.id == q.target_id {
+                    continue;
+                }
+                let d = source.sender.distance(q.receiver);
+                if d <= 0.0 {
+                    return None;
+                }
+                term += v.powers[j].expect("powers known") * q.weight / v.pow.pow(d);
+            }
+            Some(term)
+        } else {
+            if sum == 0.0 {
+                return Some(0.0);
+            }
+            let d = if cached_d.is_nan() {
+                self.box_distance(idx, q.receiver)
+            } else {
+                cached_d
+            };
+            if d <= 0.0 {
+                return None;
+            }
+            Some(sum * q.weight / v.pow.pow(d))
+        }
+    }
+
+    /// The certified upper bound on the affectance total for `members[k]`,
+    /// descending the pyramid top-down (nodes in row-major order, expanded
+    /// children likewise — a deterministic term order). Returns early with
+    /// the partial total once it exceeds `cap` (pass `∞` for the full
+    /// bound); `None` when the bound cannot price the target — unknown
+    /// target weight, or a zero distance (collocated interferer / a tight
+    /// box reaching the receiver) — which callers resolve exactly.
+    fn certify(&self, k: usize, cap: f64) -> Option<f64> {
+        let v = self.v;
+        let target = &v.links[self.members[k]];
+        let weight = v.weights[self.members[k]]?;
+        let receiver = target.receiver;
+        let q = TargetQuery {
+            receiver,
+            target_id: target.id,
+            weight,
+            cell: self.pyr.cell_of(receiver),
+            near_gate: OPEN_GATE * self.pyr.side(0),
+        };
+        let w = weight;
+        let mut total = 0.0f64;
+
+        // Single-level (flat / depth-1) pyramids take a plain row-major
+        // sweep — no descent state, no per-target allocation.
+        if self.pyr.depth() == 1 {
+            let (cols, rows) = self.pyr.shape(0);
+            for r in 0..rows {
+                for c in 0..cols {
+                    total += self.level0_term(c, r, &q)?;
+                    if total > cap {
+                        return Some(total);
+                    }
+                }
+            }
+            return Some(total);
+        }
+
+        let top = self.pyr.depth() - 1;
+        let (top_cols, top_rows) = self.pyr.shape(top);
+        // Expansion frontier: at most 4 children per opened node, a handful
+        // of opened nodes per level — a small, single-allocation stack.
+        let mut stack: Vec<(u32, u32, u32)> = Vec::with_capacity(top_cols * top_rows + 64);
+        for r in (0..top_rows).rev() {
+            for c in (0..top_cols).rev() {
+                stack.push((top as u32, c as u32, r as u32));
+            }
+        }
+        while let Some((l, c, r)) = stack.pop() {
+            let (l, c, r) = (l as usize, c as usize, r as usize);
+            if l == 0 {
+                total += self.level0_term(c, r, &q)?;
+                if total > cap {
+                    return Some(total);
+                }
+                continue;
+            }
+            let idx = self.pyr.index(l, c, r);
+            let sum = self.sums[idx];
+            if sum == 0.0 {
+                continue;
+            }
+            let d = self.box_distance(idx, receiver);
+            if d >= OPEN_GATE * self.pyr.side(l) {
+                total += sum * w / v.pow.pow(d);
+                if total > cap {
+                    return Some(total);
+                }
+            } else {
+                // Too close for the aggregate: expand the children (pushed
+                // reversed so they pop in row-major order).
+                let mut kids = [(0usize, 0usize); 4];
+                let mut n = 0;
+                for kid in self.pyr.children(l, c, r) {
+                    kids[n] = kid;
+                    n += 1;
+                }
+                for &(cc, cr) in kids[..n].iter().rev() {
+                    stack.push((l as u32 - 1, cc as u32, cr as u32));
+                }
+            }
+        }
+        Some(total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,12 +680,23 @@ mod tests {
         members.iter().map(|&i| links[i]).collect()
     }
 
+    fn strategies() -> Vec<VerifierStrategy> {
+        vec![
+            VerifierStrategy::Flat,
+            VerifierStrategy::Hierarchical { depth: Some(1) },
+            VerifierStrategy::Hierarchical { depth: Some(2) },
+            VerifierStrategy::Hierarchical { depth: Some(4) },
+            VerifierStrategy::Hierarchical { depth: None },
+        ]
+    }
+
     #[test]
     fn verdicts_match_is_feasible_by_affectance_exactly() {
         let model = SinrModel::default();
         let power = PowerAssignment::mean();
         // Sweep spacings through the feasibility threshold; include sizes on
-        // both sides of the exact cutoff so the certified path is exercised.
+        // both sides of the exact cutoff so the certified path is exercised,
+        // and every strategy/depth so the battery covers the whole matrix.
         for &(n, spacing) in &[
             (64usize, 3.0),
             (64, 8.0),
@@ -370,40 +707,136 @@ mod tests {
             let links = field(n, spacing);
             let cache = PathLossCache::new(&model, &links, &power);
             let (powers, weights) = cache.into_parts();
-            let verifier = AffectanceVerifier::new(&model, &links, &powers, &weights);
+            for strategy in strategies() {
+                let verifier = AffectanceVerifier::new(&model, &links, &powers, &weights)
+                    .with_strategy(strategy);
+                let members: Vec<usize> = (0..n).collect();
+                let (kept, evicted) = verifier.evict_infeasible(&members);
+                assert_eq!(kept.len() + evicted.len(), n);
+                // Kept sets are genuinely feasible under the reference check.
+                assert!(
+                    is_feasible_by_affectance(&model, &subset_links(&links, &kept), &power),
+                    "kept set infeasible at n={n} spacing={spacing} {strategy:?}"
+                );
+                // And the sweep's verdicts agree with per-target reference sums.
+                let reference = PathLossCache::new(&model, &links, &power);
+                for (k, &i) in members.iter().enumerate() {
+                    let want = match reference.subset_relative_interference_on(&members, k) {
+                        Some(t) => t <= 1.0 / model.beta(),
+                        None => false,
+                    };
+                    assert_eq!(
+                        kept.contains(&i),
+                        want,
+                        "target {i} verdict mismatch at n={n} spacing={spacing} {strategy:?}"
+                    );
+                }
+                if evicted.is_empty() {
+                    assert!(verifier.set_feasible(&members));
+                } else {
+                    assert!(!verifier.set_feasible(&members));
+                    // Packing terminates and every packed slot is feasible.
+                    for slot in verifier.pack_first_fit(&evicted) {
+                        assert!(is_feasible_by_affectance(
+                            &model,
+                            &subset_links(&links, &slot),
+                            &power
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_matches_the_flat_strategy_exactly() {
+        let model = SinrModel::default();
+        let power = PowerAssignment::mean();
+        for &(n, spacing) in &[(400usize, 2.5), (400, 6.0), (625, 4.0)] {
+            let links = field(n, spacing);
+            let cache = PathLossCache::new(&model, &links, &power);
+            let (powers, weights) = cache.into_parts();
             let members: Vec<usize> = (0..n).collect();
-            let (kept, evicted) = verifier.evict_infeasible(&members);
-            assert_eq!(kept.len() + evicted.len(), n);
-            // Kept sets are genuinely feasible under the reference check.
-            assert!(
-                is_feasible_by_affectance(&model, &subset_links(&links, &kept), &power),
-                "kept set infeasible at n={n} spacing={spacing}"
+            let flat = AffectanceVerifier::new(&model, &links, &powers, &weights)
+                .with_strategy(VerifierStrategy::Flat);
+            let depth1 = AffectanceVerifier::new(&model, &links, &powers, &weights)
+                .with_strategy(VerifierStrategy::Hierarchical { depth: Some(1) });
+            assert_eq!(
+                flat.evict_infeasible(&members),
+                depth1.evict_infeasible(&members),
+                "depth-1 accept/evict diverged from flat at n={n} spacing={spacing}"
             );
-            // And the sweep's verdicts agree with per-target reference sums.
-            let reference = PathLossCache::new(&model, &links, &power);
-            for (k, &i) in members.iter().enumerate() {
-                let want = match reference.subset_relative_interference_on(&members, k) {
-                    Some(t) => t <= 1.0 / model.beta(),
-                    None => false,
-                };
+            // The depth-1 bound is the flat bound, term for term.
+            for k in (0..n).step_by(37) {
                 assert_eq!(
-                    kept.contains(&i),
-                    want,
-                    "target {i} verdict mismatch at n={n} spacing={spacing}"
+                    flat.hierarchical_bound(&members, k, 1),
+                    depth1.hierarchical_bound(&members, k, 1),
+                    "bound mismatch at target {k}"
                 );
             }
-            if evicted.is_empty() {
-                assert!(verifier.set_feasible(&members));
-            } else {
-                assert!(!verifier.set_feasible(&members));
-                // Packing terminates and every packed slot is feasible.
-                for slot in verifier.pack_first_fit(&evicted) {
-                    assert!(is_feasible_by_affectance(
-                        &model,
-                        &subset_links(&links, &slot),
-                        &power
-                    ));
-                }
+        }
+    }
+
+    #[test]
+    fn bounds_upper_bound_the_exact_sum_at_every_depth() {
+        let model = SinrModel::default();
+        let power = PowerAssignment::mean();
+        let links = field(400, 3.0);
+        let cache = PathLossCache::new(&model, &links, &power);
+        let (powers, weights) = cache.into_parts();
+        let verifier = AffectanceVerifier::new(&model, &links, &powers, &weights);
+        let members: Vec<usize> = (0..links.len()).collect();
+        for depth in 1..=8 {
+            for k in (0..members.len()).step_by(23) {
+                let bound = verifier
+                    .hierarchical_bound(&members, k, depth)
+                    .expect("grid path available");
+                let exact = verifier
+                    .exact_affectance(&members, k)
+                    .expect("exact sum available");
+                assert!(
+                    bound >= exact - 1e-12 * exact.abs(),
+                    "depth {depth} target {k}: bound {bound} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repack_is_deterministic_across_instances_and_input_order() {
+        // Regression for the hoisted grid-shape state: the repack path and
+        // the query path share one layout anchored at construction, so
+        // packing the same evicted *set* — in any input order, from any
+        // identically constructed verifier — yields identical slots.
+        let model = SinrModel::default();
+        let power = PowerAssignment::mean();
+        let links = field(400, 2.0);
+        let cache = PathLossCache::new(&model, &links, &power);
+        let (powers, weights) = cache.into_parts();
+        for strategy in strategies() {
+            let verifier =
+                AffectanceVerifier::new(&model, &links, &powers, &weights).with_strategy(strategy);
+            let members: Vec<usize> = (0..links.len()).collect();
+            let (_, evicted) = verifier.evict_infeasible(&members);
+            assert!(
+                !evicted.is_empty(),
+                "tight field should force evictions ({strategy:?})"
+            );
+            let packed = verifier.pack_first_fit(&evicted);
+            // Same verifier, reversed input order.
+            let mut reversed = evicted.clone();
+            reversed.reverse();
+            assert_eq!(packed, verifier.pack_first_fit(&reversed), "{strategy:?}");
+            // A fresh identically constructed verifier.
+            let fresh =
+                AffectanceVerifier::new(&model, &links, &powers, &weights).with_strategy(strategy);
+            assert_eq!(packed, fresh.pack_first_fit(&evicted), "{strategy:?}");
+            for slot in &packed {
+                assert!(is_feasible_by_affectance(
+                    &model,
+                    &subset_links(&links, slot),
+                    &power
+                ));
             }
         }
     }
@@ -422,6 +855,8 @@ mod tests {
         assert_eq!(evicted.len(), 20);
         // Singletons are still trivially feasible.
         assert!(verifier.set_feasible(&[3]));
+        // The bound cannot price unknown powers either.
+        assert_eq!(verifier.hierarchical_bound(&members, 0, 3), None);
     }
 
     #[test]
