@@ -9,18 +9,30 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wagg_conflict::{greedy_color, ConflictGraph, ConflictRelation};
+use wagg_core::{Backend, Session};
 use wagg_fading::{effective_rate, FadingModel};
 use wagg_instances::random::uniform_square;
 use wagg_latency::{build_matching_tree, schedule_matching_tree};
 use wagg_mst::approx::nearest_neighbor_tree;
 use wagg_mst::euclidean_mst;
-use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+use wagg_schedule::{PowerMode, SchedulerConfig, SolveReport};
 use wagg_sinr::Link;
 
 fn mst_links(n: usize, seed: u64) -> Vec<Link> {
     uniform_square(n, 400.0, seed)
         .mst_links()
         .expect("uniform deployments are non-degenerate")
+}
+
+/// One-shot static solve through the session facade (what every ablation
+/// ultimately measures).
+fn solve(links: &[Link], config: SchedulerConfig) -> SolveReport {
+    Session::builder()
+        .scheduler(config)
+        .backend(Backend::Static)
+        .links(links)
+        .build()
+        .solve()
 }
 
 /// Conflict-graph construction + greedy coloring for the three relation shapes.
@@ -58,9 +70,7 @@ fn bench_verification(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(if verify { "on" } else { "off" }),
             &config,
-            |b, config| {
-                b.iter(|| criterion::black_box(schedule_links(&links, *config).schedule.len()))
-            },
+            |b, config| b.iter(|| criterion::black_box(solve(&links, *config).slots())),
         );
     }
     group.finish();
@@ -78,13 +88,7 @@ fn bench_power_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_power_mode");
     for (name, mode) in modes {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                criterion::black_box(
-                    schedule_links(&links, SchedulerConfig::new(mode))
-                        .schedule
-                        .len(),
-                )
-            })
+            b.iter(|| criterion::black_box(solve(&links, SchedulerConfig::new(mode)).slots()))
         });
     }
     group.finish();
@@ -102,7 +106,7 @@ fn bench_tree_choices(c: &mut Criterion) {
                 .unwrap()
                 .try_orient_towards(inst.sink)
                 .unwrap();
-            criterion::black_box(schedule_links(&links, config).schedule.len())
+            criterion::black_box(solve(&links, config).slots())
         })
     });
     group.bench_function("nearest_neighbor", |b| {
@@ -111,7 +115,7 @@ fn bench_tree_choices(c: &mut Criterion) {
                 .unwrap()
                 .try_orient_towards(inst.sink)
                 .unwrap();
-            criterion::black_box(schedule_links(&links, config).schedule.len())
+            criterion::black_box(solve(&links, config).slots())
         })
     });
     group.bench_function("matching_tree", |b| {
@@ -128,7 +132,7 @@ fn bench_fading_montecarlo(c: &mut Criterion) {
     let inst = uniform_square(48, 300.0, 13);
     let links = inst.mst_links().unwrap();
     let config = SchedulerConfig::new(PowerMode::GlobalControl);
-    let schedule = schedule_links(&links, config).schedule;
+    let schedule = solve(&links, config).report.schedule;
     let fading = FadingModel::rayleigh(1.0);
     let mut group = c.benchmark_group("ablation_fading_trials");
     group.sample_size(10);

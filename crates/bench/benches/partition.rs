@@ -1,7 +1,8 @@
-//! The sharded-scheduling perf suite: build + schedule wall-clock of
-//! `wagg_partition::schedule_sharded` against the unsharded
-//! `wagg_schedule::schedule_links` path, and of the **hierarchical**
-//! far-field verifier (the default) against the flat PR-3 grid.
+//! The sharded-scheduling perf suite: build + schedule wall-clock of the
+//! session facade's sharded backend against its static backend (the
+//! unsharded kernel), and of the **hierarchical** far-field verifier (the
+//! default) against the flat PR-3 grid. Every row schedules through
+//! `wagg_session::Session`, exactly like production callers.
 //!
 //! Run with
 //!
@@ -33,8 +34,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use wagg_bench::uniform_unit_links;
-use wagg_partition::{schedule_sharded, schedule_sharded_with, VerifierStrategy};
-use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+use wagg_partition::VerifierStrategy;
+use wagg_schedule::{PowerMode, SchedulerConfig};
+use wagg_session::{Backend, Session};
 use wagg_sinr::affectance::is_feasible_by_affectance;
 use wagg_sinr::Link;
 
@@ -47,6 +49,23 @@ fn size_filter() -> Option<Vec<usize>> {
     std::env::var("WAGG_PARTITION_BENCH_SIZES")
         .ok()
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+}
+
+/// A seeded session over `links` with the sharded backend at the given
+/// strategy/shard count.
+fn sharded_session(
+    links: &[Link],
+    config: SchedulerConfig,
+    shards: usize,
+    strategy: VerifierStrategy,
+) -> Session {
+    Session::builder()
+        .scheduler(config)
+        .backend(Backend::Sharded)
+        .target_shards(shards)
+        .verifier(strategy)
+        .links(links)
+        .build()
 }
 
 fn bench_partition(c: &mut Criterion) {
@@ -63,11 +82,12 @@ fn bench_partition(c: &mut Criterion) {
         let links = uniform_unit_links(n, n as u64);
 
         // One-time correctness gates per size, outside the timing loops.
-        let gate = schedule_sharded(&links, config, 16);
-        assert!(gate.report.schedule.is_partition(n));
+        let gate = sharded_session(&links, config, 16, VerifierStrategy::default()).solve();
+        eprintln!("{}", gate.summary());
+        assert!(gate.schedule().is_partition(n));
         if n <= 50_000 {
             let assignment = config.mode.assignment().expect("oblivious mode is fixed");
-            for slot in gate.report.schedule.slots() {
+            for slot in gate.schedule().slots() {
                 let slot_links: Vec<Link> = slot.iter().map(|&i| links[i]).collect();
                 assert!(is_feasible_by_affectance(
                     &config.model,
@@ -77,38 +97,31 @@ fn bench_partition(c: &mut Criterion) {
             }
         }
         if n <= 200_000 {
-            let flat = schedule_sharded_with(&links, config, 16, VerifierStrategy::Flat);
+            let flat = sharded_session(&links, config, 16, VerifierStrategy::Flat).solve();
             assert_eq!(
-                flat, gate,
+                flat.report, gate.report,
                 "flat and hierarchical verifiers must schedule identically"
             );
         }
 
         if baseline {
+            let session = Session::builder()
+                .scheduler(config)
+                .backend(Backend::Static)
+                .links(&links)
+                .build();
             group.bench_function(BenchmarkId::new("unsharded", n), |b| {
-                b.iter(|| black_box(schedule_links(&links, config).schedule.len()))
+                b.iter(|| black_box(session.solve().slots()))
             });
         }
+        let session = sharded_session(&links, config, 16, VerifierStrategy::Flat);
         group.bench_function(BenchmarkId::new("flat_shards16", n), |b| {
-            b.iter(|| {
-                black_box(
-                    schedule_sharded_with(&links, config, 16, VerifierStrategy::Flat)
-                        .report
-                        .schedule
-                        .len(),
-                )
-            })
+            b.iter(|| black_box(session.solve().slots()))
         });
         for &shards in &SHARDS {
+            let session = sharded_session(&links, config, shards, VerifierStrategy::default());
             group.bench_function(BenchmarkId::new(format!("shards{shards}"), n), |b| {
-                b.iter(|| {
-                    black_box(
-                        schedule_sharded(&links, config, shards)
-                            .report
-                            .schedule
-                            .len(),
-                    )
-                })
+                b.iter(|| black_box(session.solve().slots()))
             });
         }
     }

@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wagg_conflict::{greedy_color, ConflictGraph, ConflictRelation};
-use wagg_core::{AggregationProblem, PowerMode};
+use wagg_core::{AggregationProblem, Backend, PowerMode, Session};
 use wagg_instances::random::uniform_square;
 use wagg_mst::euclidean_mst;
-use wagg_schedule::{schedule_links, SchedulerConfig};
+use wagg_schedule::SchedulerConfig;
 use wagg_sinr::power_control::is_feasible_with_power_control;
 use wagg_sinr::{PowerAssignment, SinrModel};
 
@@ -94,12 +94,13 @@ fn bench_schedule_links_only(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &SIZES {
         let links = uniform_square(n, 500.0, n as u64).mst_links().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &links, |b, links| {
-            b.iter(|| {
-                schedule_links(links, SchedulerConfig::new(PowerMode::GlobalControl))
-                    .schedule
-                    .len()
-            })
+        let session = Session::builder()
+            .scheduler(SchedulerConfig::new(PowerMode::GlobalControl))
+            .backend(Backend::Static)
+            .links(&links)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &session, |b, session| {
+            b.iter(|| session.solve().slots())
         });
     }
     group.finish();

@@ -1,8 +1,9 @@
 //! One-shot wall-clock probe for the sharded scheduler: times a single
-//! `schedule_sharded_with` run per verifier strategy on the partition
-//! bench's constant-density workload — the quick way to compare the flat
-//! and hierarchical far-field verifiers (or to tune the pyramid cutoff)
-//! without sitting through the full criterion sweep.
+//! session solve per verifier strategy on the partition bench's
+//! constant-density workload — the quick way to compare the flat and
+//! hierarchical far-field verifiers (or to tune the pyramid cutoff) without
+//! sitting through the full criterion sweep. Prints the uniform
+//! `SolveReport::summary()` line per run, whatever backend produced it.
 //!
 //! ```text
 //! cargo run --release -p wagg-bench --bin partition_profile -- [n] [shards]
@@ -12,8 +13,9 @@
 
 use std::time::Instant;
 use wagg_bench::uniform_unit_links;
-use wagg_partition::{schedule_sharded_with, VerifierStrategy};
+use wagg_partition::VerifierStrategy;
 use wagg_schedule::{PowerMode, SchedulerConfig};
+use wagg_session::{Backend, Session};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,17 +28,20 @@ fn main() {
         ("flat", VerifierStrategy::Flat),
         ("hierarchical", VerifierStrategy::default()),
     ] {
+        let session = Session::builder()
+            .scheduler(config)
+            .backend(Backend::Sharded)
+            .target_shards(shards)
+            .verifier(strategy)
+            .links(&links)
+            .build();
         let t0 = Instant::now();
-        let sharded = schedule_sharded_with(&links, config, shards, strategy);
+        let report = session.solve();
         let dt = t0.elapsed();
         println!(
-            "{label:>13}: {:.3} s  (shards={}, slots={}, boundary={}, repaired={}, evicted={})",
+            "{label:>13}: {:.3} s  {}",
             dt.as_secs_f64(),
-            sharded.shards,
-            sharded.report.schedule.len(),
-            sharded.boundary_links,
-            sharded.repaired_links,
-            sharded.evicted_links,
+            report.summary()
         );
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::{fmt_f, Scale, Table};
 use wagg_core::{AggregationProblem, PowerMode};
+use wagg_core::{Backend, Session};
 use wagg_distributed::{simulate_distributed, DistributedConfig, DistributedMode};
 use wagg_geometry::logmath::{log_log2, log_star};
 use wagg_instances::chains::{
@@ -20,7 +21,18 @@ use wagg_mst::kconnect::KConnectedSpanner;
 use wagg_mst::sparsity::{measure_sparsity, refine_into_sparse_classes};
 use wagg_protocol::{schedule_protocol, ProtocolModel};
 use wagg_schedule::multicolor::{cycle5_multicolor_schedule, cycle5_optimal_coloring_slots};
-use wagg_schedule::{schedule_links, PowerMode as Mode, Schedule, SchedulerConfig};
+use wagg_schedule::{PowerMode as Mode, Schedule, SchedulerConfig, SolveReport};
+
+/// One-shot static solve through the session facade (the experiment tables
+/// all report the static kernel's numbers).
+fn solve_links(links: &[wagg_sinr::Link], config: SchedulerConfig) -> SolveReport {
+    Session::builder()
+        .scheduler(config)
+        .backend(Backend::Static)
+        .links(links)
+        .build()
+        .solve()
+}
 use wagg_sim::{ConvergecastSim, SimConfig};
 use wagg_sinr::{PowerAssignment, SinrModel};
 
@@ -244,8 +256,8 @@ pub fn run_e6(scale: Scale) -> Table {
                 }
             }
         }
-        let oblivious = schedule_links(&links, SchedulerConfig::new(Mode::Oblivious { tau }));
-        let global = schedule_links(&links, SchedulerConfig::new(Mode::GlobalControl));
+        let oblivious = solve_links(&links, SchedulerConfig::new(Mode::Oblivious { tau }));
+        let global = solve_links(&links, SchedulerConfig::new(Mode::GlobalControl));
         let delta = inst.length_diversity().unwrap();
         table.push_row(vec![
             fmt_f(tau),
@@ -253,8 +265,8 @@ pub fn run_e6(scale: Scale) -> Table {
             fmt_f(delta),
             fmt_f(log_log2(delta)),
             feasible_pairs.to_string(),
-            oblivious.schedule.len().to_string(),
-            global.schedule.len().to_string(),
+            oblivious.slots().to_string(),
+            global.slots().to_string(),
         ]);
     }
     table
@@ -283,7 +295,7 @@ pub fn run_e7(scale: Scale) -> Table {
     for t in 1..=max_level {
         let rt = recursive_instance(t, params);
         let links = rt.instance.mst_links().unwrap();
-        let report = schedule_links(&links, SchedulerConfig::new(Mode::GlobalControl));
+        let report = solve_links(&links, SchedulerConfig::new(Mode::GlobalControl));
         let delta = rt.instance.length_diversity().unwrap();
         let ideal = rt
             .ideal_copy_counts
@@ -302,7 +314,7 @@ pub fn run_e7(scale: Scale) -> Table {
             fmt_f(delta),
             log_star(delta).to_string(),
             ideal,
-            report.schedule.len().to_string(),
+            report.slots().to_string(),
         ]);
     }
     table
@@ -336,14 +348,14 @@ pub fn run_e8(scale: Scale) -> Table {
             model.is_feasible(&links, &power)
         });
         let mst_links = built.instance.mst_links().unwrap();
-        let mst = schedule_links(&mst_links, SchedulerConfig::new(Mode::Oblivious { tau }));
+        let mst = solve_links(&mst_links, SchedulerConfig::new(Mode::Oblivious { tau }));
         table.push_row(vec![
             fmt_f(tau),
             levels.to_string(),
             built.instance.len().to_string(),
             "2".into(),
             feasible.to_string(),
-            mst.schedule.len().to_string(),
+            mst.slots().to_string(),
         ]);
     }
     table
@@ -368,16 +380,16 @@ pub fn run_e9(scale: Scale) -> Table {
         let inst = exponential_chain(n, 2.0).unwrap();
         let links = inst.mst_links().unwrap();
         let protocol = schedule_protocol(&links, ProtocolModel::default()).len();
-        let uniform = schedule_links(&links, SchedulerConfig::new(Mode::Uniform));
-        let oblivious = schedule_links(&links, SchedulerConfig::new(Mode::Oblivious { tau: 0.5 }));
-        let global = schedule_links(&links, SchedulerConfig::new(Mode::GlobalControl));
+        let uniform = solve_links(&links, SchedulerConfig::new(Mode::Uniform));
+        let oblivious = solve_links(&links, SchedulerConfig::new(Mode::Oblivious { tau: 0.5 }));
+        let global = solve_links(&links, SchedulerConfig::new(Mode::GlobalControl));
         table.push_row(vec![
             n.to_string(),
             fmt_f(inst.length_diversity().unwrap()),
             protocol.to_string(),
-            uniform.schedule.len().to_string(),
-            oblivious.schedule.len().to_string(),
-            global.schedule.len().to_string(),
+            uniform.slots().to_string(),
+            oblivious.slots().to_string(),
+            global.slots().to_string(),
         ]);
     }
     table
@@ -460,12 +472,12 @@ pub fn run_e12(scale: Scale) -> Table {
     for k in 1..=3usize {
         let spanner = KConnectedSpanner::build(&inst.points, k).expect("buildable");
         let links = spanner.orient_arbitrarily();
-        let report = schedule_links(&links, SchedulerConfig::new(Mode::GlobalControl));
+        let report = solve_links(&links, SchedulerConfig::new(Mode::GlobalControl));
         table.push_row(vec![
             k.to_string(),
             n.to_string(),
             links.len().to_string(),
-            report.schedule.len().to_string(),
+            report.slots().to_string(),
             fmt_f(report.rate()),
         ]);
     }

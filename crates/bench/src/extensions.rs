@@ -11,6 +11,7 @@ use crate::{fmt_f, Scale, Table};
 use wagg_aggfn::{median_by_counting, ConvergecastTree, MedianConfig};
 use wagg_conflict::{greedy_color, ConflictGraph, ConflictRelation};
 use wagg_core::{AggregationProblem, PowerMode};
+use wagg_core::{Backend, Session};
 use wagg_dynamic::{run_churn_scenario, ChurnConfig, RepairStrategy};
 use wagg_fading::{effective_rate, ArqConfig, ArqConvergecast, FadingModel};
 use wagg_instances::chains::uniform_chain;
@@ -21,7 +22,7 @@ use wagg_mst::approx::{nearest_neighbor_tree, star_tree};
 use wagg_mst::euclidean_mst;
 use wagg_mst::sparsity::measure_sparsity;
 use wagg_multihop::{MultihopConfig, MultihopPipeline};
-use wagg_schedule::{schedule_links, SchedulerConfig};
+use wagg_schedule::SchedulerConfig;
 use wagg_sinr::Link;
 
 fn sizes(scale: Scale, full: &[usize], quick: &[usize]) -> Vec<usize> {
@@ -202,7 +203,7 @@ pub fn run_e17(scale: Scale) -> Table {
         let config = solution.config;
         let rate = effective_rate(
             &solution.links,
-            &solution.report.schedule,
+            solution.report.schedule(),
             &config.model,
             mode,
             fading,
@@ -210,7 +211,7 @@ pub fn run_e17(scale: Scale) -> Table {
             7,
         )
         .expect("schedule indices are valid");
-        let sim = ArqConvergecast::new(&solution.links, &solution.report.schedule)
+        let sim = ArqConvergecast::new(&solution.links, solution.report.schedule())
             .expect("MST links form a tree");
         let wave = sim
             .run(
@@ -284,10 +285,24 @@ pub fn run_e18(scale: Scale) -> Table {
     table
 }
 
+/// One-shot static solve through the session facade.
+fn solve_links(links: &[Link], config: SchedulerConfig) -> wagg_schedule::SolveReport {
+    Session::builder()
+        .scheduler(config)
+        .backend(Backend::Static)
+        .links(links)
+        .build()
+        .solve()
+}
+
 fn schedule_slots_for(links: &[Link], mode: wagg_schedule::PowerMode) -> usize {
-    schedule_links(links, SchedulerConfig::new(mode))
-        .schedule
-        .len()
+    Session::builder()
+        .scheduler(SchedulerConfig::new(mode))
+        .backend(Backend::Static)
+        .links(links)
+        .build()
+        .solve()
+        .slots()
 }
 
 /// E19 — Remark 1: any tree with the Lemma 1 sparsity schedules like the MST;
@@ -378,7 +393,7 @@ pub fn run_e20(scale: Scale) -> Table {
         let model = wagg_sinr::SinrModel::new(3.0, beta, 0.0).expect("valid model");
         let config =
             SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl).with_model(model);
-        let slots = schedule_links(&links, config).schedule.len();
+        let slots = solve_links(&links, config).slots();
         table.push_row(vec![
             "beta".into(),
             fmt_f(beta),
@@ -390,7 +405,7 @@ pub fn run_e20(scale: Scale) -> Table {
     // τ sweep (oblivious power).
     for tau in [0.25, 0.5, 0.75] {
         let config = SchedulerConfig::new(wagg_schedule::PowerMode::Oblivious { tau });
-        let slots = schedule_links(&links, config).schedule.len();
+        let slots = solve_links(&links, config).slots();
         table.push_row(vec![
             "tau".into(),
             fmt_f(tau),
@@ -416,7 +431,7 @@ pub fn run_e20(scale: Scale) -> Table {
     for verify in [true, false] {
         let config =
             SchedulerConfig::new(wagg_schedule::PowerMode::GlobalControl).with_verification(verify);
-        let slots = schedule_links(&links, config).schedule.len();
+        let slots = solve_links(&links, config).slots();
         table.push_row(vec![
             "verification".into(),
             verify.to_string(),

@@ -14,10 +14,42 @@
 //! * **without power control**, worst-case instances force `Θ(n)` slots,
 //! * and both positive bounds are tight (Sec. 4 of the paper).
 //!
-//! This crate is the public entry point: it re-exports the substrate crates and
-//! offers the [`AggregationProblem`] one-stop API.
+//! # One scheduling surface
 //!
-//! # Examples
+//! Everything schedules through the [`session`] facade
+//! ([`SessionBuilder`] → [`Session`] → [`SolveReport`]): one builder folds
+//! the scheduler core (SINR model, power mode), the incremental engine's
+//! tuning and the sharded pipeline's knobs into a layered [`SessionConfig`],
+//! and [`Backend::Auto`] picks the execution strategy — from-scratch static
+//! kernel, incrementally maintained interference engine, or spatially
+//! sharded pipeline — from the instance itself (size, churn expectation,
+//! partition hints). Every backend returns the same [`SolveReport`] and is
+//! slot-for-slot identical to the legacy entry point it wraps (the
+//! differential suite in `wagg-session` pins this).
+//!
+//! ```
+//! use wagg_core::{Backend, Session};
+//! use wagg_core::geometry::Point;
+//! use wagg_core::sinr::Link;
+//!
+//! let links: Vec<Link> = (0..40)
+//!     .map(|i| {
+//!         let x = (i % 8) as f64 * 7.0;
+//!         let y = (i / 8) as f64 * 7.0;
+//!         Link::new(i, Point::new(x, y), Point::new(x + 1.0, y))
+//!     })
+//!     .collect();
+//! // `Backend::Auto` resolves to the static kernel at this size; flip to
+//! // `Backend::Engine` for churn workloads or `Backend::Sharded` at scale.
+//! let session = Session::builder().backend(Backend::Auto).links(&links).build();
+//! let report = session.solve();
+//! assert!(report.schedule().is_partition(links.len()));
+//! println!("{}", report.summary());
+//! ```
+//!
+//! For the paper's end-to-end pipeline (points → MST → schedule), the
+//! [`AggregationProblem`] one-stop API drives the same session under the
+//! hood:
 //!
 //! ```
 //! use wagg_core::{AggregationProblem, PowerMode};
@@ -31,7 +63,7 @@
 //!
 //! // The schedule is a genuine partition of the MST's links into SINR-feasible slots.
 //! assert_eq!(solution.links.len(), 99);
-//! assert!(solution.report.schedule.is_partition(99));
+//! assert!(solution.report.schedule().is_partition(99));
 //! // Near-constant rate: a handful of slots despite 100 nodes.
 //! assert!(solution.slots() <= 16);
 //! ```
@@ -53,12 +85,19 @@ pub use wagg_multihop as multihop;
 pub use wagg_partition as partition;
 pub use wagg_protocol as protocol;
 pub use wagg_schedule as schedule;
+pub use wagg_session as session;
 pub use wagg_sim as sim;
 pub use wagg_sinr as sinr;
 
 pub use wagg_geometry::Point;
 pub use wagg_instances::Instance;
-pub use wagg_schedule::{PowerMode, Schedule, ScheduleReport, SchedulerConfig};
+pub use wagg_schedule::{
+    BackendKind, PowerMode, Schedule, ScheduleReport, SchedulerConfig, ShardingStats, SolveReport,
+};
+pub use wagg_session::{
+    Backend, PartitionHints, SchedulerBackend, Session, SessionBuilder, SessionConfig,
+    SessionError, SessionStats,
+};
 pub use wagg_sinr::{Link, PowerAssignment, SinrModel};
 
 use serde::{Deserialize, Serialize};
@@ -110,17 +149,21 @@ impl From<wagg_sim::SimError> for AggregationError {
 ///
 /// Construct with [`AggregationProblem::new`] or [`AggregationProblem::from_instance`],
 /// adjust with the builder-style `with_*` methods, then call
-/// [`AggregationProblem::solve`].
+/// [`AggregationProblem::solve`] — which schedules the oriented MST through
+/// the [`session`] facade ([`Backend::Auto`] by default, overridable with
+/// [`AggregationProblem::with_backend`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AggregationProblem {
     points: Vec<Point>,
     sink: usize,
     config: SchedulerConfig,
+    backend: Backend,
 }
 
 impl AggregationProblem {
     /// Creates a problem from raw node positions and a sink index, with the default
-    /// configuration (global power control, default SINR model, slot verification on).
+    /// configuration (global power control, default SINR model, slot verification on,
+    /// automatic backend selection).
     ///
     /// # Panics
     ///
@@ -131,6 +174,7 @@ impl AggregationProblem {
             points,
             sink,
             config: SchedulerConfig::default(),
+            backend: Backend::Auto,
         }
     }
 
@@ -157,6 +201,13 @@ impl AggregationProblem {
         self
     }
 
+    /// Chooses the session backend the schedule is computed with (default:
+    /// [`Backend::Auto`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The node positions.
     pub fn points(&self) -> &[Point] {
         &self.points
@@ -172,8 +223,14 @@ impl AggregationProblem {
         self.config
     }
 
-    /// Solves the problem: builds the MST, orients it towards the sink, colors the
-    /// appropriate conflict graph and verifies the slots.
+    /// The configured session backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Solves the problem: builds the MST, orients it towards the sink, and
+    /// schedules the oriented links through a [`Session`] with the
+    /// configured backend.
     ///
     /// # Errors
     ///
@@ -181,7 +238,12 @@ impl AggregationProblem {
     pub fn solve(&self) -> Result<AggregationSolution, AggregationError> {
         let tree = wagg_mst::euclidean_mst(&self.points)?;
         let links = tree.try_orient_towards(self.sink)?;
-        let report = wagg_schedule::schedule_links(&links, self.config);
+        let session = Session::builder()
+            .scheduler(self.config)
+            .backend(self.backend)
+            .links(&links)
+            .build();
+        let report = session.solve();
         Ok(AggregationSolution {
             tree,
             links,
@@ -199,8 +261,9 @@ pub struct AggregationSolution {
     pub tree: wagg_mst::SpanningTree,
     /// The MST's links oriented towards the sink (the scheduled link set).
     pub links: Vec<Link>,
-    /// The schedule and the diagnostics the paper's analysis is phrased in.
-    pub report: ScheduleReport,
+    /// The unified solve report: schedule, the diagnostics the paper's
+    /// analysis is phrased in, and the backend that produced it.
+    pub report: SolveReport,
     /// The configuration the schedule was computed with.
     pub config: SchedulerConfig,
 }
@@ -208,7 +271,7 @@ pub struct AggregationSolution {
 impl AggregationSolution {
     /// The schedule length (number of slots).
     pub fn slots(&self) -> usize {
-        self.report.schedule.len()
+        self.report.slots()
     }
 
     /// The aggregation rate `1 / slots` of the periodic schedule.
@@ -220,7 +283,7 @@ impl AggregationSolution {
     /// by tests and the experiment harness).
     pub fn verify(&self) -> bool {
         self.report
-            .schedule
+            .schedule()
             .verify(&self.links, &self.config.model, self.config.mode)
     }
 
@@ -233,7 +296,7 @@ impl AggregationSolution {
     /// as a convergecast tree (never the case for solutions produced by
     /// [`AggregationProblem::solve`]).
     pub fn simulate(&self, frames: usize) -> Result<SimReport, AggregationError> {
-        let sim = ConvergecastSim::new(&self.links, &self.report.schedule)?;
+        let sim = ConvergecastSim::from_solve(&self.links, &self.report)?;
         let period = self.slots().max(1);
         Ok(sim.run(SimConfig {
             frame_period: period,

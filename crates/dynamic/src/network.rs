@@ -3,10 +3,10 @@
 use crate::error::DynamicError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use wagg_engine::{EngineConfig, InterferenceEngine};
 use wagg_geometry::Point;
 use wagg_mst::euclidean_mst;
-use wagg_schedule::{schedule_links, ScheduleReport, SchedulerConfig};
+use wagg_schedule::{ScheduleReport, SchedulerConfig, SolveReport};
+use wagg_session::{Backend, Session};
 use wagg_sinr::{Link, NodeId};
 
 /// How the tree is repaired after a failure or arrival.
@@ -54,29 +54,35 @@ pub struct ChangeReport {
 /// after every event.
 ///
 /// Interference state is **not** rebuilt from scratch per event: the network
-/// carries a [`wagg_engine::InterferenceEngine`] mirroring the current tree
-/// links, and each repair diffs the old and new parent assignments and
-/// applies only the per-link insert/remove events for the edges that actually
-/// changed. The engine incrementally maintains the spatial grids, the
-/// conflict adjacency and the path-loss state, and rescheduling goes through
-/// [`InterferenceEngine::schedule`], which reuses all of it.
+/// schedules through a [`Session`] on the incremental engine backend
+/// (`Backend::Engine`) mirroring the current tree links, and each repair
+/// diffs the old and new parent assignments and applies only the per-link
+/// insert/remove events for the edges that actually changed. The session's
+/// engine incrementally maintains the spatial grids, the conflict adjacency
+/// and the path-loss state, and rescheduling goes through
+/// [`Session::solve`], which reuses all of it.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
-#[derive(Debug, Clone)]
+///
+/// `DynamicNetwork` is deliberately not `Clone`: the session's engine
+/// backend owns incrementally maintained state behind a trait object. To
+/// snapshot a network, rebuild one from the same points/sink/config and
+/// replay the events.
+#[derive(Debug)]
 pub struct DynamicNetwork {
     points: Vec<Point>,
     alive: Vec<bool>,
     parent: Vec<Option<usize>>,
     sink: usize,
-    config: SchedulerConfig,
     strategy: RepairStrategy,
-    report: ScheduleReport,
-    /// Incrementally maintained interference state over the tree links.
-    engine: InterferenceEngine,
-    /// The parent assignment currently mirrored into the engine.
-    engine_parent: Vec<Option<usize>>,
-    /// Engine slot of each node's uplink (child node → slot).
-    slot_of: Vec<Option<usize>>,
+    report: SolveReport,
+    /// The scheduling session (incremental engine backend) over the tree's
+    /// uplinks — the single source of the scheduler configuration.
+    session: Session,
+    /// The parent assignment currently mirrored into the session.
+    session_parent: Vec<Option<usize>>,
+    /// Session key of each node's uplink (child node → key).
+    uplink_key: Vec<Option<u64>>,
 }
 
 impl DynamicNetwork {
@@ -105,17 +111,21 @@ impl DynamicNetwork {
             });
         }
         let n = points.len();
+        let session = Session::builder()
+            .scheduler(config)
+            .backend(Backend::Engine)
+            .build();
+        let report = session.solve();
         let mut net = DynamicNetwork {
             points,
             alive: vec![true; n],
             parent: vec![None; n],
             sink,
-            config,
             strategy,
-            report: schedule_links(&[], config),
-            engine: InterferenceEngine::new(EngineConfig::for_scheduler(config)),
-            engine_parent: vec![None; n],
-            slot_of: vec![None; n],
+            report,
+            session,
+            session_parent: vec![None; n],
+            uplink_key: vec![None; n],
         };
         net.rebuild_tree()?;
         net.reschedule();
@@ -148,26 +158,37 @@ impl DynamicNetwork {
         self.alive.get(node).copied().unwrap_or(false)
     }
 
+    /// The scheduler configuration (owned by the session).
+    pub fn config(&self) -> SchedulerConfig {
+        self.session.config().scheduler
+    }
+
     /// The current convergecast links (one per alive non-sink node), in the
-    /// engine's vertex order — the order the current schedule indexes into.
+    /// session's vertex order — the order the current schedule indexes into.
     pub fn links(&self) -> Vec<Link> {
-        self.engine.links()
+        self.session.links()
     }
 
-    /// The incrementally maintained interference engine behind the network
-    /// (maintenance counters, adjacency queries).
-    pub fn engine(&self) -> &InterferenceEngine {
-        &self.engine
+    /// The scheduling session behind the network (event accounting, the
+    /// resolved backend).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
-    /// The latest schedule report.
+    /// The latest schedule report (the classic diagnostics; see
+    /// [`DynamicNetwork::solve_report`] for backend provenance).
     pub fn schedule_report(&self) -> &ScheduleReport {
+        &self.report.report
+    }
+
+    /// The latest unified solve report.
+    pub fn solve_report(&self) -> &SolveReport {
         &self.report
     }
 
     /// The current schedule length.
     pub fn schedule_slots(&self) -> usize {
-        self.report.schedule.len()
+        self.report.slots()
     }
 
     /// Whether every alive non-sink node reaches the sink through alive
@@ -380,14 +401,14 @@ impl DynamicNetwork {
         Ok(())
     }
 
-    /// Mirrors the current parent assignment into the engine by **diffing**:
+    /// Mirrors the current parent assignment into the session by **diffing**:
     /// only uplinks that actually changed are removed/inserted, so the
-    /// engine's incremental maintenance cost tracks the size of the repair,
-    /// not the network. Returns the number of uplinks touched.
-    fn sync_engine(&mut self) -> usize {
+    /// engine backend's incremental maintenance cost tracks the size of the
+    /// repair, not the network. Returns the number of uplinks touched.
+    fn sync_session(&mut self) -> usize {
         let n = self.points.len();
-        self.engine_parent.resize(n, None);
-        self.slot_of.resize(n, None);
+        self.session_parent.resize(n, None);
+        self.uplink_key.resize(n, None);
         let mut touched = 0;
         for v in 0..n {
             let desired = if self.alive[v] && v != self.sink {
@@ -395,32 +416,32 @@ impl DynamicNetwork {
             } else {
                 None
             };
-            if desired == self.engine_parent[v] {
+            if desired == self.session_parent[v] {
                 continue;
             }
-            if let Some(slot) = self.slot_of[v].take() {
-                self.engine
-                    .remove_link(slot)
-                    .expect("tracked uplink slot is live");
+            if let Some(key) = self.uplink_key[v].take() {
+                self.session
+                    .remove(key)
+                    .expect("tracked uplink key is live");
             }
             if let Some(p) = desired {
-                let slot = self.engine.insert_link_with_nodes(
+                let key = self.session.insert_with_nodes(
                     self.points[v],
                     self.points[p],
                     NodeId(v),
                     NodeId(p),
                 );
-                self.slot_of[v] = Some(slot);
+                self.uplink_key[v] = Some(key);
             }
-            self.engine_parent[v] = desired;
+            self.session_parent[v] = desired;
             touched += 1;
         }
         touched
     }
 
     fn reschedule(&mut self) {
-        self.sync_engine();
-        self.report = self.engine.schedule(self.config);
+        self.sync_session();
+        self.report = self.session.solve();
     }
 }
 
@@ -595,29 +616,38 @@ mod tests {
     }
 
     #[test]
-    fn churn_repair_flows_through_the_engine() {
+    fn churn_repair_flows_through_the_session() {
         let mut net = network(30, 19, RepairStrategy::LocalReattach);
-        assert_eq!(net.engine().len(), 29); // one uplink per non-sink node
-        let before = net.engine().stats();
+        assert_eq!(net.session().len(), 29); // one uplink per non-sink node
+        assert_eq!(
+            net.session().backend_kind(),
+            wagg_schedule::BackendKind::Engine
+        );
+        let before = net.session().stats();
         let victim = (net.sink() + 3) % 30;
         let report = net.fail_node(victim).unwrap();
-        let after = net.engine().stats();
-        // The repair was applied as engine events, and only for the edges the
-        // repair actually changed (victim's uplink + each orphan's), not as a
-        // from-scratch rebuild of all ~29 links.
+        let after = net.session().stats();
+        // The repair was applied as session events, and only for the edges
+        // the repair actually changed (victim's uplink + each orphan's), not
+        // as a from-scratch rebuild of all ~29 links.
         assert!(after.removals > before.removals);
         assert_eq!(
             after.inserts - before.inserts + (after.removals - before.removals),
             report.links_changed,
-            "engine events should match the repair's changed links"
+            "session events should match the repair's changed links"
         );
-        assert_eq!(net.engine().len(), net.alive_count() - 1);
-        // The engine-produced schedule stays verifiable against the links.
+        assert_eq!(net.session().len(), net.alive_count() - 1);
+        // The session-produced schedule stays verifiable against the links.
         let links = net.links();
-        assert!(net
-            .schedule_report()
-            .schedule
-            .verify(&links, &net.config.model, net.config.mode));
+        assert!(net.schedule_report().schedule.verify(
+            &links,
+            &net.config().model,
+            net.config().mode
+        ));
+        assert_eq!(
+            net.solve_report().backend,
+            wagg_schedule::BackendKind::Engine
+        );
     }
 
     #[test]

@@ -11,12 +11,23 @@ use wagg_sinr::pathloss::relative_interference_sum;
 use wagg_sinr::{Link, LinkId, NodeId, PathLossCache, PowerAssignment, SinrModel};
 
 /// Configuration of an [`InterferenceEngine`].
+///
+/// The scheduler configuration is the single source of truth for the SINR
+/// model and power mode — the engine no longer re-declares the model next to
+/// it. `relation` and `power` are *derived* from the scheduler by
+/// [`EngineConfig::for_scheduler`]; [`EngineConfig::new`] keeps them
+/// overridable for engines that maintain a custom conflict relation (those
+/// engines answer adjacency queries but cannot [`InterferenceEngine::schedule`],
+/// which requires the relation the scheduler's power mode implies).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// The conflict relation the maintained adjacency realises.
+    /// The scheduler configuration the engine maintains state for (SINR
+    /// model, power mode, slot verification) — what
+    /// [`InterferenceEngine::schedule`] schedules under.
+    pub scheduler: SchedulerConfig,
+    /// The conflict relation the maintained adjacency realises (derived from
+    /// `scheduler` by [`EngineConfig::for_scheduler`]).
     pub relation: ConflictRelation,
-    /// SINR model parameters (the path-loss exponent drives the cache).
-    pub model: SinrModel,
     /// The power assignment the maintained path-loss state is computed under.
     pub power: PowerAssignment,
     /// Class-grid rebuild slack: a class rebuilds its grid once the churn
@@ -30,11 +41,15 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// A configuration with default maintenance thresholds.
+    /// A configuration with an explicit conflict relation and power
+    /// assignment (for engines maintaining custom relations) and default
+    /// maintenance thresholds. The embedded scheduler configuration takes
+    /// the given model with its default mode; use
+    /// [`EngineConfig::for_scheduler`] for an engine that schedules.
     pub fn new(relation: ConflictRelation, model: SinrModel, power: PowerAssignment) -> Self {
         EngineConfig {
+            scheduler: SchedulerConfig::default().with_model(model),
             relation,
-            model,
             power,
             grid_slack: 0.25,
             compact_slack: 0.25,
@@ -51,7 +66,18 @@ impl EngineConfig {
             .mode
             .assignment()
             .unwrap_or_else(PowerAssignment::mean);
-        EngineConfig::new(relation, config.model, power)
+        EngineConfig {
+            scheduler: config,
+            relation,
+            power,
+            grid_slack: 0.25,
+            compact_slack: 0.25,
+        }
+    }
+
+    /// The SINR model state is maintained under (the scheduler's model).
+    pub fn model(&self) -> &SinrModel {
+        &self.scheduler.model
     }
 
     /// Overrides both maintenance slacks (useful to force threshold
@@ -215,7 +241,7 @@ impl InterferenceEngine {
             .collect();
         let graph = ConflictGraph::build(&relabeled, config.relation);
         let (offsets, neighbors) = graph.csr();
-        let cache = PathLossCache::new(&config.model, &relabeled, &config.power);
+        let cache = PathLossCache::new(config.model(), &relabeled, &config.power);
         let (powers, weights) = cache.into_parts();
 
         let mut engine = InterferenceEngine::new(config);
@@ -514,7 +540,7 @@ impl InterferenceEngine {
         // Path-loss state: one link's worth of `PathLossCache` values,
         // computed by the cache itself so the formulas can never drift.
         let (p, w) = PathLossCache::new(
-            &self.config.model,
+            &self.config.scheduler.model,
             std::slice::from_ref(&link),
             &self.config.power,
         )
@@ -680,7 +706,7 @@ impl InterferenceEngine {
             .binary_search(&slot)
             .expect("slot must hold a live link");
         relative_interference_sum(
-            wagg_sinr::AlphaPow::new(self.config.model.alpha()),
+            wagg_sinr::AlphaPow::new(self.config.scheduler.model.alpha()),
             &members,
             target,
             self.weights[slot],
@@ -698,8 +724,8 @@ impl InterferenceEngine {
     ///
     /// Panics when a slot does not hold a live link.
     pub fn subset_feasible(&self, slots: &[usize]) -> bool {
-        let pow = wagg_sinr::AlphaPow::new(self.config.model.alpha());
-        let inv_beta = 1.0 / self.config.model.beta();
+        let pow = wagg_sinr::AlphaPow::new(self.config.scheduler.model.alpha());
+        let inv_beta = 1.0 / self.config.scheduler.model.beta();
         (0..slots.len()).all(|k| {
             let total = relative_interference_sum(
                 pow,
@@ -716,7 +742,9 @@ impl InterferenceEngine {
         })
     }
 
-    /// Schedules the current live links under `config`, reusing the
+    /// Schedules the current live links under the engine's own scheduler
+    /// configuration ([`EngineConfig::scheduler`] — one source of truth, no
+    /// re-supplied config to drift from the maintained state), reusing the
     /// incrementally maintained state end to end: the conflict graph is a
     /// [`InterferenceEngine::snapshot`] (no geometric rebuild) and — when the
     /// scheduler's power mode matches the engine's assignment — the patched
@@ -725,13 +753,11 @@ impl InterferenceEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `config` implies a different conflict relation or SINR
-    /// model than the engine maintains.
-    pub fn schedule(&self, config: SchedulerConfig) -> ScheduleReport {
-        assert_eq!(
-            config.model, self.config.model,
-            "scheduler model differs from the engine's"
-        );
+    /// Panics when the engine maintains a custom conflict relation that is
+    /// not the one the scheduler's power mode implies (engines built with
+    /// [`EngineConfig::for_scheduler`] always match).
+    pub fn schedule(&self) -> ScheduleReport {
+        let config = self.config.scheduler;
         let (links, graph) = self.snapshot();
         let lend_cache = config.model.noise() == 0.0
             && config.mode.assignment().as_ref() == Some(&self.config.power);
@@ -771,7 +797,7 @@ mod tests {
             graph, scratch,
             "engine adjacency diverged from a fresh build"
         );
-        let fresh = PathLossCache::new(&engine.config().model, &links, &engine.config().power);
+        let fresh = PathLossCache::new(engine.config().model(), &links, &engine.config().power);
         for (pos, &slot) in engine.live_slots().iter().enumerate() {
             assert_eq!(
                 engine.relative_interference_on(slot),
@@ -982,8 +1008,8 @@ mod tests {
             let sched_config = SchedulerConfig::new(mode);
             let engine =
                 InterferenceEngine::with_links(EngineConfig::for_scheduler(sched_config), &links);
-            let via_engine = engine.schedule(sched_config);
-            let direct = wagg_schedule::schedule_links(&engine.links(), sched_config);
+            let via_engine = engine.schedule();
+            let direct = wagg_schedule::solve_static(&engine.links(), sched_config);
             assert_eq!(
                 via_engine, direct,
                 "{mode}: engine path changed the schedule"

@@ -45,7 +45,7 @@
 //!
 //! // Reschedule from the maintained state: no geometric rebuild, and the
 //! // patched path-loss values feed every slot probe.
-//! let report = engine.schedule(config);
+//! let report = engine.schedule();
 //! assert!(report.schedule.is_partition(engine.len()));
 //! ```
 

@@ -48,7 +48,7 @@ fn assert_matches_scratch(engine: &InterferenceEngine) {
         links.len()
     );
 
-    let fresh = PathLossCache::new(&engine.config().model, &links, &engine.config().power);
+    let fresh = PathLossCache::new(engine.config().model(), &links, &engine.config().power);
     for (pos, &slot) in engine.live_slots().iter().enumerate() {
         let incremental = engine.relative_interference_on(slot);
         let scratch = fresh.relative_interference_on(pos);

@@ -66,13 +66,13 @@ impl FadingRateReport {
 /// ```
 /// use wagg_fading::{effective_rate, FadingModel};
 /// use wagg_instances::random::uniform_square;
-/// use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+/// use wagg_schedule::{solve_static, PowerMode, SchedulerConfig};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let inst = uniform_square(25, 80.0, 3);
 /// let links = inst.mst_links()?;
 /// let config = SchedulerConfig::new(PowerMode::GlobalControl);
-/// let report = schedule_links(&links, config);
+/// let report = solve_static(&links, config);
 /// let fading = effective_rate(
 ///     &links,
 ///     &report.schedule,
@@ -202,13 +202,13 @@ pub fn effective_rate(
 mod tests {
     use super::*;
     use wagg_instances::random::uniform_square;
-    use wagg_schedule::{schedule_links, SchedulerConfig};
+    use wagg_schedule::{solve_static, SchedulerConfig};
 
     fn scheduled(n: usize, seed: u64, mode: PowerMode) -> (Vec<Link>, Schedule, SinrModel) {
         let inst = uniform_square(n, 100.0, seed);
         let links = inst.mst_links().unwrap();
         let config = SchedulerConfig::new(mode);
-        let report = schedule_links(&links, config);
+        let report = solve_static(&links, config);
         (links, report.schedule, config.model)
     }
 

@@ -31,7 +31,7 @@
 //!
 //! ```
 //! use wagg_geometry::Point;
-//! use wagg_partition::schedule_sharded;
+//! use wagg_partition::{solve_sharded, VerifierStrategy};
 //! use wagg_schedule::{PowerMode, SchedulerConfig};
 //! use wagg_sinr::Link;
 //!
@@ -43,7 +43,7 @@
 //!     })
 //!     .collect();
 //! let config = SchedulerConfig::new(PowerMode::mean_oblivious());
-//! let sharded = schedule_sharded(&links, config, 4);
+//! let sharded = solve_sharded(&links, config, 4, VerifierStrategy::default());
 //! assert!(sharded.shards >= 4);
 //! assert!(sharded.report.schedule.is_partition(links.len()));
 //! assert!(sharded.report.schedule.verify(&links, &config.model, config.mode));
@@ -64,7 +64,7 @@ pub use verify::{AffectanceVerifier, VerifierStrategy};
 
 use serde::{Deserialize, Serialize};
 use wagg_geometry::logmath::{log_log2, log_star};
-use wagg_schedule::{Schedule, ScheduleReport, SchedulerConfig};
+use wagg_schedule::{BackendKind, Schedule, ScheduleReport, SchedulerConfig, SolveReport};
 use wagg_sinr::link::link_diversity;
 use wagg_sinr::Link;
 
@@ -87,16 +87,73 @@ pub struct ShardedReport {
     pub evicted_links: usize,
 }
 
+impl From<ShardedReport> for SolveReport {
+    /// Lossless: the full [`ScheduleReport`] is embedded and the sharded
+    /// accounting lands in [`wagg_schedule::ShardingStats`], tagged with
+    /// [`BackendKind::Sharded`] provenance.
+    fn from(sharded: ShardedReport) -> Self {
+        SolveReport {
+            report: sharded.report,
+            backend: BackendKind::Sharded,
+            sharding: Some(wagg_schedule::ShardingStats {
+                shards: sharded.shards,
+                radius: sharded.radius,
+                boundary_links: sharded.boundary_links,
+                repaired_links: sharded.repaired_links,
+                evicted_links: sharded.evicted_links,
+            }),
+        }
+    }
+}
+
 /// Schedules `links` under `config` across roughly `target_shards` spatial
 /// shards.
+#[deprecated(
+    since = "0.2.0",
+    note = "schedule through `wagg_core::session::Session` (explicit `Backend::Sharded` reproduces \
+            this entry point slot for slot); the session backend itself wraps `solve_sharded`"
+)]
+pub fn schedule_sharded(
+    links: &[Link],
+    config: SchedulerConfig,
+    target_shards: usize,
+) -> ShardedReport {
+    solve_sharded(links, config, target_shards, VerifierStrategy::default())
+}
+
+/// [`schedule_sharded`] with an explicit far-field [`VerifierStrategy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "schedule through `wagg_core::session::Session` (configure the strategy with \
+            `SessionBuilder::verifier`); the session backend itself wraps `solve_sharded`"
+)]
+pub fn schedule_sharded_with(
+    links: &[Link],
+    config: SchedulerConfig,
+    target_shards: usize,
+    strategy: VerifierStrategy,
+) -> ShardedReport {
+    solve_sharded(links, config, target_shards, strategy)
+}
+
+/// The sharded scheduling pipeline: tiles the link set by [`PartitionLayout`],
+/// schedules each shard independently (see the [crate docs](self)), stitches,
+/// and verifies the stitched schedule slot by slot with the given far-field
+/// [`VerifierStrategy`] — so, exactly like the unsharded kernel
+/// (`wagg_schedule::solve_static`), every returned slot is genuinely feasible
+/// under `config`'s power mode when `config.verify_slots` is set. With one
+/// shard and verification disabled the result coincides with the unsharded
+/// scheduler's coloring.
 ///
-/// The link set is tiled by [`PartitionLayout`], each shard is scheduled
-/// independently (see the [crate docs](self) for the pipeline), and the
-/// stitched schedule is verified slot by slot, so — exactly like
-/// [`wagg_schedule::schedule_links`] — every returned slot is genuinely
-/// feasible under `config`'s power mode when `config.verify_slots` is set.
-/// With one shard and verification disabled the result coincides with the
-/// unsharded scheduler's coloring.
+/// The strategy only changes how the verifier *prices* slots — accept/evict
+/// decisions (and with them the final schedule) match
+/// `is_feasible_by_affectance` under every strategy, which the differential
+/// test battery pins; [`VerifierStrategy::Flat`] is the PR-3 baseline, the
+/// default descends the aggregation pyramid.
+///
+/// This is the primitive `wagg_core::session::Session`'s sharded backend
+/// wraps; application code should schedule through the session, which also
+/// picks the shard count and strategy for `Backend::Auto`.
 ///
 /// Zero-length links conflict with every other link and cannot be localised
 /// by any finite halo; they are split off up front and appended as singleton
@@ -105,25 +162,7 @@ pub struct ShardedReport {
 /// # Panics
 ///
 /// Panics when `target_shards == 0`.
-pub fn schedule_sharded(
-    links: &[Link],
-    config: SchedulerConfig,
-    target_shards: usize,
-) -> ShardedReport {
-    schedule_sharded_with(links, config, target_shards, VerifierStrategy::default())
-}
-
-/// [`schedule_sharded`] with an explicit far-field [`VerifierStrategy`] for
-/// the certified slot-verification passes. The strategy only changes how the
-/// verifier *prices* slots — accept/evict decisions (and with them the final
-/// schedule) match `is_feasible_by_affectance` under every strategy, which
-/// the differential test battery pins; [`VerifierStrategy::Flat`] is the
-/// PR-3 baseline, the default descends the aggregation pyramid.
-///
-/// # Panics
-///
-/// Panics when `target_shards == 0`.
-pub fn schedule_sharded_with(
+pub fn solve_sharded(
     links: &[Link],
     config: SchedulerConfig,
     target_shards: usize,

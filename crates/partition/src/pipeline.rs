@@ -1,7 +1,7 @@
 //! The shard scheduling pipeline: per-shard coloring, local verification
 //! splits, boundary stitching and the global verification pass.
 //!
-//! Both entry points — the static [`schedule_sharded`](crate::schedule_sharded)
+//! Both entry points — the static [`solve_sharded`](crate::solve_sharded)
 //! and [`PartitionedEngine::schedule`](crate::PartitionedEngine::schedule) —
 //! reduce their state to the same inputs ([`ShardPieces`] per shard plus
 //! global boundary/ownership maps) and run [`schedule_pieces`]:

@@ -51,6 +51,7 @@
 //! construction, so the repack loop's repeated feasibility probes and the
 //! query path share one layout instead of re-deriving it per call.
 
+use serde::{Deserialize, Serialize};
 use wagg_geometry::pyramid::GridPyramid;
 use wagg_geometry::{BoundingBox, Point};
 use wagg_sinr::link::LinkId;
@@ -75,7 +76,7 @@ const OPEN_GATE: f64 = 2.0;
 const PYRAMID_CUTOFF: usize = 8192;
 
 /// How the verifier prices the far field of a target query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VerifierStrategy {
     /// The single-level grid of PR 3: `~m^(1/4)` cells per axis, exact sums
     /// over the 3×3 cell neighbourhood of the target, one aggregate term per

@@ -8,12 +8,12 @@
 //!   pure and assembled in input order, so serial and parallel feature
 //!   builds agree as well — `ci.sh` runs this suite in both configurations);
 //! * at one shard with verification off, the sharded path reproduces the
-//!   unsharded `schedule_links` coloring slot for slot.
+//!   unsharded `solve_static` coloring slot for slot.
 
 use proptest::prelude::*;
 use wagg_geometry::Point;
-use wagg_partition::{schedule_sharded, PartitionLayout};
-use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+use wagg_partition::{solve_sharded, PartitionLayout, VerifierStrategy};
+use wagg_schedule::{solve_static, PowerMode, SchedulerConfig};
 use wagg_sinr::affectance::is_feasible_by_affectance;
 use wagg_sinr::Link;
 
@@ -32,7 +32,7 @@ fn decode_links(raw: &[(f64, f64, f64, f64)]) -> Vec<Link> {
 }
 
 fn assert_sharded_invariants(links: &[Link], config: SchedulerConfig, shards: usize) {
-    let sharded = schedule_sharded(links, config, shards);
+    let sharded = solve_sharded(links, config, shards, VerifierStrategy::default());
     let schedule = &sharded.report.schedule;
     assert!(
         schedule.is_partition(links.len()),
@@ -109,8 +109,8 @@ proptest! {
         prop_assert_eq!(&a, &b);
         // Scheduling twice gives the identical report.
         let config = SchedulerConfig::new(PowerMode::mean_oblivious());
-        let r1 = schedule_sharded(&links, config, shards);
-        let r2 = schedule_sharded(&links, config, shards);
+        let r1 = solve_sharded(&links, config, shards, VerifierStrategy::default());
+        let r2 = solve_sharded(&links, config, shards, VerifierStrategy::default());
         prop_assert_eq!(r1, r2);
     }
 
@@ -125,8 +125,8 @@ proptest! {
         let links = decode_links(&raw);
         for mode in [PowerMode::Uniform, PowerMode::mean_oblivious(), PowerMode::GlobalControl] {
             let config = SchedulerConfig::new(mode).with_verification(false);
-            let sharded = schedule_sharded(&links, config, 1);
-            let direct = schedule_links(&links, config);
+            let sharded = solve_sharded(&links, config, 1, VerifierStrategy::default());
+            let direct = solve_static(&links, config);
             prop_assert_eq!(
                 &sharded.report.schedule, &direct.schedule,
                 "mode {} diverged at one shard", mode
@@ -147,7 +147,7 @@ fn degenerate_links_get_singleton_slots() {
     ]);
     links.push(Link::new(3, Point::new(10.0, 10.0), Point::new(10.0, 10.0)));
     let config = SchedulerConfig::new(PowerMode::mean_oblivious());
-    let sharded = schedule_sharded(&links, config, 4);
+    let sharded = solve_sharded(&links, config, 4, VerifierStrategy::default());
     let schedule = &sharded.report.schedule;
     assert!(schedule.is_partition(links.len()));
     let degenerate_slot = schedule
@@ -170,7 +170,7 @@ fn dense_boundary_strips_still_schedule_feasibly() {
         .collect();
     let config = SchedulerConfig::new(PowerMode::mean_oblivious());
     for shards in [4usize, 16, 64] {
-        let sharded = schedule_sharded(&links, config, shards);
+        let sharded = solve_sharded(&links, config, shards, VerifierStrategy::default());
         assert!(sharded.report.schedule.is_partition(links.len()));
         assert!(sharded
             .report

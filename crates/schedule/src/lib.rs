@@ -7,7 +7,8 @@
 //!    power control;
 //! 2. build the matching conflict graph (`G_γ`, `G^δ_γ` or `G_{γ log}`) over the
 //!    links and color it greedily in non-increasing length order
-//!    ([`scheduler::schedule_links`]);
+//!    ([`scheduler::solve_static`], the kernel behind the session facade's
+//!    static backend);
 //! 3. **verify** every color class against the actual SINR condition for that power
 //!    mode, splitting any class that the (constant-factor) conflict graph let
 //!    through but the physical model rejects — so the returned [`Schedule`] is
@@ -23,12 +24,15 @@
 
 pub mod multicolor;
 pub mod power_mode;
+pub mod report;
 pub mod schedule;
 pub mod scheduler;
 
 pub use power_mode::PowerMode;
+pub use report::{BackendKind, ShardingStats, SolveReport};
 pub use schedule::Schedule;
+#[allow(deprecated)]
+pub use scheduler::{schedule_links, schedule_mst};
 pub use scheduler::{
-    schedule_links, schedule_mst, schedule_prebuilt, split_class_into_feasible, ScheduleReport,
-    SchedulerConfig,
+    schedule_prebuilt, solve_static, split_class_into_feasible, ScheduleReport, SchedulerConfig,
 };

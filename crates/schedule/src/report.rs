@@ -1,0 +1,554 @@
+//! The unified solve report: one output type for every scheduling backend.
+//!
+//! The workspace grew four generations of scheduling machinery (the static
+//! kernel, the incremental engine, the sharded pipeline, the hierarchical
+//! verifier) and with them two incompatible report types — the static/engine
+//! paths returned [`ScheduleReport`], the sharded path its own wrapper. The
+//! [`SolveReport`] defined here is the single outcome type the session facade
+//! (`wagg_core::session::Session`) returns from every backend: the full
+//! [`ScheduleReport`] (nothing is dropped), the backend that produced it, and
+//! the sharding accounting when a decomposition ran.
+//!
+//! Both legacy report types convert in losslessly:
+//!
+//! * [`ScheduleReport`] via `From` (static/engine provenance is supplied by
+//!   the converting backend; the plain `From` impl tags
+//!   [`BackendKind::Static`]),
+//! * `wagg_partition::ShardedReport` via the `From` impl living in
+//!   `wagg-partition` (tags [`BackendKind::Sharded`] and fills
+//!   [`ShardingStats`]).
+//!
+//! [`SolveReport::summary`] renders the one-line report format every bench
+//! and profiling binary prints, and [`SolveReport::to_json`] /
+//! [`SolveReport::from_json`] round-trip the report through a self-contained
+//! JSON encoding (the offline `serde` shim is a no-op, so the round-trip is
+//! implemented here and unit-tested against itself).
+
+use crate::power_mode::PowerMode;
+use crate::schedule::Schedule;
+use crate::scheduler::ScheduleReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which execution strategy produced a [`SolveReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// One global conflict graph, built and colored from scratch.
+    Static,
+    /// The incrementally maintained interference engine.
+    Engine,
+    /// The spatially sharded pipeline (tiling, per-shard coloring,
+    /// stitching, certified verification).
+    Sharded,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Static => write!(f, "static"),
+            BackendKind::Engine => write!(f, "engine"),
+            BackendKind::Sharded => write!(f, "sharded"),
+        }
+    }
+}
+
+/// The sharded pipeline's own accounting, carried by [`SolveReport`]s with
+/// [`BackendKind::Sharded`] provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardingStats {
+    /// Number of shards actually realised.
+    pub shards: usize,
+    /// The conflict radius the tiling was sized for.
+    pub radius: f64,
+    /// Links ghosted into at least one neighbouring shard.
+    pub boundary_links: usize,
+    /// Boundary links the stitching repair sweep recolored.
+    pub repaired_links: usize,
+    /// Links the global verification pass evicted and re-packed.
+    pub evicted_links: usize,
+}
+
+/// The outcome of a scheduling run, uniform across backends: the full
+/// [`ScheduleReport`] plus backend provenance and (for sharded runs) the
+/// decomposition accounting. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// The verified schedule and the paper's analysis quantities — exactly
+    /// what the legacy entry points returned, nothing dropped.
+    pub report: ScheduleReport,
+    /// The backend that produced the schedule.
+    pub backend: BackendKind,
+    /// Sharded-pipeline accounting; `None` unless `backend` is
+    /// [`BackendKind::Sharded`].
+    pub sharding: Option<ShardingStats>,
+}
+
+impl SolveReport {
+    /// Wraps a [`ScheduleReport`] with explicit backend provenance (the
+    /// engine backend tags [`BackendKind::Engine`]; plain `From` tags
+    /// [`BackendKind::Static`]).
+    pub fn new(report: ScheduleReport, backend: BackendKind) -> Self {
+        SolveReport {
+            report,
+            backend,
+            sharding: None,
+        }
+    }
+
+    /// The schedule itself.
+    pub fn schedule(&self) -> &Schedule {
+        &self.report.schedule
+    }
+
+    /// The schedule length (number of slots).
+    pub fn slots(&self) -> usize {
+        self.report.schedule.len()
+    }
+
+    /// The achieved aggregation rate `1 / slots`.
+    pub fn rate(&self) -> f64 {
+        self.report.rate()
+    }
+
+    /// Number of links scheduled.
+    pub fn num_links(&self) -> usize {
+        self.report.num_links
+    }
+
+    /// The uniform one-line report format, identical in shape for every
+    /// backend (sharded runs append their decomposition accounting):
+    ///
+    /// ```text
+    /// [static] 99 links -> 7 slots (coloring 7, rate 0.1429, diversity 12.3, global power control)
+    /// [sharded] 200000 links -> 34 slots (...); shards 16, radius 42.0, boundary 1234, repaired 56, evicted 7
+    /// ```
+    pub fn summary(&self) -> String {
+        let r = &self.report;
+        let mut line = format!(
+            "[{}] {} links -> {} slots (coloring {}, rate {:.4}, diversity {:.3}, {})",
+            self.backend,
+            r.num_links,
+            r.schedule.len(),
+            r.coloring_slots,
+            r.rate(),
+            r.diversity,
+            r.mode,
+        );
+        if let Some(s) = &self.sharding {
+            line.push_str(&format!(
+                "; shards {}, radius {:.1}, boundary {}, repaired {}, evicted {}",
+                s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
+            ));
+        }
+        line
+    }
+
+    /// Serialises the report to a self-contained JSON document. The format
+    /// is lossless — [`SolveReport::from_json`] parses it back to an equal
+    /// value — and stable enough for benches to archive next to the
+    /// `BENCH_*.json` files.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut out = String::with_capacity(256 + 8 * r.num_links);
+        out.push_str(&format!(
+            "{{\"backend\":\"{}\",\"mode\":\"{}\",\"num_links\":{},\"coloring_slots\":{},\
+             \"verified_slots\":{},\"diversity\":{},\"log_star_diversity\":{},\"log_log_diversity\":{}",
+            self.backend,
+            mode_token(r.mode),
+            r.num_links,
+            r.coloring_slots,
+            r.verified_slots,
+            r.diversity,
+            r.log_star_diversity,
+            r.log_log_diversity,
+        ));
+        match &self.sharding {
+            None => out.push_str(",\"sharding\":null"),
+            Some(s) => out.push_str(&format!(
+                ",\"sharding\":{{\"shards\":{},\"radius\":{},\"boundary_links\":{},\
+                 \"repaired_links\":{},\"evicted_links\":{}}}",
+                s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
+            )),
+        }
+        out.push_str(",\"slots\":[");
+        for (t, slot) in r.schedule.slots().iter().enumerate() {
+            if t > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (k, idx) in slot.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&idx.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`SolveReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token. Only the schema
+    /// `to_json` emits is supported (this is a round-trip codec, not a
+    /// general JSON parser).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser::new(text);
+        p.expect('{')?;
+        let mut backend: Option<BackendKind> = None;
+        let mut mode: Option<PowerMode> = None;
+        let mut num_links: Option<usize> = None;
+        let mut coloring_slots: Option<usize> = None;
+        let mut verified_slots: Option<usize> = None;
+        let mut diversity: Option<f64> = None;
+        let mut log_star_diversity: Option<u32> = None;
+        let mut log_log_diversity: Option<f64> = None;
+        let mut sharding: Option<Option<ShardingStats>> = None;
+        let mut slots: Option<Vec<Vec<usize>>> = None;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "backend" => {
+                    backend = Some(match p.string()?.as_str() {
+                        "static" => BackendKind::Static,
+                        "engine" => BackendKind::Engine,
+                        "sharded" => BackendKind::Sharded,
+                        other => return Err(format!("unknown backend {other:?}")),
+                    })
+                }
+                "mode" => mode = Some(parse_mode_token(&p.string()?)?),
+                "num_links" => num_links = Some(p.integer()?),
+                "coloring_slots" => coloring_slots = Some(p.integer()?),
+                "verified_slots" => verified_slots = Some(p.integer()?),
+                "diversity" => diversity = Some(p.number()?),
+                "log_star_diversity" => log_star_diversity = Some(p.integer()? as u32),
+                "log_log_diversity" => log_log_diversity = Some(p.number()?),
+                "sharding" => sharding = Some(p.sharding()?),
+                "slots" => slots = Some(p.slots()?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            if !p.comma_or_end('}')? {
+                break;
+            }
+        }
+        let slots = slots.ok_or("missing slots")?;
+        let report = ScheduleReport {
+            schedule: Schedule::new(slots),
+            coloring_slots: coloring_slots.ok_or("missing coloring_slots")?,
+            verified_slots: verified_slots.ok_or("missing verified_slots")?,
+            diversity: diversity.ok_or("missing diversity")?,
+            log_star_diversity: log_star_diversity.ok_or("missing log_star_diversity")?,
+            log_log_diversity: log_log_diversity.ok_or("missing log_log_diversity")?,
+            mode: mode.ok_or("missing mode")?,
+            num_links: num_links.ok_or("missing num_links")?,
+        };
+        Ok(SolveReport {
+            report,
+            backend: backend.ok_or("missing backend")?,
+            sharding: sharding.ok_or("missing sharding")?,
+        })
+    }
+}
+
+impl From<ScheduleReport> for SolveReport {
+    /// Tags [`BackendKind::Static`] — the provenance of every report the
+    /// static kernel produces directly.
+    fn from(report: ScheduleReport) -> Self {
+        SolveReport::new(report, BackendKind::Static)
+    }
+}
+
+/// The round-trippable token for a power mode (`Display` is prose).
+fn mode_token(mode: PowerMode) -> String {
+    match mode {
+        PowerMode::Uniform => "uniform".into(),
+        PowerMode::Linear => "linear".into(),
+        PowerMode::Oblivious { tau } => format!("oblivious:{tau}"),
+        PowerMode::GlobalControl => "global".into(),
+    }
+}
+
+fn parse_mode_token(token: &str) -> Result<PowerMode, String> {
+    match token {
+        "uniform" => Ok(PowerMode::Uniform),
+        "linear" => Ok(PowerMode::Linear),
+        "global" => Ok(PowerMode::GlobalControl),
+        other => match other.strip_prefix("oblivious:") {
+            Some(tau) => tau
+                .parse()
+                .map(|tau| PowerMode::Oblivious { tau })
+                .map_err(|e| format!("bad tau in {other:?}: {e}")),
+            None => Err(format!("unknown power mode {other:?}")),
+        },
+    }
+}
+
+/// A minimal cursor over the JSON subset [`SolveReport::to_json`] emits.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        let got = self.peek()?;
+        if got == c as u8 {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// Consumes `,` (returning `true`) or the closing delimiter (`false`).
+    fn comma_or_end(&mut self, end: char) -> Result<bool, String> {
+        let got = self.peek()?;
+        self.pos += 1;
+        if got == b',' {
+            Ok(true)
+        } else if got == end as u8 {
+            Ok(false)
+        } else {
+            Err(format!("expected ',' or {end:?} at byte {}", self.pos - 1))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 string")?
+            .to_string();
+        self.expect('"')?;
+        Ok(s)
+    }
+
+    fn number_str(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "non-utf8 number".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let s = self.number_str()?;
+        // `{}` on f64 prints `inf`/`NaN` for non-finite values; the reports
+        // only carry finite numbers, so reject anything else.
+        s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+
+    fn integer(&mut self) -> Result<usize, String> {
+        let s = self.number_str()?;
+        s.parse().map_err(|e| format!("bad integer {s:?}: {e}"))
+    }
+
+    fn sharding(&mut self) -> Result<Option<ShardingStats>, String> {
+        if self.peek()? == b'n' {
+            // `null`
+            if self.bytes[self.pos..].starts_with(b"null") {
+                self.pos += 4;
+                return Ok(None);
+            }
+            return Err(format!("expected null at byte {}", self.pos));
+        }
+        self.expect('{')?;
+        let mut stats = ShardingStats {
+            shards: 0,
+            radius: 0.0,
+            boundary_links: 0,
+            repaired_links: 0,
+            evicted_links: 0,
+        };
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "shards" => stats.shards = self.integer()?,
+                "radius" => stats.radius = self.number()?,
+                "boundary_links" => stats.boundary_links = self.integer()?,
+                "repaired_links" => stats.repaired_links = self.integer()?,
+                "evicted_links" => stats.evicted_links = self.integer()?,
+                other => return Err(format!("unknown sharding key {other:?}")),
+            }
+            if !self.comma_or_end('}')? {
+                break;
+            }
+        }
+        Ok(Some(stats))
+    }
+
+    fn slots(&mut self) -> Result<Vec<Vec<usize>>, String> {
+        self.expect('[')?;
+        let mut slots = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(slots);
+        }
+        loop {
+            self.expect('[')?;
+            let mut slot = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+            } else {
+                loop {
+                    slot.push(self.integer()?);
+                    if !self.comma_or_end(']')? {
+                        break;
+                    }
+                }
+            }
+            slots.push(slot);
+            if !self.comma_or_end(']')? {
+                break;
+            }
+        }
+        Ok(slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::solve_static;
+    use crate::SchedulerConfig;
+    use wagg_geometry::Point;
+    use wagg_sinr::Link;
+
+    fn sample_links() -> Vec<Link> {
+        (0..24)
+            .map(|i| {
+                let x = (i % 6) as f64 * 5.0;
+                let y = (i / 6) as f64 * 5.0;
+                Link::new(i, Point::new(x, y), Point::new(x + 1.0 + 0.1 * i as f64, y))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_schedule_report_is_lossless() {
+        let report = solve_static(&sample_links(), SchedulerConfig::default());
+        let solve: SolveReport = report.clone().into();
+        assert_eq!(solve.report, report);
+        assert_eq!(solve.backend, BackendKind::Static);
+        assert_eq!(solve.sharding, None);
+        assert_eq!(solve.slots(), report.schedule.len());
+        assert_eq!(solve.rate(), report.rate());
+        assert_eq!(solve.num_links(), report.num_links);
+    }
+
+    #[test]
+    fn summary_is_uniform_across_backends() {
+        let report = solve_static(&sample_links(), SchedulerConfig::default());
+        let solve = SolveReport::new(report.clone(), BackendKind::Engine);
+        let line = solve.summary();
+        assert!(line.starts_with("[engine] 24 links -> "), "{line}");
+        assert!(line.contains("coloring"), "{line}");
+
+        let sharded = SolveReport {
+            report,
+            backend: BackendKind::Sharded,
+            sharding: Some(ShardingStats {
+                shards: 4,
+                radius: 12.5,
+                boundary_links: 3,
+                repaired_links: 1,
+                evicted_links: 0,
+            }),
+        };
+        let line = sharded.summary();
+        assert!(line.starts_with("[sharded]"), "{line}");
+        assert!(line.contains("shards 4"), "{line}");
+        assert!(line.contains("radius 12.5"), "{line}");
+    }
+
+    #[test]
+    fn json_round_trips_every_mode_and_provenance() {
+        let links = sample_links();
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::Linear,
+            PowerMode::Oblivious { tau: 0.5 },
+            PowerMode::GlobalControl,
+        ] {
+            let report = solve_static(&links, SchedulerConfig::new(mode));
+            for solve in [
+                SolveReport::new(report.clone(), BackendKind::Static),
+                SolveReport::new(report.clone(), BackendKind::Engine),
+                SolveReport {
+                    report: report.clone(),
+                    backend: BackendKind::Sharded,
+                    sharding: Some(ShardingStats {
+                        shards: 16,
+                        radius: 42.25,
+                        boundary_links: 7,
+                        repaired_links: 2,
+                        evicted_links: 1,
+                    }),
+                },
+            ] {
+                let json = solve.to_json();
+                let back = SolveReport::from_json(&json).expect("round-trip parses");
+                assert_eq!(back, solve, "round-trip drifted for {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_empty_schedules() {
+        let report = solve_static(&[], SchedulerConfig::default());
+        let solve: SolveReport = report.into();
+        let back = SolveReport::from_json(&solve.to_json()).unwrap();
+        assert_eq!(back, solve);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(SolveReport::from_json("").is_err());
+        assert!(SolveReport::from_json("{}").is_err());
+        assert!(SolveReport::from_json("{\"backend\":\"quantum\"}").is_err());
+        let good =
+            SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default())).to_json();
+        assert!(SolveReport::from_json(&good[..good.len() - 1]).is_err());
+    }
+}

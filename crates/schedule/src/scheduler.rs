@@ -82,34 +82,48 @@ impl ScheduleReport {
     }
 }
 
-/// Schedules an arbitrary link set under the given configuration.
+/// The static scheduling kernel: builds the conflict graph matched to the
+/// power mode, colors it greedily, and (when `verify_slots` is set) re-checks
+/// each color class against the actual SINR condition, splitting classes
+/// first-fit in non-increasing length order where necessary.
 ///
-/// The links are colored greedily on the conflict graph matched to the power mode;
-/// if `verify_slots` is set, each color class is then re-checked against the actual
-/// SINR condition and split greedily (first-fit in non-increasing length order) into
-/// feasible sub-slots where necessary.
+/// This is the primitive `wagg_core::session::Session`'s static backend
+/// wraps. Application code should schedule through the session (which also
+/// offers the incremental and sharded execution strategies behind the same
+/// surface); substrate crates *below* the facade (multihop, latency, fading)
+/// call this directly.
 ///
 /// # Examples
 ///
 /// ```
 /// use wagg_geometry::Point;
 /// use wagg_sinr::Link;
-/// use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+/// use wagg_schedule::{solve_static, PowerMode, SchedulerConfig};
 ///
 /// let links = vec![
 ///     Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
 ///     Link::new(1, Point::new(10.0, 0.0), Point::new(11.0, 0.0)),
 ///     Link::new(2, Point::new(20.0, 0.0), Point::new(21.0, 0.0)),
 /// ];
-/// let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Uniform));
+/// let report = solve_static(&links, SchedulerConfig::new(PowerMode::Uniform));
 /// // Three well-separated unit links fit in a single slot.
 /// assert_eq!(report.schedule.len(), 1);
 /// assert!(report.schedule.verify(&links, &SchedulerConfig::new(PowerMode::Uniform).model, PowerMode::Uniform));
 /// ```
-pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+pub fn solve_static(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
     let relation = config.mode.conflict_relation(config.model.alpha());
     let graph = ConflictGraph::build(links, relation);
     schedule_prebuilt(&graph, None, config)
+}
+
+/// Schedules an arbitrary link set under the given configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "schedule through `wagg_core::session::Session` (explicit `Backend::Static` reproduces \
+            this entry point slot for slot); substrate crates below the facade use `solve_static`"
+)]
+pub fn schedule_links(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+    solve_static(links, config)
 }
 
 /// Schedules the links of an already-built conflict graph, optionally reusing
@@ -293,18 +307,11 @@ pub fn split_class_into_feasible(
 ///
 /// Propagates [`MstError`] if the pointset is degenerate (fewer than two points,
 /// duplicates) or the sink index is invalid.
-///
-/// # Examples
-///
-/// ```
-/// use wagg_geometry::Point;
-/// use wagg_schedule::{schedule_mst, PowerMode, SchedulerConfig};
-///
-/// let points: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
-/// let report = schedule_mst(&points, 0, SchedulerConfig::new(PowerMode::GlobalControl)).unwrap();
-/// assert_eq!(report.num_links, 9);
-/// assert!(report.schedule.is_partition(9));
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build the MST links (`wagg_mst::euclidean_mst` + `try_orient_towards`, or \
+            `wagg_core::AggregationProblem`) and schedule through `wagg_core::session::Session`"
+)]
 pub fn schedule_mst(
     points: &[wagg_geometry::Point],
     sink: usize,
@@ -312,7 +319,7 @@ pub fn schedule_mst(
 ) -> Result<ScheduleReport, MstError> {
     let tree = wagg_mst::euclidean_mst(points)?;
     let links = tree.try_orient_towards(sink)?;
-    Ok(schedule_links(&links, config))
+    Ok(solve_static(&links, config))
 }
 
 #[cfg(test)]
@@ -323,7 +330,7 @@ mod tests {
     use wagg_instances::random::{grid, uniform_square};
 
     fn check_report(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
-        let report = schedule_links(links, config);
+        let report = solve_static(links, config);
         assert!(report.schedule.is_partition(links.len()));
         assert!(report.schedule.verify(links, &config.model, config.mode));
         assert!(report.verified_slots >= report.coloring_slots.min(report.verified_slots));
@@ -332,7 +339,7 @@ mod tests {
 
     #[test]
     fn empty_link_set_gives_empty_schedule() {
-        let report = schedule_links(&[], SchedulerConfig::default());
+        let report = solve_static(&[], SchedulerConfig::default());
         assert!(report.schedule.is_empty());
         assert_eq!(report.num_links, 0);
         assert_eq!(report.diversity, 1.0);
@@ -432,12 +439,13 @@ mod tests {
         let inst = uniform_square(32, 50.0, 9);
         let links = inst.mst_links().unwrap();
         let config = SchedulerConfig::new(PowerMode::GlobalControl).with_verification(false);
-        let report = schedule_links(&links, config);
+        let report = solve_static(&links, config);
         assert_eq!(report.coloring_slots, report.schedule.len());
         assert!(report.schedule.is_partition(links.len()));
     }
 
     #[test]
+    #[allow(deprecated)]
     fn schedule_mst_end_to_end() {
         let points: Vec<Point> = (0..15)
             .map(|i| Point::new(i as f64, ((i * 3) % 5) as f64))
@@ -463,7 +471,7 @@ mod tests {
             PowerMode::GlobalControl,
         ] {
             let config = SchedulerConfig::new(mode);
-            let direct = schedule_links(&links, config);
+            let direct = solve_static(&links, config);
             let graph = ConflictGraph::build(&links, mode.conflict_relation(config.model.alpha()));
             let prebuilt = schedule_prebuilt(&graph, None, config);
             assert_eq!(
@@ -491,6 +499,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn schedule_mst_propagates_errors() {
         assert!(schedule_mst(&[], 0, SchedulerConfig::default()).is_err());
         let dup = vec![Point::origin(), Point::origin()];
@@ -501,7 +510,7 @@ mod tests {
     fn report_diversity_fields_are_consistent() {
         let inst = exponential_chain(10, 2.0).unwrap();
         let links = inst.mst_links().unwrap();
-        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        let report = solve_static(&links, SchedulerConfig::new(PowerMode::GlobalControl));
         assert!(report.diversity >= 1.0);
         assert_eq!(report.log_star_diversity, log_star(report.diversity));
         assert!((report.log_log_diversity - log_log2(report.diversity)).abs() < 1e-12);

@@ -1,0 +1,624 @@
+//! The [`SchedulerBackend`] trait and its three implementations.
+//!
+//! A backend owns a mutable link universe and knows how to turn it into a
+//! [`SolveReport`]. All three speak the same event vocabulary (insert /
+//! remove / relocate / move-node, addressed by session-stable `u64` keys),
+//! so the [`Session`](crate::Session) facade can swap execution strategies
+//! without the call sites noticing:
+//!
+//! * [`StaticBackend`] — keeps the links in a key-ordered map and runs the
+//!   from-scratch kernel (`wagg_schedule::solve_static`) per solve;
+//! * [`EngineBackend`] — an incrementally maintained
+//!   [`InterferenceEngine`]: events patch the spatial grids, conflict
+//!   adjacency and path-loss state, and solving reuses all of it;
+//! * [`ShardedBackend`] — the spatially sharded pipeline, either re-tiling
+//!   the current link set per solve (`wagg_partition::solve_sharded`) or,
+//!   when the session declares [`PartitionHints`](crate::PartitionHints),
+//!   routing events through a [`PartitionedEngine`] whose per-shard state is
+//!   maintained incrementally.
+
+use crate::{SessionError, SessionStats};
+use std::collections::BTreeMap;
+use wagg_engine::{EngineConfig, InterferenceEngine};
+use wagg_geometry::Point;
+use wagg_partition::{solve_sharded, PartitionedEngine, PartitionedEngineConfig, VerifierStrategy};
+use wagg_schedule::{solve_static, BackendKind, SchedulerConfig, SolveReport};
+use wagg_sinr::{Link, LinkId, NodeId};
+
+/// One execution strategy behind the [`Session`](crate::Session) facade: a
+/// mutable link universe plus a way to schedule it.
+///
+/// Keys are session-stable `u64`s assigned by [`SchedulerBackend::insert`]
+/// in increasing order and never reused. [`SchedulerBackend::links`] returns
+/// the live universe in the backend's **solve order** — the order the
+/// backend's [`SolveReport`] schedule indexes into, with ids relabeled to
+/// `0..len()`. For the static and sharded backends that is ascending key
+/// order; the engine backend exposes the engine's slot order (stable per
+/// link, but a recycled slot can place a newer link before an older one),
+/// matching the legacy engine path exactly.
+pub trait SchedulerBackend: std::fmt::Debug {
+    /// Which strategy this backend realises.
+    fn kind(&self) -> BackendKind;
+
+    /// Number of live links.
+    fn len(&self) -> usize;
+
+    /// Whether no links are live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live links in the backend's solve order (see the trait docs),
+    /// ids relabeled to `0..len()`.
+    fn links(&self) -> Vec<Link>;
+
+    /// Whether `key` names a live link.
+    fn contains(&self, key: u64) -> bool;
+
+    /// Inserts a link, returning its key. Node annotations (when given) make
+    /// the link follow [`SchedulerBackend::move_node`] events.
+    ///
+    /// # Panics
+    ///
+    /// The hinted sharded backend panics when the link's length falls
+    /// outside the declared [`PartitionHints`](crate::PartitionHints)
+    /// bounds (they size the tiling's halo margin).
+    fn insert(&mut self, sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) -> u64;
+
+    /// Removes the link under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownKey`] when no live link has this key.
+    fn remove(&mut self, key: u64) -> Result<(), SessionError>;
+
+    /// Moves the link under `key` to a new geometry (annotations and key are
+    /// preserved).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownKey`] when no live link has this key.
+    ///
+    /// # Panics
+    ///
+    /// The hinted sharded backend panics when the new length falls outside
+    /// the declared [`PartitionHints`](crate::PartitionHints) bounds.
+    fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError>;
+
+    /// Moves a pointset node: every live link annotated with `node` follows.
+    /// Returns the number of links touched.
+    ///
+    /// # Panics
+    ///
+    /// The hinted sharded backend panics when a followed link's new length
+    /// falls outside the declared [`PartitionHints`](crate::PartitionHints)
+    /// bounds; links of the node relocated before the offending one stay
+    /// moved (declared-bounds violations are programmer errors, not
+    /// recoverable events).
+    fn move_node(&mut self, node: usize, to: Point) -> usize;
+
+    /// Schedules the current universe.
+    fn solve(&self) -> SolveReport;
+
+    /// Event accounting for this backend.
+    fn stats(&self) -> SessionStats;
+}
+
+/// Re-assigns contiguous ids in iteration (= ascending key) order.
+fn relabeled(links: &BTreeMap<u64, Link>) -> Vec<Link> {
+    links
+        .values()
+        .enumerate()
+        .map(|(pos, link)| {
+            let mut l = *link;
+            l.id = LinkId(pos);
+            l
+        })
+        .collect()
+}
+
+/// Builds the link value for an insert (annotated links follow node moves).
+fn make_link(sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) -> Link {
+    match nodes {
+        Some((s, r)) => Link::with_nodes(0, sender, receiver, s, r),
+        None => Link::new(0, sender, receiver),
+    }
+}
+
+/// Updates the endpoints of every link in `links` annotated with `node`,
+/// returning the touched count — the map-backed backends' shared
+/// `move_node`.
+fn move_node_in_map(links: &mut BTreeMap<u64, Link>, node: usize, to: Point) -> Vec<u64> {
+    let node = NodeId(node);
+    let touched: Vec<u64> = links
+        .iter()
+        .filter(|(_, l)| l.sender_node == Some(node) || l.receiver_node == Some(node))
+        .map(|(&k, _)| k)
+        .collect();
+    for &key in &touched {
+        let old = links[&key];
+        let sender = if old.sender_node == Some(node) {
+            to
+        } else {
+            old.sender
+        };
+        let receiver = if old.receiver_node == Some(node) {
+            to
+        } else {
+            old.receiver
+        };
+        let mut moved = Link::new(0, sender, receiver);
+        moved.id = old.id;
+        moved.sender_node = old.sender_node;
+        moved.receiver_node = old.receiver_node;
+        links.insert(key, moved);
+    }
+    touched
+}
+
+/// The from-scratch strategy: a key-ordered link map, scheduled by the
+/// static kernel per solve. Matches the legacy `schedule_links` entry point
+/// slot for slot (the differential suite pins this).
+#[derive(Debug)]
+pub struct StaticBackend {
+    scheduler: SchedulerConfig,
+    links: BTreeMap<u64, Link>,
+    next_key: u64,
+    inserts: usize,
+    removals: usize,
+    moves: usize,
+}
+
+impl StaticBackend {
+    /// An empty backend.
+    pub fn new(scheduler: SchedulerConfig) -> Self {
+        StaticBackend {
+            scheduler,
+            links: BTreeMap::new(),
+            next_key: 0,
+            inserts: 0,
+            removals: 0,
+            moves: 0,
+        }
+    }
+
+    /// Seeds the universe with `links` (keys `0..n` in input order, node
+    /// annotations preserved).
+    pub fn with_links(scheduler: SchedulerConfig, links: &[Link]) -> Self {
+        let mut backend = StaticBackend::new(scheduler);
+        for link in links {
+            let key = backend.next_key;
+            backend.next_key += 1;
+            backend.links.insert(key, *link);
+        }
+        backend.inserts = links.len();
+        backend
+    }
+}
+
+impl SchedulerBackend for StaticBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Static
+    }
+
+    fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    fn links(&self) -> Vec<Link> {
+        relabeled(&self.links)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.links.contains_key(&key)
+    }
+
+    fn insert(&mut self, sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) -> u64 {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.links.insert(key, make_link(sender, receiver, nodes));
+        self.inserts += 1;
+        key
+    }
+
+    fn remove(&mut self, key: u64) -> Result<(), SessionError> {
+        self.links
+            .remove(&key)
+            .map(|_| self.removals += 1)
+            .ok_or(SessionError::UnknownKey { key })
+    }
+
+    fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError> {
+        let old = *self
+            .links
+            .get(&key)
+            .ok_or(SessionError::UnknownKey { key })?;
+        let mut moved = Link::new(0, sender, receiver);
+        moved.id = old.id;
+        moved.sender_node = old.sender_node;
+        moved.receiver_node = old.receiver_node;
+        self.links.insert(key, moved);
+        self.moves += 1;
+        Ok(())
+    }
+
+    fn move_node(&mut self, node: usize, to: Point) -> usize {
+        let touched = move_node_in_map(&mut self.links, node, to).len();
+        self.moves += 1;
+        touched
+    }
+
+    fn solve(&self) -> SolveReport {
+        solve_static(&self.links(), self.scheduler).into()
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            backend: BackendKind::Static,
+            links: self.links.len(),
+            inserts: self.inserts,
+            removals: self.removals,
+            moves: self.moves,
+        }
+    }
+}
+
+/// The incremental strategy: an [`InterferenceEngine`] whose spatial grids,
+/// conflict adjacency and path-loss state are patched per event; solving
+/// snapshots the maintained state (no geometric rebuild). Matches the legacy
+/// `InterferenceEngine::schedule` path slot for slot.
+#[derive(Debug)]
+pub struct EngineBackend {
+    engine: InterferenceEngine,
+    /// Session key → engine slot (slots recycle, keys never do).
+    slot_of: BTreeMap<u64, usize>,
+    next_key: u64,
+}
+
+impl EngineBackend {
+    /// An empty backend maintaining state for `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        EngineBackend {
+            engine: InterferenceEngine::new(config),
+            slot_of: BTreeMap::new(),
+            next_key: 0,
+        }
+    }
+
+    /// Bulk-seeds the engine (slots and keys `0..n` in input order).
+    pub fn with_links(config: EngineConfig, links: &[Link]) -> Self {
+        let engine = InterferenceEngine::with_links(config, links);
+        EngineBackend {
+            slot_of: (0..links.len()).map(|i| (i as u64, i)).collect(),
+            next_key: links.len() as u64,
+            engine,
+        }
+    }
+
+    /// The maintained engine (adjacency queries, maintenance counters).
+    pub fn engine(&self) -> &InterferenceEngine {
+        &self.engine
+    }
+}
+
+impl SchedulerBackend for EngineBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Engine
+    }
+
+    fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    fn links(&self) -> Vec<Link> {
+        // Engine vertex order is ascending slot order; keys are assigned in
+        // insertion order but slots recycle, so the schedule's universe is
+        // the engine's own (`InterferenceEngine::links`), exactly as the
+        // legacy engine path exposed it.
+        self.engine.links()
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.slot_of.contains_key(&key)
+    }
+
+    fn insert(&mut self, sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) -> u64 {
+        let slot = match nodes {
+            Some((s, r)) => self.engine.insert_link_with_nodes(sender, receiver, s, r),
+            None => self.engine.insert_link(sender, receiver),
+        };
+        let key = self.next_key;
+        self.next_key += 1;
+        self.slot_of.insert(key, slot);
+        key
+    }
+
+    fn remove(&mut self, key: u64) -> Result<(), SessionError> {
+        let slot = self
+            .slot_of
+            .remove(&key)
+            .ok_or(SessionError::UnknownKey { key })?;
+        self.engine
+            .remove_link(slot)
+            .map(|_| ())
+            .map_err(Into::into)
+    }
+
+    fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError> {
+        let slot = *self
+            .slot_of
+            .get(&key)
+            .ok_or(SessionError::UnknownKey { key })?;
+        let old = self.engine.remove_link(slot)?;
+        let slot = match (old.sender_node, old.receiver_node) {
+            (Some(s), Some(r)) => self.engine.insert_link_with_nodes(sender, receiver, s, r),
+            _ => self.engine.insert_link(sender, receiver),
+        };
+        self.slot_of.insert(key, slot);
+        Ok(())
+    }
+
+    fn move_node(&mut self, node: usize, to: Point) -> usize {
+        // Links are re-seated in their own slots, so the key binding holds.
+        self.engine.move_node(node, to)
+    }
+
+    fn solve(&self) -> SolveReport {
+        SolveReport::new(self.engine.schedule(), BackendKind::Engine)
+    }
+
+    fn stats(&self) -> SessionStats {
+        let s = self.engine.stats();
+        SessionStats {
+            backend: BackendKind::Engine,
+            links: self.engine.len(),
+            inserts: s.inserts,
+            removals: s.removals,
+            moves: s.moves,
+        }
+    }
+}
+
+/// The two execution modes of the sharded strategy.
+#[derive(Debug)]
+enum ShardedInner {
+    /// No partition hints: keep the links in a map and re-tile per solve.
+    Rebuild { links: BTreeMap<u64, Link> },
+    /// Partition hints declared: per-shard engines maintained incrementally;
+    /// `mirror` keeps each session key's engine key and annotated link (the
+    /// engine itself does not track node annotations).
+    Engine {
+        engine: Box<PartitionedEngine>,
+        mirror: BTreeMap<u64, (u64, Link)>,
+    },
+}
+
+/// The sharded strategy: conflict-radius tiling, independent per-shard
+/// colorings, boundary stitching and certified verification. Matches the
+/// legacy `schedule_sharded_with` entry point (rebuild mode) and
+/// `PartitionedEngine::schedule` (hinted mode) slot for slot.
+#[derive(Debug)]
+pub struct ShardedBackend {
+    scheduler: SchedulerConfig,
+    strategy: VerifierStrategy,
+    target_shards: usize,
+    inner: ShardedInner,
+    next_key: u64,
+    inserts: usize,
+    removals: usize,
+    moves: usize,
+}
+
+impl ShardedBackend {
+    /// A re-tiling backend (no partition hints): events mutate the link map,
+    /// every solve runs the full sharded pipeline over the current set.
+    pub fn new(
+        scheduler: SchedulerConfig,
+        strategy: VerifierStrategy,
+        target_shards: usize,
+    ) -> Self {
+        ShardedBackend {
+            scheduler,
+            strategy,
+            target_shards,
+            inner: ShardedInner::Rebuild {
+                links: BTreeMap::new(),
+            },
+            next_key: 0,
+            inserts: 0,
+            removals: 0,
+            moves: 0,
+        }
+    }
+
+    /// An incrementally maintained backend over a fixed tiling
+    /// ([`PartitionedEngineConfig`] — deployment extent and link length
+    /// bounds come from the session's partition hints).
+    pub fn with_partitioned_engine(config: PartitionedEngineConfig) -> Self {
+        ShardedBackend {
+            scheduler: config.scheduler,
+            strategy: config.verifier,
+            target_shards: config.target_shards,
+            inner: ShardedInner::Engine {
+                engine: Box::new(PartitionedEngine::new(config)),
+                mirror: BTreeMap::new(),
+            },
+            next_key: 0,
+            inserts: 0,
+            removals: 0,
+            moves: 0,
+        }
+    }
+
+    /// Seeds the universe with `links` (keys `0..n` in input order).
+    ///
+    /// # Panics
+    ///
+    /// In hinted (engine) mode, panics when a link's length falls outside
+    /// the declared bounds — the tiling's halo margin is sized from them.
+    pub fn seeded(mut self, links: &[Link]) -> Self {
+        for link in links {
+            let nodes = match (link.sender_node, link.receiver_node) {
+                (Some(s), Some(r)) => Some((s, r)),
+                _ => None,
+            };
+            self.insert(link.sender, link.receiver, nodes);
+        }
+        self
+    }
+}
+
+impl SchedulerBackend for ShardedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sharded
+    }
+
+    fn len(&self) -> usize {
+        match &self.inner {
+            ShardedInner::Rebuild { links } => links.len(),
+            ShardedInner::Engine { engine, .. } => engine.len(),
+        }
+    }
+
+    fn links(&self) -> Vec<Link> {
+        match &self.inner {
+            ShardedInner::Rebuild { links } => relabeled(links),
+            // Mirror iteration is ascending session-key order, which is also
+            // ascending engine-key order (both minted monotonically), i.e.
+            // exactly the universe `PartitionedEngine::schedule` indexes.
+            ShardedInner::Engine { mirror, .. } => mirror
+                .values()
+                .enumerate()
+                .map(|(pos, (_, link))| {
+                    let mut l = *link;
+                    l.id = LinkId(pos);
+                    l
+                })
+                .collect(),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        match &self.inner {
+            ShardedInner::Rebuild { links } => links.contains_key(&key),
+            ShardedInner::Engine { mirror, .. } => mirror.contains_key(&key),
+        }
+    }
+
+    fn insert(&mut self, sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) -> u64 {
+        let key = self.next_key;
+        self.next_key += 1;
+        let link = make_link(sender, receiver, nodes);
+        match &mut self.inner {
+            ShardedInner::Rebuild { links } => {
+                links.insert(key, link);
+            }
+            ShardedInner::Engine { engine, mirror } => {
+                let ekey = engine.insert_link(sender, receiver);
+                mirror.insert(key, (ekey, link));
+            }
+        }
+        self.inserts += 1;
+        key
+    }
+
+    fn remove(&mut self, key: u64) -> Result<(), SessionError> {
+        match &mut self.inner {
+            ShardedInner::Rebuild { links } => {
+                links.remove(&key).ok_or(SessionError::UnknownKey { key })?;
+            }
+            ShardedInner::Engine { engine, mirror } => {
+                let (ekey, _) = mirror
+                    .remove(&key)
+                    .ok_or(SessionError::UnknownKey { key })?;
+                engine.remove_link(ekey)?;
+            }
+        }
+        self.removals += 1;
+        Ok(())
+    }
+
+    fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError> {
+        match &mut self.inner {
+            ShardedInner::Rebuild { links } => {
+                let old = *links.get(&key).ok_or(SessionError::UnknownKey { key })?;
+                let mut moved = Link::new(0, sender, receiver);
+                moved.sender_node = old.sender_node;
+                moved.receiver_node = old.receiver_node;
+                links.insert(key, moved);
+            }
+            ShardedInner::Engine { engine, mirror } => {
+                let (ekey, old) = *mirror.get(&key).ok_or(SessionError::UnknownKey { key })?;
+                engine.relocate_link(ekey, sender, receiver)?;
+                let mut moved = Link::new(0, sender, receiver);
+                moved.sender_node = old.sender_node;
+                moved.receiver_node = old.receiver_node;
+                mirror.insert(key, (ekey, moved));
+            }
+        }
+        self.moves += 1;
+        Ok(())
+    }
+
+    fn move_node(&mut self, node: usize, to: Point) -> usize {
+        let touched = match &mut self.inner {
+            ShardedInner::Rebuild { links } => move_node_in_map(links, node, to).len(),
+            ShardedInner::Engine { engine, mirror } => {
+                let node_id = NodeId(node);
+                let touched: Vec<u64> = mirror
+                    .iter()
+                    .filter(|(_, (_, l))| {
+                        l.sender_node == Some(node_id) || l.receiver_node == Some(node_id)
+                    })
+                    .map(|(&k, _)| k)
+                    .collect();
+                for &key in &touched {
+                    let (ekey, old) = mirror[&key];
+                    let sender = if old.sender_node == Some(node_id) {
+                        to
+                    } else {
+                        old.sender
+                    };
+                    let receiver = if old.receiver_node == Some(node_id) {
+                        to
+                    } else {
+                        old.receiver
+                    };
+                    engine
+                        .relocate_link(ekey, sender, receiver)
+                        .expect("mirrored engine key is live");
+                    let mut moved = Link::new(0, sender, receiver);
+                    moved.sender_node = old.sender_node;
+                    moved.receiver_node = old.receiver_node;
+                    mirror.insert(key, (ekey, moved));
+                }
+                touched.len()
+            }
+        };
+        self.moves += 1;
+        touched
+    }
+
+    fn solve(&self) -> SolveReport {
+        match &self.inner {
+            ShardedInner::Rebuild { .. } => solve_sharded(
+                &self.links(),
+                self.scheduler,
+                self.target_shards,
+                self.strategy,
+            )
+            .into(),
+            ShardedInner::Engine { engine, .. } => engine.schedule().into(),
+        }
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            backend: BackendKind::Sharded,
+            links: self.len(),
+            inserts: self.inserts,
+            removals: self.removals,
+            moves: self.moves,
+        }
+    }
+}

@@ -167,6 +167,24 @@ impl ConvergecastSim {
     /// parents, the digraph is not a tree towards a single sink, or the schedule
     /// references missing links.
     pub fn new(links: &[Link], schedule: &Schedule) -> Result<Self, SimError> {
+        Self::build(links, schedule)
+    }
+
+    /// Builds a simulator straight from a session facade's unified
+    /// [`wagg_schedule::SolveReport`] — the schedule it replays is the
+    /// report's, whatever backend produced it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ConvergecastSim::new`].
+    pub fn from_solve(
+        links: &[Link],
+        report: &wagg_schedule::SolveReport,
+    ) -> Result<Self, SimError> {
+        Self::build(links, report.schedule())
+    }
+
+    fn build(links: &[Link], schedule: &Schedule) -> Result<Self, SimError> {
         // Validate schedule indices.
         for slot in schedule.slots() {
             for &idx in slot {
@@ -378,7 +396,7 @@ mod tests {
     use wagg_geometry::Point;
     use wagg_instances::fig1::{fig1_links, fig1_schedule_slots};
     use wagg_instances::random::uniform_square;
-    use wagg_schedule::{schedule_links, PowerMode, SchedulerConfig};
+    use wagg_schedule::{solve_static, PowerMode, SchedulerConfig};
     use wagg_sinr::NodeId;
 
     fn path_links(n: usize) -> Vec<Link> {
@@ -470,10 +488,10 @@ mod tests {
     fn sustained_rate_matches_schedule_length_on_random_mst() {
         let inst = uniform_square(24, 50.0, 3);
         let links = inst.mst_links().unwrap();
-        let report_schedule =
-            schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
-        let t = report_schedule.schedule.len();
-        let sim = ConvergecastSim::new(&links, &report_schedule.schedule).unwrap();
+        let solve: wagg_schedule::SolveReport =
+            solve_static(&links, SchedulerConfig::new(PowerMode::GlobalControl)).into();
+        let t = solve.slots();
+        let sim = ConvergecastSim::from_solve(&links, &solve).unwrap();
         let run = sim.run(SimConfig {
             frame_period: t,
             num_frames: 20,

@@ -54,7 +54,7 @@ fn main() {
         .with_power_mode(best_mode)
         .solve()
         .expect("non-degenerate");
-    let sim = ConvergecastSim::new(&solution.links, &solution.report.schedule)
+    let sim = ConvergecastSim::from_solve(&solution.links, &solution.report)
         .expect("solution links form a convergecast tree");
     for period in [
         best_slots.saturating_sub(1).max(1),

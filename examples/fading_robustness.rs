@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // success probabilities.
         let rate_report = effective_rate(
             &solution.links,
-            &solution.report.schedule,
+            solution.report.schedule(),
             &config.model,
             mode,
             fading,
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
 
         // Operational view: one ARQ aggregation wave.
-        let sim = ArqConvergecast::new(&solution.links, &solution.report.schedule)?;
+        let sim = ArqConvergecast::new(&solution.links, solution.report.schedule())?;
         let wave = sim.run(
             &config.model,
             mode,

@@ -1,6 +1,6 @@
-//! Mobile networks through the incremental engine: random-waypoint motion,
-//! per-event maintenance, periodic rescheduling — optionally through the
-//! spatially sharded scheduler.
+//! Mobile networks through the session facade: random-waypoint motion,
+//! per-event maintenance, periodic rescheduling — on the incremental engine
+//! backend or the spatially sharded one, behind the same surface.
 //!
 //! Run with:
 //!
@@ -9,29 +9,29 @@
 //! cargo run --release --example mobile_network -- --shards 9
 //! ```
 //!
-//! The default run replays a random-waypoint trace through the `wagg-engine`
-//! incremental interference engine (nodes chained to their predecessor, the
-//! PR-2 workload): spatial grids, conflict adjacency and path-loss state are
-//! patched per event, and every step reschedules from the maintained state.
+//! The default run replays a random-waypoint trace through a `Session` on
+//! `Backend::Engine` (nodes chained to their predecessor, the PR-2
+//! workload): the session routes every trace event into the incremental
+//! interference engine — spatial grids, conflict adjacency and path-loss
+//! state are patched per event — and every step reschedules from the
+//! maintained state via `Session::solve`.
 //!
-//! With `--shards N` (N > 1) the example switches to the **handover**
-//! workload at a larger scale: mobile nodes keep one uplink to the nearest
-//! of a relay grid (`wagg_instances::mobility::handover_events`, hysteresis
-//! margin 0.15), waypoint drift re-associates uplinks via
-//! `EngineTrace::from_handover`, and every step reschedules through
-//! `wagg_partition::schedule_sharded` — conflict-radius tiling, independent
-//! shard colorings, boundary stitching and certified verification, the same
-//! pipeline the million-link benchmarks run.
+//! With `--shards N` (N > 1) the example flips the **same session code** to
+//! `Backend::Sharded` on the **handover** workload at a larger scale:
+//! mobile nodes keep one uplink to the nearest of a relay grid
+//! (`wagg_instances::mobility::handover_events`, hysteresis margin 0.15),
+//! waypoint drift re-associates uplinks via `EngineTrace::from_handover`,
+//! and every step reschedules through the sharded pipeline —
+//! conflict-radius tiling, independent shard colorings, boundary stitching
+//! and certified verification, the same pipeline the million-link
+//! benchmarks run. Only the builder line differs between the two demos.
 
-use wireless_aggregation::engine::{
-    run_trace, EngineConfig, EngineTrace, InterferenceEngine, TraceBinding,
-};
+use wireless_aggregation::engine::EngineTrace;
 use wireless_aggregation::instances::mobility::{random_waypoint, WaypointConfig};
-use wireless_aggregation::partition::schedule_sharded;
 use wireless_aggregation::schedule::SchedulerConfig;
-use wireless_aggregation::{Point, PowerMode};
+use wireless_aggregation::{Backend, Point, PowerMode, Session};
 
-/// Parses `--shards N` (default 1 = the unsharded engine scheduler).
+/// Parses `--shards N` (default 1 = the engine backend).
 fn shards_arg() -> usize {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
@@ -49,7 +49,8 @@ fn shards_arg() -> usize {
     1
 }
 
-/// The PR-2 demo: chained links, engine-side rescheduling.
+/// The PR-2 demo: chained links, incremental maintenance, engine-side
+/// rescheduling — all through the session.
 fn chain_demo() -> Result<(), Box<dyn std::error::Error>> {
     let waypoints = WaypointConfig {
         nodes: 60,
@@ -64,55 +65,41 @@ fn chain_demo() -> Result<(), Box<dyn std::error::Error>> {
         waypoints.nodes, waypoints.side, waypoints.steps, waypoints.speed
     );
 
-    let sched_config = SchedulerConfig::new(PowerMode::mean_oblivious());
-    let mut engine = InterferenceEngine::new(EngineConfig::for_scheduler(sched_config));
+    let mut session = Session::builder()
+        .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+        .backend(Backend::Engine)
+        .build();
 
     // Replay the trace one step at a time, rescheduling after each step.
     let engine_trace = EngineTrace::from_mobility(&trace);
     let moves_per_step = waypoints.nodes;
     let setup = engine_trace.events.len() - trace.moves.len();
     let (initial, moves) = engine_trace.events.split_at(setup);
-    run_trace(
-        &mut engine,
-        &EngineTrace {
-            name: "setup".into(),
-            events: initial.to_vec(),
-        },
-    )?;
-    println!(
-        "Initial chain: {} links, {} conflict edges\n",
-        engine.len(),
-        engine.edge_count()
-    );
-    println!("step | conflict edges | slots | rate    | engine events applied");
+    session.apply_events(initial)?;
+    println!("Initial chain: {} links\n", session.len());
+    println!("step | slots | rate    | session events applied");
     for (step, chunk) in moves.chunks(moves_per_step).enumerate() {
-        run_trace(
-            &mut engine,
-            &EngineTrace {
-                name: format!("step-{step}"),
-                events: chunk.to_vec(),
-            },
-        )?;
-        let report = engine.schedule(sched_config);
+        session.apply_events(chunk)?;
+        let report = session.solve();
+        let stats = session.stats();
         println!(
-            "{step:>4} | {:>14} | {:>5} | {:.5} | {:>6}",
-            engine.edge_count(),
-            report.schedule.len(),
+            "{step:>4} | {:>5} | {:.5} | {:>6}",
+            report.slots(),
             report.rate(),
-            engine.stats().inserts + engine.stats().removals,
+            stats.inserts + stats.removals + stats.moves,
         );
     }
 
-    let stats = engine.stats();
+    let stats = session.stats();
     println!(
-        "\nEngine maintenance: {} inserts, {} removals, {} moves, \
-         {} grid rebuilds, {} adjacency compactions",
-        stats.inserts, stats.removals, stats.moves, stats.grid_rebuilds, stats.compactions
+        "\nSession maintenance on the {} backend: {} inserts, {} removals, {} moves",
+        stats.backend, stats.inserts, stats.removals, stats.moves
     );
     println!(
         "Every event patched only the affected neighbourhood — no full \
          conflict-graph or path-loss rebuild happened at any step."
     );
+    println!("{}", session.solve().summary());
     Ok(())
 }
 
@@ -145,22 +132,22 @@ fn sharded_demo(shards: usize) -> Result<(), Box<dyn std::error::Error>> {
         waypoints.side,
         waypoints.steps
     );
-    println!("Rescheduling through the sharded scheduler ({shards} target shards)\n");
+    println!("Rescheduling through the sharded backend ({shards} target shards)\n");
 
-    let sched_config = SchedulerConfig::new(PowerMode::mean_oblivious());
-    let mut engine = InterferenceEngine::new(EngineConfig::for_scheduler(sched_config));
+    // Same surface as the chain demo — only this builder line changes.
+    let mut session = Session::builder()
+        .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+        .backend(Backend::Sharded)
+        .target_shards(shards)
+        .build();
+
     let engine_trace = EngineTrace::from_handover(&trace, &relays, 0.15);
     let setup = waypoints.nodes;
     let (initial, rest) = engine_trace.events.split_at(setup);
-    // Handover removes refer to keys bound during setup, so one binding
-    // spans every chunk of the replay.
-    let mut binding = TraceBinding::new();
-    binding.apply(&mut engine, initial)?;
-    println!(
-        "Initial uplinks: {} links, {} conflict edges\n",
-        engine.len(),
-        engine.edge_count()
-    );
+    // Handover removes refer to keys bound during setup; the session's
+    // trace binding spans every chunk of the replay.
+    session.apply_events(initial)?;
+    println!("Initial uplinks: {} links\n", session.len());
     println!("step | events | slots | rate    | shards | boundary | repaired | evicted");
     // Handover traces interleave moves with remove/insert pairs, so steps
     // are found by counting MoveNode events.
@@ -187,33 +174,35 @@ fn sharded_demo(shards: usize) -> Result<(), Box<dyn std::error::Error>> {
             end += 1;
         }
         let chunk = &rest[start..end];
-        binding.apply(&mut engine, chunk)?;
+        session.apply_events(chunk)?;
         start = end;
-        let sharded = schedule_sharded(&engine.links(), sched_config, shards);
+        let report = session.solve();
+        let sharding = report.sharding.expect("sharded backend reports its stats");
         println!(
             "{step:>4} | {:>6} | {:>5} | {:.5} | {:>6} | {:>8} | {:>8} | {:>7}",
             chunk.len(),
-            sharded.report.schedule.len(),
-            sharded.report.rate(),
-            sharded.shards,
-            sharded.boundary_links,
-            sharded.repaired_links,
-            sharded.evicted_links,
+            report.slots(),
+            report.rate(),
+            sharding.shards,
+            sharding.boundary_links,
+            sharding.repaired_links,
+            sharding.evicted_links,
         );
     }
 
-    let stats = engine.stats();
+    let stats = session.stats();
     // Each handover contributes one Remove + one Insert beyond setup/moves.
     let handovers = (engine_trace.events.len() - setup - trace.moves.len()) / 2;
     println!(
-        "\nEngine maintenance: {} inserts, {} removals, {} moves \
+        "\nSession maintenance on the {} backend: {} inserts, {} removals, {} moves \
          ({handovers} handovers re-associated uplinks)",
-        stats.inserts, stats.removals, stats.moves,
+        stats.backend, stats.inserts, stats.removals, stats.moves,
     );
     println!(
         "Each reschedule tiled the region by the conflict radius, colored \
          shards independently, and stitched + verified the global schedule."
     );
+    println!("{}", session.solve().summary());
     Ok(())
 }
 

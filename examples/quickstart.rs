@@ -1,4 +1,5 @@
-//! Quickstart: schedule a random sensor deployment and simulate the convergecast.
+//! Quickstart: schedule a random sensor deployment through the session
+//! facade and simulate the convergecast.
 //!
 //! Run with:
 //!
@@ -6,13 +7,20 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! The example deploys sensors uniformly at random, builds the MST towards a sink,
-//! computes a verified TDMA schedule under each power mode, and then replays the
-//! best schedule in the discrete-time convergecast simulator — printing the
-//! schedule lengths, the achieved rate and the frame latencies.
+//! Everything schedules through one surface: `SessionBuilder` folds the
+//! scheduler core (SINR model, power mode) and the backend tuning into a
+//! session, `Backend::Auto` picks the execution strategy from the instance
+//! (static kernel here; the incremental engine for churn workloads, the
+//! sharded pipeline at scale), and every backend returns the same
+//! `SolveReport`. The example deploys sensors uniformly at random, builds
+//! the MST towards a sink, solves a session per power mode — printing the
+//! uniform report summaries — and then replays the best schedule in the
+//! discrete-time convergecast simulator.
 
 use wireless_aggregation::instances::random::uniform_square;
-use wireless_aggregation::{AggregationProblem, PowerMode};
+use wireless_aggregation::mst::euclidean_mst;
+use wireless_aggregation::sim::{ConvergecastSim, SimConfig};
+use wireless_aggregation::{PowerMode, SchedulerConfig, Session, SolveReport};
 
 fn main() {
     let n = 128;
@@ -28,6 +36,12 @@ fn main() {
     );
     println!();
 
+    // The link universe every session schedules: the MST oriented at the sink.
+    let links = euclidean_mst(&deployment.points)
+        .expect("random deployments are non-degenerate")
+        .try_orient_towards(deployment.sink)
+        .expect("sink is a valid node");
+
     let modes = [
         PowerMode::Uniform,
         PowerMode::Linear,
@@ -35,38 +49,44 @@ fn main() {
         PowerMode::GlobalControl,
     ];
 
-    println!("{:<28} {:>8} {:>10}", "power mode", "slots", "rate");
-    let mut best: Option<(PowerMode, usize)> = None;
+    let mut best: Option<(PowerMode, SolveReport)> = None;
     for mode in modes {
-        let solution = AggregationProblem::from_instance(&deployment)
-            .with_power_mode(mode)
-            .solve()
-            .expect("random deployments are non-degenerate");
+        // One builder, whatever the execution strategy: set the scheduler
+        // core, seed the links, let `Backend::Auto` resolve (static at this
+        // size; `.backend(Backend::Sharded)` would flip strategies without
+        // touching anything below this line).
+        let session = Session::builder()
+            .scheduler(SchedulerConfig::new(mode))
+            .links(&links)
+            .build();
+        let report = session.solve();
         assert!(
-            solution.verify(),
+            report
+                .schedule()
+                .verify(&session.links(), &SchedulerConfig::new(mode).model, mode),
             "every returned schedule is SINR-verified"
         );
-        println!(
-            "{:<28} {:>8} {:>10.4}",
-            mode.to_string(),
-            solution.slots(),
-            solution.rate()
-        );
-        if best.map(|(_, s)| solution.slots() < s).unwrap_or(true) {
-            best = Some((mode, solution.slots()));
+        println!("{:<28} {}", mode.to_string(), report.summary());
+        if best
+            .as_ref()
+            .map(|(_, b)| report.slots() < b.slots())
+            .unwrap_or(true)
+        {
+            best = Some((mode, report));
         }
     }
 
-    let (best_mode, _) = best.expect("at least one mode was evaluated");
+    let (best_mode, best_report) = best.expect("at least one mode was evaluated");
     println!();
     println!("Simulating convergecast under {best_mode} ...");
-    let solution = AggregationProblem::from_instance(&deployment)
-        .with_power_mode(best_mode)
-        .solve()
-        .expect("solvable");
-    let report = solution
-        .simulate(25)
-        .expect("solutions always form a convergecast tree");
+    let sim = ConvergecastSim::from_solve(&links, &best_report)
+        .expect("MST links form a convergecast tree");
+    let period = best_report.slots().max(1);
+    let report = sim.run(SimConfig {
+        frame_period: period,
+        num_frames: 25,
+        max_slots: (25 + links.len() + 2) * period * 4 + 64,
+    });
     println!(
         "  completed {}/{} frames in {} slots (throughput {:.4} frames/slot)",
         report.completed_frames, 25, report.slots_simulated, report.throughput

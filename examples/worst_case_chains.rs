@@ -19,9 +19,8 @@
 
 use wireless_aggregation::instances::chains::{doubly_exponential_chain, exponential_chain};
 use wireless_aggregation::instances::suboptimal::suboptimal_instance;
-use wireless_aggregation::schedule::schedule_links;
 use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
-use wireless_aggregation::{AggregationProblem, PowerMode, Schedule, SchedulerConfig};
+use wireless_aggregation::{AggregationProblem, PowerMode, Schedule, SchedulerConfig, Session};
 
 fn report_modes(name: &str, instance: &wireless_aggregation::Instance) {
     println!(
@@ -67,14 +66,15 @@ fn main() {
         model.is_feasible(&links, &power)
     });
     let mst_links = built.instance.mst_links().expect("line instance");
-    let mst_schedule = schedule_links(
-        &mst_links,
-        SchedulerConfig::new(PowerMode::Oblivious { tau }),
-    );
+    let mst_schedule = Session::builder()
+        .scheduler(SchedulerConfig::new(PowerMode::Oblivious { tau }))
+        .links(&mst_links)
+        .build()
+        .solve();
     println!("== MST sub-optimality (Fig. 4, τ = {tau}) ==");
     println!("  designed non-MST tree : 2 slots (P_τ-feasible: {designed_ok})",);
     println!(
         "  MST of the same points: {} slots under P_τ",
-        mst_schedule.schedule.len()
+        mst_schedule.slots()
     );
 }

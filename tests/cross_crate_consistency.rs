@@ -9,10 +9,20 @@ use wireless_aggregation::instances::random::{grid, uniform_square};
 use wireless_aggregation::mst::kconnect::KConnectedSpanner;
 use wireless_aggregation::mst::sparsity::{measure_sparsity, refine_into_sparse_classes};
 use wireless_aggregation::protocol::{schedule_protocol, verify_protocol_schedule, ProtocolModel};
-use wireless_aggregation::schedule::schedule_links;
 use wireless_aggregation::sinr::power_control::is_feasible_with_power_control;
-use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
-use wireless_aggregation::{PowerMode, SchedulerConfig};
+use wireless_aggregation::sinr::{Link, PowerAssignment, SinrModel};
+use wireless_aggregation::{PowerMode, ScheduleReport, SchedulerConfig, Session};
+
+/// One-shot solve through the session facade, unwrapped to the classic
+/// report the assertions below are phrased in.
+fn session_solve(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+    Session::builder()
+        .scheduler(config)
+        .links(links)
+        .build()
+        .solve()
+        .report
+}
 
 /// Theorem 2's ingredients, measured on real MSTs: the sparsity `I(i, T_i^+)` stays
 /// bounded by a constant and the first-fit refinement uses a constant number of
@@ -75,8 +85,8 @@ fn baselines_collapse_on_exponential_chains() {
     let links = inst.mst_links().unwrap();
 
     let protocol_slots = schedule_protocol(&links, ProtocolModel::default()).len();
-    let uniform = schedule_links(&links, SchedulerConfig::new(PowerMode::Uniform));
-    let global = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+    let uniform = session_solve(&links, SchedulerConfig::new(PowerMode::Uniform));
+    let global = session_solve(&links, SchedulerConfig::new(PowerMode::GlobalControl));
 
     assert!(protocol_slots >= links.len() / 2);
     assert!(uniform.schedule.len() >= links.len() / 2);
@@ -103,7 +113,7 @@ fn distributed_schedule_close_to_centralized() {
             };
             let distributed = simulate_distributed(&links, config);
             assert!(distributed.is_proper(&links, &config));
-            let centralized = schedule_links(
+            let centralized = session_solve(
                 &links,
                 SchedulerConfig::new(power_mode).with_verification(false),
             );
@@ -129,7 +139,7 @@ fn k_connected_spanners_schedule_in_few_slots() {
         let spanner = KConnectedSpanner::build(&inst.points, k).unwrap();
         assert!(spanner.is_k_edge_connected(k));
         let links = spanner.orient_arbitrarily();
-        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        let report = session_solve(&links, SchedulerConfig::new(PowerMode::GlobalControl));
         assert!(report.schedule.is_partition(links.len()));
         assert!(
             report.schedule.len() <= 30,
@@ -154,7 +164,7 @@ fn oblivious_slots_are_literally_p_tau_feasible() {
     for tau in [0.4, 0.5, 0.6] {
         let inst = uniform_square(40, 120.0, 19);
         let links = inst.mst_links().unwrap();
-        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
+        let report = session_solve(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
         let assignment = PowerAssignment::oblivious(tau);
         for slot in report.schedule.slots() {
             let slot_links: Vec<_> = slot.iter().map(|&i| links[i]).collect();

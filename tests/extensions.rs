@@ -13,7 +13,8 @@ use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::latency::compare_rate_latency;
 use wireless_aggregation::mst::approx::{nearest_neighbor_tree, satisfies_lemma1, star_tree};
 use wireless_aggregation::multihop::{MultihopConfig, MultihopPipeline};
-use wireless_aggregation::schedule::{schedule_links, SchedulerConfig};
+use wireless_aggregation::schedule::SchedulerConfig;
+use wireless_aggregation::Session;
 use wireless_aggregation::{AggregationProblem, PowerMode};
 
 fn solved(
@@ -78,7 +79,7 @@ fn fading_keeps_the_solved_schedule_usable() {
 
     let rate = effective_rate(
         &solution.links,
-        &solution.report.schedule,
+        solution.report.schedule(),
         &config.model,
         config.mode,
         fading,
@@ -90,7 +91,7 @@ fn fading_keeps_the_solved_schedule_usable() {
     assert!(rate.degradation() >= 1.0);
     assert!(rate.degradation() < 40.0);
 
-    let wave = ArqConvergecast::new(&solution.links, &solution.report.schedule)
+    let wave = ArqConvergecast::new(&solution.links, solution.report.schedule())
         .unwrap()
         .run(
             &config.model,
@@ -165,9 +166,17 @@ fn remark1_trees_schedule_according_to_their_sparsity() {
     assert!(satisfies_lemma1(&mst_links, config.model.alpha(), 20.0));
     assert!(!satisfies_lemma1(&star_links, config.model.alpha(), 20.0));
 
-    let mst_slots = schedule_links(&mst_links, config).schedule.len();
-    let nn_slots = schedule_links(&nn_links, config).schedule.len();
-    let star_slots = schedule_links(&star_links, config).schedule.len();
+    let solve = |links: &[wireless_aggregation::Link]| {
+        Session::builder()
+            .scheduler(config)
+            .links(links)
+            .build()
+            .solve()
+            .slots()
+    };
+    let mst_slots = solve(&mst_links);
+    let nn_slots = solve(&nn_links);
+    let star_slots = solve(&star_links);
 
     // The sparse trees schedule in few slots; the star needs one slot per link.
     assert!(nn_slots <= 4 * mst_slots.max(1));

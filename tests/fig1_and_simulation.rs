@@ -80,7 +80,7 @@ fn overdriving_the_schedule_grows_buffers() {
         .solve()
         .unwrap();
     let t = solution.slots().max(2);
-    let sim = ConvergecastSim::new(&solution.links, &solution.report.schedule).unwrap();
+    let sim = ConvergecastSim::from_solve(&solution.links, &solution.report).unwrap();
     let sustainable = sim.run(SimConfig {
         frame_period: t,
         num_frames: 40,

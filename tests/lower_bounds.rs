@@ -5,9 +5,22 @@ use wireless_aggregation::instances::chains::{
 };
 use wireless_aggregation::instances::recursive::{recursive_instance, RecursiveParams};
 use wireless_aggregation::instances::suboptimal::suboptimal_instance;
-use wireless_aggregation::schedule::schedule_links;
+use wireless_aggregation::sinr::Link;
 use wireless_aggregation::sinr::{PowerAssignment, SinrModel};
-use wireless_aggregation::{AggregationProblem, PowerMode, SchedulerConfig};
+use wireless_aggregation::{
+    AggregationProblem, PowerMode, ScheduleReport, SchedulerConfig, Session,
+};
+
+/// One-shot solve through the session facade, unwrapped to the classic
+/// report the assertions below are phrased in.
+fn session_solve(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+    Session::builder()
+        .scheduler(config)
+        .links(links)
+        .build()
+        .solve()
+        .report
+}
 
 /// Proposition 1 (Fig. 2): on the doubly-exponential chain, no two links can share a
 /// `P_τ`-feasible slot, for several values of `τ` — so every oblivious schedule is
@@ -31,7 +44,7 @@ fn oblivious_power_lower_bound_on_doubly_exponential_chain() {
             }
         }
         // Consequently the scheduler outputs exactly n - 1 slots.
-        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
+        let report = session_solve(&links, SchedulerConfig::new(PowerMode::Oblivious { tau }));
         assert_eq!(report.schedule.len(), links.len());
     }
 }
@@ -69,7 +82,7 @@ fn recursive_construction_slots_grow_with_level() {
     for t in 1..=4 {
         let rt = recursive_instance(t, params);
         let links = rt.instance.mst_links().unwrap();
-        let report = schedule_links(&links, SchedulerConfig::new(PowerMode::GlobalControl));
+        let report = session_solve(&links, SchedulerConfig::new(PowerMode::GlobalControl));
         assert!(
             report.schedule.len() >= previous_slots,
             "level {t}: {} slots after {} at the previous level",
@@ -98,7 +111,7 @@ fn mst_suboptimality_gap_grows_with_levels() {
         }
         // The MST needs at least levels - 1 slots under the same power scheme.
         let mst_links = built.instance.mst_links().unwrap();
-        let report = schedule_links(
+        let report = session_solve(
             &mst_links,
             SchedulerConfig::new(PowerMode::Oblivious { tau }),
         );

@@ -22,7 +22,10 @@ fn schedules_are_verified_partitions_on_random_instances() {
                 .solve()
                 .unwrap();
             assert_eq!(solution.links.len(), inst.len() - 1);
-            assert!(solution.report.schedule.is_partition(solution.links.len()));
+            assert!(solution
+                .report
+                .schedule()
+                .is_partition(solution.links.len()));
             assert!(solution.verify(), "seed {seed}, mode {mode}");
         }
     }
