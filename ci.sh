@@ -30,10 +30,10 @@ RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets
 echo "==> serial build (--no-default-features: parallel kernels off)"
 cargo build --workspace --no-default-features
 
-echo "==> serial kernel tests (incl. the sharded-scheduling sweep and the session differential suite)"
+echo "==> serial kernel tests (incl. the sharded-scheduling sweep and the session differential + repair suites)"
 cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition -p wagg-session
 
-echo "==> session differential suite, parallel build"
+echo "==> session differential + warm-start repair suites, parallel build"
 cargo test -q -p wagg-session
 
 # The serial wagg-partition run above already covers the hierarchical-verifier

@@ -105,7 +105,7 @@ fn bench_partition(c: &mut Criterion) {
         }
 
         if baseline {
-            let session = Session::builder()
+            let mut session = Session::builder()
                 .scheduler(config)
                 .backend(Backend::Static)
                 .links(&links)
@@ -114,12 +114,12 @@ fn bench_partition(c: &mut Criterion) {
                 b.iter(|| black_box(session.solve().slots()))
             });
         }
-        let session = sharded_session(&links, config, 16, VerifierStrategy::Flat);
+        let mut session = sharded_session(&links, config, 16, VerifierStrategy::Flat);
         group.bench_function(BenchmarkId::new("flat_shards16", n), |b| {
             b.iter(|| black_box(session.solve().slots()))
         });
         for &shards in &SHARDS {
-            let session = sharded_session(&links, config, shards, VerifierStrategy::default());
+            let mut session = sharded_session(&links, config, shards, VerifierStrategy::default());
             group.bench_function(BenchmarkId::new(format!("shards{shards}"), n), |b| {
                 b.iter(|| black_box(session.solve().slots()))
             });

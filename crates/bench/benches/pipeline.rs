@@ -94,13 +94,15 @@ fn bench_schedule_links_only(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &SIZES {
         let links = uniform_square(n, 500.0, n as u64).mst_links().unwrap();
-        let session = Session::builder()
-            .scheduler(SchedulerConfig::new(PowerMode::GlobalControl))
-            .backend(Backend::Static)
-            .links(&links)
-            .build();
+        let session = std::cell::RefCell::new(
+            Session::builder()
+                .scheduler(SchedulerConfig::new(PowerMode::GlobalControl))
+                .backend(Backend::Static)
+                .links(&links)
+                .build(),
+        );
         group.bench_with_input(BenchmarkId::from_parameter(n), &session, |b, session| {
-            b.iter(|| session.solve().slots())
+            b.iter(|| session.borrow_mut().solve().slots())
         });
     }
     group.finish();

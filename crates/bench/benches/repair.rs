@@ -1,0 +1,157 @@
+//! The warm-start repair perf suite: single-event **event-to-schedule**
+//! latency of `Session::solve` with [`RepairPolicy::enabled`] against the
+//! from-scratch full recolor, per backend, at n ∈ {10 000, 100 000,
+//! 1 000 000}. Every timed iteration is one relocation event followed by a
+//! solve — the churn workload the repair path exists for.
+//!
+//! Run with
+//!
+//! ```text
+//! CRITERION_BENCH_JSON=$PWD/BENCH_repair.json cargo bench -p wagg-bench --bench repair
+//! ```
+//!
+//! from the repository root to refresh `BENCH_repair.json`; set
+//! `WAGG_REPAIR_BENCH_SIZES=10000,100000` to re-measure a subset. Rows:
+//!
+//! * `repair/engine/n`, `repair/partitioned/n` — warm session, repair on:
+//!   the solve re-places only the relocated link and its dirtied
+//!   neighbourhood.
+//! * `full_recolor/{static,engine,partitioned}/n` — repair off: every solve
+//!   recolors from scratch (the pre-repair behaviour).
+//!
+//! The static and engine full recolors are **skipped at n = 1M**: their slot
+//! verification is the quadratic per-color scan that only the sharded
+//! backend's certified tile bounds avoid (see the partition bench header) —
+//! the skip is printed, not silent. The static backend keeps no incremental
+//! state, so it has no `repair` row (its repair-enabled solve is the tagged
+//! `Unsupported` full recolor).
+//!
+//! Correctness gates run outside the timed loops: warm repaired schedules
+//! must remain partitions, and the repair decision must be `Repaired` (the
+//! relocation must not silently fall back to the recolor being compared
+//! against).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wagg_bench::uniform_unit_links;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_schedule::{PowerMode, RepairDecision, SchedulerConfig};
+use wagg_session::{Backend, RepairPolicy, Session};
+use wagg_sinr::Link;
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+/// Full-recolor ceiling for the backends with quadratic slot verification.
+const QUADRATIC_RECOLOR_CEILING: usize = 100_000;
+
+/// Optional size filter from `WAGG_REPAIR_BENCH_SIZES` (comma-separated).
+fn size_filter() -> Option<Vec<usize>> {
+    std::env::var("WAGG_REPAIR_BENCH_SIZES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+}
+
+fn build_session(backend: &str, links: &[Link], config: SchedulerConfig, repair: bool) -> Session {
+    let n = links.len();
+    let side = (n as f64).sqrt() * 4.0;
+    let policy = if repair {
+        RepairPolicy::enabled()
+    } else {
+        RepairPolicy::default()
+    };
+    let builder = Session::builder().scheduler(config).repair(policy);
+    let builder = match backend {
+        "static" => builder.backend(Backend::Static),
+        "engine" => builder.backend(Backend::Engine),
+        "partitioned" => builder
+            .backend(Backend::Sharded)
+            .target_shards(16)
+            .partition_hints(
+                BoundingBox::new(-1.5, -1.5, side + 1.5, side + 1.5),
+                (0.9, 1.1),
+            ),
+        other => unreachable!("unknown backend {other}"),
+    };
+    builder.links(links).build()
+}
+
+/// One churn event: drag link 0 between two unit-length geometries near the
+/// square's centre (alternating so consecutive iterations both do work).
+fn relocate_once(session: &mut Session, side: f64, flip: bool) {
+    let x = side / 2.0 + if flip { 0.3 } else { 0.0 };
+    session
+        .relocate(
+            0,
+            Point::new(x, side / 2.0),
+            Point::new(x + 1.0, side / 2.0),
+        )
+        .expect("link 0 is live");
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_to_schedule");
+    group.sample_size(10);
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let filter = size_filter();
+    for &n in &SIZES {
+        if let Some(sizes) = &filter {
+            if !sizes.contains(&n) {
+                continue;
+            }
+        }
+        let links = uniform_unit_links(n, n as u64);
+        let side = (n as f64).sqrt() * 4.0;
+
+        for backend in ["engine", "partitioned"] {
+            if backend == "engine" && n > QUADRATIC_RECOLOR_CEILING {
+                eprintln!("skipping repair/{backend}/{n}: cold-start recolor is quadratic");
+                continue;
+            }
+            let mut session = build_session(backend, &links, config, true);
+            // Warm the session (cold start) and gate correctness once: the
+            // steady state must actually be the repair path.
+            let cold = session.solve();
+            assert!(cold.schedule().is_partition(n));
+            relocate_once(&mut session, side, true);
+            let warm = session.solve();
+            let stats = warm.repair.expect("repair-enabled solves are tagged");
+            assert_eq!(
+                stats.decision,
+                RepairDecision::Repaired,
+                "the relocation workload must repair, not fall back"
+            );
+            assert!(warm.schedule().is_partition(n));
+            eprintln!("repair/{backend}/{n}: {}", warm.summary());
+
+            let mut flip = false;
+            group.bench_function(BenchmarkId::new(format!("repair/{backend}"), n), |b| {
+                b.iter(|| {
+                    flip = !flip;
+                    relocate_once(&mut session, side, flip);
+                    black_box(session.solve().slots())
+                })
+            });
+        }
+
+        for backend in ["static", "engine", "partitioned"] {
+            if backend != "partitioned" && n > QUADRATIC_RECOLOR_CEILING {
+                eprintln!("skipping full_recolor/{backend}/{n}: quadratic slot verification");
+                continue;
+            }
+            let mut session = build_session(backend, &links, config, false);
+            let mut flip = false;
+            group.bench_function(
+                BenchmarkId::new(format!("full_recolor/{backend}"), n),
+                |b| {
+                    b.iter(|| {
+                        flip = !flip;
+                        relocate_once(&mut session, side, flip);
+                        black_box(session.solve().slots())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

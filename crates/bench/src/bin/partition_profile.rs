@@ -28,7 +28,7 @@ fn main() {
         ("flat", VerifierStrategy::Flat),
         ("hierarchical", VerifierStrategy::default()),
     ] {
-        let session = Session::builder()
+        let mut session = Session::builder()
             .scheduler(config)
             .backend(Backend::Sharded)
             .target_shards(shards)

@@ -142,20 +142,43 @@ impl ConflictGraph {
 
         // Bucket by floor(log2(len / min_len)); the bucket key only steers
         // efficiency — radii below use each class's exact min/max lengths.
-        let mut class_of_key: std::collections::BTreeMap<i32, Vec<u32>> =
-            std::collections::BTreeMap::new();
+        // Keys are non-negative (min_len is the minimum) and bounded by the
+        // f64 exponent range (~2100), so a counting sort sizes every class in
+        // one pass and scatters members stably in a second, replacing the
+        // per-insert map lookups.
+        let mut classes_members: Vec<Vec<u32>> = Vec::new();
         if min_len.is_finite() {
+            let key_of = |len: f64| (len / min_len).log2().floor() as usize;
+            let mut counts: Vec<u32> = Vec::new();
+            for link in links {
+                let len = link.length();
+                if len <= 0.0 {
+                    continue;
+                }
+                let key = key_of(len);
+                if key >= counts.len() {
+                    counts.resize(key + 1, 0);
+                }
+                counts[key] += 1;
+            }
+            // Dense class index per occupied key, in ascending key order.
+            let mut class_of = vec![usize::MAX; counts.len()];
+            for (key, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    class_of[key] = classes_members.len();
+                    classes_members.push(Vec::with_capacity(count as usize));
+                }
+            }
             for (i, link) in links.iter().enumerate() {
                 let len = link.length();
                 if len <= 0.0 {
                     continue;
                 }
-                let key = (len / min_len).log2().floor() as i32;
-                class_of_key.entry(key).or_default().push(i as u32);
+                classes_members[class_of[key_of(len)]].push(i as u32);
             }
         }
-        let classes: Vec<LengthClass> = class_of_key
-            .into_values()
+        let classes: Vec<LengthClass> = classes_members
+            .into_iter()
             .map(|members| {
                 let lengths = members.iter().map(|&m| links[m as usize].length());
                 let lo = lengths.clone().fold(f64::INFINITY, f64::min);

@@ -41,7 +41,7 @@
 //!     .collect();
 //! // `Backend::Auto` resolves to the static kernel at this size; flip to
 //! // `Backend::Engine` for churn workloads or `Backend::Sharded` at scale.
-//! let session = Session::builder().backend(Backend::Auto).links(&links).build();
+//! let mut session = Session::builder().backend(Backend::Auto).links(&links).build();
 //! let report = session.solve();
 //! assert!(report.schedule().is_partition(links.len()));
 //! println!("{}", report.summary());
@@ -92,11 +92,12 @@ pub use wagg_sinr as sinr;
 pub use wagg_geometry::Point;
 pub use wagg_instances::Instance;
 pub use wagg_schedule::{
-    BackendKind, PowerMode, Schedule, ScheduleReport, SchedulerConfig, ShardingStats, SolveReport,
+    BackendKind, PowerMode, RepairDecision, RepairStats, Schedule, ScheduleReport, SchedulerConfig,
+    ShardingStats, SolveReport,
 };
 pub use wagg_session::{
-    Backend, PartitionHints, SchedulerBackend, Session, SessionBuilder, SessionConfig,
-    SessionError, SessionStats,
+    Backend, PartitionHints, RepairPolicy, SchedulerBackend, Session, SessionBuilder,
+    SessionConfig, SessionError, SessionStats,
 };
 pub use wagg_sinr::{Link, PowerAssignment, SinrModel};
 
@@ -238,7 +239,7 @@ impl AggregationProblem {
     pub fn solve(&self) -> Result<AggregationSolution, AggregationError> {
         let tree = wagg_mst::euclidean_mst(&self.points)?;
         let links = tree.try_orient_towards(self.sink)?;
-        let session = Session::builder()
+        let mut session = Session::builder()
             .scheduler(self.config)
             .backend(self.backend)
             .links(&links)

@@ -48,3 +48,4 @@ pub mod scenario;
 pub use error::DynamicError;
 pub use network::{ChangeReport, DynamicNetwork, RepairStrategy};
 pub use scenario::{run_churn_scenario, ChurnConfig, ChurnEvent, ChurnSummary};
+pub use wagg_session::RepairPolicy;

@@ -6,7 +6,7 @@ use std::fmt;
 use wagg_geometry::Point;
 use wagg_mst::euclidean_mst;
 use wagg_schedule::{ScheduleReport, SchedulerConfig, SolveReport};
-use wagg_session::{Backend, Session};
+use wagg_session::{Backend, RepairPolicy, Session};
 use wagg_sinr::{Link, NodeId};
 
 /// How the tree is repaired after a failure or arrival.
@@ -99,6 +99,23 @@ impl DynamicNetwork {
         config: SchedulerConfig,
         strategy: RepairStrategy,
     ) -> Result<Self, DynamicError> {
+        Self::with_slot_repair(points, sink, config, strategy, RepairPolicy::default())
+    }
+
+    /// Like [`DynamicNetwork::new`], but with warm-start **slot** repair
+    /// turned on in the underlying session: after each tree repair, the
+    /// reschedule re-places only the links the parent diff actually touched
+    /// instead of recoloring from scratch (falling back to a full recolor
+    /// past `policy`'s drift watermark). Tree repair and slot repair are
+    /// independent axes — either [`RepairStrategy`] composes with either
+    /// policy.
+    pub fn with_slot_repair(
+        points: Vec<Point>,
+        sink: usize,
+        config: SchedulerConfig,
+        strategy: RepairStrategy,
+        policy: RepairPolicy,
+    ) -> Result<Self, DynamicError> {
         if points.len() < 2 {
             return Err(DynamicError::TooFewNodes {
                 found: points.len(),
@@ -111,9 +128,10 @@ impl DynamicNetwork {
             });
         }
         let n = points.len();
-        let session = Session::builder()
+        let mut session = Session::builder()
             .scheduler(config)
             .backend(Backend::Engine)
+            .repair(policy)
             .build();
         let report = session.solve();
         let mut net = DynamicNetwork {

@@ -3,7 +3,7 @@
 //! stays a feasible partition.
 
 use proptest::prelude::*;
-use wagg_dynamic::{DynamicNetwork, RepairStrategy};
+use wagg_dynamic::{DynamicNetwork, RepairPolicy, RepairStrategy};
 use wagg_instances::random::uniform_square;
 use wagg_schedule::{PowerMode, SchedulerConfig};
 
@@ -54,6 +54,43 @@ proptest! {
             if strategy == RepairStrategy::Rebuild {
                 prop_assert!((net.stretch() - 1.0).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn churn_with_slot_repair_stays_feasible((n, seed, ops, strategy) in churn_inputs()) {
+        // Same invariants with warm-start slot repair switched on: the
+        // reschedule after each tree repair re-places only the diffed
+        // uplinks, and the result must still be a feasible partition.
+        let inst = uniform_square(n, 150.0, seed);
+        let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+        let mut net = DynamicNetwork::with_slot_repair(
+            inst.points.clone(),
+            inst.sink,
+            config,
+            strategy,
+            RepairPolicy::enabled(),
+        )
+        .unwrap();
+
+        for (step, op) in ops.iter().enumerate() {
+            if op % 3 == 0 && net.alive_count() > 3 {
+                let candidates: Vec<usize> = (0..net.node_count())
+                    .filter(|&v| net.is_alive(v) && v != net.sink())
+                    .collect();
+                let victim = candidates[(*op as usize + step) % candidates.len()];
+                net.fail_node(victim).unwrap();
+            } else {
+                let position = wagg_geometry::Point::new(
+                    200.0 + step as f64 * 7.3 + *op as f64,
+                    150.0 - step as f64 * 3.1,
+                );
+                let _ = net.add_node(position).unwrap();
+            }
+            prop_assert!(net.is_valid_tree());
+            let links = net.links();
+            prop_assert!(net.schedule_report().schedule.is_partition(links.len()));
+            prop_assert!(net.schedule_report().schedule.verify(&links, &config.model, config.mode));
         }
     }
 }

@@ -742,6 +742,26 @@ impl InterferenceEngine {
         })
     }
 
+    /// The slots of every live link recorded as touching `node` (via
+    /// `sender_node`/`receiver_node`) — the set a
+    /// [`InterferenceEngine::move_node`] on `node` re-seats. Empty for nodes
+    /// no live link references.
+    pub fn node_slots(&self, node: usize) -> Vec<usize> {
+        self.node_links.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// The patched per-link path-loss state gathered over the live links in
+    /// [`InterferenceEngine::links`] order — ready for
+    /// [`PathLossCache::from_parts`], so repair probes (like
+    /// [`InterferenceEngine::schedule`]'s) reuse the maintained values
+    /// instead of recomputing geometry.
+    pub fn cache_parts(&self) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+        let slots = self.live_slots();
+        let powers = slots.iter().map(|&s| self.powers[s]).collect();
+        let weights = slots.iter().map(|&s| self.weights[s]).collect();
+        (powers, weights)
+    }
+
     /// Schedules the current live links under the engine's own scheduler
     /// configuration ([`EngineConfig::scheduler`] — one source of truth, no
     /// re-supplied config to drift from the maintained state), reusing the
@@ -762,9 +782,7 @@ impl InterferenceEngine {
         let lend_cache = config.model.noise() == 0.0
             && config.mode.assignment().as_ref() == Some(&self.config.power);
         if lend_cache {
-            let slots = self.live_slots();
-            let powers: Vec<Option<f64>> = slots.iter().map(|&s| self.powers[s]).collect();
-            let weights: Vec<Option<f64>> = slots.iter().map(|&s| self.weights[s]).collect();
+            let (powers, weights) = self.cache_parts();
             let cache = PathLossCache::from_parts(&config.model, &links, powers, weights);
             schedule_prebuilt(&graph, Some(&cache), config)
         } else {

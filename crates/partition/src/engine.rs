@@ -208,6 +208,37 @@ impl PartitionedEngine {
         self.engines[shard].len()
     }
 
+    /// The conflict radius the tiling was sized for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Links currently ghosted into at least one neighbouring shard.
+    pub fn boundary_link_count(&self) -> usize {
+        self.sites.values().filter(|s| !s.ghosts.is_empty()).count()
+    }
+
+    /// The keys of every live link conflicting with `key`, ascending, or
+    /// `None` for unknown keys. Reads only the owner shard: the halo
+    /// invariant keeps every conflict partner of an owned link present there
+    /// (owned or ghosted), so the owner shard's incrementally maintained
+    /// adjacency row is already the link's complete global neighbourhood.
+    pub fn neighbor_keys(&self, key: u64) -> Option<Vec<u64>> {
+        let site = self.sites.get(&key)?;
+        let shard = site.owner_shard as usize;
+        let mut keys: Vec<u64> = self.engines[shard]
+            .neighbors(site.owner_slot as usize)
+            .into_iter()
+            .map(|w| self.meta[shard][w].expect("adjacent slot is live").0)
+            .collect();
+        keys.sort_unstable();
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] != w[1]),
+            "owner shard holds one copy per key"
+        );
+        Some(keys)
+    }
+
     /// Aggregate accounting.
     pub fn stats(&self) -> PartitionedStats {
         let ghost_copies = self.sites.values().map(|s| s.ghosts.len()).sum();

@@ -102,6 +102,7 @@ impl From<ShardedReport> for SolveReport {
                 repaired_links: sharded.repaired_links,
                 evicted_links: sharded.evicted_links,
             }),
+            repair: None,
         }
     }
 }

@@ -275,6 +275,42 @@ impl<'a> AffectanceVerifier<'a> {
         }
     }
 
+    /// Per-target affectance budgets for one slot: `out[k]` upper-bounds the
+    /// exact affectance total on `members[k]` (`INFINITY` when the pair
+    /// terms cannot be priced). Values are the certified pyramid bound when
+    /// it already lands within `1/β` and the exact sum otherwise, so on a
+    /// feasible slot every budget is finite and within threshold. This is
+    /// the near-linear capture half of the warm-start repair contract
+    /// (`wagg_schedule::solve_repair`'s `prev_budgets`): conservative
+    /// upper bounds are sound — they only make repair fall back earlier.
+    pub fn budgets(&self, members: &[usize]) -> Vec<f64> {
+        if members.len() <= 1 {
+            return vec![0.0; members.len()];
+        }
+        let exact = |k: usize| self.exact_total(members, k).unwrap_or(f64::INFINITY);
+        let all_powers_known = members.iter().all(|&i| self.powers[i].is_some());
+        let pyramid = if members.len() <= EXACT_CUTOFF || !all_powers_known {
+            None
+        } else {
+            SlotPyramid::build(self, members, self.strategy.requested_depth(members.len()))
+        };
+        let one = |k: usize| match &pyramid {
+            Some(pyramid) => match pyramid.certify(k, self.inv_beta) {
+                Some(total) if total <= self.inv_beta => total,
+                _ => exact(k),
+            },
+            None => exact(k),
+        };
+        #[cfg(feature = "parallel")]
+        {
+            (0..members.len()).into_par_iter().map(one).collect()
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            (0..members.len()).map(one).collect()
+        }
+    }
+
     /// Whether `members` can share a slot (singletons trivially can — the
     /// affectance sum over an empty interferer set is zero).
     pub fn set_feasible(&self, members: &[usize]) -> bool {
@@ -336,6 +372,44 @@ impl<'a> AffectanceVerifier<'a> {
             }
         }
         slots
+    }
+}
+
+impl wagg_schedule::SlotJudge for AffectanceVerifier<'_> {
+    /// Warm-start repair probes ([`wagg_schedule::solve_repair`]) through
+    /// the verifier — hierarchical far-field aggregation and all — so the
+    /// sharded backend's repair path judges slots exactly like its
+    /// certified verification pass does.
+    fn feasible(&self, members: &[usize]) -> bool {
+        self.set_feasible(members)
+    }
+
+    fn evict(&self, members: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        self.evict_infeasible(members)
+    }
+
+    fn additive(&self) -> bool {
+        true
+    }
+
+    fn threshold(&self) -> f64 {
+        self.inv_beta
+    }
+
+    fn contribution(&self, source: usize, target: usize) -> f64 {
+        let s = &self.links[source];
+        let t = &self.links[target];
+        if s.id == t.id {
+            return 0.0;
+        }
+        let (Some(p), Some(weight)) = (self.powers[source], self.weights[target]) else {
+            return f64::INFINITY;
+        };
+        let d = s.sender.distance(t.receiver);
+        if d <= 0.0 {
+            return f64::INFINITY;
+        }
+        p * weight / self.pow.pow(d)
     }
 }
 

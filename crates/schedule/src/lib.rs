@@ -24,11 +24,16 @@
 
 pub mod multicolor;
 pub mod power_mode;
+pub mod repair;
 pub mod report;
 pub mod schedule;
 pub mod scheduler;
 
 pub use power_mode::PowerMode;
+pub use repair::{
+    capture_budgets, solve_repair, CacheJudge, RepairDecision, RepairOutcome, RepairStats,
+    SlotJudge,
+};
 pub use report::{BackendKind, ShardingStats, SolveReport};
 pub use schedule::Schedule;
 #[allow(deprecated)]

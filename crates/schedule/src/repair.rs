@@ -1,0 +1,743 @@
+//! Warm-start slot repair: re-place only the links an event batch touched.
+//!
+//! Every backend used to recolor from scratch per solve — PRs 2–5 made the
+//! conflict graph, the path-loss cache and the per-shard state incremental,
+//! but the *slot assignment* itself was discarded per event. This module
+//! closes that gap: [`solve_repair`] takes the previous coloring (keyed by
+//! vertex position, `None` marking the links an event batch dirtied), keeps
+//! every clean link in its slot, re-verifies only the slots whose affectance
+//! budget may have changed, and first-fits the dirty links into the lowest
+//! feasible slot — microseconds-to-milliseconds per event batch instead of a
+//! full recolor.
+//!
+//! The module is backend-agnostic: callers supply the conflict neighbourhood
+//! (`neighbors`, e.g. the engine's incrementally maintained adjacency rows)
+//! and a [`SlotJudge`] for the physical feasibility probes (the
+//! [`CacheJudge`] here reuses the static kernel's probe semantics; the
+//! sharded backend judges through `wagg_partition`'s hierarchical
+//! `AffectanceVerifier`). The session facade owns the policy: which links
+//! are dirty, when the schedule-length drift against the from-scratch
+//! baseline breaches the watermark ([`RepairStats::drift`] vs
+//! [`RepairStats::watermark`]) and a full recolor runs instead.
+//!
+//! # Correctness
+//!
+//! * Removing links from a slot never invalidates it: every feasibility
+//!   notion the workspace schedules under (the affectance kernel of
+//!   `PathLossCache`, the materialised [`PowerMode::slot_feasible`] checks)
+//!   is monotone under subsets, so evictions and departures are safe without
+//!   re-checking the survivors' other slots.
+//! * Additions are always probed against the *full* candidate slot (graph
+//!   constraint via `neighbors`, physical constraint via the judge), exactly
+//!   like the static kernel's first-fit split.
+//! * Dirty links are placed in non-increasing length order with ties by link
+//!   id — the same deterministic order [`split_class_into_feasible`] uses —
+//!   so repair runs are reproducible.
+//!
+//! [`split_class_into_feasible`]: crate::scheduler::split_class_into_feasible
+//! [`PowerMode::slot_feasible`]: crate::PowerMode::slot_feasible
+
+use crate::schedule::Schedule;
+use crate::scheduler::{slot_ok, ScheduleReport, SchedulerConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wagg_geometry::logmath::{log_log2, log_star};
+use wagg_sinr::link::link_diversity;
+use wagg_sinr::{Link, PathLossCache};
+
+/// How a repair-enabled solve produced its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairDecision {
+    /// The previous assignment was repaired in place (the fast path).
+    Repaired,
+    /// No warm state yet (first solve, or the first solve after a reset):
+    /// a full recolor ran and seeded the warm state.
+    ColdStart,
+    /// Repair succeeded but the schedule length drifted past the watermark;
+    /// a full recolor ran instead and re-anchored the baseline.
+    WatermarkBreach,
+    /// The backend has no incremental state to repair from (static backend,
+    /// sharded backend without partition hints); every solve recolors.
+    Unsupported,
+}
+
+impl RepairDecision {
+    /// The round-trippable token ([`Display`](fmt::Display) prints the same).
+    pub fn token(&self) -> &'static str {
+        match self {
+            RepairDecision::Repaired => "repaired",
+            RepairDecision::ColdStart => "cold-start",
+            RepairDecision::WatermarkBreach => "watermark-breach",
+            RepairDecision::Unsupported => "unsupported",
+        }
+    }
+
+    /// Parses a token produced by [`RepairDecision::token`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the unknown token.
+    pub fn parse_token(token: &str) -> Result<Self, String> {
+        match token {
+            "repaired" => Ok(RepairDecision::Repaired),
+            "cold-start" => Ok(RepairDecision::ColdStart),
+            "watermark-breach" => Ok(RepairDecision::WatermarkBreach),
+            "unsupported" => Ok(RepairDecision::Unsupported),
+            other => Err(format!("unknown repair decision {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for RepairDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Warm-start accounting carried by repair-enabled
+/// [`SolveReport`](crate::SolveReport)s (`None` when repair is disabled —
+/// the report is then byte-identical to a pre-repair one).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairStats {
+    /// How the schedule was produced (see [`RepairDecision`]).
+    pub decision: RepairDecision,
+    /// Links the event batch dirtied (inserted, relocated, or re-seated by a
+    /// node move) since the previous solve.
+    pub dirty_links: usize,
+    /// Links actually re-placed: the dirty links plus every link evicted
+    /// from a re-verified slot. On a full recolor, the whole universe.
+    pub replaced_links: usize,
+    /// Schedule length of the from-scratch baseline the drift is measured
+    /// against (the last full recolor).
+    pub baseline_slots: usize,
+    /// Relative schedule-length drift vs. the baseline,
+    /// `(slots - baseline) / baseline`.
+    pub drift: f64,
+    /// The configured drift watermark; repairs drifting past it fall back
+    /// to a full recolor.
+    pub watermark: f64,
+}
+
+/// Physical slot-feasibility probes for [`solve_repair`] — the seam that
+/// lets each backend judge with whatever state it maintains incrementally.
+pub trait SlotJudge {
+    /// Whether the links at `members` (vertex positions) can share a slot.
+    /// Must match the verdict the backend's full solve would reach for the
+    /// same materialised slot.
+    fn feasible(&self, members: &[usize]) -> bool;
+
+    /// One re-verification sweep over a slot: `(kept, evicted)`, member
+    /// order preserved, with `kept` feasible as a set. The default is
+    /// all-or-nothing (sound for any judge); judges over a monotone kernel
+    /// override it with per-target verdicts so one bad member does not
+    /// displace the whole slot.
+    fn evict(&self, members: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        if self.feasible(members) {
+            (members.to_vec(), Vec::new())
+        } else {
+            (Vec::new(), members.to_vec())
+        }
+    }
+
+    /// Whether this judge's feasibility decomposes into per-target additive
+    /// budgets: a slot is feasible iff every member's budget (the sum of
+    /// [`SlotJudge::contribution`] over its slotmates) stays within
+    /// [`SlotJudge::threshold`]. Additive judges unlock the O(|slot|)
+    /// admission probes that make repair microseconds instead of a full
+    /// slot re-verification per probe.
+    fn additive(&self) -> bool {
+        false
+    }
+
+    /// The budget threshold additive admission compares against (the
+    /// affectance kernel's `1/β`). Only consulted when
+    /// [`SlotJudge::additive`] is true.
+    fn threshold(&self) -> f64 {
+        1.0
+    }
+
+    /// The exact contribution of `source`'s transmission to `target`'s
+    /// budget (vertex positions): `0` for the target itself,
+    /// `f64::INFINITY` when the pair cannot be priced (unknown power or
+    /// weight, collocated sender — the kernel's error-means-infeasible
+    /// convention). Only consulted when [`SlotJudge::additive`] is true.
+    fn contribution(&self, source: usize, target: usize) -> f64 {
+        let _ = (source, target);
+        f64::INFINITY
+    }
+}
+
+/// The default judge: exactly the static kernel's slot probes — through a
+/// shared [`PathLossCache`] when the power mode has a fixed assignment under
+/// a noise-free model, materialising the slot otherwise. A lent cache must
+/// cover `links` in vertex order (the [`schedule_prebuilt`] contract).
+///
+/// [`schedule_prebuilt`]: crate::scheduler::schedule_prebuilt
+#[derive(Debug)]
+pub struct CacheJudge<'a> {
+    links: &'a [Link],
+    config: SchedulerConfig,
+    cache: Option<&'a PathLossCache<'a>>,
+}
+
+impl<'a> CacheJudge<'a> {
+    /// A judge over `links`; `cache` is consulted only for noise-free models
+    /// (the cache kernel is noise-free — same filter the kernel applies).
+    pub fn new(
+        links: &'a [Link],
+        config: SchedulerConfig,
+        cache: Option<&'a PathLossCache<'a>>,
+    ) -> Self {
+        let cache = cache.filter(|_| config.model.noise() == 0.0);
+        if let Some(cache) = cache {
+            assert_eq!(
+                cache.links().len(),
+                links.len(),
+                "path-loss cache covers a different link set"
+            );
+        }
+        CacheJudge {
+            links,
+            config,
+            cache,
+        }
+    }
+}
+
+impl SlotJudge for CacheJudge<'_> {
+    fn feasible(&self, members: &[usize]) -> bool {
+        slot_ok(self.links, members, &self.config, self.cache)
+    }
+
+    fn additive(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    fn threshold(&self) -> f64 {
+        1.0 / self.config.model.beta()
+    }
+
+    fn contribution(&self, source: usize, target: usize) -> f64 {
+        self.cache
+            .expect("contribution is only consulted on additive judges")
+            .interference_term(source, target)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn evict(&self, members: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let Some(cache) = self.cache else {
+            // No cache (global power control, or a noisy model): the
+            // feasibility test is holistic, so eviction is all-or-nothing.
+            return if self.feasible(members) {
+                (members.to_vec(), Vec::new())
+            } else {
+                (Vec::new(), members.to_vec())
+            };
+        };
+        if members.len() <= 1 {
+            return if self.feasible(members) {
+                (members.to_vec(), Vec::new())
+            } else {
+                (Vec::new(), members.to_vec())
+            };
+        }
+        // Per-target verdicts with every member still present: the
+        // affectance kernel is monotone, so the kept targets (which passed
+        // with the evicted interferers included) remain feasible together.
+        let inv_beta = 1.0 / self.config.model.beta();
+        let mut kept = Vec::with_capacity(members.len());
+        let mut evicted = Vec::new();
+        for k in 0..members.len() {
+            let ok = cache
+                .subset_relative_interference_on(members, k)
+                .is_some_and(|total| total <= inv_beta);
+            if ok {
+                kept.push(members[k]);
+            } else {
+                evicted.push(members[k]);
+            }
+        }
+        (kept, evicted)
+    }
+}
+
+/// What one [`solve_repair`] call produced: the repaired report, the
+/// re-placement accounting, and the per-vertex budgets to warm-start the
+/// *next* repair with (see the budget contract on [`solve_repair`]).
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired schedule report.
+    pub report: ScheduleReport,
+    /// Links re-placed overall: the dirty links plus every evicted member.
+    pub replaced: usize,
+    /// How many of the replaced links the re-verification sweep evicted.
+    pub evicted: usize,
+    /// Per-vertex affectance budgets after the repair — each an upper bound
+    /// on the exact affectance total the link sees inside its slot. All
+    /// zeros for non-additive judges (the opaque probe path keeps no
+    /// budgets).
+    pub budgets: Vec<f64>,
+}
+
+/// Exact per-vertex budgets for a warm assignment, summed through the
+/// judge's pairwise [`SlotJudge::contribution`] terms — the reference
+/// implementation of the budget contract [`solve_repair`] consumes.
+/// Backends with a certified hierarchical verifier capture budgets through
+/// it instead (same contract, near-linear instead of quadratic); this
+/// helper is for tests and small universes.
+pub fn capture_budgets(judge: &dyn SlotJudge, colors: &[Option<usize>]) -> Vec<f64> {
+    let n = colors.len();
+    let mut budgets = vec![0.0f64; n];
+    if !judge.additive() {
+        return budgets;
+    }
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for (i, &color) in colors.iter().enumerate() {
+        if let Some(c) = color {
+            if c >= slots.len() {
+                slots.resize(c + 1, Vec::new());
+            }
+            slots[c].push(i);
+        }
+    }
+    for slot in &slots {
+        for &i in slot {
+            budgets[i] = slot.iter().map(|&j| judge.contribution(j, i)).sum();
+        }
+    }
+    budgets
+}
+
+/// Repairs a previous slot assignment after an event batch instead of
+/// recoloring from scratch.
+///
+/// * `prev_colors[i]` is link `i`'s slot in the previous schedule, `None`
+///   for dirty links (inserted, relocated, re-seated — anything whose
+///   conflict neighbourhood changed). Colors need not be contiguous; empty
+///   slots are dropped from the result.
+/// * `prev_budgets[i]` must **upper-bound** the exact affectance total link
+///   `i` sees inside its previous slot (exact values, a certified
+///   hierarchical bound, or `f64::INFINITY` when unknown — conservative
+///   always errs toward eviction/rejection, never toward an infeasible
+///   admission). Entries for dirty links are ignored. Only consulted for
+///   additive judges; pass the previous [`RepairOutcome::budgets`], or
+///   [`capture_budgets`] after a full recolor. Budgets are deliberately
+///   *not* decreased on departures (that would need the departed geometry);
+///   the stored bounds just grow conservative until the drift watermark
+///   forces a re-anchoring recolor.
+/// * `neighbors(i)` must yield `i`'s *current* conflict neighbours (vertex
+///   positions) — e.g. the engine's incrementally maintained adjacency row.
+/// * `check` lists links whose slots must be re-verified even though the
+///   links themselves stay put — typically the dirty links' conflict
+///   neighbours, whose affectance budget may have changed. For additive
+///   judges each checked link's stored budget is compared against the
+///   threshold (O(1) per link); otherwise each checked link's slot gets one
+///   [`SlotJudge::evict`] sweep. Rejected members join the dirty links for
+///   re-placement. Ignored when `config.verify_slots` is off (graph
+///   constraints cannot go stale for links that did not move).
+///
+/// Dirty links go first-fit into the lowest slot passing both the graph
+/// constraint and the judge (a fresh slot at the end otherwise), in
+/// non-increasing length order with ties by link id. For additive judges an
+/// admission probe is O(|slot|) with early exit — the new member's own
+/// budget accumulates while every slotmate's budget is checked against the
+/// threshold with the new contribution added — instead of the O(|slot|²)
+/// whole-slot re-verification the opaque path needs.
+pub fn solve_repair(
+    links: &[Link],
+    neighbors: &dyn Fn(usize) -> Vec<usize>,
+    judge: &dyn SlotJudge,
+    config: &SchedulerConfig,
+    prev_colors: &[Option<usize>],
+    prev_budgets: &[f64],
+    check: &[usize],
+) -> RepairOutcome {
+    let n = links.len();
+    assert_eq!(prev_colors.len(), n, "one previous color per link");
+    assert_eq!(prev_budgets.len(), n, "one previous budget per link");
+    let additive = config.verify_slots && judge.additive();
+    let threshold = judge.threshold();
+
+    let num_colors = prev_colors
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |c| c + 1);
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
+    let mut color_of: Vec<Option<usize>> = prev_colors.to_vec();
+    let mut budgets: Vec<f64> = if additive {
+        prev_budgets.to_vec()
+    } else {
+        vec![0.0; n]
+    };
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, &color) in prev_colors.iter().enumerate() {
+        match color {
+            Some(c) => slots[c].push(i),
+            None => {
+                budgets[i] = 0.0;
+                pending.push(i);
+            }
+        }
+    }
+
+    // Re-verify the checked links; evicted members join the placement list.
+    // Departures are monotone-safe, so only these can be stale.
+    let mut evicted_total = 0usize;
+    if config.verify_slots {
+        let mut checked: Vec<usize> = check.to_vec();
+        checked.sort_unstable();
+        checked.dedup();
+        if additive {
+            // O(1) per checked link: its stored budget is an upper bound,
+            // so within-threshold links are certainly still feasible.
+            for &v in &checked {
+                let Some(c) = color_of[v] else { continue };
+                if budgets[v] > threshold {
+                    let k = slots[c].iter().position(|&m| m == v).expect("colored");
+                    slots[c].remove(k);
+                    color_of[v] = None;
+                    budgets[v] = 0.0;
+                    evicted_total += 1;
+                    pending.push(v);
+                }
+            }
+        } else {
+            let mut stale: Vec<usize> = checked.iter().filter_map(|&i| color_of[i]).collect();
+            stale.sort_unstable();
+            stale.dedup();
+            for c in stale {
+                let (kept, evicted) = judge.evict(&slots[c]);
+                if !evicted.is_empty() {
+                    for &i in &evicted {
+                        color_of[i] = None;
+                    }
+                    evicted_total += evicted.len();
+                    pending.extend(evicted);
+                    slots[c] = kept;
+                }
+            }
+        }
+    }
+    let replaced = pending.len();
+
+    // First-fit placement in non-increasing length order (ties by link id —
+    // the static kernel's split order, for determinism).
+    pending.sort_by(|&a, &b| {
+        links[b]
+            .length()
+            .total_cmp(&links[a].length())
+            .then(links[a].id.cmp(&links[b].id))
+    });
+    // Stamps mark the colors of `i`'s conflict neighbours per placement.
+    let mut mark: Vec<usize> = vec![usize::MAX; slots.len()];
+    let mut candidate: Vec<usize> = Vec::new();
+    let mut added: Vec<f64> = Vec::new();
+    for (step, &i) in pending.iter().enumerate() {
+        for j in neighbors(i) {
+            if let Some(c) = color_of[j] {
+                mark[c] = step;
+            }
+        }
+        let mut placed = None;
+        for (c, slot) in slots.iter().enumerate() {
+            if mark[c] == step {
+                continue;
+            }
+            if additive {
+                // O(|slot|) admission with early exit: every slotmate must
+                // absorb `i`'s contribution, and `i`'s own budget must close
+                // under the threshold.
+                let mut own = 0.0f64;
+                added.clear();
+                let mut ok = true;
+                for &m in slot.iter() {
+                    let on_m = judge.contribution(i, m);
+                    if budgets[m] + on_m > threshold {
+                        ok = false;
+                        break;
+                    }
+                    own += judge.contribution(m, i);
+                    if own > threshold {
+                        ok = false;
+                        break;
+                    }
+                    added.push(on_m);
+                }
+                if !ok {
+                    continue;
+                }
+                for (&m, &on_m) in slot.iter().zip(&added) {
+                    budgets[m] += on_m;
+                }
+                budgets[i] = own;
+            } else if config.verify_slots {
+                candidate.clear();
+                candidate.extend_from_slice(slot);
+                candidate.push(i);
+                if !judge.feasible(&candidate) {
+                    continue;
+                }
+            }
+            placed = Some(c);
+            break;
+        }
+        let c = placed.unwrap_or_else(|| {
+            slots.push(Vec::new());
+            mark.push(usize::MAX);
+            slots.len() - 1
+        });
+        slots[c].push(i);
+        color_of[i] = Some(c);
+    }
+
+    let slots: Vec<Vec<usize>> = slots.into_iter().filter(|s| !s.is_empty()).collect();
+    let diversity = link_diversity(links).unwrap_or(1.0);
+    let report = ScheduleReport {
+        verified_slots: slots.len(),
+        coloring_slots: slots.len(),
+        schedule: Schedule::new(slots),
+        diversity,
+        log_star_diversity: log_star(diversity),
+        log_log_diversity: log_log2(diversity),
+        mode: config.mode,
+        num_links: n,
+    };
+    RepairOutcome {
+        report,
+        replaced,
+        evicted: evicted_total,
+        budgets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_mode::PowerMode;
+    use crate::scheduler::solve_static;
+    use wagg_conflict::ConflictGraph;
+    use wagg_geometry::Point;
+    use wagg_sinr::Link;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Link> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 * spacing;
+                Link::new(i, Point::new(x, 0.0), Point::new(x + 1.0, 0.0))
+            })
+            .collect()
+    }
+
+    fn harness(
+        links: &[Link],
+        config: SchedulerConfig,
+    ) -> (ConflictGraph, Option<PathLossCache<'_>>) {
+        let graph =
+            ConflictGraph::build(links, config.mode.conflict_relation(config.model.alpha()));
+        let cache = config
+            .mode
+            .assignment()
+            .map(|a| PathLossCache::new(&config.model, links, &a));
+        (graph, cache)
+    }
+
+    fn colors_of(report: &ScheduleReport, n: usize) -> Vec<Option<usize>> {
+        let mut colors = vec![None; n];
+        for (t, slot) in report.schedule.slots().iter().enumerate() {
+            for &i in slot {
+                colors[i] = Some(t);
+            }
+        }
+        colors
+    }
+
+    #[test]
+    fn no_dirt_reproduces_the_previous_schedule() {
+        let links = chain(24, 5.0);
+        let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+        let full = solve_static(&links, config);
+        let prev = colors_of(&full, links.len());
+        let (graph, cache) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, cache.as_ref());
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &capture_budgets(&judge, &prev),
+            &[],
+        );
+        assert_eq!(outcome.replaced, 0);
+        assert_eq!(outcome.evicted, 0);
+        assert_eq!(outcome.report.schedule, full.schedule);
+    }
+
+    #[test]
+    fn dirty_links_are_replaced_feasibly() {
+        // A dense cluster plus far-away links: dirtying one cluster link must
+        // re-place it without breaking feasibility anywhere.
+        let mut links = chain(20, 40.0);
+        links.push(Link::new(20, Point::new(0.3, 0.4), Point::new(1.3, 0.4)));
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::mean_oblivious(),
+            PowerMode::GlobalControl,
+        ] {
+            let config = SchedulerConfig::new(mode);
+            let full = solve_static(&links, config);
+            let mut prev = colors_of(&full, links.len());
+            prev[20] = None;
+            let dirty_neighbors: Vec<usize> = {
+                let (graph, _) = harness(&links, config);
+                graph.neighbors(20).to_vec()
+            };
+            let (graph, cache) = harness(&links, config);
+            let judge = CacheJudge::new(&links, config, cache.as_ref());
+            let outcome = solve_repair(
+                &links,
+                &|i| graph.neighbors(i).to_vec(),
+                &judge,
+                &config,
+                &prev,
+                &capture_budgets(&judge, &prev),
+                &dirty_neighbors,
+            );
+            assert!(outcome.replaced >= 1, "{mode}");
+            assert!(outcome.report.schedule.is_partition(links.len()), "{mode}");
+            assert!(
+                outcome.report.schedule.verify(&links, &config.model, mode),
+                "{mode}: repaired schedule must stay feasible"
+            );
+        }
+    }
+
+    #[test]
+    fn check_sweep_evicts_infeasible_members() {
+        // Two well-separated links share a slot; teleport one on top of the
+        // other (stale geometry) — the check sweep must evict the survivor's
+        // now-infeasible slotmate rather than trust the stale assignment.
+        let config = SchedulerConfig::new(PowerMode::Uniform);
+        let links = vec![
+            Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Link::new(1, Point::new(0.9, 0.05), Point::new(1.9, 0.05)),
+            Link::new(2, Point::new(200.0, 0.0), Point::new(201.0, 0.0)),
+        ];
+        // Stale previous coloring: 0 and 1 share slot 0 (infeasible at the
+        // current geometry), 2 sits alone in slot 1.
+        let prev = vec![Some(0), Some(0), Some(1)];
+        let (graph, cache) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, cache.as_ref());
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &capture_budgets(&judge, &prev),
+            &[0],
+        );
+        assert!(outcome.evicted >= 1, "the stale slot must shed a member");
+        assert_eq!(outcome.replaced, outcome.evicted);
+        assert!(outcome.report.schedule.is_partition(links.len()));
+        assert!(outcome
+            .report
+            .schedule
+            .verify(&links, &config.model, PowerMode::Uniform));
+    }
+
+    #[test]
+    fn empty_slots_are_dropped_and_colors_compacted() {
+        let links = chain(3, 100.0);
+        let config = SchedulerConfig::new(PowerMode::Uniform);
+        // Previous schedule wastefully used colors 0, 5 and 9.
+        let prev = vec![Some(0), Some(5), Some(9)];
+        let (graph, cache) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, cache.as_ref());
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &capture_budgets(&judge, &prev),
+            &[],
+        );
+        assert_eq!(outcome.report.schedule.len(), 3);
+        assert!(outcome.report.schedule.is_partition(3));
+    }
+
+    #[test]
+    fn verification_disabled_places_by_graph_alone() {
+        let links = chain(12, 1.2);
+        let config = SchedulerConfig::new(PowerMode::Uniform).with_verification(false);
+        let full = solve_static(&links, config);
+        let mut prev = colors_of(&full, links.len());
+        prev[7] = None;
+        let (graph, _) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, None);
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &capture_budgets(&judge, &prev),
+            &[],
+        );
+        assert_eq!(outcome.replaced, 1);
+        assert!(outcome.report.schedule.is_partition(links.len()));
+        // Proper coloring: no slot holds two conflicting links.
+        for slot in outcome.report.schedule.slots() {
+            for (a, &i) in slot.iter().enumerate() {
+                for &j in &slot[a + 1..] {
+                    assert!(!graph.neighbors(i).contains(&j), "{i} and {j} conflict");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_links_land_in_singletons() {
+        let mut links = chain(4, 50.0);
+        links.push(Link::new(4, Point::new(10.0, 10.0), Point::new(10.0, 10.0)));
+        let config = SchedulerConfig::new(PowerMode::Uniform);
+        let prev = vec![Some(0), Some(0), Some(0), Some(0), None];
+        let (graph, cache) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, cache.as_ref());
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &capture_budgets(&judge, &prev),
+            &[],
+        );
+        assert!(outcome.report.schedule.is_partition(links.len()));
+        let slot_of_degenerate = outcome
+            .report
+            .schedule
+            .slots()
+            .iter()
+            .find(|s| s.contains(&4))
+            .unwrap();
+        assert_eq!(slot_of_degenerate.len(), 1);
+    }
+
+    #[test]
+    fn decision_tokens_round_trip() {
+        for d in [
+            RepairDecision::Repaired,
+            RepairDecision::ColdStart,
+            RepairDecision::WatermarkBreach,
+            RepairDecision::Unsupported,
+        ] {
+            assert_eq!(RepairDecision::parse_token(d.token()), Ok(d));
+            assert_eq!(d.to_string(), d.token());
+        }
+        assert!(RepairDecision::parse_token("quantum").is_err());
+    }
+}

@@ -25,6 +25,7 @@
 //! implemented here and unit-tested against itself).
 
 use crate::power_mode::PowerMode;
+use crate::repair::{RepairDecision, RepairStats};
 use crate::schedule::Schedule;
 use crate::scheduler::ScheduleReport;
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,9 @@ pub struct SolveReport {
     /// Sharded-pipeline accounting; `None` unless `backend` is
     /// [`BackendKind::Sharded`].
     pub sharding: Option<ShardingStats>,
+    /// Warm-start repair accounting; `None` unless the solve ran through a
+    /// repair-enabled session (see [`RepairStats`]).
+    pub repair: Option<RepairStats>,
 }
 
 impl SolveReport {
@@ -92,7 +96,15 @@ impl SolveReport {
             report,
             backend,
             sharding: None,
+            repair: None,
         }
+    }
+
+    /// Attaches warm-start repair accounting (builder-style, used by the
+    /// repair-enabled session backends).
+    pub fn with_repair(mut self, repair: RepairStats) -> Self {
+        self.repair = Some(repair);
+        self
     }
 
     /// The schedule itself.
@@ -140,6 +152,12 @@ impl SolveReport {
                 s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
             ));
         }
+        if let Some(r) = &self.repair {
+            line.push_str(&format!(
+                "; repair {}, dirty {}, replaced {}, drift {:.3} (watermark {:.3})",
+                r.decision, r.dirty_links, r.replaced_links, r.drift, r.watermark
+            ));
+        }
         line
     }
 
@@ -168,6 +186,19 @@ impl SolveReport {
                 ",\"sharding\":{{\"shards\":{},\"radius\":{},\"boundary_links\":{},\
                  \"repaired_links\":{},\"evicted_links\":{}}}",
                 s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
+            )),
+        }
+        match &self.repair {
+            None => out.push_str(",\"repair\":null"),
+            Some(r) => out.push_str(&format!(
+                ",\"repair\":{{\"decision\":\"{}\",\"dirty_links\":{},\"replaced_links\":{},\
+                 \"baseline_slots\":{},\"drift\":{},\"watermark\":{}}}",
+                r.decision.token(),
+                r.dirty_links,
+                r.replaced_links,
+                r.baseline_slots,
+                r.drift,
+                r.watermark
             )),
         }
         out.push_str(",\"slots\":[");
@@ -207,6 +238,9 @@ impl SolveReport {
         let mut log_star_diversity: Option<u32> = None;
         let mut log_log_diversity: Option<f64> = None;
         let mut sharding: Option<Option<ShardingStats>> = None;
+        // Pre-repair documents have no "repair" key; default to `None`
+        // instead of rejecting them so archived reports stay parseable.
+        let mut repair: Option<RepairStats> = None;
         let mut slots: Option<Vec<Vec<usize>>> = None;
         loop {
             let key = p.string()?;
@@ -228,6 +262,7 @@ impl SolveReport {
                 "log_star_diversity" => log_star_diversity = Some(p.integer()? as u32),
                 "log_log_diversity" => log_log_diversity = Some(p.number()?),
                 "sharding" => sharding = Some(p.sharding()?),
+                "repair" => repair = p.repair()?,
                 "slots" => slots = Some(p.slots()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -250,6 +285,7 @@ impl SolveReport {
             report,
             backend: backend.ok_or("missing backend")?,
             sharding: sharding.ok_or("missing sharding")?,
+            repair,
         })
     }
 }
@@ -418,6 +454,43 @@ impl<'a> Parser<'a> {
         Ok(Some(stats))
     }
 
+    fn repair(&mut self) -> Result<Option<RepairStats>, String> {
+        if self.peek()? == b'n' {
+            // `null`
+            if self.bytes[self.pos..].starts_with(b"null") {
+                self.pos += 4;
+                return Ok(None);
+            }
+            return Err(format!("expected null at byte {}", self.pos));
+        }
+        self.expect('{')?;
+        let mut stats = RepairStats {
+            decision: RepairDecision::Unsupported,
+            dirty_links: 0,
+            replaced_links: 0,
+            baseline_slots: 0,
+            drift: 0.0,
+            watermark: 0.0,
+        };
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "decision" => stats.decision = RepairDecision::parse_token(&self.string()?)?,
+                "dirty_links" => stats.dirty_links = self.integer()?,
+                "replaced_links" => stats.replaced_links = self.integer()?,
+                "baseline_slots" => stats.baseline_slots = self.integer()?,
+                "drift" => stats.drift = self.number()?,
+                "watermark" => stats.watermark = self.number()?,
+                other => return Err(format!("unknown repair key {other:?}")),
+            }
+            if !self.comma_or_end('}')? {
+                break;
+            }
+        }
+        Ok(Some(stats))
+    }
+
     fn slots(&mut self) -> Result<Vec<Vec<usize>>, String> {
         self.expect('[')?;
         let mut slots = Vec::new();
@@ -495,11 +568,30 @@ mod tests {
                 repaired_links: 1,
                 evicted_links: 0,
             }),
+            repair: None,
         };
         let line = sharded.summary();
         assert!(line.starts_with("[sharded]"), "{line}");
         assert!(line.contains("shards 4"), "{line}");
         assert!(line.contains("radius 12.5"), "{line}");
+    }
+
+    #[test]
+    fn summary_appends_repair_accounting_when_present() {
+        let report = solve_static(&sample_links(), SchedulerConfig::default());
+        let solve = SolveReport::new(report, BackendKind::Engine).with_repair(RepairStats {
+            decision: RepairDecision::Repaired,
+            dirty_links: 3,
+            replaced_links: 5,
+            baseline_slots: 7,
+            drift: 0.142857,
+            watermark: 0.25,
+        });
+        let line = solve.summary();
+        assert!(line.contains("repair repaired"), "{line}");
+        assert!(line.contains("dirty 3"), "{line}");
+        assert!(line.contains("replaced 5"), "{line}");
+        assert!(line.contains("drift 0.143 (watermark 0.250)"), "{line}");
     }
 
     #[test]
@@ -515,6 +607,22 @@ mod tests {
             for solve in [
                 SolveReport::new(report.clone(), BackendKind::Static),
                 SolveReport::new(report.clone(), BackendKind::Engine),
+                SolveReport::new(report.clone(), BackendKind::Engine).with_repair(RepairStats {
+                    decision: RepairDecision::Repaired,
+                    dirty_links: 2,
+                    replaced_links: 4,
+                    baseline_slots: 6,
+                    drift: 0.125,
+                    watermark: 0.25,
+                }),
+                SolveReport::new(report.clone(), BackendKind::Static).with_repair(RepairStats {
+                    decision: RepairDecision::Unsupported,
+                    dirty_links: 0,
+                    replaced_links: report.num_links,
+                    baseline_slots: report.schedule.len(),
+                    drift: 0.0,
+                    watermark: 0.25,
+                }),
                 SolveReport {
                     report: report.clone(),
                     backend: BackendKind::Sharded,
@@ -524,6 +632,14 @@ mod tests {
                         boundary_links: 7,
                         repaired_links: 2,
                         evicted_links: 1,
+                    }),
+                    repair: Some(RepairStats {
+                        decision: RepairDecision::WatermarkBreach,
+                        dirty_links: 9,
+                        replaced_links: report.num_links,
+                        baseline_slots: report.schedule.len(),
+                        drift: 0.5,
+                        watermark: 0.25,
                     }),
                 },
             ] {
@@ -550,5 +666,17 @@ mod tests {
         let good =
             SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default())).to_json();
         assert!(SolveReport::from_json(&good[..good.len() - 1]).is_err());
+        let bad_repair = good.replace("\"repair\":null", "\"repair\":{\"decision\":\"quantum\"}");
+        assert!(SolveReport::from_json(&bad_repair).is_err());
+    }
+
+    #[test]
+    fn pre_repair_documents_still_parse() {
+        // Reports archived before the repair field existed carry no
+        // "repair" key; they must keep parsing (as `repair: None`).
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()));
+        let legacy = solve.to_json().replace(",\"repair\":null", "");
+        let back = SolveReport::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(back, solve);
     }
 }

@@ -227,7 +227,7 @@ fn fixed_probe_cache<'a>(links: &'a [Link], config: &SchedulerConfig) -> Option<
 /// the shared `cache` when one is available (identical verdict to
 /// [`PowerMode::slot_feasible`] on the materialised subset — see
 /// [`PathLossCache::subset_feasible`]) and materialising the subset otherwise.
-fn slot_ok(
+pub(crate) fn slot_ok(
     links: &[Link],
     members: &[usize],
     config: &SchedulerConfig,

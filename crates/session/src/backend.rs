@@ -17,13 +17,18 @@
 //!   routing events through a [`PartitionedEngine`] whose per-shard state is
 //!   maintained incrementally.
 
-use crate::{SessionError, SessionStats};
-use std::collections::BTreeMap;
+use crate::{RepairPolicy, SessionError, SessionStats};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wagg_engine::{EngineConfig, InterferenceEngine};
 use wagg_geometry::Point;
-use wagg_partition::{solve_sharded, PartitionedEngine, PartitionedEngineConfig, VerifierStrategy};
-use wagg_schedule::{solve_static, BackendKind, SchedulerConfig, SolveReport};
-use wagg_sinr::{Link, LinkId, NodeId};
+use wagg_partition::{
+    solve_sharded, AffectanceVerifier, PartitionedEngine, PartitionedEngineConfig, VerifierStrategy,
+};
+use wagg_schedule::{
+    solve_static, BackendKind, CacheJudge, RepairDecision, RepairStats, ScheduleReport,
+    SchedulerConfig, SolveReport,
+};
+use wagg_sinr::{Link, LinkId, NodeId, PathLossCache};
 
 /// One execution strategy behind the [`Session`](crate::Session) facade: a
 /// mutable link universe plus a way to schedule it.
@@ -97,11 +102,94 @@ pub trait SchedulerBackend: std::fmt::Debug {
     /// recoverable events).
     fn move_node(&mut self, node: usize, to: Point) -> usize;
 
-    /// Schedules the current universe.
-    fn solve(&self) -> SolveReport;
+    /// Schedules the current universe from scratch.
+    fn solve(&mut self) -> SolveReport;
+
+    /// Schedules the current universe by warm-start repair (see
+    /// [`wagg_schedule::solve_repair`]): keep the previous assignment, re-place
+    /// only the links the event batch dirtied, fall back to a full recolor when
+    /// the schedule length drifts past `policy.max_drift`. Returns `None` when
+    /// this backend maintains no incremental state to repair from (the session
+    /// then runs [`SchedulerBackend::solve`] and tags
+    /// [`RepairDecision::Unsupported`]).
+    fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
+        let _ = policy;
+        None
+    }
 
     /// Event accounting for this backend.
     fn stats(&self) -> SessionStats;
+}
+
+/// Warm-start state a repair-capable backend carries between solves: the last
+/// committed assignment (keyed by session key — positions shift as the
+/// universe churns, keys never do) and the from-scratch baseline the drift
+/// watermark is measured against.
+#[derive(Debug)]
+struct WarmSchedule {
+    /// Session key → slot index in the last committed schedule.
+    colors: HashMap<u64, usize>,
+    /// Session key → upper bound on the link's affectance total inside its
+    /// slot (the additive-repair budget contract of
+    /// `wagg_schedule::solve_repair`). Zero-filled when the config has no
+    /// additive kernel (noise, global power control) — the opaque probe
+    /// path never reads them.
+    budgets: HashMap<u64, f64>,
+    /// Schedule length of the last full recolor.
+    baseline_slots: usize,
+}
+
+impl WarmSchedule {
+    /// Captures `schedule`'s assignment, with vertex position `i` owned by
+    /// session key `key_at(i)` and carrying warm budget `budgets[i]`.
+    fn capture(
+        report: &ScheduleReport,
+        key_at: impl Fn(usize) -> u64,
+        baseline: usize,
+        budgets: &[f64],
+    ) -> Self {
+        let mut colors = HashMap::with_capacity(report.num_links);
+        let mut warm_budgets = HashMap::with_capacity(report.num_links);
+        for (t, slot) in report.schedule.slots().iter().enumerate() {
+            for &i in slot {
+                let key = key_at(i);
+                colors.insert(key, t);
+                warm_budgets.insert(key, budgets[i]);
+            }
+        }
+        WarmSchedule {
+            colors,
+            budgets: warm_budgets,
+            baseline_slots: baseline,
+        }
+    }
+}
+
+/// Per-vertex warm budgets for a freshly recolored schedule, captured
+/// through the certified hierarchical verifier (near-linear per slot —
+/// certified upper bounds are exactly what the additive repair contract
+/// wants, and on a just-verified schedule every budget lands within `1/β`).
+fn recolor_budgets(
+    config: &SchedulerConfig,
+    links: &[Link],
+    powers: &[Option<f64>],
+    weights: &[Option<f64>],
+    schedule: &wagg_schedule::Schedule,
+) -> Vec<f64> {
+    let verifier = AffectanceVerifier::new(&config.model, links, powers, weights);
+    let mut budgets = vec![0.0f64; links.len()];
+    for slot in schedule.slots() {
+        for (&i, b) in slot.iter().zip(verifier.budgets(slot)) {
+            budgets[i] = b;
+        }
+    }
+    budgets
+}
+
+/// Relative schedule-length drift vs. the baseline, finite even for an empty
+/// baseline (so it survives the report codec).
+fn drift_vs(slots: usize, baseline: usize) -> f64 {
+    (slots as f64 - baseline as f64) / baseline.max(1) as f64
 }
 
 /// Re-assigns contiguous ids in iteration (= ascending key) order.
@@ -248,7 +336,7 @@ impl SchedulerBackend for StaticBackend {
         touched
     }
 
-    fn solve(&self) -> SolveReport {
+    fn solve(&mut self) -> SolveReport {
         solve_static(&self.links(), self.scheduler).into()
     }
 
@@ -272,7 +360,14 @@ pub struct EngineBackend {
     engine: InterferenceEngine,
     /// Session key → engine slot (slots recycle, keys never do).
     slot_of: BTreeMap<u64, usize>,
+    /// Engine slot → session key (the inverse of `slot_of`, for mapping the
+    /// engine's vertex order back to stable keys).
+    key_of: HashMap<usize, u64>,
     next_key: u64,
+    /// Keys dirtied (inserted / relocated / re-seated) since the last
+    /// repair-committed schedule.
+    dirty: BTreeSet<u64>,
+    warm: Option<WarmSchedule>,
 }
 
 impl EngineBackend {
@@ -281,7 +376,10 @@ impl EngineBackend {
         EngineBackend {
             engine: InterferenceEngine::new(config),
             slot_of: BTreeMap::new(),
+            key_of: HashMap::new(),
             next_key: 0,
+            dirty: BTreeSet::new(),
+            warm: None,
         }
     }
 
@@ -290,14 +388,60 @@ impl EngineBackend {
         let engine = InterferenceEngine::with_links(config, links);
         EngineBackend {
             slot_of: (0..links.len()).map(|i| (i as u64, i)).collect(),
+            key_of: (0..links.len()).map(|i| (i, i as u64)).collect(),
             next_key: links.len() as u64,
             engine,
+            dirty: BTreeSet::new(),
+            warm: None,
         }
     }
 
     /// The maintained engine (adjacency queries, maintenance counters).
     pub fn engine(&self) -> &InterferenceEngine {
         &self.engine
+    }
+
+    /// Recolors from scratch, re-anchors the warm baseline and wraps the
+    /// result with repair provenance (`dirty_links` / `drift` describe the
+    /// state that led here — zero for a cold start, the breaching
+    /// measurement on a watermark fallback).
+    fn full_recolor(
+        &mut self,
+        decision: RepairDecision,
+        policy: &RepairPolicy,
+        dirty_links: usize,
+        drift: f64,
+    ) -> SolveReport {
+        let report = self.engine.schedule();
+        let live = self.engine.live_slots();
+        let slots = report.schedule.len();
+        let config = self.engine.config().scheduler;
+        let budgets = if config.verify_slots
+            && config.model.noise() == 0.0
+            && config.mode.assignment().as_ref() == Some(&self.engine.config().power)
+        {
+            let links = self.engine.links();
+            let (powers, weights) = self.engine.cache_parts();
+            recolor_budgets(&config, &links, &powers, &weights, &report.schedule)
+        } else {
+            vec![0.0; report.num_links]
+        };
+        self.warm = Some(WarmSchedule::capture(
+            &report,
+            |i| self.key_of[&live[i]],
+            slots,
+            &budgets,
+        ));
+        self.dirty.clear();
+        let replaced = report.num_links;
+        SolveReport::new(report, BackendKind::Engine).with_repair(RepairStats {
+            decision,
+            dirty_links,
+            replaced_links: replaced,
+            baseline_slots: slots,
+            drift,
+            watermark: policy.max_drift,
+        })
     }
 }
 
@@ -330,6 +474,8 @@ impl SchedulerBackend for EngineBackend {
         let key = self.next_key;
         self.next_key += 1;
         self.slot_of.insert(key, slot);
+        self.key_of.insert(slot, key);
+        self.dirty.insert(key);
         key
     }
 
@@ -338,10 +484,15 @@ impl SchedulerBackend for EngineBackend {
             .slot_of
             .remove(&key)
             .ok_or(SessionError::UnknownKey { key })?;
-        self.engine
-            .remove_link(slot)
-            .map(|_| ())
-            .map_err(Into::into)
+        self.engine.remove_link(slot)?;
+        self.key_of.remove(&slot);
+        // Departures are monotone-safe: the survivors of the vacated slot
+        // stay feasible, so nothing else needs dirtying.
+        self.dirty.remove(&key);
+        if let Some(warm) = &mut self.warm {
+            warm.colors.remove(&key);
+        }
+        Ok(())
     }
 
     fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError> {
@@ -350,21 +501,129 @@ impl SchedulerBackend for EngineBackend {
             .get(&key)
             .ok_or(SessionError::UnknownKey { key })?;
         let old = self.engine.remove_link(slot)?;
+        self.key_of.remove(&slot);
         let slot = match (old.sender_node, old.receiver_node) {
             (Some(s), Some(r)) => self.engine.insert_link_with_nodes(sender, receiver, s, r),
             _ => self.engine.insert_link(sender, receiver),
         };
         self.slot_of.insert(key, slot);
+        self.key_of.insert(slot, key);
+        self.dirty.insert(key);
         Ok(())
     }
 
     fn move_node(&mut self, node: usize, to: Point) -> usize {
-        // Links are re-seated in their own slots, so the key binding holds.
+        // Links are re-seated in their own slots, so the key binding holds —
+        // but their geometry changed, so they must be re-placed.
+        for slot in self.engine.node_slots(node) {
+            self.dirty.insert(self.key_of[&slot]);
+        }
         self.engine.move_node(node, to)
     }
 
-    fn solve(&self) -> SolveReport {
+    fn solve(&mut self) -> SolveReport {
         SolveReport::new(self.engine.schedule(), BackendKind::Engine)
+    }
+
+    fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
+        let dirty_links = self.dirty.len();
+        let Some(warm) = &self.warm else {
+            return Some(self.full_recolor(RepairDecision::ColdStart, policy, dirty_links, 0.0));
+        };
+        let baseline = warm.baseline_slots;
+        let live = self.engine.live_slots();
+        let links = self.engine.links();
+        // Engine slot → vertex position in `links` (the schedule's universe).
+        let mut pos_of = vec![usize::MAX; live.last().map_or(0, |&s| s + 1)];
+        for (pos, &slot) in live.iter().enumerate() {
+            pos_of[slot] = pos;
+        }
+        let prev: Vec<Option<usize>> = live
+            .iter()
+            .map(|slot| {
+                let key = self.key_of[slot];
+                if self.dirty.contains(&key) {
+                    None
+                } else {
+                    warm.colors.get(&key).copied()
+                }
+            })
+            .collect();
+        // A missing budget (unreachable for a committed warm link) reads as
+        // infinite — conservative, it only forces a re-placement.
+        let prev_budgets: Vec<f64> = live
+            .iter()
+            .map(|slot| {
+                warm.budgets
+                    .get(&self.key_of[slot])
+                    .copied()
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect();
+        // Slots of the dirty links' conflict neighbours get one re-verify
+        // sweep (their affectance budget is what the events perturbed).
+        let mut check: Vec<usize> = self
+            .dirty
+            .iter()
+            .filter_map(|key| self.slot_of.get(key))
+            .flat_map(|&slot| self.engine.neighbors(slot))
+            .map(|w| pos_of[w])
+            .collect();
+        check.sort_unstable();
+        check.dedup();
+
+        let config = self.engine.config().scheduler;
+        let outcome = {
+            let lend_cache = config.model.noise() == 0.0
+                && config.mode.assignment().as_ref() == Some(&self.engine.config().power);
+            let cache = lend_cache.then(|| {
+                let (powers, weights) = self.engine.cache_parts();
+                PathLossCache::from_parts(&config.model, &links, powers, weights)
+            });
+            let judge = CacheJudge::new(&links, config, cache.as_ref());
+            let neighbors = |i: usize| -> Vec<usize> {
+                self.engine
+                    .neighbors(live[i])
+                    .into_iter()
+                    .map(|w| pos_of[w])
+                    .collect()
+            };
+            wagg_schedule::solve_repair(
+                &links,
+                &neighbors,
+                &judge,
+                &config,
+                &prev,
+                &prev_budgets,
+                &check,
+            )
+        };
+        let drift = drift_vs(outcome.report.schedule.len(), baseline);
+        if drift > policy.max_drift {
+            return Some(self.full_recolor(
+                RepairDecision::WatermarkBreach,
+                policy,
+                dirty_links,
+                drift,
+            ));
+        }
+        self.warm = Some(WarmSchedule::capture(
+            &outcome.report,
+            |i| self.key_of[&live[i]],
+            baseline,
+            &outcome.budgets,
+        ));
+        self.dirty.clear();
+        Some(
+            SolveReport::new(outcome.report, BackendKind::Engine).with_repair(RepairStats {
+                decision: RepairDecision::Repaired,
+                dirty_links,
+                replaced_links: outcome.replaced,
+                baseline_slots: baseline,
+                drift,
+                watermark: policy.max_drift,
+            }),
+        )
     }
 
     fn stats(&self) -> SessionStats {
@@ -407,6 +666,10 @@ pub struct ShardedBackend {
     inserts: usize,
     removals: usize,
     moves: usize,
+    /// Keys dirtied since the last repair-committed schedule (hinted engine
+    /// mode only — rebuild mode has no incremental state to repair).
+    dirty: BTreeSet<u64>,
+    warm: Option<WarmSchedule>,
 }
 
 impl ShardedBackend {
@@ -428,6 +691,8 @@ impl ShardedBackend {
             inserts: 0,
             removals: 0,
             moves: 0,
+            dirty: BTreeSet::new(),
+            warm: None,
         }
     }
 
@@ -447,6 +712,8 @@ impl ShardedBackend {
             inserts: 0,
             removals: 0,
             moves: 0,
+            dirty: BTreeSet::new(),
+            warm: None,
         }
     }
 
@@ -465,6 +732,62 @@ impl ShardedBackend {
             self.insert(link.sender, link.receiver, nodes);
         }
         self
+    }
+
+    /// Runs the full hinted-engine pipeline, re-anchors the warm baseline and
+    /// wraps the result with repair provenance. Only called in engine mode.
+    fn full_recolor_hinted(
+        &mut self,
+        decision: RepairDecision,
+        policy: &RepairPolicy,
+        dirty_links: usize,
+        drift: f64,
+    ) -> SolveReport {
+        let (solve, keys, links): (SolveReport, Vec<u64>, Vec<Link>) = match &self.inner {
+            ShardedInner::Engine { engine, mirror } => (
+                engine.schedule().into(),
+                mirror.keys().copied().collect(),
+                mirror
+                    .values()
+                    .enumerate()
+                    .map(|(pos, (_, link))| {
+                        let mut l = *link;
+                        l.id = LinkId(pos);
+                        l
+                    })
+                    .collect(),
+            ),
+            ShardedInner::Rebuild { .. } => unreachable!("hinted repair requires engine mode"),
+        };
+        let slots = solve.report.schedule.len();
+        let config = self.scheduler;
+        let budgets = match (config.model.noise() == 0.0)
+            .then(|| config.mode.assignment())
+            .flatten()
+        {
+            Some(assignment) if config.verify_slots => {
+                let (powers, weights) =
+                    PathLossCache::new(&config.model, &links, &assignment).into_parts();
+                recolor_budgets(&config, &links, &powers, &weights, &solve.report.schedule)
+            }
+            _ => vec![0.0; solve.report.num_links],
+        };
+        self.warm = Some(WarmSchedule::capture(
+            &solve.report,
+            |i| keys[i],
+            slots,
+            &budgets,
+        ));
+        self.dirty.clear();
+        let replaced = solve.report.num_links;
+        solve.with_repair(RepairStats {
+            decision,
+            dirty_links,
+            replaced_links: replaced,
+            baseline_slots: slots,
+            drift,
+            watermark: policy.max_drift,
+        })
     }
 }
 
@@ -516,6 +839,7 @@ impl SchedulerBackend for ShardedBackend {
             ShardedInner::Engine { engine, mirror } => {
                 let ekey = engine.insert_link(sender, receiver);
                 mirror.insert(key, (ekey, link));
+                self.dirty.insert(key);
             }
         }
         self.inserts += 1;
@@ -532,6 +856,11 @@ impl SchedulerBackend for ShardedBackend {
                     .remove(&key)
                     .ok_or(SessionError::UnknownKey { key })?;
                 engine.remove_link(ekey)?;
+                // Departures are monotone-safe; drop every trace of the key.
+                self.dirty.remove(&key);
+                if let Some(warm) = &mut self.warm {
+                    warm.colors.remove(&key);
+                }
             }
         }
         self.removals += 1;
@@ -554,6 +883,7 @@ impl SchedulerBackend for ShardedBackend {
                 moved.sender_node = old.sender_node;
                 moved.receiver_node = old.receiver_node;
                 mirror.insert(key, (ekey, moved));
+                self.dirty.insert(key);
             }
         }
         self.moves += 1;
@@ -591,6 +921,7 @@ impl SchedulerBackend for ShardedBackend {
                     moved.sender_node = old.sender_node;
                     moved.receiver_node = old.receiver_node;
                     mirror.insert(key, (ekey, moved));
+                    self.dirty.insert(key);
                 }
                 touched.len()
             }
@@ -599,7 +930,7 @@ impl SchedulerBackend for ShardedBackend {
         touched
     }
 
-    fn solve(&self) -> SolveReport {
+    fn solve(&mut self) -> SolveReport {
         match &self.inner {
             ShardedInner::Rebuild { .. } => solve_sharded(
                 &self.links(),
@@ -610,6 +941,154 @@ impl SchedulerBackend for ShardedBackend {
             .into(),
             ShardedInner::Engine { engine, .. } => engine.schedule().into(),
         }
+    }
+
+    fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
+        // Rebuild mode re-tiles per solve — no stable state to repair.
+        if matches!(self.inner, ShardedInner::Rebuild { .. }) {
+            return None;
+        }
+        let dirty_links = self.dirty.len();
+        let Some(warm) = &self.warm else {
+            return Some(self.full_recolor_hinted(
+                RepairDecision::ColdStart,
+                policy,
+                dirty_links,
+                0.0,
+            ));
+        };
+        let baseline = warm.baseline_slots;
+        let config = self.scheduler;
+        let (outcome, shards, radius, boundary) = {
+            let ShardedInner::Engine { engine, mirror } = &self.inner else {
+                unreachable!("rebuild mode handled above");
+            };
+            // Mirror iteration is ascending session-key order == ascending
+            // engine-key order (both minted monotonically), so position i in
+            // `links` holds session key `skeys[i]` / engine key `ekeys[i]`.
+            let skeys: Vec<u64> = mirror.keys().copied().collect();
+            let ekeys: Vec<u64> = mirror.values().map(|(ekey, _)| *ekey).collect();
+            let links: Vec<Link> = mirror
+                .values()
+                .enumerate()
+                .map(|(pos, (_, link))| {
+                    let mut l = *link;
+                    l.id = LinkId(pos);
+                    l
+                })
+                .collect();
+            let prev: Vec<Option<usize>> = skeys
+                .iter()
+                .map(|key| {
+                    if self.dirty.contains(key) {
+                        None
+                    } else {
+                        warm.colors.get(key).copied()
+                    }
+                })
+                .collect();
+            // A missing budget (unreachable for a committed warm link) reads
+            // as infinite — conservative, it only forces a re-placement.
+            let prev_budgets: Vec<f64> = skeys
+                .iter()
+                .map(|key| warm.budgets.get(key).copied().unwrap_or(f64::INFINITY))
+                .collect();
+            let neighbors = |i: usize| -> Vec<usize> {
+                engine
+                    .neighbor_keys(ekeys[i])
+                    .expect("mirrored engine key is live")
+                    .into_iter()
+                    .map(|ekey| ekeys.binary_search(&ekey).expect("live neighbour"))
+                    .collect()
+            };
+            let mut check: Vec<usize> = self
+                .dirty
+                .iter()
+                .filter_map(|key| skeys.binary_search(key).ok())
+                .flat_map(&neighbors)
+                .collect();
+            check.sort_unstable();
+            check.dedup();
+            // Judge through the certified verifier (hierarchical far-field
+            // aggregation) when the mode pins a power assignment under a
+            // noise-free model — the exact judge the stitched pipeline's
+            // verification pass uses; otherwise the kernel's slot probes.
+            let parts = (config.model.noise() == 0.0)
+                .then(|| config.mode.assignment())
+                .flatten()
+                .map(|a| PathLossCache::new(&config.model, &links, &a).into_parts());
+            let out = match &parts {
+                Some((powers, weights)) => {
+                    let judge = AffectanceVerifier::new(&config.model, &links, powers, weights)
+                        .with_strategy(self.strategy);
+                    wagg_schedule::solve_repair(
+                        &links,
+                        &neighbors,
+                        &judge,
+                        &config,
+                        &prev,
+                        &prev_budgets,
+                        &check,
+                    )
+                }
+                None => {
+                    let judge = CacheJudge::new(&links, config, None);
+                    wagg_schedule::solve_repair(
+                        &links,
+                        &neighbors,
+                        &judge,
+                        &config,
+                        &prev,
+                        &prev_budgets,
+                        &check,
+                    )
+                }
+            };
+            (
+                out,
+                engine.shard_count(),
+                engine.radius(),
+                engine.boundary_link_count(),
+            )
+        };
+        let drift = drift_vs(outcome.report.schedule.len(), baseline);
+        if drift > policy.max_drift {
+            return Some(self.full_recolor_hinted(
+                RepairDecision::WatermarkBreach,
+                policy,
+                dirty_links,
+                drift,
+            ));
+        }
+        let keys: Vec<u64> = match &self.inner {
+            ShardedInner::Engine { mirror, .. } => mirror.keys().copied().collect(),
+            ShardedInner::Rebuild { .. } => unreachable!(),
+        };
+        self.warm = Some(WarmSchedule::capture(
+            &outcome.report,
+            |i| keys[i],
+            baseline,
+            &outcome.budgets,
+        ));
+        self.dirty.clear();
+        let replaced = outcome.replaced;
+        let mut solve =
+            SolveReport::new(outcome.report, BackendKind::Sharded).with_repair(RepairStats {
+                decision: RepairDecision::Repaired,
+                dirty_links,
+                replaced_links: replaced,
+                baseline_slots: baseline,
+                drift,
+                watermark: policy.max_drift,
+            });
+        solve.sharding = Some(wagg_schedule::ShardingStats {
+            shards,
+            radius,
+            boundary_links: boundary,
+            repaired_links: replaced,
+            evicted_links: outcome.evicted,
+        });
+        Some(solve)
     }
 
     fn stats(&self) -> SessionStats {

@@ -41,7 +41,7 @@
 //!         Link::new(i, Point::new(x, y), Point::new(x + 1.0, y))
 //!     })
 //!     .collect();
-//! let session = Session::builder().links(&links).build();
+//! let mut session = Session::builder().links(&links).build();
 //! let report = session.solve();
 //! assert!(report.schedule().is_partition(links.len()));
 //! println!("{}", report.summary());
@@ -72,7 +72,9 @@ mod backend;
 
 pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend};
 pub use wagg_partition::VerifierStrategy;
-pub use wagg_schedule::{BackendKind, SchedulerConfig, ShardingStats, SolveReport};
+pub use wagg_schedule::{
+    BackendKind, RepairDecision, RepairStats, SchedulerConfig, ShardingStats, SolveReport,
+};
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -127,6 +129,49 @@ pub struct PartitionHints {
     pub length_bounds: (f64, f64),
 }
 
+/// Warm-start repair policy: whether [`Session::solve`] keeps the previous
+/// assignment and re-places only the links an event batch dirtied, and how
+/// much schedule-length drift vs. the from-scratch baseline is tolerated
+/// before falling back to a full recolor (see `wagg_schedule::solve_repair`
+/// and [`RepairStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairPolicy {
+    /// Whether repair-capable backends warm-start their solves. Disabled by
+    /// default: a disabled session is slot-for-slot identical to the
+    /// pre-repair behaviour.
+    pub enabled: bool,
+    /// Maximum tolerated relative schedule-length drift,
+    /// `(slots - baseline) / baseline`. A repair drifting past this runs a
+    /// full recolor instead (tagged [`RepairDecision::WatermarkBreach`]) and
+    /// re-anchors the baseline.
+    pub max_drift: f64,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            enabled: false,
+            max_drift: 0.25,
+        }
+    }
+}
+
+impl RepairPolicy {
+    /// Repair on, with the default drift watermark (25%).
+    pub fn enabled() -> Self {
+        RepairPolicy {
+            enabled: true,
+            ..RepairPolicy::default()
+        }
+    }
+
+    /// Replaces the drift watermark.
+    pub fn with_max_drift(mut self, max_drift: f64) -> Self {
+        self.max_drift = max_drift;
+        self
+    }
+}
+
 /// The layered configuration of a [`Session`]: the scheduler core plus the
 /// per-backend tuning that used to live in three separate config structs
 /// (`SchedulerConfig`, `EngineConfig`, `PartitionedEngineConfig`).
@@ -150,6 +195,8 @@ pub struct SessionConfig {
     pub grid_slack: f64,
     /// Engine-layer adjacency compaction slack.
     pub compact_slack: f64,
+    /// Warm-start repair policy (see [`RepairPolicy`]; disabled by default).
+    pub repair: RepairPolicy,
 }
 
 impl Default for SessionConfig {
@@ -163,6 +210,7 @@ impl Default for SessionConfig {
             partition: None,
             grid_slack: 0.25,
             compact_slack: 0.25,
+            repair: RepairPolicy::default(),
         }
     }
 }
@@ -333,6 +381,12 @@ impl SessionBuilder {
     pub fn engine_slacks(mut self, grid_slack: f64, compact_slack: f64) -> Self {
         self.config.grid_slack = grid_slack;
         self.config.compact_slack = compact_slack;
+        self
+    }
+
+    /// Sets the warm-start repair policy (e.g. [`RepairPolicy::enabled`]).
+    pub fn repair(mut self, policy: RepairPolicy) -> Self {
+        self.config.repair = policy;
         self
     }
 
@@ -589,8 +643,33 @@ impl Session {
     /// Schedules the current link universe with the resolved backend and
     /// returns the unified report (schedule, analysis quantities, backend
     /// provenance, sharding accounting).
-    pub fn solve(&self) -> SolveReport {
-        self.backend.solve()
+    ///
+    /// With [`RepairPolicy::enabled`] in the config, repair-capable backends
+    /// warm-start: the previous assignment is kept and only the links the
+    /// event batch dirtied are re-placed (see [`RepairStats`] on the report
+    /// for the decision and accounting). Backends without incremental state
+    /// recolor as always, tagged [`RepairDecision::Unsupported`].
+    pub fn solve(&mut self) -> SolveReport {
+        if !self.config.repair.enabled {
+            return self.backend.solve();
+        }
+        let policy = self.config.repair;
+        match self.backend.solve_repair(&policy) {
+            Some(report) => report,
+            None => {
+                let report = self.backend.solve();
+                let baseline = report.slots();
+                let num_links = report.num_links();
+                report.with_repair(RepairStats {
+                    decision: RepairDecision::Unsupported,
+                    dirty_links: 0,
+                    replaced_links: num_links,
+                    baseline_slots: baseline,
+                    drift: 0.0,
+                    watermark: policy.max_drift,
+                })
+            }
+        }
     }
 }
 
@@ -737,7 +816,7 @@ mod tests {
     fn seeded_sessions_schedule_their_universe() {
         let links = grid_links(48, 7.0);
         for backend in [Backend::Static, Backend::Engine, Backend::Sharded] {
-            let session = Session::builder()
+            let mut session = Session::builder()
                 .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
                 .backend(backend)
                 .links(&links)

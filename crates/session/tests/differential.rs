@@ -64,7 +64,7 @@ proptest! {
             let config = SchedulerConfig::new(mode);
             #[allow(deprecated)]
             let legacy = wagg_schedule::schedule_links(&links, config);
-            let session = Session::builder()
+            let mut session = Session::builder()
                 .scheduler(config)
                 .backend(Backend::Static)
                 .links(&links)
@@ -117,7 +117,7 @@ proptest! {
         for strategy in [VerifierStrategy::Flat, VerifierStrategy::default()] {
             #[allow(deprecated)]
             let legacy = wagg_partition::schedule_sharded_with(&links, config, shards, strategy);
-            let session = Session::builder()
+            let mut session = Session::builder()
                 .scheduler(config)
                 .backend(Backend::Sharded)
                 .target_shards(shards)

@@ -1,0 +1,306 @@
+//! The warm-start repair differential suite: a [`Session`] with
+//! [`RepairPolicy::enabled`] must stay **correct** under arbitrary churn and
+//! mobility — every repaired schedule is a partition of the live universe
+//! and affectance-feasible under the session's power mode — while a session
+//! with repair disabled stays slot-for-slot identical to the legacy
+//! from-scratch paths:
+//!
+//! * engine backend + churn traces: solve between event batches, every
+//!   report feasible; `Repaired` decisions never drift past the watermark,
+//! * engine backend + random-waypoint mobility: same invariants when the
+//!   events are `MoveNode` re-seatings instead of churn,
+//! * a forced watermark breach (`max_drift == 0`) provably falls back to the
+//!   full recolor: the report equals the legacy engine schedule bit for bit,
+//! * repair disabled ≡ the legacy engine path (and `repair` stays `None`),
+//! * the static backend has no incremental state: repair requests are tagged
+//!   `Unsupported` and the schedule is unchanged,
+//! * the hinted sharded backend repairs in place through
+//!   insert/remove/relocate/move_node scripts and stays feasible.
+//!
+//! `ci.sh` runs this suite in both the serial and the parallel build.
+
+use proptest::prelude::*;
+use wagg_engine::{churn_trace, run_trace, EngineConfig, EngineTrace, InterferenceEngine};
+use wagg_geometry::{BoundingBox, Point};
+use wagg_instances::mobility::{random_waypoint, WaypointConfig};
+use wagg_schedule::{BackendKind, PowerMode, RepairDecision, SchedulerConfig};
+use wagg_session::{Backend, RepairPolicy, Session};
+use wagg_sinr::Link;
+
+fn modes() -> [PowerMode; 3] {
+    [
+        PowerMode::Uniform,
+        PowerMode::mean_oblivious(),
+        PowerMode::GlobalControl,
+    ]
+}
+
+/// Asserts the full repair contract on one solve: the schedule partitions
+/// the session's universe, every slot is feasible under the configured power
+/// mode, and a `Repaired` decision honoured the drift watermark.
+fn assert_repaired_feasible(session: &mut Session, config: SchedulerConfig, context: &str) {
+    let solve = session.solve();
+    let links = session.links();
+    let repair = solve
+        .repair
+        .expect("repair-enabled engine solves carry repair stats");
+    assert!(
+        solve.schedule().is_partition(links.len()),
+        "{context}: repaired schedule is not a partition of {} links",
+        links.len()
+    );
+    assert!(
+        solve.schedule().verify(&links, &config.model, config.mode),
+        "{context}: repaired schedule infeasible under {}",
+        config.mode
+    );
+    if repair.decision == RepairDecision::Repaired {
+        assert!(
+            repair.drift <= repair.watermark,
+            "{context}: Repaired decision with drift {} past watermark {}",
+            repair.drift,
+            repair.watermark
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine backend + repair: solving between churn batches yields a
+    /// feasible partition every time, for every power mode.
+    #[test]
+    fn repaired_schedules_stay_feasible_under_churn(
+        seed in 0u64..5000,
+        n in 8usize..40,
+        events in 4usize..40,
+        batch in 1usize..9,
+    ) {
+        let trace = churn_trace(n, events, seed);
+        for mode in modes() {
+            let config = SchedulerConfig::new(mode);
+            let mut session = Session::builder()
+                .scheduler(config)
+                .backend(Backend::Engine)
+                .repair(RepairPolicy::enabled())
+                .build();
+            for chunk in trace.events.chunks(batch) {
+                session.apply_events(chunk).expect("churn traces are replayable");
+                assert_repaired_feasible(&mut session, config, &format!("churn under {mode}"));
+            }
+        }
+    }
+
+    /// Engine backend + repair under random-waypoint mobility: `MoveNode`
+    /// events re-seat links in place; the repaired schedules stay feasible.
+    #[test]
+    fn repaired_schedules_stay_feasible_under_mobility(
+        seed in 0u64..5000,
+        nodes in 4usize..16,
+        steps in 1usize..6,
+    ) {
+        let trace = EngineTrace::from_mobility(&random_waypoint(&WaypointConfig {
+            nodes,
+            side: 40.0,
+            speed: 3.0,
+            steps,
+            seed,
+        }));
+        let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+        let mut session = Session::builder()
+            .scheduler(config)
+            .backend(Backend::Engine)
+            .repair(RepairPolicy::enabled())
+            .build();
+        // Seed the chained links, then solve between mobility steps.
+        let prefix = trace
+            .events
+            .iter()
+            .position(|e| matches!(e, wagg_engine::EngineEvent::MoveNode { .. }))
+            .unwrap_or(trace.events.len());
+        session.apply_events(&trace.events[..prefix]).expect("inserts are replayable");
+        assert_repaired_feasible(&mut session, config, "mobility cold start");
+        for chunk in trace.events[prefix..].chunks(nodes.max(1)) {
+            session.apply_events(chunk).expect("moves are replayable");
+            assert_repaired_feasible(&mut session, config, "mobility step");
+        }
+    }
+
+    /// Repair disabled is the status quo: after any churn trace the session
+    /// report equals the legacy engine path exactly and carries no repair
+    /// provenance.
+    #[test]
+    fn disabled_repair_is_slot_for_slot_the_legacy_path(
+        seed in 0u64..5000,
+        n in 8usize..40,
+        events in 0usize..30,
+    ) {
+        let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+        let trace = churn_trace(n, events, seed);
+
+        let mut legacy = InterferenceEngine::new(EngineConfig::for_scheduler(config));
+        run_trace(&mut legacy, &trace).expect("churn traces are replayable");
+        let legacy_report = legacy.schedule();
+
+        let mut session = Session::builder()
+            .scheduler(config)
+            .backend(Backend::Engine)
+            .repair(RepairPolicy::default()) // explicit: disabled
+            .build();
+        session.apply_trace(&trace).expect("churn traces are replayable");
+        let solve = session.solve();
+        prop_assert_eq!(solve.repair, None, "disabled repair must not tag reports");
+        prop_assert_eq!(&solve.report, &legacy_report, "disabled repair diverged");
+    }
+}
+
+/// A zero-tolerance watermark provably falls back: the inflating repair is
+/// rejected and the committed report equals the legacy from-scratch engine
+/// schedule bit for bit.
+#[test]
+fn watermark_breach_falls_back_to_the_full_recolor() {
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let mut session = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Engine)
+        .repair(RepairPolicy::enabled().with_max_drift(0.0))
+        .build();
+
+    // Two far-apart unit links share one slot: the warm baseline.
+    let a = (Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+    let c = (Point::new(60.0, 0.0), Point::new(61.0, 0.0));
+    session.insert(a.0, a.1);
+    session.insert(c.0, c.1);
+    let cold = session.solve();
+    let cold_stats = cold.repair.expect("engine repair solves carry stats");
+    assert_eq!(cold_stats.decision, RepairDecision::ColdStart);
+    assert_eq!(cold.slots(), 1, "far links must share a slot");
+
+    // A link parked on top of `a`'s receiver cannot join slot 0; the repair
+    // would open a second slot — drift 1.0 > 0.0 — so it must be rejected.
+    let b = (Point::new(0.9, 0.05), Point::new(1.9, 0.05));
+    session.insert(b.0, b.1);
+    let solve = session.solve();
+    let stats = solve.repair.expect("engine repair solves carry stats");
+    assert_eq!(stats.decision, RepairDecision::WatermarkBreach);
+    assert!(
+        stats.drift > 0.0,
+        "the rejected repair's measured drift is recorded, got {}",
+        stats.drift
+    );
+
+    let mut legacy = InterferenceEngine::new(EngineConfig::for_scheduler(config));
+    for &(s, r) in &[a, c, b] {
+        legacy.insert_link(s, r);
+    }
+    assert_eq!(
+        solve.report,
+        legacy.schedule(),
+        "breach fallback diverged from the from-scratch engine schedule"
+    );
+}
+
+/// The static backend keeps no incremental state: asking it to repair is
+/// tagged `Unsupported` and the schedule is exactly the from-scratch one.
+#[test]
+fn static_backend_repair_is_tagged_unsupported() {
+    let links: Vec<Link> = (0..24)
+        .map(|i| {
+            let x = (i % 6) as f64 * 7.0;
+            let y = (i / 6) as f64 * 7.0;
+            Link::new(i, Point::new(x, y), Point::new(x + 1.0, y))
+        })
+        .collect();
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let mut plain = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Static)
+        .links(&links)
+        .build();
+    let mut repairing = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Static)
+        .repair(RepairPolicy::enabled())
+        .links(&links)
+        .build();
+
+    let baseline = plain.solve();
+    assert_eq!(baseline.repair, None);
+    let solve = repairing.solve();
+    let stats = solve.repair.expect("repair-enabled solves are tagged");
+    assert_eq!(stats.decision, RepairDecision::Unsupported);
+    assert_eq!(stats.replaced_links, links.len());
+    assert_eq!(
+        solve.report, baseline.report,
+        "Unsupported repair must not change the schedule"
+    );
+}
+
+/// The hinted sharded backend repairs through the full event vocabulary —
+/// insert, remove, relocate, move_node — staying a feasible partition with
+/// sharding provenance intact.
+#[test]
+fn hinted_sharded_repair_survives_event_scripts() {
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let extent = BoundingBox::new(0.0, 0.0, 120.0, 120.0);
+    let mut session = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Sharded)
+        .target_shards(9)
+        .partition_hints(extent, (1.0, 1.5))
+        .repair(RepairPolicy::enabled())
+        .build();
+    assert_eq!(session.backend_kind(), BackendKind::Sharded);
+
+    let mut keys = Vec::new();
+    for i in 0..60usize {
+        let x = (i % 8) as f64 * 14.0 + 2.0;
+        let y = (i / 8) as f64 * 14.0 + 2.0;
+        let (s, r) = (Point::new(x, y), Point::new(x + 1.2, y));
+        keys.push(if i % 5 == 0 {
+            session.insert_with_nodes(s, r, wagg_sinr::NodeId(i), wagg_sinr::NodeId(i + 1000))
+        } else {
+            session.insert(s, r)
+        });
+    }
+    let cold = session.solve();
+    let cold_stats = cold.repair.expect("sharded repair solves carry stats");
+    assert_eq!(cold_stats.decision, RepairDecision::ColdStart);
+    assert!(cold.sharding.is_some(), "sharding provenance must survive");
+
+    // Departures, a cross-tile relocation, fresh arrivals, and a node move
+    // dragging its annotated links — then repair.
+    for idx in [3usize, 17, 40] {
+        session.remove(keys[idx]).unwrap();
+    }
+    session
+        .relocate(keys[6], Point::new(110.0, 110.0), Point::new(111.3, 110.0))
+        .unwrap();
+    for i in 0..4usize {
+        let x = 50.0 + 3.0 * i as f64;
+        session.insert(Point::new(x, 61.0), Point::new(x + 1.1, 61.0));
+    }
+    // Node 10 anchors link 10's sender at (30, 16) → (31.2, 16); nudge it so
+    // the re-seated link stays inside the partition's (1.0, 1.5) bounds.
+    let touched = session.move_node(10, Point::new(30.5, 16.9));
+    assert!(touched > 0, "node 10 annotates a live link");
+
+    let solve = session.solve();
+    let stats = solve.repair.expect("sharded repair solves carry stats");
+    assert!(
+        matches!(
+            stats.decision,
+            RepairDecision::Repaired | RepairDecision::WatermarkBreach
+        ),
+        "warm sharded solve must repair or provably fall back, got {:?}",
+        stats.decision
+    );
+    let links = session.links();
+    assert!(solve.schedule().is_partition(links.len()));
+    assert!(
+        solve.schedule().verify(&links, &config.model, config.mode),
+        "repaired sharded schedule infeasible"
+    );
+    let sharding = solve.sharding.expect("sharding provenance must survive");
+    assert_eq!(sharding.shards, 9);
+}

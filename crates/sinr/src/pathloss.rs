@@ -268,6 +268,29 @@ impl<'a> PathLossCache<'a> {
         )
     }
 
+    /// The single pair term `P(source)·w(target)/d^α` of the relative-
+    /// interference sum — the additive unit incremental consumers (the
+    /// warm-start repair path) account budgets in. `Some(0.0)` for the
+    /// target itself, `Some(INFINITY)` for a collocated interferer, `None`
+    /// when the source power or target weight is unavailable; summing the
+    /// terms over a subset reproduces
+    /// [`PathLossCache::subset_relative_interference_on`] up to re-
+    /// association.
+    pub fn interference_term(&self, source: usize, target: usize) -> Option<f64> {
+        let s = &self.links[source];
+        let t = &self.links[target];
+        if s.id == t.id {
+            return Some(0.0);
+        }
+        let weight = self.weights[target]?;
+        let p = self.powers[source]?;
+        let d = s.sender.distance(t.receiver);
+        if d <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        Some(p * weight / self.pow.pow(d))
+    }
+
     /// Noise-free feasibility of the subset `members` (positions into the
     /// cached link set) by relative interference — the subset counterpart of
     /// [`PathLossCache::is_feasible`], with the same verdict a fresh

@@ -1,21 +1,29 @@
-//! Tree repair under churn: local reattachment versus full rebuild.
+//! Repair under churn, at both layers: the aggregation **tree** (local
+//! reattachment versus full MST rebuild) and the slot **schedule**
+//! (warm-start repair versus from-scratch recolor).
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --example dynamic_repair
+//! cargo run --release --example dynamic_repair
 //! ```
 //!
 //! Long-lived deployments lose and gain nodes. Section 3.1 notes that such changes
 //! "may naturally require repairing or reconstructing the tree and the schedule";
-//! this example quantifies the trade-off between the two obvious strategies: a
-//! local repair that only rewires the failed node's neighbourhood, and a full MST
-//! rebuild after every event.
+//! this example quantifies the trade-off between the two obvious strategies at
+//! each layer. Part 1 compares tree maintenance: a local repair that only rewires
+//! the failed node's neighbourhood, and a full MST rebuild after every event.
+//! Part 2 turns on [`RepairPolicy`] in the session facade and prints the
+//! per-event event-to-schedule latency plus the repair provenance
+//! (`SolveReport::repair`) for a relocation stream — the same solve call,
+//! microseconds-to-milliseconds instead of a full recolor.
+
+use std::time::Instant;
 
 use wireless_aggregation::dynamic::{run_churn_scenario, ChurnConfig, RepairStrategy};
 use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::schedule::SchedulerConfig;
-use wireless_aggregation::PowerMode;
+use wireless_aggregation::{Backend, Point, PowerMode, RepairPolicy, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 120;
@@ -61,5 +69,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nLocal repair touches only the failed node's neighbourhood (few links per event) but lets the tree drift from the MST (stretch > 1); the rebuild keeps the tree optimal at the cost of much more churn in the schedule.");
+
+    // Part 2: the same question one layer down — repair the *schedule*
+    // instead of recoloring it. A repair-enabled engine session keeps the
+    // previous slot assignment warm and re-places only the dirtied
+    // neighbourhood per event batch.
+    let m = 4_000usize;
+    let cols = (m as f64).sqrt() as usize;
+    let side = cols as f64 * 2.0;
+    let mut warm = Session::builder()
+        .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+        .backend(Backend::Engine)
+        .repair(RepairPolicy::enabled())
+        .build();
+    let mut keys = Vec::with_capacity(m);
+    for i in 0..m {
+        // A jittered unit-length grid, dense enough that neighbouring links
+        // interfere and the cold schedule needs several slots.
+        let row = (i / cols) as f64;
+        let col = (i % cols) as f64;
+        let (x, y) = (col * 2.0 + (i % 7) as f64 * 0.11, row * 2.0);
+        keys.push(warm.insert(Point::new(x, y), Point::new(x + 1.0, y)));
+    }
+    let cold_start = Instant::now();
+    let cold = warm.solve();
+    println!(
+        "\nWarm-start slot repair: {m} links, cold solve {} slots in {:.1} ms",
+        cold.slots(),
+        cold_start.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<8} {:>17} {:>8} {:>10} {:>8} {:>16}",
+        "event", "decision", "dirty", "replaced", "drift", "latency"
+    );
+    for event in 0..6u32 {
+        let key = keys[(event as usize * 613) % m];
+        let x = (event as f64 * 37.0) % (side - 2.0);
+        let y = (event as f64 * 53.0) % (side - 2.0);
+        warm.relocate(key, Point::new(x, y), Point::new(x + 1.0, y))
+            .expect("seeded keys stay live");
+        let clock = Instant::now();
+        let report = warm.solve();
+        let latency = clock.elapsed();
+        let stats = report.repair.expect("repair-enabled solves carry stats");
+        println!(
+            "{:<8} {:>17} {:>8} {:>10} {:>8.3} {:>13.1} µs",
+            event,
+            stats.decision.to_string(),
+            stats.dirty_links,
+            stats.replaced_links,
+            stats.drift,
+            latency.as_secs_f64() * 1e6
+        );
+    }
+    println!("\nEach event re-places a handful of links in microseconds-to-milliseconds while the schedule stays SINR-feasible. The drift column is the length inflation the watermark bounds: the one event whose repair would stretch the schedule past it pays for a full recolor instead — and re-anchors the baseline, so the stream goes right back to cheap repairs.");
     Ok(())
 }
