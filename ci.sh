@@ -27,14 +27,17 @@ echo "==> deprecation gate (no in-tree caller uses the legacy entry points)"
 # #[allow(deprecated)] — that is their job).
 RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets
 
-echo "==> serial build (--no-default-features: parallel kernels off)"
+echo "==> serial build (--no-default-features: parallel kernels and obs instrumentation off)"
 cargo build --workspace --no-default-features
 
-echo "==> serial kernel tests (incl. the sharded-scheduling sweep and the session differential + repair suites)"
-cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition -p wagg-session
+echo "==> serial kernel tests (incl. the sharded-scheduling sweep, the session differential + repair suites, and the zero-sized no-op recorder)"
+cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition -p wagg-session -p wagg-obs
 
 echo "==> session differential + warm-start repair suites, parallel build"
 cargo test -q -p wagg-session
+
+echo "==> wagg-obs suite, parallel build (active recorder, span tree, trace exporter)"
+cargo test -q -p wagg-obs
 
 # The serial wagg-partition run above already covers the hierarchical-verifier
 # battery (bound soundness + flat/hier differential across the pyramid-depth
@@ -58,6 +61,12 @@ if [[ "$MODE" != "quick" ]]; then
 
   echo "==> workspace tests (incl. wagg-partition shard-invariance properties)"
   cargo test -q --workspace
+
+  echo "==> chrome-trace smoke test (partition_profile --trace emits valid trace_event JSON)"
+  TRACE_DIR="$(mktemp -d)"
+  cargo run --release -q -p wagg-bench --bin partition_profile -- 20000 8 --trace "$TRACE_DIR/trace.json" \
+    | grep "trace OK" || { echo "trace smoke test failed"; exit 1; }
+  rm -rf "$TRACE_DIR"
 fi
 
 echo "CI gate passed."

@@ -30,6 +30,7 @@ use crate::relation::ConflictRelation;
 use serde::{Deserialize, Serialize};
 use wagg_geometry::grid::UniformGrid;
 use wagg_geometry::BoundingBox;
+use wagg_obs::{Recorder, Span};
 use wagg_sinr::Link;
 
 #[cfg(feature = "parallel")]
@@ -95,11 +96,23 @@ impl ConflictGraph {
     /// a small cutoff where grid setup would dominate. Both constructions
     /// yield identical graphs.
     pub fn build(links: &[Link], relation: ConflictRelation) -> Self {
+        Self::build_traced(links, relation, &Recorder::disabled())
+    }
+
+    /// [`ConflictGraph::build`] with phase instrumentation: records a
+    /// `conflict` span with `bucket` / `grids` / `rows` / `csr` children on
+    /// `rec` (see `wagg-obs`). With the workspace `obs` feature off, or with a
+    /// disabled recorder, this is exactly `build`.
+    pub fn build_traced(links: &[Link], relation: ConflictRelation, rec: &Recorder) -> Self {
+        let root = rec.span("conflict");
         if links.len() < GRID_BUILD_CUTOFF {
             return Self::build_naive(links, relation);
         }
-        let rows = Self::grid_rows(links, relation);
-        Self::from_rows(links, relation, rows)
+        let rows = Self::grid_rows(links, relation, &root);
+        let csr = root.child("csr");
+        let graph = Self::from_rows(links, relation, rows);
+        csr.finish();
+        graph
     }
 
     /// Builds the conflict graph by checking all `O(n²)` pairs.
@@ -122,8 +135,10 @@ impl ConflictGraph {
     }
 
     /// Computes every vertex's (sorted, deduplicated) neighbour row via the
-    /// per-length-class grids.
-    fn grid_rows(links: &[Link], relation: ConflictRelation) -> Vec<Vec<usize>> {
+    /// per-length-class grids. `parent` scopes the phase spans (`bucket`,
+    /// `grids`, `rows`).
+    fn grid_rows(links: &[Link], relation: ConflictRelation, parent: &Span) -> Vec<Vec<usize>> {
+        let bucket_span = parent.child("bucket");
         let n = links.len();
         let bboxes: Vec<BoundingBox> = links
             .iter()
@@ -177,6 +192,8 @@ impl ConflictGraph {
                 classes_members[class_of[key_of(len)]].push(i as u32);
             }
         }
+        bucket_span.finish();
+        let grids_span = parent.child("grids");
         let classes: Vec<LengthClass> = classes_members
             .into_iter()
             .map(|members| {
@@ -194,7 +211,9 @@ impl ConflictGraph {
                 }
             })
             .collect();
+        grids_span.finish();
 
+        let rows_span = parent.child("rows");
         let row_of = |i: usize| -> Vec<usize> {
             let link = &links[i];
             let mut row: Vec<usize> = Vec::new();
@@ -233,13 +252,11 @@ impl ConflictGraph {
         };
 
         #[cfg(feature = "parallel")]
-        {
-            (0..n).into_par_iter().map(row_of).collect()
-        }
+        let rows: Vec<Vec<usize>> = (0..n).into_par_iter().map(row_of).collect();
         #[cfg(not(feature = "parallel"))]
-        {
-            (0..n).map(row_of).collect()
-        }
+        let rows: Vec<Vec<usize>> = (0..n).map(row_of).collect();
+        rows_span.finish();
+        rows
     }
 
     /// Assembles the CSR arrays from per-vertex rows (each already sorted

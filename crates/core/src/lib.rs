@@ -82,6 +82,7 @@ pub use wagg_instances as instances;
 pub use wagg_latency as latency;
 pub use wagg_mst as mst;
 pub use wagg_multihop as multihop;
+pub use wagg_obs as obs;
 pub use wagg_partition as partition;
 pub use wagg_protocol as protocol;
 pub use wagg_schedule as schedule;
@@ -91,6 +92,7 @@ pub use wagg_sinr as sinr;
 
 pub use wagg_geometry::Point;
 pub use wagg_instances::Instance;
+pub use wagg_obs::{Metrics, Recorder};
 pub use wagg_schedule::{
     BackendKind, PowerMode, RepairDecision, RepairStats, Schedule, ScheduleReport, SchedulerConfig,
     ShardingStats, SolveReport,

@@ -6,7 +6,8 @@ use crate::overlay::DeltaAdjacency;
 use std::collections::HashMap;
 use wagg_conflict::{ConflictGraph, ConflictRelation};
 use wagg_geometry::{BoundingBox, Point};
-use wagg_schedule::{schedule_prebuilt, ScheduleReport, SchedulerConfig};
+use wagg_obs::{Counter, Recorder};
+use wagg_schedule::{schedule_prebuilt_traced, ScheduleReport, SchedulerConfig};
 use wagg_sinr::pathloss::relative_interference_sum;
 use wagg_sinr::{Link, LinkId, NodeId, PathLossCache, PowerAssignment, SinrModel};
 
@@ -204,6 +205,11 @@ pub struct InterferenceEngine {
     /// Node index → slots of live links touching that node (for `move_node`).
     node_links: HashMap<usize, Vec<usize>>,
     stats: EngineStats,
+    /// Instrumentation sink (disabled by default — see `wagg-obs`).
+    recorder: Recorder,
+    /// Pre-resolved handle for `engine.rows_recomputed` (one relaxed atomic
+    /// add per conflict-row computation, no name lookup on the hot path).
+    rows_counter: Counter,
 }
 
 impl InterferenceEngine {
@@ -222,7 +228,26 @@ impl InterferenceEngine {
             weights: Vec::new(),
             node_links: HashMap::new(),
             stats: EngineStats::default(),
+            recorder: Recorder::disabled(),
+            rows_counter: Counter::default(),
         }
+    }
+
+    /// Routes the engine's instrumentation to `rec`: conflict-row
+    /// recomputations tick `engine.rows_recomputed`, and every
+    /// [`InterferenceEngine::schedule`] records its snapshot/coloring spans
+    /// and syncs the `engine.grid_rebuilds` / `engine.compactions`
+    /// maintenance watermarks. A disabled recorder (the default) keeps all
+    /// of it no-op.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rows_counter = rec.counter("engine.rows_recomputed");
+        self.recorder = rec;
+    }
+
+    /// The engine's instrumentation sink (disabled unless
+    /// [`InterferenceEngine::set_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Bulk-seeds an engine from a link set, assigning slots `0..n` in input
@@ -570,6 +595,7 @@ impl InterferenceEngine {
     /// sides); on the per-event path a freshly attached or just-isolated
     /// slot never has edges, so the extra adjacency probe is skipped there.
     fn link_conflict_row(&mut self, slot: usize, dedup: bool) {
+        self.rows_counter.add(1);
         let link = self.links[slot].expect("linking a live slot");
         let bbox = self.bboxes[slot];
         let row = self.conflict_row(&link, &bbox, slot);
@@ -778,15 +804,24 @@ impl InterferenceEngine {
     /// [`EngineConfig::for_scheduler`] always match).
     pub fn schedule(&self) -> ScheduleReport {
         let config = self.config.scheduler;
+        let snapshot_span = self.recorder.span("engine/snapshot");
         let (links, graph) = self.snapshot();
+        snapshot_span.finish();
+        // Sync the maintenance watermarks so a session-boundary metrics dump
+        // reflects the engine's cumulative upkeep, not just this solve.
+        let stats = self.stats();
+        self.recorder
+            .record_max("engine.grid_rebuilds", stats.grid_rebuilds as u64);
+        self.recorder
+            .record_max("engine.compactions", stats.compactions as u64);
         let lend_cache = config.model.noise() == 0.0
             && config.mode.assignment().as_ref() == Some(&self.config.power);
         if lend_cache {
             let (powers, weights) = self.cache_parts();
             let cache = PathLossCache::from_parts(&config.model, &links, powers, weights);
-            schedule_prebuilt(&graph, Some(&cache), config)
+            schedule_prebuilt_traced(&graph, Some(&cache), config, &self.recorder)
         } else {
-            schedule_prebuilt(&graph, None, config)
+            schedule_prebuilt_traced(&graph, None, config, &self.recorder)
         }
     }
 }

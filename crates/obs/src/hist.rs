@@ -1,0 +1,187 @@
+//! Log₂-bucketed histograms: latency distributions in fixed space.
+
+/// A histogram over `u64` samples (typically nanoseconds) with
+/// power-of-two buckets: bucket `0` holds the value `0`, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`. Sixty-five buckets cover the full
+/// `u64` range, so `observe` never saturates and the whole distribution
+/// fits in ~half a kilobyte regardless of sample count.
+///
+/// Quantiles are answered from the buckets: [`Histogram::quantile`]
+/// returns the **upper bound** of the bucket containing the requested
+/// rank, i.e. an over-estimate within a factor of two of the exact order
+/// statistic — the usual log-bucket trade-off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    /// The bucket index of `value`: `0` for `0`, else `⌊log₂ value⌋ + 1`.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `b` can hold.
+    fn bucket_upper(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`q` clamped to `[0, 1]`): the
+    /// upper edge of the bucket holding the sample of rank `⌈q·count⌉`.
+    /// Returns `0` for an empty histogram; `quantile(0.0)` bounds the
+    /// minimum, `quantile(1.0)` the maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(b);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Every bucket's upper bound lands back in the same bucket.
+        for b in 0..=64usize {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_upper(b)), b);
+        }
+    }
+
+    #[test]
+    fn count_sum_mean_track_samples() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [1u64, 2, 3, 10] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_bound_order_statistics_within_a_factor_of_two() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &v in &samples {
+            h.observe(v);
+        }
+        for q in [0.0f64, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * 1000.0).ceil().max(1.0) as usize).min(1000);
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            assert!(
+                est < exact.max(1) * 2,
+                "q={q}: estimate {est} more than 2x exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.observe(0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), 0);
+        assert_eq!(h.quantile(7.5), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [5u64, 80, 300] {
+            a.observe(v);
+            c.observe(v);
+        }
+        for v in [7u64, 9000] {
+            b.observe(v);
+            c.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,214 @@
+//! Zero-dependency instrumentation for the scheduling stack.
+//!
+//! Six PRs of machinery (kernel → engine → partition → session → repair)
+//! were flying blind: every number in `BENCH_*.json` was external
+//! wall-clock, and the internals — per-shard build/color/stitch splits,
+//! pyramid-descent expansion counts, exact-fallback and eviction rates,
+//! repair dirty-set sizes — were invisible. This crate is the shared
+//! instrumentation core those layers thread a [`Recorder`] through:
+//!
+//! * **Spans** — [`Recorder::span`] returns an RAII [`Span`] timer; spans
+//!   nest through [`Span::child`], and the `/`-separated paths form the
+//!   phase tree that [`Recorder::metrics`] aggregates and
+//!   [`Recorder::chrome_trace`] exports as a flamegraph-ready
+//!   `trace_event` JSON file.
+//! * **Counters** — [`Recorder::counter`] resolves a named monotone
+//!   [`Counter`] once; increments are lock-free atomic adds, safe from
+//!   inside `rayon` worker closures (the shim's or crates.io's).
+//! * **Histograms** — [`Recorder::observe`] feeds a log₂-bucketed
+//!   [`Histogram`] per name (latency distributions without storing
+//!   samples).
+//!
+//! # Feature gating
+//!
+//! Everything above is behind the workspace-wide `obs` feature (default
+//! on). With `--no-default-features` the handle types compile to
+//! **zero-sized no-ops** — `size_of::<Recorder>() == 0`, every method an
+//! empty body the optimiser deletes — while the snapshot types
+//! ([`Metrics`], [`Histogram`], the [`trace`] validator) stay real, so
+//! call sites and signatures are identical in both builds.
+//!
+//! # Thread-safety model
+//!
+//! The recorder is `Send + Sync` and cheap to clone (an `Arc`). Span
+//! guards are independent values: each owns its start instant and records
+//! into the shared registry only on drop, so spans opened on different
+//! worker threads never contend until the final bookkeeping push. Hot
+//! loops should resolve a [`Counter`] handle once and add into it —
+//! that is one relaxed atomic per increment, no lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use wagg_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let solve = rec.span("solve");
+//!     let _build = solve.child("build");
+//!     rec.counter("edges").add(42);
+//! }
+//! let m = rec.metrics();
+//! # #[cfg(feature = "obs")]
+//! assert!(m.phase("solve/build").is_some());
+//! # #[cfg(feature = "obs")]
+//! assert_eq!(m.counter("edges"), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+pub mod trace;
+
+pub use hist::Histogram;
+
+/// One aggregated phase of the span tree: every [`Span`] recorded under
+/// `path` contributes its duration to `nanos` and one unit to `count`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseMetric {
+    /// The `/`-separated span path (`"session/solve/partition/build"`).
+    pub path: String,
+    /// Total nanoseconds spent across all spans recorded at this path.
+    pub nanos: u64,
+    /// Number of spans recorded at this path.
+    pub count: u64,
+}
+
+impl PhaseMetric {
+    /// Total time at this path in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// One named monotone counter value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterMetric {
+    /// The counter name (`"verifier.expansions"`).
+    pub name: String,
+    /// The accumulated value.
+    pub value: u64,
+}
+
+/// A point-in-time aggregation of everything a [`Recorder`] has seen:
+/// the phase tree (span durations summed per path) and the counters.
+///
+/// This is plain data in both feature configurations — it is the type the
+/// session facade embeds into `SolveReport` and round-trips through the
+/// report's JSON codec. Phases and counters are sorted by path/name, so
+/// two equal recordings compare equal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// The aggregated phase tree, sorted by path.
+    pub phases: Vec<PhaseMetric>,
+    /// The counters, sorted by name.
+    pub counters: Vec<CounterMetric>,
+}
+
+impl Metrics {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty() && self.counters.is_empty()
+    }
+
+    /// The phase recorded at exactly `path`, if any.
+    pub fn phase(&self, path: &str) -> Option<&PhaseMetric> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+
+    /// The value of counter `name`, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Sum of `nanos` over the *top-level* phases (paths without `/`) —
+    /// the total instrumented wall-clock, without double-counting
+    /// children.
+    pub fn root_nanos(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| !p.path.contains('/'))
+            .map(|p| p.nanos)
+            .sum()
+    }
+}
+
+#[cfg(feature = "obs")]
+mod active;
+#[cfg(feature = "obs")]
+pub use active::{Counter, Recorder, Span};
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+#[cfg(not(feature = "obs"))]
+pub use noop::{Counter, Recorder, Span};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_lookup_helpers() {
+        let m = Metrics {
+            phases: vec![
+                PhaseMetric {
+                    path: "solve".into(),
+                    nanos: 2_000_000,
+                    count: 1,
+                },
+                PhaseMetric {
+                    path: "solve/build".into(),
+                    nanos: 1_500_000,
+                    count: 3,
+                },
+            ],
+            counters: vec![CounterMetric {
+                name: "edges".into(),
+                value: 7,
+            }],
+        };
+        assert!(!m.is_empty());
+        assert_eq!(m.phase("solve").unwrap().count, 1);
+        assert!((m.phase("solve/build").unwrap().millis() - 1.5).abs() < 1e-9);
+        assert_eq!(m.phase("missing"), None);
+        assert_eq!(m.counter("edges"), Some(7));
+        assert_eq!(m.counter("missing"), None);
+        // Only the top-level phase counts towards the root total.
+        assert_eq!(m.root_nanos(), 2_000_000);
+        assert!(Metrics::default().is_empty());
+    }
+
+    /// The obs-off acceptance criterion: the recorder handle is literally
+    /// zero-sized, so threading it through every layer costs nothing.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_recorder_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Recorder>(), 0);
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::new();
+        assert!(!rec.is_enabled());
+        let span = rec.span("solve");
+        let child = span.child("build");
+        assert_eq!(child.finish(), std::time::Duration::ZERO);
+        drop(span);
+        rec.counter("edges").add(3);
+        rec.add("edges", 4);
+        rec.record_max("peak", 9);
+        rec.observe("lat", 1_000);
+        assert_eq!(rec.counter("edges").get(), 0);
+        assert!(rec.metrics().is_empty());
+        assert_eq!(rec.chrome_trace(), "[]");
+        assert!(rec.histogram("lat").is_none());
+        assert!(trace::validate(&rec.chrome_trace()).unwrap().events == 0);
+    }
+}

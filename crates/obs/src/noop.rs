@@ -1,0 +1,111 @@
+//! Zero-sized no-op handles (compiled when the `obs` feature is off).
+//!
+//! Same API surface as the active implementation, but every type is a
+//! unit struct and every method an empty body — the optimiser deletes
+//! the call sites entirely, which is the "compiled-out" half of the
+//! feature contract (pinned by the `size_of` unit test in `lib.rs`).
+
+use crate::{Histogram, Metrics};
+use std::time::Duration;
+
+/// The no-op recorder: zero-sized, records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Recorder;
+
+impl Recorder {
+    /// A no-op recorder (the `obs` feature is off).
+    pub fn new() -> Self {
+        Recorder
+    }
+
+    /// A no-op recorder.
+    pub fn disabled() -> Self {
+        Recorder
+    }
+
+    /// Always `false` with the `obs` feature off.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// A no-op span.
+    pub fn span(&self, path: &str) -> Span {
+        let _ = path;
+        Span
+    }
+
+    /// A no-op counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let _ = name;
+        Counter
+    }
+
+    /// Does nothing.
+    pub fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Does nothing.
+    pub fn record_max(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Does nothing.
+    pub fn observe(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Always `None`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let _ = name;
+        None
+    }
+
+    /// Always the empty snapshot.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::default()
+    }
+
+    /// Always the empty (but valid) trace document `[]`.
+    pub fn chrome_trace(&self) -> String {
+        "[]".to_string()
+    }
+}
+
+/// The no-op span guard.
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// A no-op child span.
+    pub fn child(&self, name: &str) -> Span {
+        let _ = name;
+        Span
+    }
+
+    /// Always [`Duration::ZERO`].
+    pub fn finish(self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// The no-op counter handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    pub fn add(&self, delta: u64) {
+        let _ = delta;
+    }
+
+    /// Does nothing.
+    pub fn record_max(&self, value: u64) {
+        let _ = value;
+    }
+
+    /// Always `0`.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}

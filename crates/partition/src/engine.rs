@@ -47,6 +47,7 @@ use wagg_engine::{EngineConfig, EngineError, InterferenceEngine};
 use wagg_geometry::logmath::{log_log2, log_star};
 use wagg_geometry::tiling::TileLayout;
 use wagg_geometry::{BoundingBox, Point};
+use wagg_obs::Recorder;
 use wagg_schedule::{Schedule, ScheduleReport, SchedulerConfig};
 use wagg_sinr::link::link_diversity;
 use wagg_sinr::Link;
@@ -155,6 +156,8 @@ pub struct PartitionedEngine {
     /// deterministic.
     sites: BTreeMap<u64, LinkSites>,
     next_key: u64,
+    /// Instrumentation sink (disabled by default — see `wagg-obs`).
+    recorder: Recorder,
 }
 
 impl PartitionedEngine {
@@ -180,7 +183,20 @@ impl PartitionedEngine {
             meta,
             sites: BTreeMap::new(),
             next_key: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Routes the engine's instrumentation to `rec`: every shard engine's
+    /// maintenance counters (`engine.rows_recomputed` etc.), the pipeline's
+    /// `partition/*` phase spans and occupancy counters, and the certified
+    /// verifier's `verifier.*` counters. A disabled recorder (the default)
+    /// keeps all of it no-op.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        for engine in &mut self.engines {
+            engine.set_recorder(rec.clone());
+        }
+        self.recorder = rec;
     }
 
     /// The engine's configuration.
@@ -410,6 +426,8 @@ impl PartitionedEngine {
     /// (member graphs are engine snapshots — no geometric rebuild).
     pub fn schedule(&self) -> ShardedReport {
         let config = self.config.scheduler;
+        let root = self.recorder.span("partition");
+        let assemble_phase = root.child("assemble");
         let links = self.links();
         // gid lookup by key (keys ascending = gid order).
         let keys: Vec<u64> = self.sites.keys().copied().collect();
@@ -442,6 +460,7 @@ impl PartitionedEngine {
             .collect();
         #[cfg(not(feature = "parallel"))]
         let pieces: Vec<ShardPieces> = (0..self.engines.len()).map(assemble).collect();
+        assemble_phase.finish();
 
         let mut boundary = vec![false; links.len()];
         for (gid, sites) in self.sites.values().enumerate() {
@@ -460,7 +479,9 @@ impl PartitionedEngine {
             &owner_of,
             config,
             self.config.verifier,
+            &self.recorder,
         );
+        root.finish();
 
         let diversity = link_diversity(&links).unwrap_or(1.0);
         let report = ScheduleReport {
@@ -480,6 +501,9 @@ impl PartitionedEngine {
             boundary_links: outcome.boundary_links,
             repaired_links: outcome.repaired_links,
             evicted_links: outcome.evicted_links,
+            max_owned: outcome.max_owned,
+            mean_owned: outcome.mean_owned,
+            ghost_fraction: outcome.ghost_fraction,
         }
     }
 }

@@ -64,6 +64,7 @@ pub use verify::{AffectanceVerifier, VerifierStrategy};
 
 use serde::{Deserialize, Serialize};
 use wagg_geometry::logmath::{log_log2, log_star};
+use wagg_obs::Recorder;
 use wagg_schedule::{BackendKind, Schedule, ScheduleReport, SchedulerConfig, SolveReport};
 use wagg_sinr::link::link_diversity;
 use wagg_sinr::Link;
@@ -85,6 +86,12 @@ pub struct ShardedReport {
     pub repaired_links: usize,
     /// Links the global verification pass evicted and re-packed.
     pub evicted_links: usize,
+    /// Largest per-shard owned-link count (the imbalance numerator).
+    pub max_owned: usize,
+    /// Mean per-shard owned-link count.
+    pub mean_owned: f64,
+    /// Ghost copies per owned link — the halo replication overhead.
+    pub ghost_fraction: f64,
 }
 
 impl From<ShardedReport> for SolveReport {
@@ -101,8 +108,12 @@ impl From<ShardedReport> for SolveReport {
                 boundary_links: sharded.boundary_links,
                 repaired_links: sharded.repaired_links,
                 evicted_links: sharded.evicted_links,
+                max_owned: sharded.max_owned,
+                mean_owned: sharded.mean_owned,
+                ghost_fraction: sharded.ghost_fraction,
             }),
             repair: None,
+            metrics: None,
         }
     }
 }
@@ -169,7 +180,30 @@ pub fn solve_sharded(
     target_shards: usize,
     strategy: VerifierStrategy,
 ) -> ShardedReport {
+    solve_sharded_traced(
+        links,
+        config,
+        target_shards,
+        strategy,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`solve_sharded`] with phase instrumentation: records a `partition` span
+/// with `build` / `color` / `stitch` / `verify` children (per-shard `shard`
+/// sub-spans inside build and color), the `partition.*` occupancy and
+/// stitching counters, and the `verifier.*` work counters on `rec` (see
+/// `wagg-obs`). With the workspace `obs` feature off, or with a disabled
+/// recorder, this is exactly [`solve_sharded`].
+pub fn solve_sharded_traced(
+    links: &[Link],
+    config: SchedulerConfig,
+    target_shards: usize,
+    strategy: VerifierStrategy,
+    rec: &Recorder,
+) -> ShardedReport {
     assert!(target_shards > 0, "need at least one shard");
+    let root = rec.span("partition");
     let relation = config.mode.conflict_relation(config.model.alpha());
 
     let (positive, degenerate): (Vec<usize>, Vec<usize>) =
@@ -185,7 +219,7 @@ pub fn solve_sharded(
         .collect();
 
     let layout = PartitionLayout::build(&plinks, relation, target_shards);
-    let pieces = pipeline::build_pieces(&plinks, &layout, relation);
+    let pieces = pipeline::build_pieces(&plinks, &layout, relation, rec);
     let boundary: Vec<bool> = (0..plinks.len()).map(|i| layout.is_boundary(i)).collect();
     let mut owner_of = vec![(0u32, 0u32); plinks.len()];
     for (pi, piece) in pieces.iter().enumerate() {
@@ -193,8 +227,9 @@ pub fn solve_sharded(
             owner_of[piece.member_globals[local]] = (pi as u32, local as u32);
         }
     }
-    let outcome =
-        pipeline::schedule_pieces(&plinks, &pieces, &boundary, &owner_of, config, strategy);
+    let outcome = pipeline::schedule_pieces(
+        &plinks, &pieces, &boundary, &owner_of, config, strategy, rec,
+    );
 
     // Back to the caller's indices; degenerate links close the schedule as
     // singleton slots.
@@ -216,6 +251,7 @@ pub fn solve_sharded(
         mode: config.mode,
         num_links: links.len(),
     };
+    root.finish();
     ShardedReport {
         report,
         shards: layout.shards(),
@@ -223,5 +259,8 @@ pub fn solve_sharded(
         boundary_links: outcome.boundary_links,
         repaired_links: outcome.repaired_links,
         evicted_links: outcome.evicted_links,
+        max_owned: outcome.max_owned,
+        mean_owned: outcome.mean_owned,
+        ghost_fraction: outcome.ghost_fraction,
     }
 }

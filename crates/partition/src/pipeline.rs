@@ -41,6 +41,7 @@
 use crate::layout::PartitionLayout;
 use crate::verify::{AffectanceVerifier, VerifierStrategy};
 use wagg_conflict::{ConflictGraph, ConflictRelation};
+use wagg_obs::Recorder;
 use wagg_schedule::{schedule_prebuilt, split_class_into_feasible, SchedulerConfig};
 use wagg_sinr::{Link, PathLossCache};
 
@@ -76,6 +77,14 @@ pub(crate) struct PipelineOutcome {
     /// Links evicted by the global verification pass (local-phase evictions
     /// are not counted — those stay within their shard's color space).
     pub evicted_links: usize,
+    /// Largest per-shard owned-link count (0 with no shards).
+    pub max_owned: usize,
+    /// Mean per-shard owned-link count (0.0 with no shards).
+    pub mean_owned: f64,
+    /// Ghost copies per owned link: total ghost memberships across shards
+    /// divided by the owned total (0.0 for an empty universe) — the halo
+    /// replication overhead of the tiling.
+    pub ghost_fraction: f64,
 }
 
 /// Builds every shard's [`ShardPieces`] from a [`PartitionLayout`]: member
@@ -88,8 +97,11 @@ pub(crate) fn build_pieces(
     links: &[Link],
     layout: &PartitionLayout,
     relation: ConflictRelation,
+    rec: &Recorder,
 ) -> Vec<ShardPieces> {
+    let phase = rec.span("partition/build");
     let build = |s: usize| -> ShardPieces {
+        let shard_span = phase.child("shard");
         let owned = layout.owned(s);
         let ghosts = layout.ghosts(s);
         let member_globals: Vec<usize> = owned
@@ -106,21 +118,21 @@ pub(crate) fn build_pieces(
                 link
             })
             .collect();
-        ShardPieces {
+        let pieces = ShardPieces {
             owned_local: (0..owned.len()).collect(),
             graph: ConflictGraph::build(&member_links, relation),
             member_globals,
             parity: layout.parity(s),
-        }
+        };
+        shard_span.finish();
+        pieces
     };
     #[cfg(feature = "parallel")]
-    {
-        (0..layout.shards()).into_par_iter().map(build).collect()
-    }
+    let pieces: Vec<ShardPieces> = (0..layout.shards()).into_par_iter().map(build).collect();
     #[cfg(not(feature = "parallel"))]
-    {
-        (0..layout.shards()).map(build).collect()
-    }
+    let pieces: Vec<ShardPieces> = (0..layout.shards()).map(build).collect();
+    phase.finish();
+    pieces
 }
 
 /// Runs the full pipeline. `links` are the pipeline universe (ids relabeled
@@ -134,6 +146,7 @@ pub(crate) fn schedule_pieces(
     owner_of: &[(u32, u32)],
     config: SchedulerConfig,
     strategy: VerifierStrategy,
+    rec: &Recorder,
 ) -> PipelineOutcome {
     // One globally built cache (fixed assignment, noise-free) feeds every
     // shard slice and the global verifier; other configurations verify by
@@ -147,7 +160,9 @@ pub(crate) fn schedule_pieces(
         .map(|a| PathLossCache::new(&config.model, links, a));
 
     // Phase 1 + 2: independent per-shard coloring and local splits.
+    let color_phase = rec.span("partition/color");
     let shard_colors = |piece: &ShardPieces| -> Vec<usize> {
+        let shard_span = color_phase.child("shard");
         let owned_graph = piece.graph.induced_subgraph(&piece.owned_local);
         let report = schedule_prebuilt(&owned_graph, None, config.with_verification(false));
         // Colors indexed by owned position (the owned subgraph's vertex id).
@@ -163,7 +178,8 @@ pub(crate) fn schedule_pieces(
                 let (powers, weights) = cache.subset_parts(&piece.member_globals);
                 let verifier =
                     AffectanceVerifier::new(&config.model, piece.graph.links(), &powers, &weights)
-                        .with_strategy(strategy);
+                        .with_strategy(strategy)
+                        .with_recorder(rec);
                 let mut classes: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
                 for (p, &local) in piece.owned_local.iter().enumerate() {
                     classes[colors[p]].push(local);
@@ -187,6 +203,7 @@ pub(crate) fn schedule_pieces(
                 }
             }
         }
+        shard_span.finish();
         colors
     };
     #[cfg(feature = "parallel")]
@@ -200,6 +217,8 @@ pub(crate) fn schedule_pieces(
             colors[piece.member_globals[local]] = piece_colors[p];
         }
     }
+    color_phase.finish();
+    let stitch_phase = rec.span("partition/stitch");
 
     // Phase 3: boundary repair sweep. A neighbour's color is *final* when the
     // neighbour is interior (its shard coloring already separates it from
@@ -234,8 +253,10 @@ pub(crate) fn schedule_pieces(
         }
     }
     let coloring_slots = colors.iter().max().map(|&c| c + 1).unwrap_or(0);
+    stitch_phase.finish();
 
     // Phase 4: global verification.
+    let verify_phase = rec.span("partition/verify");
     let mut classes: Vec<Vec<usize>> = vec![Vec::new(); coloring_slots];
     for (i, &c) in colors.iter().enumerate() {
         classes[c].push(i);
@@ -246,8 +267,9 @@ pub(crate) fn schedule_pieces(
         slots.extend(classes.into_iter().filter(|c| !c.is_empty()));
     } else if let Some(cache) = &global_cache {
         let (powers, weights) = cache.parts();
-        let verifier =
-            AffectanceVerifier::new(&config.model, links, powers, weights).with_strategy(strategy);
+        let verifier = AffectanceVerifier::new(&config.model, links, powers, weights)
+            .with_strategy(strategy)
+            .with_recorder(rec);
         let mut all_evicted: Vec<usize> = Vec::new();
         for class in classes.into_iter().filter(|c| !c.is_empty()) {
             let (kept, evicted) = verifier.evict_infeasible(&class);
@@ -263,6 +285,36 @@ pub(crate) fn schedule_pieces(
             slots.extend(split_class_into_feasible(links, &class, &config, None));
         }
     }
+    verify_phase.finish();
+
+    // Per-shard occupancy: how evenly the tiling spread ownership, and how
+    // much halo replication the ghosts cost.
+    let owned_total: usize = pieces.iter().map(|p| p.owned_local.len()).sum();
+    let ghost_copies: usize = pieces
+        .iter()
+        .map(|p| p.member_globals.len() - p.owned_local.len())
+        .sum();
+    let max_owned = pieces
+        .iter()
+        .map(|p| p.owned_local.len())
+        .max()
+        .unwrap_or(0);
+    let mean_owned = if pieces.is_empty() {
+        0.0
+    } else {
+        owned_total as f64 / pieces.len() as f64
+    };
+    let ghost_fraction = if owned_total == 0 {
+        0.0
+    } else {
+        ghost_copies as f64 / owned_total as f64
+    };
+    rec.add("partition.owned_links", owned_total as u64);
+    rec.add("partition.ghost_copies", ghost_copies as u64);
+    rec.record_max("partition.owned_max", max_owned as u64);
+    rec.add("partition.boundary_links", boundary_links as u64);
+    rec.add("partition.repaired_links", repaired_links as u64);
+    rec.add("partition.evicted_links", evicted_links as u64);
 
     PipelineOutcome {
         slots,
@@ -270,5 +322,8 @@ pub(crate) fn schedule_pieces(
         boundary_links,
         repaired_links,
         evicted_links,
+        max_owned,
+        mean_owned,
+        ghost_fraction,
     }
 }

@@ -54,6 +54,7 @@
 use serde::{Deserialize, Serialize};
 use wagg_geometry::pyramid::GridPyramid;
 use wagg_geometry::{BoundingBox, Point};
+use wagg_obs::{Counter, Recorder};
 use wagg_sinr::link::LinkId;
 use wagg_sinr::pathloss::relative_interference_sum;
 use wagg_sinr::{AlphaPow, Link, SinrModel};
@@ -135,6 +136,16 @@ pub struct AffectanceVerifier<'a> {
     /// construction — the shared grid anchor for every slot query and every
     /// repack probe (`None` only for an empty universe).
     sender_extent: Option<BoundingBox>,
+    /// `verifier.expansions`: pyramid nodes opened during certify descents
+    /// (accumulated locally per target, one atomic add per certify call).
+    expansions: Counter,
+    /// `verifier.exact_fallbacks`: targets the certified bound could not
+    /// acquit, resolved by the exact kernel.
+    exact_fallbacks: Counter,
+    /// `verifier.evictions`: members evicted by verification sweeps.
+    evictions: Counter,
+    /// `verifier.repacked`: evicted members re-packed into fresh slots.
+    repacked: Counter,
 }
 
 impl<'a> AffectanceVerifier<'a> {
@@ -174,6 +185,10 @@ impl<'a> AffectanceVerifier<'a> {
             inv_beta: 1.0 / model.beta(),
             strategy: VerifierStrategy::default(),
             sender_extent,
+            expansions: Counter::default(),
+            exact_fallbacks: Counter::default(),
+            evictions: Counter::default(),
+            repacked: Counter::default(),
         }
     }
 
@@ -181,6 +196,20 @@ impl<'a> AffectanceVerifier<'a> {
     /// natural depth).
     pub fn with_strategy(mut self, strategy: VerifierStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Routes the verifier's work counters to `rec`: `verifier.expansions`
+    /// (pyramid nodes opened per certify descent), `verifier.exact_fallbacks`
+    /// (targets the certified bound could not acquit), `verifier.evictions`
+    /// and `verifier.repacked`. Counts are accumulated locally and flushed
+    /// with one relaxed atomic add per call, so verdicts stay cheap; a
+    /// disabled recorder (the default) keeps every counter no-op.
+    pub fn with_recorder(mut self, rec: &Recorder) -> Self {
+        self.expansions = rec.counter("verifier.expansions");
+        self.exact_fallbacks = rec.counter("verifier.exact_fallbacks");
+        self.evictions = rec.counter("verifier.evictions");
+        self.repacked = rec.counter("verifier.repacked");
         self
     }
 
@@ -263,7 +292,10 @@ impl<'a> AffectanceVerifier<'a> {
             Some(total) if total <= self.inv_beta => true,
             // The bound failed (or met a zero distance / unknown weight);
             // only an exact sum can acquit.
-            _ => self.exact_ok(members, k),
+            _ => {
+                self.exact_fallbacks.add(1);
+                self.exact_ok(members, k)
+            }
         };
         #[cfg(feature = "parallel")]
         {
@@ -336,6 +368,7 @@ impl<'a> AffectanceVerifier<'a> {
                 evicted.push(i);
             }
         }
+        self.evictions.add(evicted.len() as u64);
         (kept, evicted)
     }
 
@@ -346,6 +379,7 @@ impl<'a> AffectanceVerifier<'a> {
     /// The result depends only on the evicted *set* (the sort canonicalises
     /// the input order) and the verifier's construction inputs.
     pub fn pack_first_fit(&self, evicted: &[usize]) -> Vec<Vec<usize>> {
+        self.repacked.add(evicted.len() as u64);
         let mut order = evicted.to_vec();
         order.sort_by(|&a, &b| {
             self.links[b]
@@ -656,6 +690,15 @@ impl<'v, 'a> SlotPyramid<'v, 'a> {
     /// target weight, or a zero distance (collocated interferer / a tight
     /// box reaching the receiver) — which callers resolve exactly.
     fn certify(&self, k: usize, cap: f64) -> Option<f64> {
+        let mut expansions = 0u64;
+        let out = self.certify_counting(k, cap, &mut expansions);
+        self.v.expansions.add(expansions);
+        out
+    }
+
+    /// The descent body of [`SlotPyramid::certify`], accumulating opened
+    /// nodes into `expansions` (flushed by the wrapper with one atomic add).
+    fn certify_counting(&self, k: usize, cap: f64, expansions: &mut u64) -> Option<f64> {
         let v = self.v;
         let target = &v.links[self.members[k]];
         let weight = v.weights[self.members[k]]?;
@@ -718,6 +761,7 @@ impl<'v, 'a> SlotPyramid<'v, 'a> {
             } else {
                 // Too close for the aggregate: expand the children (pushed
                 // reversed so they pop in row-major order).
+                *expansions += 1;
                 let mut kids = [(0usize, 0usize); 4];
                 let mut n = 0;
                 for kid in self.pyr.children(l, c, r) {

@@ -42,6 +42,7 @@ use crate::scheduler::{slot_ok, ScheduleReport, SchedulerConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wagg_geometry::logmath::{log_log2, log_star};
+use wagg_obs::Recorder;
 use wagg_sinr::link::link_diversity;
 use wagg_sinr::{Link, PathLossCache};
 
@@ -352,6 +353,37 @@ pub fn solve_repair(
     prev_budgets: &[f64],
     check: &[usize],
 ) -> RepairOutcome {
+    solve_repair_traced(
+        links,
+        neighbors,
+        judge,
+        config,
+        prev_colors,
+        prev_budgets,
+        check,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`solve_repair`] with phase instrumentation: records a `repair` span with
+/// `sweep` (stale-slot re-verification) and `place` (first-fit re-placement)
+/// children on `rec`, plus the `repair.dirty` / `repair.evicted` /
+/// `repair.admissions` / `repair.rejections` / `repair.fresh_slots` counters
+/// (accumulated locally — one atomic add per counter per call, nothing in the
+/// probe loops). With the workspace `obs` feature off, or with a disabled
+/// recorder, this is exactly [`solve_repair`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_repair_traced(
+    links: &[Link],
+    neighbors: &dyn Fn(usize) -> Vec<usize>,
+    judge: &dyn SlotJudge,
+    config: &SchedulerConfig,
+    prev_colors: &[Option<usize>],
+    prev_budgets: &[f64],
+    check: &[usize],
+    rec: &Recorder,
+) -> RepairOutcome {
+    let root = rec.span("repair");
     let n = links.len();
     assert_eq!(prev_colors.len(), n, "one previous color per link");
     assert_eq!(prev_budgets.len(), n, "one previous budget per link");
@@ -382,8 +414,11 @@ pub fn solve_repair(
         }
     }
 
+    let dirty = pending.len();
+
     // Re-verify the checked links; evicted members join the placement list.
     // Departures are monotone-safe, so only these can be stale.
+    let sweep_span = root.child("sweep");
     let mut evicted_total = 0usize;
     if config.verify_slots {
         let mut checked: Vec<usize> = check.to_vec();
@@ -420,8 +455,13 @@ pub fn solve_repair(
             }
         }
     }
+    sweep_span.finish();
     let replaced = pending.len();
 
+    let place_span = root.child("place");
+    let mut admissions = 0u64;
+    let mut rejections = 0u64;
+    let mut fresh_slots = 0u64;
     // First-fit placement in non-increasing length order (ties by link id —
     // the static kernel's split order, for determinism).
     pending.sort_by(|&a, &b| {
@@ -466,6 +506,7 @@ pub fn solve_repair(
                     added.push(on_m);
                 }
                 if !ok {
+                    rejections += 1;
                     continue;
                 }
                 for (&m, &on_m) in slot.iter().zip(&added) {
@@ -477,13 +518,18 @@ pub fn solve_repair(
                 candidate.extend_from_slice(slot);
                 candidate.push(i);
                 if !judge.feasible(&candidate) {
+                    rejections += 1;
                     continue;
                 }
             }
             placed = Some(c);
             break;
         }
+        if placed.is_some() {
+            admissions += 1;
+        }
         let c = placed.unwrap_or_else(|| {
+            fresh_slots += 1;
             slots.push(Vec::new());
             mark.push(usize::MAX);
             slots.len() - 1
@@ -491,6 +537,12 @@ pub fn solve_repair(
         slots[c].push(i);
         color_of[i] = Some(c);
     }
+    place_span.finish();
+    rec.add("repair.dirty", dirty as u64);
+    rec.add("repair.evicted", evicted_total as u64);
+    rec.add("repair.admissions", admissions);
+    rec.add("repair.rejections", rejections);
+    rec.add("repair.fresh_slots", fresh_slots);
 
     let slots: Vec<Vec<usize>> = slots.into_iter().filter(|s| !s.is_empty()).collect();
     let diversity = link_diversity(links).unwrap_or(1.0);

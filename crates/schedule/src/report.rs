@@ -30,6 +30,7 @@ use crate::schedule::Schedule;
 use crate::scheduler::ScheduleReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use wagg_obs::{CounterMetric, Metrics, PhaseMetric};
 
 /// Which execution strategy produced a [`SolveReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +68,12 @@ pub struct ShardingStats {
     pub repaired_links: usize,
     /// Links the global verification pass evicted and re-packed.
     pub evicted_links: usize,
+    /// Largest per-shard owned-link count (the imbalance numerator).
+    pub max_owned: usize,
+    /// Mean per-shard owned-link count.
+    pub mean_owned: f64,
+    /// Ghost copies per owned link — the halo replication overhead.
+    pub ghost_fraction: f64,
 }
 
 /// The outcome of a scheduling run, uniform across backends: the full
@@ -85,6 +92,10 @@ pub struct SolveReport {
     /// Warm-start repair accounting; `None` unless the solve ran through a
     /// repair-enabled session (see [`RepairStats`]).
     pub repair: Option<RepairStats>,
+    /// Instrumentation snapshot (phase timings and work counters) from the
+    /// `wagg-obs` recorder the solve ran under; `None` when the solve was
+    /// not instrumented (or the workspace `obs` feature is off).
+    pub metrics: Option<Metrics>,
 }
 
 impl SolveReport {
@@ -97,6 +108,7 @@ impl SolveReport {
             backend,
             sharding: None,
             repair: None,
+            metrics: None,
         }
     }
 
@@ -104,6 +116,20 @@ impl SolveReport {
     /// repair-enabled session backends).
     pub fn with_repair(mut self, repair: RepairStats) -> Self {
         self.repair = Some(repair);
+        self
+    }
+
+    /// Attaches an instrumentation snapshot (builder-style; the session
+    /// facade calls this with `Recorder::metrics()` when a recorder is
+    /// installed). Empty snapshots are dropped — an obs-off build records
+    /// nothing, and `None` keeps the JSON encoding identical to an
+    /// uninstrumented run.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = if metrics.is_empty() {
+            None
+        } else {
+            Some(metrics)
+        };
         self
     }
 
@@ -148,14 +174,30 @@ impl SolveReport {
         );
         if let Some(s) = &self.sharding {
             line.push_str(&format!(
-                "; shards {}, radius {:.1}, boundary {}, repaired {}, evicted {}",
-                s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
+                "; shards {}, radius {:.1}, boundary {}, repaired {}, evicted {}, \
+                 owned max {}/mean {:.1}, ghosts {:.1}%",
+                s.shards,
+                s.radius,
+                s.boundary_links,
+                s.repaired_links,
+                s.evicted_links,
+                s.max_owned,
+                s.mean_owned,
+                s.ghost_fraction * 100.0,
             ));
         }
         if let Some(r) = &self.repair {
             line.push_str(&format!(
                 "; repair {}, dirty {}, replaced {}, drift {:.3} (watermark {:.3})",
                 r.decision, r.dirty_links, r.replaced_links, r.drift, r.watermark
+            ));
+        }
+        if let Some(m) = &self.metrics {
+            line.push_str(&format!(
+                "; metrics {} phases/{} counters, instrumented {:.1}ms",
+                m.phases.len(),
+                m.counters.len(),
+                m.root_nanos() as f64 / 1e6,
             ));
         }
         line
@@ -184,8 +226,16 @@ impl SolveReport {
             None => out.push_str(",\"sharding\":null"),
             Some(s) => out.push_str(&format!(
                 ",\"sharding\":{{\"shards\":{},\"radius\":{},\"boundary_links\":{},\
-                 \"repaired_links\":{},\"evicted_links\":{}}}",
-                s.shards, s.radius, s.boundary_links, s.repaired_links, s.evicted_links
+                 \"repaired_links\":{},\"evicted_links\":{},\"max_owned\":{},\
+                 \"mean_owned\":{},\"ghost_fraction\":{}}}",
+                s.shards,
+                s.radius,
+                s.boundary_links,
+                s.repaired_links,
+                s.evicted_links,
+                s.max_owned,
+                s.mean_owned,
+                s.ghost_fraction
             )),
         }
         match &self.repair {
@@ -200,6 +250,32 @@ impl SolveReport {
                 r.drift,
                 r.watermark
             )),
+        }
+        match &self.metrics {
+            None => out.push_str(",\"metrics\":null"),
+            Some(m) => {
+                out.push_str(",\"metrics\":{\"phases\":[");
+                for (i, p) in m.phases.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"path\":\"{}\",\"nanos\":{},\"count\":{}}}",
+                        p.path, p.nanos, p.count
+                    ));
+                }
+                out.push_str("],\"counters\":[");
+                for (i, c) in m.counters.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"value\":{}}}",
+                        c.name, c.value
+                    ));
+                }
+                out.push_str("]}");
+            }
         }
         out.push_str(",\"slots\":[");
         for (t, slot) in r.schedule.slots().iter().enumerate() {
@@ -241,6 +317,8 @@ impl SolveReport {
         // Pre-repair documents have no "repair" key; default to `None`
         // instead of rejecting them so archived reports stay parseable.
         let mut repair: Option<RepairStats> = None;
+        // Same for pre-observability documents and "metrics".
+        let mut metrics: Option<Metrics> = None;
         let mut slots: Option<Vec<Vec<usize>>> = None;
         loop {
             let key = p.string()?;
@@ -263,6 +341,7 @@ impl SolveReport {
                 "log_log_diversity" => log_log_diversity = Some(p.number()?),
                 "sharding" => sharding = Some(p.sharding()?),
                 "repair" => repair = p.repair()?,
+                "metrics" => metrics = p.metrics()?,
                 "slots" => slots = Some(p.slots()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -286,6 +365,7 @@ impl SolveReport {
             backend: backend.ok_or("missing backend")?,
             sharding: sharding.ok_or("missing sharding")?,
             repair,
+            metrics,
         })
     }
 }
@@ -429,12 +509,17 @@ impl<'a> Parser<'a> {
             return Err(format!("expected null at byte {}", self.pos));
         }
         self.expect('{')?;
+        // Occupancy keys default to zero so documents archived before the
+        // imbalance accounting existed keep parsing.
         let mut stats = ShardingStats {
             shards: 0,
             radius: 0.0,
             boundary_links: 0,
             repaired_links: 0,
             evicted_links: 0,
+            max_owned: 0,
+            mean_owned: 0.0,
+            ghost_fraction: 0.0,
         };
         loop {
             let key = self.string()?;
@@ -445,6 +530,9 @@ impl<'a> Parser<'a> {
                 "boundary_links" => stats.boundary_links = self.integer()?,
                 "repaired_links" => stats.repaired_links = self.integer()?,
                 "evicted_links" => stats.evicted_links = self.integer()?,
+                "max_owned" => stats.max_owned = self.integer()?,
+                "mean_owned" => stats.mean_owned = self.number()?,
+                "ghost_fraction" => stats.ghost_fraction = self.number()?,
                 other => return Err(format!("unknown sharding key {other:?}")),
             }
             if !self.comma_or_end('}')? {
@@ -489,6 +577,84 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(Some(stats))
+    }
+
+    fn metrics(&mut self) -> Result<Option<Metrics>, String> {
+        if self.peek()? == b'n' {
+            // `null`
+            if self.bytes[self.pos..].starts_with(b"null") {
+                self.pos += 4;
+                return Ok(None);
+            }
+            return Err(format!("expected null at byte {}", self.pos));
+        }
+        self.expect('{')?;
+        let mut metrics = Metrics::default();
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "phases" => {
+                    self.objects(|p, obj: &mut PhaseMetric, key| {
+                        match key {
+                            "path" => obj.path = p.string()?,
+                            "nanos" => obj.nanos = p.integer()? as u64,
+                            "count" => obj.count = p.integer()? as u64,
+                            other => return Err(format!("unknown phase key {other:?}")),
+                        }
+                        Ok(())
+                    })
+                    .map(|phases| metrics.phases = phases)?;
+                }
+                "counters" => {
+                    self.objects(|p, obj: &mut CounterMetric, key| {
+                        match key {
+                            "name" => obj.name = p.string()?,
+                            "value" => obj.value = p.integer()? as u64,
+                            other => return Err(format!("unknown counter key {other:?}")),
+                        }
+                        Ok(())
+                    })
+                    .map(|counters| metrics.counters = counters)?;
+                }
+                other => return Err(format!("unknown metrics key {other:?}")),
+            }
+            if !self.comma_or_end('}')? {
+                break;
+            }
+        }
+        Ok(Some(metrics))
+    }
+
+    /// Parses `[{...},{...}]` where each object's fields are handled by
+    /// `field` against a default-initialised `T`.
+    fn objects<T: Default>(
+        &mut self,
+        mut field: impl FnMut(&mut Self, &mut T, &str) -> Result<(), String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(items);
+        }
+        loop {
+            self.expect('{')?;
+            let mut item = T::default();
+            loop {
+                let key = self.string()?;
+                self.expect(':')?;
+                field(self, &mut item, &key)?;
+                if !self.comma_or_end('}')? {
+                    break;
+                }
+            }
+            items.push(item);
+            if !self.comma_or_end(']')? {
+                break;
+            }
+        }
+        Ok(items)
     }
 
     fn slots(&mut self) -> Result<Vec<Vec<usize>>, String> {
@@ -567,13 +733,19 @@ mod tests {
                 boundary_links: 3,
                 repaired_links: 1,
                 evicted_links: 0,
+                max_owned: 9,
+                mean_owned: 6.0,
+                ghost_fraction: 0.125,
             }),
             repair: None,
+            metrics: None,
         };
         let line = sharded.summary();
         assert!(line.starts_with("[sharded]"), "{line}");
         assert!(line.contains("shards 4"), "{line}");
         assert!(line.contains("radius 12.5"), "{line}");
+        assert!(line.contains("owned max 9/mean 6.0"), "{line}");
+        assert!(line.contains("ghosts 12.5%"), "{line}");
     }
 
     #[test]
@@ -632,6 +804,9 @@ mod tests {
                         boundary_links: 7,
                         repaired_links: 2,
                         evicted_links: 1,
+                        max_owned: 1501,
+                        mean_owned: 1250.5,
+                        ghost_fraction: 0.0625,
                     }),
                     repair: Some(RepairStats {
                         decision: RepairDecision::WatermarkBreach,
@@ -640,6 +815,30 @@ mod tests {
                         baseline_slots: report.schedule.len(),
                         drift: 0.5,
                         watermark: 0.25,
+                    }),
+                    metrics: Some(Metrics {
+                        phases: vec![
+                            PhaseMetric {
+                                path: "partition".into(),
+                                nanos: 3_200_000,
+                                count: 1,
+                            },
+                            PhaseMetric {
+                                path: "partition/build/shard".into(),
+                                nanos: 1_000_000,
+                                count: 16,
+                            },
+                        ],
+                        counters: vec![
+                            CounterMetric {
+                                name: "partition.owned_links".into(),
+                                value: 20008,
+                            },
+                            CounterMetric {
+                                name: "verifier.expansions".into(),
+                                value: 731,
+                            },
+                        ],
                     }),
                 },
             ] {
@@ -678,5 +877,75 @@ mod tests {
         let legacy = solve.to_json().replace(",\"repair\":null", "");
         let back = SolveReport::from_json(&legacy).expect("legacy document parses");
         assert_eq!(back, solve);
+    }
+
+    #[test]
+    fn pre_observability_documents_still_parse() {
+        // Reports archived before the metrics field and the occupancy keys
+        // existed must keep parsing: "metrics" defaults to `None`, the
+        // occupancy stats to zero.
+        let mut solve =
+            SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()));
+        solve.backend = BackendKind::Sharded;
+        solve.sharding = Some(ShardingStats {
+            shards: 4,
+            radius: 10.0,
+            boundary_links: 5,
+            repaired_links: 1,
+            evicted_links: 0,
+            max_owned: 0,
+            mean_owned: 0.0,
+            ghost_fraction: 0.0,
+        });
+        let legacy = solve
+            .to_json()
+            .replace(",\"metrics\":null", "")
+            .replace(",\"max_owned\":0,\"mean_owned\":0,\"ghost_fraction\":0", "");
+        assert!(!legacy.contains("max_owned"), "replace must have fired");
+        let back = SolveReport::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(back, solve);
+    }
+
+    #[test]
+    fn empty_metrics_are_dropped() {
+        // An obs-off (or disabled-recorder) run yields an empty snapshot;
+        // attaching it must leave the report — and its JSON — identical to
+        // an uninstrumented run.
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()));
+        let attached = solve.clone().with_metrics(Metrics::default());
+        assert_eq!(attached, solve);
+        assert_eq!(attached.to_json(), solve.to_json());
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let metrics = Metrics {
+            phases: vec![
+                PhaseMetric {
+                    path: "static".into(),
+                    nanos: 42_000,
+                    count: 1,
+                },
+                PhaseMetric {
+                    path: "static/color".into(),
+                    nanos: 17_500,
+                    count: 1,
+                },
+            ],
+            counters: vec![CounterMetric {
+                name: "static.coloring_slots".into(),
+                value: 7,
+            }],
+        };
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()))
+            .with_metrics(metrics.clone());
+        assert_eq!(solve.metrics.as_ref(), Some(&metrics));
+        let back = SolveReport::from_json(&solve.to_json()).expect("round-trip parses");
+        assert_eq!(back, solve);
+        let m = back.metrics.expect("metrics survive the round trip");
+        assert_eq!(m.phase("static/color").unwrap().nanos, 17_500);
+        assert_eq!(m.counter("static.coloring_slots"), Some(7));
+        let line = solve.summary();
+        assert!(line.contains("metrics 2 phases/1 counters"), "{line}");
     }
 }

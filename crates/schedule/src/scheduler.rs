@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use wagg_conflict::{greedy_color, ConflictGraph};
 use wagg_geometry::logmath::{log_log2, log_star};
 use wagg_mst::MstError;
+use wagg_obs::Recorder;
 use wagg_sinr::link::link_diversity;
 use wagg_sinr::{Link, PathLossCache, SinrModel};
 
@@ -111,9 +112,22 @@ impl ScheduleReport {
 /// assert!(report.schedule.verify(&links, &SchedulerConfig::new(PowerMode::Uniform).model, PowerMode::Uniform));
 /// ```
 pub fn solve_static(links: &[Link], config: SchedulerConfig) -> ScheduleReport {
+    solve_static_traced(links, config, &Recorder::disabled())
+}
+
+/// [`solve_static`] with phase instrumentation: the conflict-graph build
+/// records its `conflict/*` phase spans and the coloring/verification pass
+/// records `static/color` / `static/verify` on `rec` (see `wagg-obs`). With
+/// the workspace `obs` feature off, or with a disabled recorder, this is
+/// exactly [`solve_static`].
+pub fn solve_static_traced(
+    links: &[Link],
+    config: SchedulerConfig,
+    rec: &Recorder,
+) -> ScheduleReport {
     let relation = config.mode.conflict_relation(config.model.alpha());
-    let graph = ConflictGraph::build(links, relation);
-    schedule_prebuilt(&graph, None, config)
+    let graph = ConflictGraph::build_traced(links, relation, rec);
+    schedule_prebuilt_traced(&graph, None, config, rec)
 }
 
 /// Schedules an arbitrary link set under the given configuration.
@@ -157,6 +171,20 @@ pub fn schedule_prebuilt(
     cache: Option<&PathLossCache<'_>>,
     config: SchedulerConfig,
 ) -> ScheduleReport {
+    schedule_prebuilt_traced(graph, cache, config, &Recorder::disabled())
+}
+
+/// [`schedule_prebuilt`] with phase instrumentation: records a `static` span
+/// with `color` and `verify` children on `rec`, plus the
+/// `static.coloring_slots` / `static.verified_slots` counters. With the
+/// workspace `obs` feature off, or with a disabled recorder, this is exactly
+/// [`schedule_prebuilt`].
+pub fn schedule_prebuilt_traced(
+    graph: &ConflictGraph,
+    cache: Option<&PathLossCache<'_>>,
+    config: SchedulerConfig,
+    rec: &Recorder,
+) -> ScheduleReport {
     assert_eq!(
         graph.relation(),
         config.mode.conflict_relation(config.model.alpha()),
@@ -173,9 +201,13 @@ pub fn schedule_prebuilt(
     // The affectance kernel the cache feeds is noise-free; with noise the
     // probes must evaluate the full SINR quotient per materialised slot.
     let cache = cache.filter(|_| config.model.noise() == 0.0);
+    let root = rec.span("static");
+    let color_span = root.child("color");
     let coloring = greedy_color(graph);
     let coloring_slots = coloring.num_colors();
+    color_span.finish();
 
+    let verify_span = root.child("verify");
     // One shared cache for every slot probe of this run (unless the caller
     // lent one, or the mode/model need per-slot treatment).
     let owned_cache = match cache {
@@ -196,6 +228,9 @@ pub fn schedule_prebuilt(
         }
         slots.extend(split_class_into_feasible(links, &class, &config, cache));
     }
+    verify_span.finish();
+    rec.add("static.coloring_slots", coloring_slots as u64);
+    rec.add("static.verified_slots", slots.len() as u64);
 
     let diversity = link_diversity(links).unwrap_or(1.0);
     ScheduleReport {

@@ -21,11 +21,13 @@ use crate::{RepairPolicy, SessionError, SessionStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wagg_engine::{EngineConfig, InterferenceEngine};
 use wagg_geometry::Point;
+use wagg_obs::Recorder;
 use wagg_partition::{
-    solve_sharded, AffectanceVerifier, PartitionedEngine, PartitionedEngineConfig, VerifierStrategy,
+    solve_sharded_traced, AffectanceVerifier, PartitionedEngine, PartitionedEngineConfig,
+    VerifierStrategy,
 };
 use wagg_schedule::{
-    solve_static, BackendKind, CacheJudge, RepairDecision, RepairStats, ScheduleReport,
+    solve_static_traced, BackendKind, CacheJudge, RepairDecision, RepairStats, ScheduleReport,
     SchedulerConfig, SolveReport,
 };
 use wagg_sinr::{Link, LinkId, NodeId, PathLossCache};
@@ -115,6 +117,15 @@ pub trait SchedulerBackend: std::fmt::Debug {
     fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
         let _ = policy;
         None
+    }
+
+    /// Installs a `wagg-obs` recorder: subsequent solves record their phase
+    /// spans and work counters into it (see
+    /// [`SessionBuilder::recorder`](crate::SessionBuilder::recorder)). The
+    /// default implementation discards the recorder — a backend without
+    /// instrumentation hooks simply records nothing.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
     }
 
     /// Event accounting for this backend.
@@ -255,6 +266,7 @@ pub struct StaticBackend {
     inserts: usize,
     removals: usize,
     moves: usize,
+    recorder: Recorder,
 }
 
 impl StaticBackend {
@@ -267,6 +279,7 @@ impl StaticBackend {
             inserts: 0,
             removals: 0,
             moves: 0,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -337,7 +350,11 @@ impl SchedulerBackend for StaticBackend {
     }
 
     fn solve(&mut self) -> SolveReport {
-        solve_static(&self.links(), self.scheduler).into()
+        solve_static_traced(&self.links(), self.scheduler, &self.recorder).into()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     fn stats(&self) -> SessionStats {
@@ -588,7 +605,7 @@ impl SchedulerBackend for EngineBackend {
                     .map(|w| pos_of[w])
                     .collect()
             };
-            wagg_schedule::solve_repair(
+            wagg_schedule::solve_repair_traced(
                 &links,
                 &neighbors,
                 &judge,
@@ -596,6 +613,7 @@ impl SchedulerBackend for EngineBackend {
                 &prev,
                 &prev_budgets,
                 &check,
+                self.engine.recorder(),
             )
         };
         let drift = drift_vs(outcome.report.schedule.len(), baseline);
@@ -624,6 +642,10 @@ impl SchedulerBackend for EngineBackend {
                 watermark: policy.max_drift,
             }),
         )
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.engine.set_recorder(recorder);
     }
 
     fn stats(&self) -> SessionStats {
@@ -670,6 +692,7 @@ pub struct ShardedBackend {
     /// mode only — rebuild mode has no incremental state to repair).
     dirty: BTreeSet<u64>,
     warm: Option<WarmSchedule>,
+    recorder: Recorder,
 }
 
 impl ShardedBackend {
@@ -693,6 +716,7 @@ impl ShardedBackend {
             moves: 0,
             dirty: BTreeSet::new(),
             warm: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -714,6 +738,7 @@ impl ShardedBackend {
             moves: 0,
             dirty: BTreeSet::new(),
             warm: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -932,15 +957,23 @@ impl SchedulerBackend for ShardedBackend {
 
     fn solve(&mut self) -> SolveReport {
         match &self.inner {
-            ShardedInner::Rebuild { .. } => solve_sharded(
+            ShardedInner::Rebuild { .. } => solve_sharded_traced(
                 &self.links(),
                 self.scheduler,
                 self.target_shards,
                 self.strategy,
+                &self.recorder,
             )
             .into(),
             ShardedInner::Engine { engine, .. } => engine.schedule().into(),
         }
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        if let ShardedInner::Engine { engine, .. } = &mut self.inner {
+            engine.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
@@ -1020,8 +1053,9 @@ impl SchedulerBackend for ShardedBackend {
             let out = match &parts {
                 Some((powers, weights)) => {
                     let judge = AffectanceVerifier::new(&config.model, &links, powers, weights)
-                        .with_strategy(self.strategy);
-                    wagg_schedule::solve_repair(
+                        .with_strategy(self.strategy)
+                        .with_recorder(&self.recorder);
+                    wagg_schedule::solve_repair_traced(
                         &links,
                         &neighbors,
                         &judge,
@@ -1029,11 +1063,12 @@ impl SchedulerBackend for ShardedBackend {
                         &prev,
                         &prev_budgets,
                         &check,
+                        &self.recorder,
                     )
                 }
                 None => {
                     let judge = CacheJudge::new(&links, config, None);
-                    wagg_schedule::solve_repair(
+                    wagg_schedule::solve_repair_traced(
                         &links,
                         &neighbors,
                         &judge,
@@ -1041,6 +1076,7 @@ impl SchedulerBackend for ShardedBackend {
                         &prev,
                         &prev_budgets,
                         &check,
+                        &self.recorder,
                     )
                 }
             };
@@ -1087,6 +1123,11 @@ impl SchedulerBackend for ShardedBackend {
             boundary_links: boundary,
             repaired_links: replaced,
             evicted_links: outcome.evicted,
+            // The warm repair path touches only the dirty set; per-shard
+            // occupancy is not re-derived on this fast path.
+            max_owned: 0,
+            mean_owned: 0.0,
+            ghost_fraction: 0.0,
         });
         Some(solve)
     }

@@ -71,6 +71,7 @@
 mod backend;
 
 pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend};
+pub use wagg_obs::{Metrics, Recorder};
 pub use wagg_partition::VerifierStrategy;
 pub use wagg_schedule::{
     BackendKind, RepairDecision, RepairStats, SchedulerConfig, ShardingStats, SolveReport,
@@ -309,6 +310,7 @@ pub struct SessionStats {
 pub struct SessionBuilder {
     config: SessionConfig,
     links: Vec<Link>,
+    recorder: Recorder,
 }
 
 impl SessionBuilder {
@@ -390,6 +392,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a `wagg-obs` [`Recorder`]: every solve records its phase
+    /// spans and work counters into it, and each [`SolveReport`] carries the
+    /// recorder's cumulative [`Metrics`] snapshot
+    /// ([`SolveReport::metrics`]). The default (a disabled recorder) records
+    /// nothing and adds no overhead; with the workspace `obs` feature off
+    /// this is a no-op whatever recorder is passed.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Seeds the session with an initial link universe (keys `0..n` in
     /// input order; [`Backend::Auto`] resolves against its size).
     pub fn links(mut self, links: &[Link]) -> Self {
@@ -405,7 +418,11 @@ impl SessionBuilder {
     /// With [`PartitionHints`] and a sharded backend, panics when a seeded
     /// link's length falls outside the declared bounds.
     pub fn build(self) -> Session {
-        Session::with_links(self.config, &self.links)
+        let mut session = Session::with_links(self.config, &self.links);
+        if self.recorder.is_enabled() {
+            session.set_recorder(self.recorder);
+        }
+        session
     }
 }
 
@@ -419,6 +436,9 @@ pub struct Session {
     /// Trace key → session key, persistent across [`Session::apply_trace`]
     /// calls (traces replayed in pieces keep their bindings).
     trace_keys: HashMap<u64, u64>,
+    /// The installed instrumentation sink (disabled unless
+    /// [`SessionBuilder::recorder`] / [`Session::set_recorder`] ran).
+    recorder: Recorder,
 }
 
 impl Session {
@@ -470,7 +490,22 @@ impl Session {
             config,
             backend,
             trace_keys: HashMap::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a `wagg-obs` [`Recorder`] on the session and its backend
+    /// (see [`SessionBuilder::recorder`]).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.backend.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder — disabled (recording nothing) unless one was
+    /// installed. Use it to pull [`Metrics`] or a chrome-trace export
+    /// without waiting for a solve.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The session's layered configuration.
@@ -649,27 +684,35 @@ impl Session {
     /// event batch dirtied are re-placed (see [`RepairStats`] on the report
     /// for the decision and accounting). Backends without incremental state
     /// recolor as always, tagged [`RepairDecision::Unsupported`].
+    ///
+    /// With a [`Recorder`] installed ([`SessionBuilder::recorder`]), the
+    /// report additionally carries the recorder's cumulative [`Metrics`]
+    /// snapshot in [`SolveReport::metrics`].
     pub fn solve(&mut self) -> SolveReport {
-        if !self.config.repair.enabled {
-            return self.backend.solve();
-        }
-        let policy = self.config.repair;
-        match self.backend.solve_repair(&policy) {
-            Some(report) => report,
-            None => {
-                let report = self.backend.solve();
-                let baseline = report.slots();
-                let num_links = report.num_links();
-                report.with_repair(RepairStats {
-                    decision: RepairDecision::Unsupported,
-                    dirty_links: 0,
-                    replaced_links: num_links,
-                    baseline_slots: baseline,
-                    drift: 0.0,
-                    watermark: policy.max_drift,
-                })
+        let report = if !self.config.repair.enabled {
+            self.backend.solve()
+        } else {
+            let policy = self.config.repair;
+            match self.backend.solve_repair(&policy) {
+                Some(report) => report,
+                None => {
+                    let report = self.backend.solve();
+                    let baseline = report.slots();
+                    let num_links = report.num_links();
+                    report.with_repair(RepairStats {
+                        decision: RepairDecision::Unsupported,
+                        dirty_links: 0,
+                        replaced_links: num_links,
+                        baseline_slots: baseline,
+                        drift: 0.0,
+                        watermark: policy.max_drift,
+                    })
+                }
             }
-        }
+        };
+        // The snapshot is cumulative over the recorder's lifetime (empty —
+        // and dropped — for the default disabled recorder).
+        report.with_metrics(self.recorder.metrics())
     }
 }
 
@@ -877,6 +920,95 @@ mod tests {
                 Err(SessionError::UnknownKey { key: 999_999 })
             );
         }
+    }
+
+    /// The observability contract: installing a recorder changes *nothing*
+    /// about the schedule — every backend, with and without repair, produces
+    /// slot-for-slot identical output, and the instrumented report carries a
+    /// metrics snapshot naming the backend's own phases.
+    #[test]
+    fn recorder_is_pure_observation_across_backends() {
+        let links = grid_links(60, 7.0);
+        for backend in [Backend::Static, Backend::Engine, Backend::Sharded] {
+            let builder = || {
+                Session::builder()
+                    .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+                    .backend(backend)
+                    .links(&links)
+            };
+            let mut plain = builder().build();
+            let rec = Recorder::new();
+            let mut traced = builder().recorder(rec.clone()).build();
+
+            let baseline = plain.solve();
+            let observed = traced.solve();
+            assert_eq!(
+                observed.report, baseline.report,
+                "{backend:?} drifted under observation"
+            );
+            assert_eq!(observed.sharding, baseline.sharding, "{backend:?}");
+            assert_eq!(baseline.metrics, None, "{backend:?}");
+
+            // Churn + second solve: still identical.
+            let k1 = plain.insert(Point::new(3.5, 3.5), Point::new(4.5, 3.5));
+            let k2 = traced.insert(Point::new(3.5, 3.5), Point::new(4.5, 3.5));
+            assert_eq!(k1, k2);
+            assert_eq!(
+                traced.solve().report,
+                plain.solve().report,
+                "{backend:?} drifted after churn"
+            );
+
+            #[cfg(feature = "obs")]
+            {
+                let m = traced
+                    .solve()
+                    .metrics
+                    .expect("instrumented solve carries metrics");
+                let expected_root = match backend {
+                    Backend::Static => "static",
+                    // The engine backend's solve runs the static kernel on
+                    // the maintained snapshot.
+                    Backend::Engine => "static",
+                    Backend::Sharded => "partition",
+                    Backend::Auto => unreachable!(),
+                };
+                assert!(
+                    m.phase(expected_root).is_some(),
+                    "{backend:?} metrics missing root phase {expected_root:?}: {:?}",
+                    m.phases.iter().map(|p| &p.path).collect::<Vec<_>>()
+                );
+                assert_eq!(m, traced.recorder().metrics());
+            }
+        }
+    }
+
+    #[test]
+    fn repair_solves_record_repair_phases() {
+        let mut session = Session::builder()
+            .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+            .backend(Backend::Engine)
+            .repair(RepairPolicy::enabled())
+            .links(&grid_links(40, 7.0))
+            .build();
+        let rec = Recorder::new();
+        session.set_recorder(rec.clone());
+        session.solve(); // cold start anchors the warm baseline
+        session.insert(Point::new(2.0, 9.0), Point::new(3.0, 9.0));
+        let report = session.solve();
+        assert_eq!(
+            report.repair.as_ref().map(|r| r.decision),
+            Some(RepairDecision::Repaired)
+        );
+        #[cfg(feature = "obs")]
+        {
+            let m = report.metrics.expect("instrumented solve carries metrics");
+            assert!(m.phase("repair").is_some());
+            assert!(m.phase("repair/place").is_some());
+            assert_eq!(m.counter("repair.dirty"), Some(1));
+        }
+        #[cfg(not(feature = "obs"))]
+        assert_eq!(report.metrics, None);
     }
 
     #[test]

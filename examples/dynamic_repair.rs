@@ -18,12 +18,10 @@
 //! (`SolveReport::repair`) for a relocation stream — the same solve call,
 //! microseconds-to-milliseconds instead of a full recolor.
 
-use std::time::Instant;
-
 use wireless_aggregation::dynamic::{run_churn_scenario, ChurnConfig, RepairStrategy};
 use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::schedule::SchedulerConfig;
-use wireless_aggregation::{Backend, Point, PowerMode, RepairPolicy, Session};
+use wireless_aggregation::{Backend, Point, PowerMode, Recorder, RepairPolicy, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 120;
@@ -77,10 +75,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = 4_000usize;
     let cols = (m as f64).sqrt() as usize;
     let side = cols as f64 * 2.0;
+    // All timing below runs through wagg-obs: the recorder's RAII spans
+    // time the solves, and the same recorder accumulates the engine's own
+    // phase tree and repair counters for the closing printout.
+    let recorder = Recorder::new();
     let mut warm = Session::builder()
         .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
         .backend(Backend::Engine)
         .repair(RepairPolicy::enabled())
+        .recorder(recorder.clone())
         .build();
     let mut keys = Vec::with_capacity(m);
     for i in 0..m {
@@ -91,12 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (x, y) = (col * 2.0 + (i % 7) as f64 * 0.11, row * 2.0);
         keys.push(warm.insert(Point::new(x, y), Point::new(x + 1.0, y)));
     }
-    let cold_start = Instant::now();
+    let cold_start = recorder.span("cold-solve");
     let cold = warm.solve();
     println!(
         "\nWarm-start slot repair: {m} links, cold solve {} slots in {:.1} ms",
         cold.slots(),
-        cold_start.elapsed().as_secs_f64() * 1e3
+        cold_start.finish().as_secs_f64() * 1e3
     );
     println!(
         "{:<8} {:>17} {:>8} {:>10} {:>8} {:>16}",
@@ -108,9 +111,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let y = (event as f64 * 53.0) % (side - 2.0);
         warm.relocate(key, Point::new(x, y), Point::new(x + 1.0, y))
             .expect("seeded keys stay live");
-        let clock = Instant::now();
+        let clock = recorder.span("event-to-schedule");
         let report = warm.solve();
-        let latency = clock.elapsed();
+        let latency = clock.finish();
         let stats = report.repair.expect("repair-enabled solves carry stats");
         println!(
             "{:<8} {:>17} {:>8} {:>10} {:>8.3} {:>13.1} µs",
@@ -123,5 +126,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nEach event re-places a handful of links in microseconds-to-milliseconds while the schedule stays SINR-feasible. The drift column is the length inflation the watermark bounds: the one event whose repair would stretch the schedule past it pays for a full recolor instead — and re-anchors the baseline, so the stream goes right back to cheap repairs.");
+
+    // The recorder saw every solve: its aggregated phase tree is the same
+    // data `SolveReport::metrics` carries and `partition_profile --trace`
+    // exports as a chrome trace.
+    let metrics = recorder.metrics();
+    if !metrics.is_empty() {
+        println!("\nAggregated wagg-obs phases across the event stream:");
+        for phase in &metrics.phases {
+            println!(
+                "  {:<24} {:>10.3} ms  x{}",
+                phase.path,
+                phase.millis(),
+                phase.count
+            );
+        }
+        for name in ["repair.dirty", "repair.admissions", "repair.fresh_slots"] {
+            if let Some(value) = metrics.counter(name) {
+                println!("  {name:<24} {value:>10}");
+            }
+        }
+    }
     Ok(())
 }

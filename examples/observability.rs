@@ -1,0 +1,102 @@
+//! End-to-end observability: watch a sharded solve from the inside.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+//!
+//! Every scheduling layer threads a `wagg-obs` [`Recorder`] — the static
+//! kernel's color/verify split, the sharded pipeline's per-shard
+//! build/color/stitch/verify phases, the certified verifier's expansion and
+//! eviction counters. This example installs one recorder on a sharded
+//! session, solves, and then reads the run three ways:
+//!
+//! 1. the uniform `SolveReport::summary()` line, which now appends the
+//!    per-shard occupancy skew and a metrics digest;
+//! 2. the aggregated phase tree and work counters
+//!    ([`SolveReport::metrics`], also JSON round-trippable through
+//!    `SolveReport::to_json`);
+//! 3. a Chrome `trace_event` export ([`Recorder::chrome_trace`]) that
+//!    `chrome://tracing`, Perfetto and speedscope open directly.
+//!
+//! With `--no-default-features` (the `obs` feature off) the recorder is a
+//! zero-sized no-op: the same code compiles and runs, the schedule is
+//! bit-identical, and the metrics section is simply absent.
+
+use wireless_aggregation::geometry::Point;
+use wireless_aggregation::obs::trace;
+use wireless_aggregation::{
+    Backend, Link, PowerMode, Recorder, SchedulerConfig, Session, SolveReport,
+};
+
+fn main() {
+    // A constant-density random-ish deployment, big enough that the sharded
+    // pipeline has real per-shard work to time.
+    let n = 20_000usize;
+    let side = (n as f64).sqrt().ceil() as usize;
+    let links: Vec<Link> = (0..n)
+        .map(|i| {
+            let x = (i % side) as f64 * 2.0 + (i % 11) as f64 * 0.07;
+            let y = (i / side) as f64 * 2.0 + (i % 7) as f64 * 0.05;
+            Link::new(i, Point::new(x, y), Point::new(x + 1.0, y))
+        })
+        .collect();
+
+    let recorder = Recorder::new();
+    let mut session = Session::builder()
+        .scheduler(SchedulerConfig::new(PowerMode::mean_oblivious()))
+        .backend(Backend::Sharded)
+        .target_shards(8)
+        .recorder(recorder.clone())
+        .links(&links)
+        .build();
+
+    let report = session.solve();
+    println!("{}", report.summary());
+
+    let Some(metrics) = &report.metrics else {
+        println!("\n(no metrics: built with the `obs` feature off)");
+        return;
+    };
+
+    // The phase tree: span paths nest by '/', children's totals are part of
+    // their parents' (per-shard spans aggregate into one path with a count).
+    println!(
+        "\nPhase tree (aggregated over {} spans):",
+        metrics.phases.len()
+    );
+    for phase in &metrics.phases {
+        let depth = phase.path.matches('/').count();
+        let name = phase.path.rsplit('/').next().unwrap_or(&phase.path);
+        println!(
+            "  {:indent$}{:<24} {:>10.3} ms  x{}",
+            "",
+            name,
+            phase.millis(),
+            phase.count,
+            indent = depth * 2
+        );
+    }
+
+    println!("\nWork counters:");
+    for counter in &metrics.counters {
+        println!("  {:<28} {:>12}", counter.name, counter.value);
+    }
+
+    // The metrics section survives the report's JSON codec, so archived
+    // bench reports carry their own profile.
+    let json = report.to_json();
+    let parsed = SolveReport::from_json(&json).expect("report JSON round-trips");
+    assert_eq!(parsed.metrics.as_ref(), Some(metrics));
+    println!("\nJSON round-trip: {} bytes, metrics intact", json.len());
+
+    // And the same recording exports as a flamegraph-ready chrome trace.
+    let chrome = recorder.chrome_trace();
+    let stats = trace::validate(&chrome).expect("exporter emits valid trace_event JSON");
+    println!(
+        "Chrome trace: {} events, root span {:.3} ms (open in chrome://tracing)",
+        stats.events,
+        stats.max_dur_us / 1e3
+    );
+}

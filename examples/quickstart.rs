@@ -17,13 +17,11 @@
 //! uniform report summaries — and then replays the best schedule in the
 //! discrete-time convergecast simulator.
 
-use std::time::Instant;
-
 use wireless_aggregation::instances::random::uniform_square;
 use wireless_aggregation::mst::euclidean_mst;
 use wireless_aggregation::sim::{ConvergecastSim, SimConfig};
 use wireless_aggregation::{
-    Backend, PowerMode, RepairPolicy, SchedulerConfig, Session, SolveReport,
+    Backend, PowerMode, Recorder, RepairPolicy, SchedulerConfig, Session, SolveReport,
 };
 
 fn main() {
@@ -107,10 +105,15 @@ fn main() {
     // an event-to-schedule round trip is microseconds, not a full recolor.
     println!();
     println!("Replaying one sensor relocation with warm-start repair ...");
+    // Timing goes through the instrumentation layer the scheduler itself
+    // uses: an enabled `Recorder` hands out RAII span timers, and the same
+    // recorder collects the backend's internal phase tree along the way.
+    let recorder = Recorder::new();
     let mut live = Session::builder()
         .scheduler(SchedulerConfig::new(best_mode))
         .backend(Backend::Engine)
         .repair(RepairPolicy::enabled())
+        .recorder(recorder.clone())
         .links(&links)
         .build();
     live.solve(); // cold start anchors the warm baseline
@@ -121,9 +124,9 @@ fn main() {
         moved.receiver.translated(15.0, -10.0),
     )
     .expect("link 0 is live");
-    let clock = Instant::now();
+    let clock = recorder.span("event-to-schedule");
     let repaired = live.solve();
-    let latency = clock.elapsed();
+    let latency = clock.finish();
     let stats = repaired
         .repair
         .expect("repair-enabled solves carry repair stats");
@@ -136,4 +139,12 @@ fn main() {
         stats.drift,
         stats.watermark
     );
+    if let Some(metrics) = &repaired.metrics {
+        if let Some(place) = metrics.phase("repair/place") {
+            println!(
+                "  of which placing dirtied links: {:.1} µs (see SolveReport::metrics)",
+                place.nanos as f64 / 1e3
+            );
+        }
+    }
 }
