@@ -30,13 +30,13 @@ RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets
 echo "==> serial build (--no-default-features: parallel kernels and obs instrumentation off)"
 cargo build --workspace --no-default-features
 
-echo "==> serial kernel tests (incl. the sharded-scheduling sweep, the session differential + repair suites, and the zero-sized no-op recorder)"
+echo "==> serial kernel tests (incl. the sharded-scheduling sweep, the session differential + repair + telemetry suites, and the zero-sized no-op recorders)"
 cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition -p wagg-session -p wagg-obs
 
-echo "==> session differential + warm-start repair suites, parallel build"
+echo "==> session differential + warm-start repair + telemetry suites, parallel build"
 cargo test -q -p wagg-session
 
-echo "==> wagg-obs suite, parallel build (active recorder, span tree, trace exporter)"
+echo "==> wagg-obs suite, parallel build (active recorder, span tree, trace exporter, flight recorder + JSONL/Prometheus exports)"
 cargo test -q -p wagg-obs
 
 # The serial wagg-partition run above already covers the hierarchical-verifier
@@ -67,6 +67,16 @@ if [[ "$MODE" != "quick" ]]; then
   cargo run --release -q -p wagg-bench --bin partition_profile -- 20000 8 --trace "$TRACE_DIR/trace.json" \
     | grep "trace OK" || { echo "trace smoke test failed"; exit 1; }
   rm -rf "$TRACE_DIR"
+
+  echo "==> telemetry smoke test (observability example: health signals + Prometheus exposition + JSONL replay)"
+  cargo run --release -q --example observability \
+    | grep "telemetry OK" || { echo "telemetry smoke test failed"; exit 1; }
+
+  echo "==> perf regression gate (bench_gate --check against BENCH_gate.json)"
+  # Generous tolerance: the gate catches order-of-magnitude slips (an
+  # accidental O(s^2) fallback, instrumentation that stopped being free),
+  # not scheduler noise on a shared box.
+  cargo run --release -q -p wagg-bench --bin bench_gate -- --check BENCH_gate.json --tolerance 150 --samples 2
 fi
 
 echo "CI gate passed."

@@ -1,0 +1,142 @@
+//! Perf regression gate: runs the fixed gate workload suite (see
+//! `wagg_bench::gate::run_gate_workloads`) and diffs the fresh numbers
+//! against a committed criterion-shim baseline on `min_ns`.
+//!
+//! ```text
+//! cargo run --release -p wagg-bench --bin bench_gate -- --record BENCH_gate.json [--samples K]
+//! cargo run --release -p wagg-bench --bin bench_gate -- --check BENCH_gate.json [--tolerance PCT] [--samples K]
+//! cargo run --release -p wagg-bench --bin bench_gate -- --diff OLD.json NEW.json [--tolerance PCT]
+//! ```
+//!
+//! * `--record` runs the suite and (over)writes the baseline file;
+//! * `--check` runs the suite and exits non-zero when any row got more
+//!   than `PCT` percent slower than the baseline (default 25), or when a
+//!   baseline row went missing;
+//! * `--diff` compares two already-recorded files without running anything.
+//!
+//! CI runs `--check` with a deliberately generous tolerance: the gate is
+//! there to catch order-of-magnitude slips (an accidental `O(s²)` fallback,
+//! instrumentation that stopped being free), not scheduler noise on a
+//! shared box.
+
+use std::process::exit;
+
+use wagg_bench::gate::{compare, parse, run_gate_workloads, BenchRun, GateReport};
+
+enum Mode {
+    Record(String),
+    Check(String),
+    Diff(String, String),
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --record FILE [--samples K]\n\
+       \x20      bench_gate --check FILE [--tolerance PCT] [--samples K]\n\
+       \x20      bench_gate --diff OLD NEW [--tolerance PCT]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut mode = None;
+    let mut tolerance: f64 = 25.0;
+    let mut samples: u32 = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--record" => mode = Some(Mode::Record(value())),
+            "--check" => mode = Some(Mode::Check(value())),
+            "--diff" => mode = Some(Mode::Diff(value(), value())),
+            "--tolerance" => {
+                tolerance = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--samples" => {
+                samples = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    match mode.unwrap_or_else(|| usage()) {
+        Mode::Record(path) => {
+            let run = run_gate_workloads(samples);
+            print_run(&run);
+            if let Err(e) = std::fs::write(&path, run.to_json()) {
+                eprintln!("bench_gate: could not write {path}: {e}");
+                exit(1);
+            }
+            println!("bench_gate: baseline recorded to {path}");
+        }
+        Mode::Check(path) => {
+            let baseline = load(&path);
+            let fresh = run_gate_workloads(samples);
+            print_run(&fresh);
+            verdict(&compare(&baseline, &fresh, tolerance), &path);
+        }
+        Mode::Diff(old, new) => {
+            let baseline = load(&old);
+            let fresh = load(&new);
+            verdict(&compare(&baseline, &fresh, tolerance), &old);
+        }
+    }
+}
+
+fn load(path: &str) -> BenchRun {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: could not read {path}: {e}");
+        exit(1);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        exit(1);
+    })
+}
+
+fn print_run(run: &BenchRun) {
+    for r in &run.benchmarks {
+        println!(
+            "bench_gate: {:<40} min {:>12.0} ns  mean {:>12.0} ns  ({} samples)",
+            r.key(),
+            r.min_ns,
+            r.mean_ns,
+            r.samples
+        );
+    }
+}
+
+fn verdict(report: &GateReport, baseline_path: &str) {
+    for d in &report.deltas {
+        println!("bench_gate: {d}");
+    }
+    for key in &report.unmatched {
+        println!("bench_gate: NEW      {key} (not in baseline — re-record to track it)");
+    }
+    for key in &report.missing {
+        println!("bench_gate: MISSING  {key} (in baseline, not produced by this run)");
+    }
+    let regressions = report.regressions();
+    for d in &regressions {
+        println!(
+            "bench_gate: REGRESSED {} ({:+.1}% > {:.0}% tolerance)",
+            d.key,
+            d.change_pct(),
+            report.tolerance_pct
+        );
+    }
+    if report.passed() {
+        println!(
+            "bench_gate OK ({} rows within {:.0}% of {baseline_path})",
+            report.deltas.len(),
+            report.tolerance_pct
+        );
+    } else {
+        println!(
+            "bench_gate FAILED ({} regression(s), {} missing row(s) against {baseline_path})",
+            regressions.len(),
+            report.missing.len()
+        );
+        exit(1);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod experiments;
 pub mod extensions;
+pub mod gate;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

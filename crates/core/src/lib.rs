@@ -92,7 +92,10 @@ pub use wagg_sinr as sinr;
 
 pub use wagg_geometry::Point;
 pub use wagg_instances::Instance;
-pub use wagg_obs::{Metrics, Recorder};
+pub use wagg_obs::{
+    FlightRecorder, HealthConfig, HealthReport, HealthSignal, Metrics, Recorder, SeriesKind,
+    SignalKind, SolveSample, TelemetryConfig,
+};
 pub use wagg_schedule::{
     BackendKind, PowerMode, RepairDecision, RepairStats, Schedule, ScheduleReport, SchedulerConfig,
     ShardingStats, SolveReport,

@@ -1,6 +1,6 @@
 //! The real recorder (compiled when the `obs` feature is on).
 
-use crate::{CounterMetric, Histogram, Metrics, PhaseMetric};
+use crate::{CounterMetric, Histogram, HistogramMetric, Metrics, PhaseMetric};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -174,6 +174,14 @@ impl Recorder {
                 .map(|(name, cell)| CounterMetric {
                     name: name.clone(),
                     value: cell.load(Ordering::Relaxed),
+                })
+                .collect(),
+            hists: state
+                .histograms
+                .iter()
+                .map(|(name, hist)| HistogramMetric {
+                    name: name.clone(),
+                    hist: hist.clone(),
                 })
                 .collect(),
         }

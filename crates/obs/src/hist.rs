@@ -7,9 +7,9 @@
 /// fits in ~half a kilobyte regardless of sample count.
 ///
 /// Quantiles are answered from the buckets: [`Histogram::quantile`]
-/// returns the **upper bound** of the bucket containing the requested
-/// rank, i.e. an over-estimate within a factor of two of the exact order
-/// statistic — the usual log-bucket trade-off.
+/// locates the bucket containing the requested rank and interpolates
+/// linearly within it, i.e. an estimate within a factor of two of the
+/// exact order statistic — the usual log-bucket trade-off.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
@@ -47,6 +47,14 @@ impl Histogram {
         }
     }
 
+    /// The smallest value bucket `b` can hold.
+    fn bucket_lower(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            _ => 1u64 << (b - 1),
+        }
+    }
+
     /// Records one sample.
     pub fn observe(&mut self, value: u64) {
         self.count += 1;
@@ -73,8 +81,13 @@ impl Histogram {
         }
     }
 
-    /// An upper bound on the `q`-quantile (`q` clamped to `[0, 1]`): the
-    /// upper edge of the bucket holding the sample of rank `⌈q·count⌉`.
+    /// An estimate of the `q`-quantile (`q` clamped to `[0, 1]`),
+    /// interpolated linearly inside the bucket holding the sample of
+    /// rank `⌈q·count⌉`: if that rank is the `k`-th of `n` samples in a
+    /// bucket spanning `[lo, hi]`, the answer is `lo + (hi−lo)·k/n`.
+    /// The estimate always lies in the sample's own bucket, so it is
+    /// within a factor of two of the exact order statistic (and equals
+    /// the bucket's upper edge when the bucket holds one sample).
     /// Returns `0` for an empty histogram; `quantile(0.0)` bounds the
     /// minimum, `quantile(1.0)` the maximum.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -84,12 +97,48 @@ impl Histogram {
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Self::bucket_upper(b);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let lower = Self::bucket_lower(b);
+                let upper = Self::bucket_upper(b);
+                let frac = (rank - seen) as f64 / n as f64;
+                // The f64 round-trip can overshoot by an ulp in the top
+                // bucket, so saturate and clamp to the bucket edge.
+                let off = ((upper - lower) as f64 * frac).round() as u64;
+                return lower.saturating_add(off).min(upper);
+            }
+            seen += n;
         }
         u64::MAX
+    }
+
+    /// The non-empty buckets as ascending `(bucket, count)` pairs — the
+    /// sparse form the report codec serialises.
+    pub fn bucket_counts(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (b, n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from a recorded `sum` and sparse
+    /// `(bucket, count)` pairs — the inverse of
+    /// [`Histogram::bucket_counts`]. Pairs with `bucket > 64` are
+    /// ignored; the count is recomputed from the pairs.
+    pub fn from_parts(sum: u64, buckets: &[(usize, u64)]) -> Histogram {
+        let mut h = Histogram::new();
+        h.sum = sum;
+        for &(b, n) in buckets {
+            if b <= 64 {
+                h.buckets[b] += n;
+                h.count += n;
+            }
+        }
+        h
     }
 
     /// Folds another histogram's samples into this one.
@@ -152,6 +201,61 @@ mod tests {
                 "q={q}: estimate {est} more than 2x exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_log2_buckets() {
+        // Four equal samples at 100 all land in bucket 7 = [64, 127]:
+        // rank k of 4 interpolates to 64 + round(63·k/4).
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.observe(100);
+        }
+        assert_eq!(h.quantile(0.25), 64 + 16);
+        assert_eq!(h.quantile(0.5), 64 + 32);
+        assert_eq!(h.quantile(1.0), 127);
+        // A bucket holding a single sample answers its upper edge for
+        // every q — the log-bucket resolution floor.
+        let mut s = Histogram::new();
+        s.observe(100);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 127);
+        }
+    }
+
+    #[test]
+    fn quantile_pins_bucket_boundaries() {
+        // Samples sitting exactly on power-of-two boundaries: 1 fills
+        // bucket 1 alone, {2, 3} fill bucket 2, 4 opens bucket 3.
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.observe(v);
+        }
+        // Rank 1 is the only sample of bucket 1 = {1}: exact.
+        assert_eq!(h.quantile(0.25), 1);
+        // Rank 2 is the 1st of 2 samples in bucket 2 = [2, 3]:
+        // interpolates to 2 + round(1·1/2) = 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // Rank 4 is the only sample of bucket 3 = [4, 7]: reported as
+        // the bucket's upper edge, the documented over-estimate.
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn bucket_counts_round_trip_through_from_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 900, u64::MAX] {
+            h.observe(v);
+        }
+        let sparse = h.bucket_counts();
+        assert_eq!(sparse, vec![(0, 1), (1, 1), (3, 2), (10, 1), (64, 1)]);
+        let back = Histogram::from_parts(h.sum(), &sparse);
+        assert_eq!(back, h);
+        // Out-of-range buckets are dropped, not panicked on.
+        let odd = Histogram::from_parts(10, &[(2, 3), (65, 9), (usize::MAX, 1)]);
+        assert_eq!(odd.count(), 3);
+        assert_eq!(odd.sum(), 10);
+        assert_eq!(Histogram::from_parts(0, &[]), Histogram::new());
     }
 
     #[test]

@@ -17,7 +17,19 @@
 //!   inside `rayon` worker closures (the shim's or crates.io's).
 //! * **Histograms** — [`Recorder::observe`] feeds a log₂-bucketed
 //!   [`Histogram`] per name (latency distributions without storing
-//!   samples).
+//!   samples, with interpolated [`Histogram::quantile`] read-out).
+//!
+//! The [`Recorder`] answers *where did this solve spend its time*; the
+//! [`telemetry`] module answers *how is the system trending across
+//! solves*. A [`FlightRecorder`] accumulates one [`SolveSample`] per
+//! session solve into bounded ring-buffer time series with rolling
+//! statistics (EWMA, windowed min/max/mean, log₂-histogram quantiles) and
+//! steps hysteresis-gated health detectors — occupancy skew, repair
+//! drift, latency regression — whose [`HealthReport`] the session attaches
+//! to every report. The [`export`] module reads that state back out: a
+//! Prometheus text exposition (`FlightRecorder::expose_text`) and a JSONL
+//! event-log codec ([`export::replay`]) that reproduces recorder state
+//! losslessly, truncated tails included.
 //!
 //! # Feature gating
 //!
@@ -58,10 +70,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
 mod hist;
+pub mod telemetry;
 pub mod trace;
 
 pub use hist::Histogram;
+pub use telemetry::{
+    BackendTag, FlightRecorder, HealthConfig, HealthReport, HealthSignal, RepairSample, RepairTag,
+    SeriesKind, SeriesStats, ShardSample, SignalKind, SolveSample, TelemetryConfig,
+};
 
 /// One aggregated phase of the span tree: every [`Span`] recorded under
 /// `path` contributes its duration to `nanos` and one unit to `count`.
@@ -91,25 +109,38 @@ pub struct CounterMetric {
     pub value: u64,
 }
 
+/// One named log₂-bucketed histogram snapshot (see
+/// [`Recorder::observe`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramMetric {
+    /// The histogram name (`"session.solve_ns"`).
+    pub name: String,
+    /// The accumulated distribution.
+    pub hist: Histogram,
+}
+
 /// A point-in-time aggregation of everything a [`Recorder`] has seen:
-/// the phase tree (span durations summed per path) and the counters.
+/// the phase tree (span durations summed per path), the counters, and
+/// the observation histograms.
 ///
 /// This is plain data in both feature configurations — it is the type the
 /// session facade embeds into `SolveReport` and round-trips through the
-/// report's JSON codec. Phases and counters are sorted by path/name, so
-/// two equal recordings compare equal.
+/// report's JSON codec. Phases, counters and histograms are sorted by
+/// path/name, so two equal recordings compare equal.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Metrics {
     /// The aggregated phase tree, sorted by path.
     pub phases: Vec<PhaseMetric>,
     /// The counters, sorted by name.
     pub counters: Vec<CounterMetric>,
+    /// The observation histograms, sorted by name.
+    pub hists: Vec<HistogramMetric>,
 }
 
 impl Metrics {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.phases.is_empty() && self.counters.is_empty()
+        self.phases.is_empty() && self.counters.is_empty() && self.hists.is_empty()
     }
 
     /// The phase recorded at exactly `path`, if any.
@@ -123,6 +154,11 @@ impl Metrics {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// The histogram observed under `name`, if any samples landed.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|h| h.name == name).map(|h| &h.hist)
     }
 
     /// Sum of `nanos` over the *top-level* phases (paths without `/`) —
@@ -170,6 +206,14 @@ mod tests {
                 name: "edges".into(),
                 value: 7,
             }],
+            hists: vec![HistogramMetric {
+                name: "lat".into(),
+                hist: {
+                    let mut h = Histogram::new();
+                    h.observe(100);
+                    h
+                },
+            }],
         };
         assert!(!m.is_empty());
         assert_eq!(m.phase("solve").unwrap().count, 1);
@@ -177,6 +221,8 @@ mod tests {
         assert_eq!(m.phase("missing"), None);
         assert_eq!(m.counter("edges"), Some(7));
         assert_eq!(m.counter("missing"), None);
+        assert_eq!(m.hist("lat").unwrap().count(), 1);
+        assert_eq!(m.hist("missing"), None);
         // Only the top-level phase counts towards the root total.
         assert_eq!(m.root_nanos(), 2_000_000);
         assert!(Metrics::default().is_empty());

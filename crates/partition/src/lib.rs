@@ -114,6 +114,7 @@ impl From<ShardedReport> for SolveReport {
             }),
             repair: None,
             metrics: None,
+            health: None,
         }
     }
 }

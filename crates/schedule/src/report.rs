@@ -30,7 +30,10 @@ use crate::schedule::Schedule;
 use crate::scheduler::ScheduleReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use wagg_obs::{CounterMetric, Metrics, PhaseMetric};
+use wagg_obs::{
+    BackendTag, CounterMetric, HealthReport, HealthSignal, Histogram, HistogramMetric, Metrics,
+    PhaseMetric, RepairTag, SignalKind,
+};
 
 /// Which execution strategy produced a [`SolveReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +53,31 @@ impl fmt::Display for BackendKind {
             BackendKind::Static => write!(f, "static"),
             BackendKind::Engine => write!(f, "engine"),
             BackendKind::Sharded => write!(f, "sharded"),
+        }
+    }
+}
+
+impl From<BackendKind> for BackendTag {
+    /// The flight recorder's backend tag for this provenance (the
+    /// `wagg-obs` mirror; the session facade uses this when it samples
+    /// a solve).
+    fn from(kind: BackendKind) -> BackendTag {
+        match kind {
+            BackendKind::Static => BackendTag::Static,
+            BackendKind::Engine => BackendTag::Engine,
+            BackendKind::Sharded => BackendTag::Sharded,
+        }
+    }
+}
+
+impl From<RepairDecision> for RepairTag {
+    /// The flight recorder's repair tag for this decision.
+    fn from(decision: RepairDecision) -> RepairTag {
+        match decision {
+            RepairDecision::Repaired => RepairTag::Repaired,
+            RepairDecision::ColdStart => RepairTag::ColdStart,
+            RepairDecision::WatermarkBreach => RepairTag::WatermarkBreach,
+            RepairDecision::Unsupported => RepairTag::Unsupported,
         }
     }
 }
@@ -96,6 +124,10 @@ pub struct SolveReport {
     /// `wagg-obs` recorder the solve ran under; `None` when the solve was
     /// not instrumented (or the workspace `obs` feature is off).
     pub metrics: Option<Metrics>,
+    /// Longitudinal health detectors from the session's flight recorder;
+    /// `None` when no flight recorder is installed (or the workspace
+    /// `obs` feature is off).
+    pub health: Option<HealthReport>,
 }
 
 impl SolveReport {
@@ -109,6 +141,7 @@ impl SolveReport {
             sharding: None,
             repair: None,
             metrics: None,
+            health: None,
         }
     }
 
@@ -129,6 +162,20 @@ impl SolveReport {
             None
         } else {
             Some(metrics)
+        };
+        self
+    }
+
+    /// Attaches the flight recorder's health report (builder-style; the
+    /// session facade calls this when a flight recorder is installed).
+    /// Empty reports are dropped, mirroring [`SolveReport::with_metrics`]:
+    /// an obs-off or recorder-less solve keeps `health: None` and a
+    /// byte-identical JSON encoding.
+    pub fn with_health(mut self, health: HealthReport) -> Self {
+        self.health = if health.is_empty() {
+            None
+        } else {
+            Some(health)
         };
         self
     }
@@ -199,6 +246,20 @@ impl SolveReport {
                 m.counters.len(),
                 m.root_nanos() as f64 / 1e6,
             ));
+            // The session facade observes each solve's wall time into this
+            // histogram, so long-running sessions get their latency
+            // quantiles in the one-liner.
+            if let Some(h) = m.hist("session.solve_ns") {
+                line.push_str(&format!(
+                    ", solve p50 {:.1}ms/p99 {:.1}ms",
+                    h.quantile(0.5) as f64 / 1e6,
+                    h.quantile(0.99) as f64 / 1e6,
+                ));
+            }
+        }
+        if let Some(h) = &self.health {
+            line.push_str("; ");
+            line.push_str(&h.summary());
         }
         line
     }
@@ -274,6 +335,53 @@ impl SolveReport {
                         c.name, c.value
                     ));
                 }
+                // Histograms serialise sparsely: the non-empty log2
+                // buckets as [index, count] pairs plus the sample sum.
+                out.push_str("],\"hists\":[");
+                for (i, h) in m.hists.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"sum\":{},\"buckets\":[",
+                        h.name,
+                        h.hist.sum()
+                    ));
+                    for (k, (b, n)) in h.hist.bucket_counts().into_iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{b},{n}]"));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]}");
+            }
+        }
+        match &self.health {
+            None => out.push_str(",\"health\":null"),
+            Some(h) => {
+                out.push_str(&format!(
+                    ",\"health\":{{\"solves\":{},\"signals\":[",
+                    h.solves
+                ));
+                for (i, s) in h.signals.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"kind\":\"{}\",\"active\":{},\"value\":{},\"fire\":{},\
+                         \"clear\":{},\"fired\":{},\"cleared\":{},\"since\":{}}}",
+                        s.kind.token(),
+                        s.active,
+                        s.value,
+                        s.fire_threshold,
+                        s.clear_threshold,
+                        s.fired,
+                        s.cleared,
+                        s.since
+                    ));
+                }
                 out.push_str("]}");
             }
         }
@@ -317,8 +425,10 @@ impl SolveReport {
         // Pre-repair documents have no "repair" key; default to `None`
         // instead of rejecting them so archived reports stay parseable.
         let mut repair: Option<RepairStats> = None;
-        // Same for pre-observability documents and "metrics".
+        // Same for pre-observability documents and "metrics", and for
+        // pre-telemetry documents and "health".
         let mut metrics: Option<Metrics> = None;
+        let mut health: Option<HealthReport> = None;
         let mut slots: Option<Vec<Vec<usize>>> = None;
         loop {
             let key = p.string()?;
@@ -342,6 +452,7 @@ impl SolveReport {
                 "sharding" => sharding = Some(p.sharding()?),
                 "repair" => repair = p.repair()?,
                 "metrics" => metrics = p.metrics()?,
+                "health" => health = p.health()?,
                 "slots" => slots = Some(p.slots()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -366,6 +477,7 @@ impl SolveReport {
             sharding: sharding.ok_or("missing sharding")?,
             repair,
             metrics,
+            health,
         })
     }
 }
@@ -617,6 +729,7 @@ impl<'a> Parser<'a> {
                     })
                     .map(|counters| metrics.counters = counters)?;
                 }
+                "hists" => metrics.hists = self.hists()?,
                 other => return Err(format!("unknown metrics key {other:?}")),
             }
             if !self.comma_or_end('}')? {
@@ -624,6 +737,150 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(Some(metrics))
+    }
+
+    /// Parses the sparse histogram array:
+    /// `[{"name":"...","sum":N,"buckets":[[b,n],...]},...]`.
+    fn hists(&mut self) -> Result<Vec<HistogramMetric>, String> {
+        self.expect('[')?;
+        let mut hists = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(hists);
+        }
+        loop {
+            self.expect('{')?;
+            let mut name = String::new();
+            let mut sum = 0u64;
+            let mut buckets: Vec<(usize, u64)> = Vec::new();
+            loop {
+                let key = self.string()?;
+                self.expect(':')?;
+                match key.as_str() {
+                    "name" => name = self.string()?,
+                    "sum" => sum = self.integer()? as u64,
+                    "buckets" => {
+                        self.expect('[')?;
+                        if self.peek()? == b']' {
+                            self.pos += 1;
+                        } else {
+                            loop {
+                                self.expect('[')?;
+                                let b = self.integer()?;
+                                self.expect(',')?;
+                                let n = self.integer()? as u64;
+                                self.expect(']')?;
+                                if b > 64 {
+                                    return Err(format!("histogram bucket {b} out of range"));
+                                }
+                                buckets.push((b, n));
+                                if !self.comma_or_end(']')? {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    other => return Err(format!("unknown histogram key {other:?}")),
+                }
+                if !self.comma_or_end('}')? {
+                    break;
+                }
+            }
+            hists.push(HistogramMetric {
+                name,
+                hist: Histogram::from_parts(sum, &buckets),
+            });
+            if !self.comma_or_end(']')? {
+                break;
+            }
+        }
+        Ok(hists)
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected a boolean at byte {}", self.pos))
+        }
+    }
+
+    fn health(&mut self) -> Result<Option<HealthReport>, String> {
+        if self.peek()? == b'n' {
+            // `null`
+            if self.bytes[self.pos..].starts_with(b"null") {
+                self.pos += 4;
+                return Ok(None);
+            }
+            return Err(format!("expected null at byte {}", self.pos));
+        }
+        self.expect('{')?;
+        let mut report = HealthReport::default();
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "solves" => report.solves = self.integer()? as u64,
+                "signals" => {
+                    self.expect('[')?;
+                    if self.peek()? == b']' {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            self.expect('{')?;
+                            let mut sig = HealthSignal {
+                                kind: SignalKind::Skew,
+                                active: false,
+                                value: 0.0,
+                                fire_threshold: 0.0,
+                                clear_threshold: 0.0,
+                                fired: 0,
+                                cleared: 0,
+                                since: 0,
+                            };
+                            loop {
+                                let key = self.string()?;
+                                self.expect(':')?;
+                                match key.as_str() {
+                                    "kind" => {
+                                        let tok = self.string()?;
+                                        sig.kind =
+                                            SignalKind::parse_token(&tok).ok_or_else(|| {
+                                                format!("unknown signal kind {tok:?}")
+                                            })?;
+                                    }
+                                    "active" => sig.active = self.boolean()?,
+                                    "value" => sig.value = self.number()?,
+                                    "fire" => sig.fire_threshold = self.number()?,
+                                    "clear" => sig.clear_threshold = self.number()?,
+                                    "fired" => sig.fired = self.integer()? as u64,
+                                    "cleared" => sig.cleared = self.integer()? as u64,
+                                    "since" => sig.since = self.integer()? as u64,
+                                    other => return Err(format!("unknown signal key {other:?}")),
+                                }
+                                if !self.comma_or_end('}')? {
+                                    break;
+                                }
+                            }
+                            report.signals.push(sig);
+                            if !self.comma_or_end(']')? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unknown health key {other:?}")),
+            }
+            if !self.comma_or_end('}')? {
+                break;
+            }
+        }
+        Ok(Some(report))
     }
 
     /// Parses `[{...},{...}]` where each object's fields are handled by
@@ -739,6 +996,7 @@ mod tests {
             }),
             repair: None,
             metrics: None,
+            health: None,
         };
         let line = sharded.summary();
         assert!(line.starts_with("[sharded]"), "{line}");
@@ -839,6 +1097,41 @@ mod tests {
                                 value: 731,
                             },
                         ],
+                        hists: vec![HistogramMetric {
+                            name: "session.solve_ns".into(),
+                            hist: {
+                                let mut h = Histogram::new();
+                                for v in [1_200_000u64, 1_900_000, 2_400_000, 75_000_000] {
+                                    h.observe(v);
+                                }
+                                h
+                            },
+                        }],
+                    }),
+                    health: Some(HealthReport {
+                        solves: 12,
+                        signals: vec![
+                            HealthSignal {
+                                kind: SignalKind::Skew,
+                                active: true,
+                                value: 2.5,
+                                fire_threshold: 2.0,
+                                clear_threshold: 1.5,
+                                fired: 2,
+                                cleared: 1,
+                                since: 9,
+                            },
+                            HealthSignal {
+                                kind: SignalKind::Latency,
+                                active: false,
+                                value: 1.0625,
+                                fire_threshold: 2.0,
+                                clear_threshold: 1.25,
+                                fired: 0,
+                                cleared: 0,
+                                since: 0,
+                            },
+                        ],
                     }),
                 },
             ] {
@@ -907,6 +1200,79 @@ mod tests {
     }
 
     #[test]
+    fn pre_telemetry_documents_still_parse() {
+        // Reports archived before the flight recorder existed carry no
+        // "health" key; they must keep parsing (as `health: None`).
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()));
+        let legacy = solve.to_json().replace(",\"health\":null", "");
+        assert!(!legacy.contains("health"), "replace must have fired");
+        let back = SolveReport::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(back, solve);
+    }
+
+    #[test]
+    fn empty_health_reports_are_dropped() {
+        // A recorder-less session attaches the empty report; the result —
+        // and its JSON — must be identical to a flight-recorder-off run.
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()));
+        let attached = solve.clone().with_health(HealthReport::default());
+        assert_eq!(attached, solve);
+        assert_eq!(attached.to_json(), solve.to_json());
+    }
+
+    #[test]
+    fn summary_appends_solve_quantiles_and_health() {
+        let mut hist = Histogram::new();
+        // 10 solves at ~2ms, one at 80ms: p50 sits in the 2ms bucket and
+        // p99 in the 80ms bucket.
+        for _ in 0..10 {
+            hist.observe(2_000_000);
+        }
+        hist.observe(80_000_000);
+        let metrics = Metrics {
+            phases: vec![PhaseMetric {
+                path: "session".into(),
+                nanos: 100_000_000,
+                count: 11,
+            }],
+            counters: vec![],
+            hists: vec![HistogramMetric {
+                name: "session.solve_ns".into(),
+                hist,
+            }],
+        };
+        let health = HealthReport {
+            solves: 11,
+            signals: vec![HealthSignal {
+                kind: SignalKind::Skew,
+                active: true,
+                value: 2.31,
+                fire_threshold: 2.0,
+                clear_threshold: 1.5,
+                fired: 1,
+                cleared: 0,
+                since: 7,
+            }],
+        };
+        let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()))
+            .with_metrics(metrics)
+            .with_health(health);
+        let line = solve.summary();
+        assert!(line.contains("solve p50 "), "{line}");
+        assert!(line.contains("/p99 "), "{line}");
+        assert!(line.contains("health FIRING (skew 2.310!)"), "{line}");
+        // The quantiles land in the samples' own log2 buckets: 2ms sits
+        // in [2^20, 2^21) ns ≈ [1.05, 2.10) ms, 80ms in [2^26, 2^27) ns
+        // ≈ [67.1, 134.3) ms.
+        let p50 = line.split("solve p50 ").nth(1).unwrap();
+        let p50: f64 = p50.split("ms").next().unwrap().parse().unwrap();
+        assert!((1.0..2.2).contains(&p50), "p50 = {p50}");
+        let p99 = line.split("/p99 ").nth(1).unwrap();
+        let p99: f64 = p99.split("ms").next().unwrap().parse().unwrap();
+        assert!((67.0..134.3).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
     fn empty_metrics_are_dropped() {
         // An obs-off (or disabled-recorder) run yields an empty snapshot;
         // attaching it must leave the report — and its JSON — identical to
@@ -935,6 +1301,15 @@ mod tests {
             counters: vec![CounterMetric {
                 name: "static.coloring_slots".into(),
                 value: 7,
+            }],
+            hists: vec![HistogramMetric {
+                name: "session.solve_ns".into(),
+                hist: {
+                    let mut h = Histogram::new();
+                    h.observe(42_000);
+                    h.observe(51_000);
+                    h
+                },
             }],
         };
         let solve = SolveReport::from(solve_static(&sample_links(), SchedulerConfig::default()))

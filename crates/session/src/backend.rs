@@ -148,6 +148,13 @@ struct WarmSchedule {
     budgets: HashMap<u64, f64>,
     /// Schedule length of the last full recolor.
     baseline_slots: usize,
+    /// `(max_owned, mean_owned, ghost_fraction)` from the last full
+    /// sharded solve. The warm repair fast path touches only the dirty
+    /// set and cannot re-derive per-shard occupancy, so it carries the
+    /// last full-solve skew forward instead of zeroing it — the drift
+    /// signals downstream stay real across repairs. `None` for backends
+    /// without sharding accounting (engine warm state).
+    skew: Option<(usize, f64, f64)>,
 }
 
 impl WarmSchedule {
@@ -172,6 +179,7 @@ impl WarmSchedule {
             colors,
             budgets: warm_budgets,
             baseline_slots: baseline,
+            skew: None,
         }
     }
 }
@@ -797,12 +805,13 @@ impl ShardedBackend {
             }
             _ => vec![0.0; solve.report.num_links],
         };
-        self.warm = Some(WarmSchedule::capture(
-            &solve.report,
-            |i| keys[i],
-            slots,
-            &budgets,
-        ));
+        let mut warm = WarmSchedule::capture(&solve.report, |i| keys[i], slots, &budgets);
+        // Remember this full solve's occupancy skew so subsequent
+        // repair-path reports can carry it forward.
+        warm.skew = solve
+            .sharding
+            .map(|s| (s.max_owned, s.mean_owned, s.ghost_fraction));
+        self.warm = Some(warm);
         self.dirty.clear();
         let replaced = solve.report.num_links;
         solve.with_repair(RepairStats {
@@ -991,6 +1000,7 @@ impl SchedulerBackend for ShardedBackend {
             ));
         };
         let baseline = warm.baseline_slots;
+        let carried_skew = warm.skew;
         let config = self.scheduler;
         let (outcome, shards, radius, boundary) = {
             let ShardedInner::Engine { engine, mirror } = &self.inner else {
@@ -1100,12 +1110,10 @@ impl SchedulerBackend for ShardedBackend {
             ShardedInner::Engine { mirror, .. } => mirror.keys().copied().collect(),
             ShardedInner::Rebuild { .. } => unreachable!(),
         };
-        self.warm = Some(WarmSchedule::capture(
-            &outcome.report,
-            |i| keys[i],
-            baseline,
-            &outcome.budgets,
-        ));
+        let mut warm =
+            WarmSchedule::capture(&outcome.report, |i| keys[i], baseline, &outcome.budgets);
+        warm.skew = carried_skew;
+        self.warm = Some(warm);
         self.dirty.clear();
         let replaced = outcome.replaced;
         let mut solve =
@@ -1117,17 +1125,19 @@ impl SchedulerBackend for ShardedBackend {
                 drift,
                 watermark: policy.max_drift,
             });
+        // The warm repair path touches only the dirty set; per-shard
+        // occupancy is not re-derived here, so the last full solve's skew
+        // is carried forward (ownership shifts only at full recolors).
+        let (max_owned, mean_owned, ghost_fraction) = carried_skew.unwrap_or((0, 0.0, 0.0));
         solve.sharding = Some(wagg_schedule::ShardingStats {
             shards,
             radius,
             boundary_links: boundary,
             repaired_links: replaced,
             evicted_links: outcome.evicted,
-            // The warm repair path touches only the dirty set; per-shard
-            // occupancy is not re-derived on this fast path.
-            max_owned: 0,
-            mean_owned: 0.0,
-            ghost_fraction: 0.0,
+            max_owned,
+            mean_owned,
+            ghost_fraction,
         });
         Some(solve)
     }

@@ -71,7 +71,10 @@
 mod backend;
 
 pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend};
-pub use wagg_obs::{Metrics, Recorder};
+pub use wagg_obs::{
+    FlightRecorder, HealthConfig, HealthReport, HealthSignal, Metrics, Recorder, SeriesKind,
+    SignalKind, SolveSample, TelemetryConfig,
+};
 pub use wagg_partition::VerifierStrategy;
 pub use wagg_schedule::{
     BackendKind, RepairDecision, RepairStats, SchedulerConfig, ShardingStats, SolveReport,
@@ -311,6 +314,7 @@ pub struct SessionBuilder {
     config: SessionConfig,
     links: Vec<Link>,
     recorder: Recorder,
+    flight: FlightRecorder,
 }
 
 impl SessionBuilder {
@@ -403,6 +407,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a `wagg-obs` [`FlightRecorder`]: every [`Session::solve`]
+    /// feeds it one [`SolveSample`] (wall time, backend, schedule length,
+    /// repair and sharding accounting, verifier counter deltas), and each
+    /// [`SolveReport`] carries the recorder's current [`HealthReport`]
+    /// ([`SolveReport::health`]). The default (a disabled flight recorder)
+    /// retains nothing and adds no overhead; with the workspace `obs`
+    /// feature off this is a no-op whatever recorder is passed.
+    ///
+    /// The verifier counter deltas (`exact_fallbacks`, `evictions`) are
+    /// read from the [`Recorder`] snapshot, so they are populated only
+    /// when a recorder is installed alongside.
+    pub fn flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
     /// Seeds the session with an initial link universe (keys `0..n` in
     /// input order; [`Backend::Auto`] resolves against its size).
     pub fn links(mut self, links: &[Link]) -> Self {
@@ -422,6 +442,9 @@ impl SessionBuilder {
         if self.recorder.is_enabled() {
             session.set_recorder(self.recorder);
         }
+        if self.flight.is_enabled() {
+            session.set_flight_recorder(self.flight);
+        }
         session
     }
 }
@@ -439,6 +462,16 @@ pub struct Session {
     /// The installed instrumentation sink (disabled unless
     /// [`SessionBuilder::recorder`] / [`Session::set_recorder`] ran).
     recorder: Recorder,
+    /// The installed telemetry sink (disabled unless
+    /// [`SessionBuilder::flight_recorder`] /
+    /// [`Session::set_flight_recorder`] ran).
+    flight: FlightRecorder,
+    /// Cumulative `verifier.exact_fallbacks` at the end of the previous
+    /// solve — the recorder's counters are monotone, the flight recorder
+    /// wants per-solve deltas.
+    flight_fallbacks: u64,
+    /// Cumulative `verifier.evictions` at the end of the previous solve.
+    flight_evictions: u64,
 }
 
 impl Session {
@@ -491,6 +524,9 @@ impl Session {
             backend,
             trace_keys: HashMap::new(),
             recorder: Recorder::disabled(),
+            flight: FlightRecorder::disabled(),
+            flight_fallbacks: 0,
+            flight_evictions: 0,
         }
     }
 
@@ -506,6 +542,21 @@ impl Session {
     /// without waiting for a solve.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Installs a `wagg-obs` [`FlightRecorder`] on the session (see
+    /// [`SessionBuilder::flight_recorder`]).
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
+    }
+
+    /// The installed flight recorder — disabled (retaining nothing) unless
+    /// one was installed. Use it to pull time series, quantiles, the
+    /// [`HealthReport`], a Prometheus text exposition
+    /// (`FlightRecorder::expose_text`) or a JSONL event log
+    /// (`FlightRecorder::to_jsonl`) between solves.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The session's layered configuration.
@@ -687,8 +738,17 @@ impl Session {
     ///
     /// With a [`Recorder`] installed ([`SessionBuilder::recorder`]), the
     /// report additionally carries the recorder's cumulative [`Metrics`]
-    /// snapshot in [`SolveReport::metrics`].
+    /// snapshot in [`SolveReport::metrics`], and the solve's wall time
+    /// lands in the recorder's `session.solve_ns` histogram. With a
+    /// [`FlightRecorder`] installed ([`SessionBuilder::flight_recorder`]),
+    /// the solve additionally feeds one [`SolveSample`] into the telemetry
+    /// ring and the report carries the current [`HealthReport`] in
+    /// [`SolveReport::health`].
     pub fn solve(&mut self) -> SolveReport {
+        // Timing only matters to the instrumentation sinks; skip the clock
+        // reads entirely on the bare path.
+        let t0 =
+            (self.recorder.is_enabled() || self.flight.is_enabled()).then(std::time::Instant::now);
         let report = if !self.config.repair.enabled {
             self.backend.solve()
         } else {
@@ -710,9 +770,45 @@ impl Session {
                 }
             }
         };
+        let wall_nanos = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        // The wall histogram must land before the snapshot so the metrics
+        // attached to this report already contain this solve.
+        self.recorder.observe("session.solve_ns", wall_nanos);
         // The snapshot is cumulative over the recorder's lifetime (empty —
         // and dropped — for the default disabled recorder).
-        report.with_metrics(self.recorder.metrics())
+        let metrics = self.recorder.metrics();
+        let mut report = report.with_metrics(metrics.clone());
+        if self.flight.is_enabled() {
+            // The recorder's verifier counters are cumulative; the flight
+            // recorder samples per-solve deltas.
+            let fallbacks = metrics.counter("verifier.exact_fallbacks").unwrap_or(0);
+            let evictions = metrics.counter("verifier.evictions").unwrap_or(0);
+            let sample = SolveSample {
+                seq: 0, // assigned by `record`
+                wall_nanos,
+                backend: report.backend.into(),
+                links: report.num_links() as u64,
+                slots: report.slots() as u64,
+                exact_fallbacks: fallbacks.saturating_sub(self.flight_fallbacks),
+                evictions: evictions.saturating_sub(self.flight_evictions),
+                repair: report.repair.as_ref().map(|r| wagg_obs::RepairSample {
+                    decision: r.decision.into(),
+                    dirty: r.dirty_links as u64,
+                    replaced: r.replaced_links as u64,
+                    drift: r.drift,
+                }),
+                sharding: report.sharding.as_ref().map(|s| wagg_obs::ShardSample {
+                    max_owned: s.max_owned as u64,
+                    mean_owned: s.mean_owned,
+                    ghost_fraction: s.ghost_fraction,
+                }),
+            };
+            self.flight_fallbacks = fallbacks;
+            self.flight_evictions = evictions;
+            self.flight.record(sample);
+            report = report.with_health(self.flight.health());
+        }
+        report
     }
 }
 
