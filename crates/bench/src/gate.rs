@@ -372,7 +372,13 @@ pub fn compare(baseline: &BenchRun, fresh: &BenchRun, tolerance_pct: f64) -> Gat
 /// * `gate/static/2000` — the from-scratch kernel;
 /// * `gate/sharded/20000` — the sharded pipeline, 4 shards;
 /// * `gate/repair/20000` — warm-started slot repair after a relocation
-///   burst on the sharded backend;
+///   burst on the sharded backend (cold seeding solve included — the row
+///   gates the whole churn round-trip);
+/// * `gate/repair_event/20000` — sustained churn on the engine backend:
+///   the session and its cold anchor live outside the timing, each sample
+///   is one single-event relocate + warm repair round-trip against the
+///   persistent mirrors, min-of-samples — the µs–ms O(dirty) repair floor,
+///   gated like every other hot path;
 /// * `gate/telemetry/20000` — `gate/sharded/20000` with a `Recorder` and
 ///   a `FlightRecorder` installed, so instrumentation overhead is itself a
 ///   gated quantity.
@@ -433,6 +439,33 @@ pub fn run_gate_workloads(samples: u32) -> BenchRun {
             }
             session.solve().slots()
         }));
+
+    {
+        let links = uniform_unit_links(20_000, 42);
+        let mut session = Session::builder()
+            .scheduler(scheduler)
+            .backend(Backend::Engine)
+            .repair(RepairPolicy::enabled())
+            .links(&links)
+            .build();
+        session.solve(); // cold start anchors the warm state and mirrors
+        let home = links[7].sender;
+        let receiver = links[7].receiver;
+        let mut flip = false;
+        run.benchmarks.push(time_workload(
+            "gate",
+            "repair_event/20000",
+            samples,
+            move || {
+                flip = !flip;
+                let dx = if flip { 0.3 } else { 0.0 };
+                session
+                    .relocate(7, wagg_geometry::Point::new(home.x + dx, home.y), receiver)
+                    .expect("seeded key is live");
+                session.solve().slots()
+            },
+        ));
+    }
 
     run.benchmarks
         .push(time_workload("gate", "telemetry/20000", samples, || {
@@ -565,7 +598,7 @@ mod tests {
     #[test]
     fn gate_workloads_produce_comparable_rows() {
         let run = run_gate_workloads(1);
-        assert_eq!(run.benchmarks.len(), 4);
+        assert_eq!(run.benchmarks.len(), 5);
         for r in &run.benchmarks {
             assert!(r.min_ns > 0.0, "{} measured nothing", r.key());
             assert!(r.min_ns <= r.mean_ns + 1e-9);

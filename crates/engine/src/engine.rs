@@ -776,6 +776,20 @@ impl InterferenceEngine {
         self.node_links.get(&node).cloned().unwrap_or_default()
     }
 
+    /// The maintained path-loss state of one live slot, `(power, weight)` —
+    /// the single-slot view of [`InterferenceEngine::cache_parts`], so a
+    /// caller mirroring the live set can patch just the entries an event
+    /// touched instead of re-collecting all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range (dead slots return the stored
+    /// `None`s, which is what a mirror should hold for them anyway — but
+    /// callers are expected to ask about live slots only).
+    pub fn cache_entry(&self, slot: usize) -> (Option<f64>, Option<f64>) {
+        (self.powers[slot], self.weights[slot])
+    }
+
     /// The patched per-link path-loss state gathered over the live links in
     /// [`InterferenceEngine::links`] order — ready for
     /// [`PathLossCache::from_parts`], so repair probes (like

@@ -218,6 +218,7 @@ impl SlotJudge for CacheJudge<'_> {
         1.0 / self.config.model.beta()
     }
 
+    #[inline]
     fn contribution(&self, source: usize, target: usize) -> f64 {
         self.cache
             .expect("contribution is only consulted on additive judges")
@@ -262,9 +263,39 @@ impl SlotJudge for CacheJudge<'_> {
     }
 }
 
+/// One re-placed link in a [`RepairOutcome`]: where it landed and the
+/// budget it closed with. Slot indices are in the *final* (compacted)
+/// numbering of [`RepairOutcome::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairPlacement {
+    /// The re-placed link's vertex position.
+    pub pos: usize,
+    /// Its slot index in the repaired schedule.
+    pub slot: usize,
+    /// Its final affectance budget (zero for non-additive judges).
+    pub budget: f64,
+}
+
 /// What one [`solve_repair`] call produced: the repaired report, the
-/// re-placement accounting, and the per-vertex budgets to warm-start the
-/// *next* repair with (see the budget contract on [`solve_repair`]).
+/// re-placement accounting, the per-vertex budgets to warm-start the
+/// *next* repair with (see the budget contract on [`solve_repair`]), and
+/// the per-link deltas that let a caller patch its warm state in place —
+/// O(replaced) instead of an O(n) re-capture of the whole assignment.
+///
+/// Replaying the deltas onto the previous warm state reproduces the full
+/// vectors exactly (the capture-equivalence contract, asserted by the
+/// session backends in debug builds):
+///
+/// 1. when [`RepairOutcome::slot_remap`] is `Some`, map every surviving
+///    previous color through it (empty slots were dropped, so every color
+///    after the first dropped one shifted down);
+/// 2. add each [`RepairOutcome::increments`] entry to the stored budget at
+///    that position, in order (they replay the kernel's own additions, so
+///    the result is bit-identical);
+/// 3. set each [`RepairOutcome::placements`] entry's color and budget
+///    (placements overwrite, so steps 2–3 commute per position only in
+///    this order — a re-placed link may also appear as an increment
+///    target).
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
     /// The repaired schedule report.
@@ -278,6 +309,17 @@ pub struct RepairOutcome {
     /// zeros for non-additive judges (the opaque probe path keeps no
     /// budgets).
     pub budgets: Vec<f64>,
+    /// Every re-placed link (the dirty set plus sweep evictions) with its
+    /// final slot and budget, in placement order.
+    pub placements: Vec<RepairPlacement>,
+    /// Budget increments the additive admissions applied to already-placed
+    /// slot members, `(position, increment)` in application order. Empty
+    /// for non-additive judges.
+    pub increments: Vec<(usize, f64)>,
+    /// `Some(old → new)` when the repair left slots empty and the result
+    /// compacted them away (`usize::MAX` marks a dropped color); `None`
+    /// when every previous slot index survived unchanged.
+    pub slot_remap: Option<Vec<usize>>,
 }
 
 /// Exact per-vertex budgets for a warm assignment, summed through the
@@ -344,10 +386,10 @@ pub fn capture_budgets(judge: &dyn SlotJudge, colors: &[Option<usize>]) -> Vec<f
 /// budget accumulates while every slotmate's budget is checked against the
 /// threshold with the new contribution added — instead of the O(|slot|²)
 /// whole-slot re-verification the opaque path needs.
-pub fn solve_repair(
+pub fn solve_repair<J: SlotJudge + ?Sized>(
     links: &[Link],
     neighbors: &dyn Fn(usize) -> Vec<usize>,
-    judge: &dyn SlotJudge,
+    judge: &J,
     config: &SchedulerConfig,
     prev_colors: &[Option<usize>],
     prev_budgets: &[f64],
@@ -373,16 +415,19 @@ pub fn solve_repair(
 /// probe loops). With the workspace `obs` feature off, or with a disabled
 /// recorder, this is exactly [`solve_repair`].
 #[allow(clippy::too_many_arguments)]
-pub fn solve_repair_traced(
+pub fn solve_repair_traced<J: SlotJudge + ?Sized>(
     links: &[Link],
     neighbors: &dyn Fn(usize) -> Vec<usize>,
-    judge: &dyn SlotJudge,
+    judge: &J,
     config: &SchedulerConfig,
     prev_colors: &[Option<usize>],
     prev_budgets: &[f64],
     check: &[usize],
     rec: &Recorder,
 ) -> RepairOutcome {
+    // Generic (not `&dyn`) so concrete-judge callers — the session backends —
+    // monomorphize the admission loops: the per-term `contribution` calls
+    // inline instead of going through the vtable.
     let root = rec.span("repair");
     let n = links.len();
     assert_eq!(prev_colors.len(), n, "one previous color per link");
@@ -396,7 +441,14 @@ pub fn solve_repair_traced(
         .copied()
         .max()
         .map_or(0, |c| c + 1);
-    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
+    // Pre-counted capacities: the membership scatter below touches every
+    // link, so growth reallocations on the slot vectors would double the
+    // traffic of this O(n) setup pass.
+    let mut counts = vec![0usize; num_colors];
+    for &c in prev_colors.iter().flatten() {
+        counts[c] += 1;
+    }
+    let mut slots: Vec<Vec<usize>> = counts.iter().map(|&k| Vec::with_capacity(k)).collect();
     let mut color_of: Vec<Option<usize>> = prev_colors.to_vec();
     let mut budgets: Vec<f64> = if additive {
         prev_budgets.to_vec()
@@ -462,6 +514,7 @@ pub fn solve_repair_traced(
     let mut admissions = 0u64;
     let mut rejections = 0u64;
     let mut fresh_slots = 0u64;
+    let mut increments: Vec<(usize, f64)> = Vec::new();
     // First-fit placement in non-increasing length order (ties by link id —
     // the static kernel's split order, for determinism).
     pending.sort_by(|&a, &b| {
@@ -511,6 +564,7 @@ pub fn solve_repair_traced(
                 }
                 for (&m, &on_m) in slot.iter().zip(&added) {
                     budgets[m] += on_m;
+                    increments.push((m, on_m));
                 }
                 budgets[i] = own;
             } else if config.verify_slots {
@@ -544,6 +598,25 @@ pub fn solve_repair_traced(
     rec.add("repair.rejections", rejections);
     rec.add("repair.fresh_slots", fresh_slots);
 
+    // Compact empty slots, remembering the renumbering so callers can
+    // shift their warm colors without re-reading the whole schedule.
+    let mut remap = vec![usize::MAX; slots.len()];
+    let mut next = 0usize;
+    for (c, slot) in slots.iter().enumerate() {
+        if !slot.is_empty() {
+            remap[c] = next;
+            next += 1;
+        }
+    }
+    let compacted = next != slots.len();
+    let placements: Vec<RepairPlacement> = pending
+        .iter()
+        .map(|&i| RepairPlacement {
+            pos: i,
+            slot: remap[color_of[i].expect("every pending link was placed")],
+            budget: budgets[i],
+        })
+        .collect();
     let slots: Vec<Vec<usize>> = slots.into_iter().filter(|s| !s.is_empty()).collect();
     let diversity = link_diversity(links).unwrap_or(1.0);
     let report = ScheduleReport {
@@ -561,6 +634,9 @@ pub fn solve_repair_traced(
         replaced,
         evicted: evicted_total,
         budgets,
+        placements,
+        increments,
+        slot_remap: compacted.then_some(remap),
     }
 }
 
@@ -777,6 +853,127 @@ mod tests {
             .find(|s| s.contains(&4))
             .unwrap();
         assert_eq!(slot_of_degenerate.len(), 1);
+    }
+
+    /// Replays an outcome's deltas onto the previous warm state — the
+    /// in-place patch the session backends perform, kept here as the
+    /// reference implementation the delta contract is tested against.
+    fn replay_deltas(
+        prev_colors: &[Option<usize>],
+        prev_budgets: &[f64],
+        outcome: &RepairOutcome,
+    ) -> (Vec<Option<usize>>, Vec<f64>) {
+        let mut colors = prev_colors.to_vec();
+        let mut budgets = prev_budgets.to_vec();
+        if let Some(remap) = &outcome.slot_remap {
+            for c in colors.iter_mut().flatten() {
+                *c = remap[*c];
+            }
+        }
+        for &(pos, inc) in &outcome.increments {
+            budgets[pos] += inc;
+        }
+        for p in &outcome.placements {
+            colors[p.pos] = Some(p.slot);
+            budgets[p.pos] = p.budget;
+        }
+        (colors, budgets)
+    }
+
+    #[test]
+    fn deltas_replay_to_a_from_scratch_capture() {
+        // Same dense-cluster setup as the feasibility test: one dirty link,
+        // neighbours checked. Replaying the emitted deltas onto the previous
+        // warm state must reproduce the repaired assignment and the full
+        // budget vector exactly, for additive and opaque judges alike.
+        let mut links = chain(20, 40.0);
+        links.push(Link::new(20, Point::new(0.3, 0.4), Point::new(1.3, 0.4)));
+        for mode in [
+            PowerMode::Uniform,
+            PowerMode::mean_oblivious(),
+            PowerMode::GlobalControl,
+        ] {
+            let config = SchedulerConfig::new(mode);
+            let full = solve_static(&links, config);
+            let mut prev = colors_of(&full, links.len());
+            prev[20] = None;
+            let (graph, cache) = harness(&links, config);
+            let judge = CacheJudge::new(&links, config, cache.as_ref());
+            let prev_budgets = capture_budgets(&judge, &prev);
+            let check: Vec<usize> = graph.neighbors(20).to_vec();
+            let outcome = solve_repair(
+                &links,
+                &|i| graph.neighbors(i).to_vec(),
+                &judge,
+                &config,
+                &prev,
+                &prev_budgets,
+                &check,
+            );
+            assert_eq!(
+                outcome.placements.len(),
+                outcome.replaced,
+                "{mode}: one placement per re-placed link"
+            );
+            let (colors, budgets) = replay_deltas(&prev, &prev_budgets, &outcome);
+            assert_eq!(
+                colors,
+                colors_of(&outcome.report, links.len()),
+                "{mode}: replayed colors must match the repaired schedule"
+            );
+            assert_eq!(
+                budgets, outcome.budgets,
+                "{mode}: replayed budgets must be bit-identical"
+            );
+            if !judge.additive() {
+                assert!(
+                    outcome.increments.is_empty(),
+                    "{mode}: opaque judges add nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_emits_a_slot_remap() {
+        let links = chain(3, 100.0);
+        let config = SchedulerConfig::new(PowerMode::Uniform);
+        // Previous schedule wastefully used colors 0, 5 and 9 — the result
+        // compacts to three slots, so clean colors shift and the remap says
+        // how.
+        let prev = vec![Some(0), Some(5), Some(9)];
+        let (graph, cache) = harness(&links, config);
+        let judge = CacheJudge::new(&links, config, cache.as_ref());
+        let prev_budgets = capture_budgets(&judge, &prev);
+        let outcome = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &prev,
+            &prev_budgets,
+            &[],
+        );
+        let remap = outcome.slot_remap.as_ref().expect("empty slots compacted");
+        assert_eq!(remap[0], 0);
+        assert_eq!(remap[5], 1);
+        assert_eq!(remap[9], 2);
+        assert_eq!(remap[1], usize::MAX, "dropped colors are unmapped");
+        let (colors, _) = replay_deltas(&prev, &prev_budgets, &outcome);
+        assert_eq!(colors, colors_of(&outcome.report, links.len()));
+        // A no-dirt repair of an already-compact schedule emits no remap.
+        let compact: Vec<Option<usize>> = colors;
+        let again = solve_repair(
+            &links,
+            &|i| graph.neighbors(i).to_vec(),
+            &judge,
+            &config,
+            &compact,
+            &capture_budgets(&judge, &compact),
+            &[],
+        );
+        assert!(again.slot_remap.is_none());
+        assert!(again.placements.is_empty());
     }
 
     #[test]

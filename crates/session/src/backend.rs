@@ -16,6 +16,14 @@
 //!   when the session declares [`PartitionHints`](crate::PartitionHints),
 //!   routing events through a [`PartitionedEngine`] whose per-shard state is
 //!   maintained incrementally.
+//!
+//! The repair-capable backends keep their warm state **position-indexed**
+//! and patch it in place from the kernel's per-link deltas
+//! ([`wagg_schedule::RepairOutcome`]): a repair-path solve costs O(dirty
+//! neighbourhood), not an O(n) re-capture. Full recolors (cold starts,
+//! watermark breaches) still re-anchor through [`WarmSchedule::capture`],
+//! which stays the correctness oracle — debug builds assert the patched
+//! state equals a from-scratch capture after every repair commit.
 
 use crate::{RepairPolicy, SessionError, SessionStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -27,8 +35,8 @@ use wagg_partition::{
     VerifierStrategy,
 };
 use wagg_schedule::{
-    solve_static_traced, BackendKind, CacheJudge, RepairDecision, RepairStats, ScheduleReport,
-    SchedulerConfig, SolveReport,
+    solve_static_traced, BackendKind, CacheJudge, RepairDecision, RepairOutcome, RepairStats,
+    ScheduleReport, SchedulerConfig, SolveReport,
 };
 use wagg_sinr::{Link, LinkId, NodeId, PathLossCache};
 
@@ -128,24 +136,53 @@ pub trait SchedulerBackend: std::fmt::Debug {
         let _ = recorder;
     }
 
+    /// Snapshot of the incremental warm repair state, by vertex position in
+    /// the backend's solve order — `None` for backends without warm state,
+    /// or before the first repair-enabled solve. Test-only introspection
+    /// for the warm-state invariant suite; not a public contract.
+    #[doc(hidden)]
+    fn warm_state(&self) -> Option<WarmStateView> {
+        None
+    }
+
     /// Event accounting for this backend.
     fn stats(&self) -> SessionStats;
 }
 
-/// Warm-start state a repair-capable backend carries between solves: the last
-/// committed assignment (keyed by session key — positions shift as the
-/// universe churns, keys never do) and the from-scratch baseline the drift
-/// watermark is measured against.
+/// Position-indexed snapshot of a backend's warm repair state, exposed
+/// through [`SchedulerBackend::warm_state`] for the warm-state invariant
+/// suite in `tests/repair.rs`.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStateView {
+    /// Vertex position → committed slot (`None` marks a link dirtied since
+    /// the last repair-committed schedule).
+    pub colors: Vec<Option<usize>>,
+    /// Vertex position → warm affectance budget.
+    pub budgets: Vec<f64>,
+    /// Schedule length of the last full recolor.
+    pub baseline_slots: usize,
+}
+
+/// Warm-start state a repair-capable backend carries between solves: the
+/// last committed assignment and budgets, **indexed by vertex position** in
+/// the backend's solve order. The backends keep their key↔position mirrors
+/// alive across solves and splice these vectors in lockstep as the universe
+/// churns, so positions stay current without any per-solve rebuild — and
+/// there is no keyed side table to leak stale entries (removal drops the
+/// color and the budget in one splice, structurally).
 #[derive(Debug)]
 struct WarmSchedule {
-    /// Session key → slot index in the last committed schedule.
-    colors: HashMap<u64, usize>,
-    /// Session key → upper bound on the link's affectance total inside its
+    /// Position → slot index in the last committed schedule; `None` marks a
+    /// link dirtied since (inserted, relocated, re-seated) — exactly the
+    /// `prev_colors` contract of [`wagg_schedule::solve_repair`].
+    colors: Vec<Option<usize>>,
+    /// Position → upper bound on the link's affectance total inside its
     /// slot (the additive-repair budget contract of
-    /// `wagg_schedule::solve_repair`). Zero-filled when the config has no
+    /// [`wagg_schedule::solve_repair`]). Zero-filled when the config has no
     /// additive kernel (noise, global power control) — the opaque probe
     /// path never reads them.
-    budgets: HashMap<u64, f64>,
+    budgets: Vec<f64>,
     /// Schedule length of the last full recolor.
     baseline_slots: usize,
     /// `(max_owned, mean_owned, ghost_fraction)` from the last full
@@ -158,29 +195,85 @@ struct WarmSchedule {
 }
 
 impl WarmSchedule {
-    /// Captures `schedule`'s assignment, with vertex position `i` owned by
-    /// session key `key_at(i)` and carrying warm budget `budgets[i]`.
-    fn capture(
-        report: &ScheduleReport,
-        key_at: impl Fn(usize) -> u64,
-        baseline: usize,
-        budgets: &[f64],
-    ) -> Self {
-        let mut colors = HashMap::with_capacity(report.num_links);
-        let mut warm_budgets = HashMap::with_capacity(report.num_links);
+    /// Captures `report`'s assignment from scratch, position `i` carrying
+    /// warm budget `budgets[i]`. This is the re-anchoring path (cold
+    /// starts, watermark breaches) and the correctness oracle the
+    /// incremental patches are checked against in debug builds.
+    fn capture(report: &ScheduleReport, baseline: usize, budgets: Vec<f64>) -> Self {
+        debug_assert_eq!(budgets.len(), report.num_links, "one budget per link");
+        let mut colors = vec![None; report.num_links];
         for (t, slot) in report.schedule.slots().iter().enumerate() {
             for &i in slot {
-                let key = key_at(i);
-                colors.insert(key, t);
-                warm_budgets.insert(key, budgets[i]);
+                colors[i] = Some(t);
             }
         }
         WarmSchedule {
             colors,
-            budgets: warm_budgets,
+            budgets,
             baseline_slots: baseline,
             skew: None,
         }
+    }
+
+    /// Patches the warm state in place from a repair's per-link deltas —
+    /// O(replaced) instead of the O(n) re-capture this path used to run.
+    /// The three steps follow the replay contract documented on
+    /// [`RepairOutcome`]: remap surviving colors through the compaction
+    /// (if any), replay the admission budget increments in order, then let
+    /// the placements overwrite — a re-placed link's stale color/budget
+    /// may transiently hold garbage between steps, but its placement
+    /// carries the final values.
+    fn patch(&mut self, outcome: &RepairOutcome) {
+        if let Some(remap) = &outcome.slot_remap {
+            for c in self.colors.iter_mut().flatten() {
+                *c = remap[*c];
+            }
+        }
+        for &(pos, inc) in &outcome.increments {
+            self.budgets[pos] += inc;
+        }
+        for p in &outcome.placements {
+            self.colors[p.pos] = Some(p.slot);
+            self.budgets[p.pos] = p.budget;
+        }
+        // `capture` stays the correctness oracle: in debug builds (i.e.
+        // every test solve) the patched state must equal a from-scratch
+        // capture of the same outcome, bit for bit.
+        if cfg!(debug_assertions) {
+            let oracle = WarmSchedule::capture(
+                &outcome.report,
+                self.baseline_slots,
+                outcome.budgets.clone(),
+            );
+            assert_eq!(
+                self.colors, oracle.colors,
+                "patched colors diverge from capture"
+            );
+            assert_eq!(
+                self.budgets, oracle.budgets,
+                "patched budgets diverge from capture"
+            );
+        }
+    }
+
+    /// Splices a fresh (dirty, unscheduled) entry in at `pos`.
+    fn insert_at(&mut self, pos: usize) {
+        self.colors.insert(pos, None);
+        self.budgets.insert(pos, 0.0);
+    }
+
+    /// Drops the entry at `pos`. The budget goes with the color: under
+    /// incremental capture a leaked budget entry would outlive its link
+    /// forever (the old per-solve rebuild scrubbed the leak by accident).
+    fn remove_at(&mut self, pos: usize) {
+        self.colors.remove(pos);
+        self.budgets.remove(pos);
+    }
+
+    /// Marks the entry at `pos` dirty (geometry changed in place).
+    fn mark_dirty(&mut self, pos: usize) {
+        self.colors[pos] = None;
+        self.budgets[pos] = 0.0;
     }
 }
 
@@ -203,6 +296,27 @@ fn recolor_budgets(
         }
     }
     budgets
+}
+
+/// The `(power, weight)` entry [`PathLossCache::new`] would compute for
+/// `link` under `config`'s pinned assignment. The cache computes entries
+/// per link independently, so one event can refresh one mirror entry
+/// without touching the rest — the same single-link trick the
+/// interference engine's event maintenance uses. `(None, None)` when the
+/// mode pins no assignment or the model has noise: the opaque judge path
+/// never reads the parts.
+fn link_parts(config: &SchedulerConfig, link: &Link) -> (Option<f64>, Option<f64>) {
+    match (config.model.noise() == 0.0)
+        .then(|| config.mode.assignment())
+        .flatten()
+    {
+        Some(assignment) => {
+            let (p, w) = PathLossCache::new(&config.model, std::slice::from_ref(link), &assignment)
+                .into_parts();
+            (p[0], w[0])
+        }
+        None => (None, None),
+    }
 }
 
 /// Relative schedule-length drift vs. the baseline, finite even for an empty
@@ -232,6 +346,19 @@ fn make_link(sender: Point, receiver: Point, nodes: Option<(NodeId, NodeId)>) ->
     }
 }
 
+/// Rebuilds `old` at a new geometry with id and node annotations preserved
+/// — the single re-seat path every backend's relocate / move-node shares,
+/// so id and annotation handling cannot drift between them (it used to:
+/// the sharded arms rebuilt moved links as `Link::new(0, ..)`, dropping
+/// the id the map-backed paths kept).
+fn re_seat(old: &Link, sender: Point, receiver: Point) -> Link {
+    let mut moved = Link::new(0, sender, receiver);
+    moved.id = old.id;
+    moved.sender_node = old.sender_node;
+    moved.receiver_node = old.receiver_node;
+    moved
+}
+
 /// Updates the endpoints of every link in `links` annotated with `node`,
 /// returning the touched count — the map-backed backends' shared
 /// `move_node`.
@@ -254,11 +381,7 @@ fn move_node_in_map(links: &mut BTreeMap<u64, Link>, node: usize, to: Point) -> 
         } else {
             old.receiver
         };
-        let mut moved = Link::new(0, sender, receiver);
-        moved.id = old.id;
-        moved.sender_node = old.sender_node;
-        moved.receiver_node = old.receiver_node;
-        links.insert(key, moved);
+        links.insert(key, re_seat(&old, sender, receiver));
     }
     touched
 }
@@ -342,11 +465,7 @@ impl SchedulerBackend for StaticBackend {
             .links
             .get(&key)
             .ok_or(SessionError::UnknownKey { key })?;
-        let mut moved = Link::new(0, sender, receiver);
-        moved.id = old.id;
-        moved.sender_node = old.sender_node;
-        moved.receiver_node = old.receiver_node;
-        self.links.insert(key, moved);
+        self.links.insert(key, re_seat(&old, sender, receiver));
         self.moves += 1;
         Ok(())
     }
@@ -376,6 +495,124 @@ impl SchedulerBackend for StaticBackend {
     }
 }
 
+/// The engine backend's persistent repair state: the solve-order mirrors
+/// that used to be rebuilt per solve — live-slot order, its inverse, the
+/// relabeled links and their path-loss parts — plus the warm schedule, all
+/// spliced per event instead. Built lazily by the first repair-enabled
+/// solve; stays `None` forever on repair-disabled sessions, so the event
+/// path pays nothing there.
+#[derive(Debug)]
+struct EngineWarm {
+    /// Vertex position → engine slot, ascending (the engine's solve order).
+    live: Vec<usize>,
+    /// Engine slot → vertex position (`usize::MAX` for dead slots).
+    pos_of: Vec<usize>,
+    /// The live links in solve order, ids relabeled to positions — what
+    /// `InterferenceEngine::links` would collect.
+    links: Vec<Link>,
+    /// The engine's maintained per-link path-loss parts in solve order —
+    /// what `InterferenceEngine::cache_parts` would collect.
+    powers: Vec<Option<f64>>,
+    weights: Vec<Option<f64>>,
+    sched: WarmSchedule,
+}
+
+impl EngineWarm {
+    /// Collects the mirrors from the engine's current state — the one O(n)
+    /// collection left on the repair path, run only when a full recolor
+    /// re-anchors a cold session. The placeholder warm schedule is
+    /// replaced by the caller's `capture`.
+    fn build(engine: &InterferenceEngine) -> Self {
+        let live = engine.live_slots();
+        let links = engine.links();
+        let (powers, weights) = engine.cache_parts();
+        let mut pos_of = vec![usize::MAX; engine.capacity()];
+        for (pos, &slot) in live.iter().enumerate() {
+            pos_of[slot] = pos;
+        }
+        EngineWarm {
+            live,
+            pos_of,
+            links,
+            powers,
+            weights,
+            sched: WarmSchedule {
+                colors: Vec::new(),
+                budgets: Vec::new(),
+                baseline_slots: 0,
+                skew: None,
+            },
+        }
+    }
+
+    /// Splices a freshly inserted engine slot into the mirrors (positions
+    /// at and after it shift up by one).
+    fn insert_slot(&mut self, engine: &InterferenceEngine, slot: usize) {
+        let pos = self.live.partition_point(|&s| s < slot);
+        let link = *engine.link(slot).expect("slot was just inserted");
+        let (p, w) = engine.cache_entry(slot);
+        self.live.insert(pos, slot);
+        self.links.insert(pos, link);
+        self.powers.insert(pos, p);
+        self.weights.insert(pos, w);
+        self.sched.insert_at(pos);
+        if self.pos_of.len() < engine.capacity() {
+            self.pos_of.resize(engine.capacity(), usize::MAX);
+        }
+        self.refit(pos);
+    }
+
+    /// Drops a removed engine slot from the mirrors (positions after it
+    /// shift down by one). The warm budget entry leaves with the color
+    /// entry — see [`WarmSchedule::remove_at`].
+    fn remove_slot(&mut self, slot: usize) {
+        let pos = self.pos_of[slot];
+        debug_assert_ne!(pos, usize::MAX, "removing a dead slot");
+        self.live.remove(pos);
+        self.links.remove(pos);
+        self.powers.remove(pos);
+        self.weights.remove(pos);
+        self.sched.remove_at(pos);
+        self.pos_of[slot] = usize::MAX;
+        self.refit(pos);
+    }
+
+    /// Re-derives positions and relabeled ids from `from` onward after a
+    /// splice — a plain index fix-up pass over the shifted tail.
+    fn refit(&mut self, from: usize) {
+        for pos in from..self.live.len() {
+            self.pos_of[self.live[pos]] = pos;
+            self.links[pos].id = LinkId(pos);
+        }
+    }
+
+    /// Refreshes a re-seated slot's mirrored geometry and path-loss parts
+    /// and dirties its warm entry (the engine re-seats moved links in
+    /// their own slots, so the position is unchanged).
+    fn reseat_slot(&mut self, engine: &InterferenceEngine, slot: usize) {
+        let pos = self.pos_of[slot];
+        let mut link = *engine.link(slot).expect("re-seated slot is live");
+        link.id = LinkId(pos);
+        self.links[pos] = link;
+        let (p, w) = engine.cache_entry(slot);
+        self.powers[pos] = p;
+        self.weights[pos] = w;
+        self.sched.mark_dirty(pos);
+    }
+
+    /// Debug-only: the event-spliced mirrors must equal what a from-scratch
+    /// collection from the engine would produce.
+    fn assert_matches_engine(&self, engine: &InterferenceEngine) {
+        if cfg!(debug_assertions) {
+            assert_eq!(self.live, engine.live_slots(), "live mirror diverged");
+            assert_eq!(self.links, engine.links(), "link mirror diverged");
+            let (powers, weights) = engine.cache_parts();
+            assert_eq!(self.powers, powers, "power mirror diverged");
+            assert_eq!(self.weights, weights, "weight mirror diverged");
+        }
+    }
+}
+
 /// The incremental strategy: an [`InterferenceEngine`] whose spatial grids,
 /// conflict adjacency and path-loss state are patched per event; solving
 /// snapshots the maintained state (no geometric rebuild). Matches the legacy
@@ -392,7 +629,7 @@ pub struct EngineBackend {
     /// Keys dirtied (inserted / relocated / re-seated) since the last
     /// repair-committed schedule.
     dirty: BTreeSet<u64>,
-    warm: Option<WarmSchedule>,
+    warm: Option<EngineWarm>,
 }
 
 impl EngineBackend {
@@ -438,26 +675,34 @@ impl EngineBackend {
         drift: f64,
     ) -> SolveReport {
         let report = self.engine.schedule();
-        let live = self.engine.live_slots();
         let slots = report.schedule.len();
         let config = self.engine.config().scheduler;
+        // Re-anchor: the mirrors are collected once here (events splice
+        // them current afterwards) and the warm schedule is re-captured
+        // from the recolored report — `capture` stays the correctness
+        // oracle the incremental patches are checked against.
+        if self.warm.is_none() {
+            self.warm = Some(EngineWarm::build(&self.engine));
+        }
+        let warm = self.warm.as_mut().expect("anchored above");
+        warm.assert_matches_engine(&self.engine);
         let budgets = if config.verify_slots
             && config.model.noise() == 0.0
             && config.mode.assignment().as_ref() == Some(&self.engine.config().power)
         {
-            let links = self.engine.links();
-            let (powers, weights) = self.engine.cache_parts();
-            recolor_budgets(&config, &links, &powers, &weights, &report.schedule)
+            recolor_budgets(
+                &config,
+                &warm.links,
+                &warm.powers,
+                &warm.weights,
+                &report.schedule,
+            )
         } else {
             vec![0.0; report.num_links]
         };
-        self.warm = Some(WarmSchedule::capture(
-            &report,
-            |i| self.key_of[&live[i]],
-            slots,
-            &budgets,
-        ));
+        warm.sched = WarmSchedule::capture(&report, slots, budgets);
         self.dirty.clear();
+        self.engine.recorder().add("repair.warm_recaptured", 1);
         let replaced = report.num_links;
         SolveReport::new(report, BackendKind::Engine).with_repair(RepairStats {
             decision,
@@ -501,6 +746,9 @@ impl SchedulerBackend for EngineBackend {
         self.slot_of.insert(key, slot);
         self.key_of.insert(slot, key);
         self.dirty.insert(key);
+        if let Some(warm) = &mut self.warm {
+            warm.insert_slot(&self.engine, slot);
+        }
         key
     }
 
@@ -515,18 +763,18 @@ impl SchedulerBackend for EngineBackend {
         // stay feasible, so nothing else needs dirtying.
         self.dirty.remove(&key);
         if let Some(warm) = &mut self.warm {
-            warm.colors.remove(&key);
+            warm.remove_slot(slot);
         }
         Ok(())
     }
 
     fn relocate(&mut self, key: u64, sender: Point, receiver: Point) -> Result<(), SessionError> {
-        let slot = *self
+        let old_slot = *self
             .slot_of
             .get(&key)
             .ok_or(SessionError::UnknownKey { key })?;
-        let old = self.engine.remove_link(slot)?;
-        self.key_of.remove(&slot);
+        let old = self.engine.remove_link(old_slot)?;
+        self.key_of.remove(&old_slot);
         let slot = match (old.sender_node, old.receiver_node) {
             (Some(s), Some(r)) => self.engine.insert_link_with_nodes(sender, receiver, s, r),
             _ => self.engine.insert_link(sender, receiver),
@@ -534,16 +782,35 @@ impl SchedulerBackend for EngineBackend {
         self.slot_of.insert(key, slot);
         self.key_of.insert(slot, key);
         self.dirty.insert(key);
+        if let Some(warm) = &mut self.warm {
+            // The engine's free list is LIFO, so the remove/insert pair
+            // lands back in the same slot and the mirror update degenerates
+            // to an in-place refresh; the guard keeps the mirror honest
+            // should that engine detail ever change.
+            if slot == old_slot {
+                warm.reseat_slot(&self.engine, slot);
+            } else {
+                warm.remove_slot(old_slot);
+                warm.insert_slot(&self.engine, slot);
+            }
+        }
         Ok(())
     }
 
     fn move_node(&mut self, node: usize, to: Point) -> usize {
         // Links are re-seated in their own slots, so the key binding holds —
         // but their geometry changed, so they must be re-placed.
-        for slot in self.engine.node_slots(node) {
+        let touched = self.engine.node_slots(node);
+        for &slot in &touched {
             self.dirty.insert(self.key_of[&slot]);
         }
-        self.engine.move_node(node, to)
+        let count = self.engine.move_node(node, to);
+        if let Some(warm) = &mut self.warm {
+            for &slot in &touched {
+                warm.reseat_slot(&self.engine, slot);
+            }
+        }
+        count
     }
 
     fn solve(&mut self) -> SolveReport {
@@ -552,77 +819,54 @@ impl SchedulerBackend for EngineBackend {
 
     fn solve_repair(&mut self, policy: &RepairPolicy) -> Option<SolveReport> {
         let dirty_links = self.dirty.len();
-        let Some(warm) = &self.warm else {
+        if self.warm.is_none() {
             return Some(self.full_recolor(RepairDecision::ColdStart, policy, dirty_links, 0.0));
-        };
-        let baseline = warm.baseline_slots;
-        let live = self.engine.live_slots();
-        let links = self.engine.links();
-        // Engine slot → vertex position in `links` (the schedule's universe).
-        let mut pos_of = vec![usize::MAX; live.last().map_or(0, |&s| s + 1)];
-        for (pos, &slot) in live.iter().enumerate() {
-            pos_of[slot] = pos;
         }
-        let prev: Vec<Option<usize>> = live
-            .iter()
-            .map(|slot| {
-                let key = self.key_of[slot];
-                if self.dirty.contains(&key) {
-                    None
-                } else {
-                    warm.colors.get(&key).copied()
-                }
-            })
-            .collect();
-        // A missing budget (unreachable for a committed warm link) reads as
-        // infinite — conservative, it only forces a re-placement.
-        let prev_budgets: Vec<f64> = live
-            .iter()
-            .map(|slot| {
-                warm.budgets
-                    .get(&self.key_of[slot])
-                    .copied()
-                    .unwrap_or(f64::INFINITY)
-            })
-            .collect();
-        // Slots of the dirty links' conflict neighbours get one re-verify
-        // sweep (their affectance budget is what the events perturbed).
-        let mut check: Vec<usize> = self
-            .dirty
-            .iter()
-            .filter_map(|key| self.slot_of.get(key))
-            .flat_map(|&slot| self.engine.neighbors(slot))
-            .map(|w| pos_of[w])
-            .collect();
-        check.sort_unstable();
-        check.dedup();
-
         let config = self.engine.config().scheduler;
-        let outcome = {
+        let (outcome, baseline) = {
+            let warm = self.warm.as_ref().expect("anchored above");
+            warm.assert_matches_engine(&self.engine);
+            let baseline = warm.sched.baseline_slots;
+            // Slots of the dirty links' conflict neighbours get one re-verify
+            // sweep (their affectance budget is what the events perturbed).
+            let mut check: Vec<usize> = self
+                .dirty
+                .iter()
+                .filter_map(|key| self.slot_of.get(key))
+                .flat_map(|&slot| self.engine.neighbors(slot))
+                .map(|w| warm.pos_of[w])
+                .collect();
+            check.sort_unstable();
+            check.dedup();
             let lend_cache = config.model.noise() == 0.0
                 && config.mode.assignment().as_ref() == Some(&self.engine.config().power);
             let cache = lend_cache.then(|| {
-                let (powers, weights) = self.engine.cache_parts();
-                PathLossCache::from_parts(&config.model, &links, powers, weights)
+                PathLossCache::from_borrowed_parts(
+                    &config.model,
+                    &warm.links,
+                    &warm.powers,
+                    &warm.weights,
+                )
             });
-            let judge = CacheJudge::new(&links, config, cache.as_ref());
+            let judge = CacheJudge::new(&warm.links, config, cache.as_ref());
             let neighbors = |i: usize| -> Vec<usize> {
                 self.engine
-                    .neighbors(live[i])
+                    .neighbors(warm.live[i])
                     .into_iter()
-                    .map(|w| pos_of[w])
+                    .map(|w| warm.pos_of[w])
                     .collect()
             };
-            wagg_schedule::solve_repair_traced(
-                &links,
+            let outcome = wagg_schedule::solve_repair_traced(
+                &warm.links,
                 &neighbors,
                 &judge,
                 &config,
-                &prev,
-                &prev_budgets,
+                &warm.sched.colors,
+                &warm.sched.budgets,
                 &check,
                 self.engine.recorder(),
-            )
+            );
+            (outcome, baseline)
         };
         let drift = drift_vs(outcome.report.schedule.len(), baseline);
         if drift > policy.max_drift {
@@ -633,13 +877,15 @@ impl SchedulerBackend for EngineBackend {
                 drift,
             ));
         }
-        self.warm = Some(WarmSchedule::capture(
-            &outcome.report,
-            |i| self.key_of[&live[i]],
-            baseline,
-            &outcome.budgets,
-        ));
+        // Commit by O(replaced) in-place patch — the O(n) post-solve
+        // `capture` this path used to run is gone.
+        self.warm
+            .as_mut()
+            .expect("anchored above")
+            .sched
+            .patch(&outcome);
         self.dirty.clear();
+        self.engine.recorder().add("repair.warm_patched", 1);
         Some(
             SolveReport::new(outcome.report, BackendKind::Engine).with_repair(RepairStats {
                 decision: RepairDecision::Repaired,
@@ -654,6 +900,14 @@ impl SchedulerBackend for EngineBackend {
 
     fn set_recorder(&mut self, recorder: Recorder) {
         self.engine.set_recorder(recorder);
+    }
+
+    fn warm_state(&self) -> Option<WarmStateView> {
+        self.warm.as_ref().map(|w| WarmStateView {
+            colors: w.sched.colors.clone(),
+            budgets: w.sched.budgets.clone(),
+            baseline_slots: w.sched.baseline_slots,
+        })
     }
 
     fn stats(&self) -> SessionStats {
@@ -673,12 +927,33 @@ impl SchedulerBackend for EngineBackend {
 enum ShardedInner {
     /// No partition hints: keep the links in a map and re-tile per solve.
     Rebuild { links: BTreeMap<u64, Link> },
-    /// Partition hints declared: per-shard engines maintained incrementally;
-    /// `mirror` keeps each session key's engine key and annotated link (the
-    /// engine itself does not track node annotations).
+    /// Partition hints declared: per-shard engines maintained incrementally.
+    /// The session-side mirrors are position-indexed vectors maintained per
+    /// event — session keys and engine keys are both minted monotonically,
+    /// so ascending-key order is ascending-position order for both, the
+    /// vectors stay sorted with append-only inserts, and position `i` holds
+    /// `skeys[i]` / `ekeys[i]` / `links[i]` — exactly the universe
+    /// `PartitionedEngine::schedule` indexes. This is the **one** key
+    /// collection the repair path has: built at event time, reused by the
+    /// solve and the warm-state commit (the old per-solve rebuild collected
+    /// the keys once before the solve and then a second time after it).
     Engine {
         engine: Box<PartitionedEngine>,
-        mirror: BTreeMap<u64, (u64, Link)>,
+        /// Position → session key (sorted; binary-searchable).
+        skeys: Vec<u64>,
+        /// Position → engine key (sorted — the monotone mints again — so a
+        /// binary search over this persistent vector *is* the ekey→position
+        /// index; a position-valued hash map would need an O(n) re-index
+        /// every time a removal shifts the tail).
+        ekeys: Vec<u64>,
+        /// The live links in solve order, ids relabeled to positions, node
+        /// annotations preserved (the engine itself does not track them).
+        links: Vec<Link>,
+        /// Per-link path-loss parts under the scheduler's pinned assignment
+        /// (`None`-filled when the mode pins none or the model has noise —
+        /// the opaque judge path never reads them).
+        powers: Vec<Option<f64>>,
+        weights: Vec<Option<f64>>,
     },
 }
 
@@ -738,7 +1013,11 @@ impl ShardedBackend {
             target_shards: config.target_shards,
             inner: ShardedInner::Engine {
                 engine: Box::new(PartitionedEngine::new(config)),
-                mirror: BTreeMap::new(),
+                skeys: Vec::new(),
+                ekeys: Vec::new(),
+                links: Vec::new(),
+                powers: Vec::new(),
+                weights: Vec::new(),
             },
             next_key: 0,
             inserts: 0,
@@ -776,36 +1055,35 @@ impl ShardedBackend {
         dirty_links: usize,
         drift: f64,
     ) -> SolveReport {
-        let (solve, keys, links): (SolveReport, Vec<u64>, Vec<Link>) = match &self.inner {
-            ShardedInner::Engine { engine, mirror } => (
-                engine.schedule().into(),
-                mirror.keys().copied().collect(),
-                mirror
-                    .values()
-                    .enumerate()
-                    .map(|(pos, (_, link))| {
-                        let mut l = *link;
-                        l.id = LinkId(pos);
-                        l
-                    })
-                    .collect(),
-            ),
+        let (solve, budgets): (SolveReport, Vec<f64>) = match &self.inner {
+            ShardedInner::Engine {
+                engine,
+                links,
+                powers,
+                weights,
+                ..
+            } => {
+                let solve: SolveReport = engine.schedule().into();
+                let config = self.scheduler;
+                let budgets = match (config.model.noise() == 0.0)
+                    .then(|| config.mode.assignment())
+                    .flatten()
+                {
+                    Some(_) if config.verify_slots => {
+                        // Parts come from the persistent mirror — maintained
+                        // per link at event time, equal to a from-scratch
+                        // `PathLossCache::new` (pinned by the debug oracle
+                        // on the repair path).
+                        recolor_budgets(&config, links, powers, weights, &solve.report.schedule)
+                    }
+                    _ => vec![0.0; solve.report.num_links],
+                };
+                (solve, budgets)
+            }
             ShardedInner::Rebuild { .. } => unreachable!("hinted repair requires engine mode"),
         };
         let slots = solve.report.schedule.len();
-        let config = self.scheduler;
-        let budgets = match (config.model.noise() == 0.0)
-            .then(|| config.mode.assignment())
-            .flatten()
-        {
-            Some(assignment) if config.verify_slots => {
-                let (powers, weights) =
-                    PathLossCache::new(&config.model, &links, &assignment).into_parts();
-                recolor_budgets(&config, &links, &powers, &weights, &solve.report.schedule)
-            }
-            _ => vec![0.0; solve.report.num_links],
-        };
-        let mut warm = WarmSchedule::capture(&solve.report, |i| keys[i], slots, &budgets);
+        let mut warm = WarmSchedule::capture(&solve.report, slots, budgets);
         // Remember this full solve's occupancy skew so subsequent
         // repair-path reports can carry it forward.
         warm.skew = solve
@@ -813,6 +1091,7 @@ impl ShardedBackend {
             .map(|s| (s.max_owned, s.mean_owned, s.ghost_fraction));
         self.warm = Some(warm);
         self.dirty.clear();
+        self.recorder.add("repair.warm_recaptured", 1);
         let replaced = solve.report.num_links;
         solve.with_repair(RepairStats {
             decision,
@@ -833,32 +1112,23 @@ impl SchedulerBackend for ShardedBackend {
     fn len(&self) -> usize {
         match &self.inner {
             ShardedInner::Rebuild { links } => links.len(),
-            ShardedInner::Engine { engine, .. } => engine.len(),
+            ShardedInner::Engine { skeys, .. } => skeys.len(),
         }
     }
 
     fn links(&self) -> Vec<Link> {
         match &self.inner {
             ShardedInner::Rebuild { links } => relabeled(links),
-            // Mirror iteration is ascending session-key order, which is also
-            // ascending engine-key order (both minted monotonically), i.e.
-            // exactly the universe `PartitionedEngine::schedule` indexes.
-            ShardedInner::Engine { mirror, .. } => mirror
-                .values()
-                .enumerate()
-                .map(|(pos, (_, link))| {
-                    let mut l = *link;
-                    l.id = LinkId(pos);
-                    l
-                })
-                .collect(),
+            // The mirror is already in solve order with relabeled ids (see
+            // `ShardedInner::Engine`).
+            ShardedInner::Engine { links, .. } => links.clone(),
         }
     }
 
     fn contains(&self, key: u64) -> bool {
         match &self.inner {
             ShardedInner::Rebuild { links } => links.contains_key(&key),
-            ShardedInner::Engine { mirror, .. } => mirror.contains_key(&key),
+            ShardedInner::Engine { skeys, .. } => skeys.binary_search(&key).is_ok(),
         }
     }
 
@@ -870,9 +1140,30 @@ impl SchedulerBackend for ShardedBackend {
             ShardedInner::Rebuild { links } => {
                 links.insert(key, link);
             }
-            ShardedInner::Engine { engine, mirror } => {
+            ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links,
+                powers,
+                weights,
+            } => {
                 let ekey = engine.insert_link(sender, receiver);
-                mirror.insert(key, (ekey, link));
+                // Monotone mints on both sides: appending keeps the vectors
+                // sorted and the new link's position is the tail.
+                debug_assert!(skeys.last().is_none_or(|&k| k < key));
+                debug_assert!(ekeys.last().is_none_or(|&k| k < ekey));
+                let mut l = link;
+                l.id = LinkId(links.len());
+                let (p, w) = link_parts(&self.scheduler, &l);
+                skeys.push(key);
+                ekeys.push(ekey);
+                links.push(l);
+                powers.push(p);
+                weights.push(w);
+                if let Some(warm) = &mut self.warm {
+                    warm.insert_at(warm.colors.len());
+                }
                 self.dirty.insert(key);
             }
         }
@@ -885,15 +1176,32 @@ impl SchedulerBackend for ShardedBackend {
             ShardedInner::Rebuild { links } => {
                 links.remove(&key).ok_or(SessionError::UnknownKey { key })?;
             }
-            ShardedInner::Engine { engine, mirror } => {
-                let (ekey, _) = mirror
-                    .remove(&key)
-                    .ok_or(SessionError::UnknownKey { key })?;
-                engine.remove_link(ekey)?;
+            ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links,
+                powers,
+                weights,
+            } => {
+                let pos = skeys
+                    .binary_search(&key)
+                    .map_err(|_| SessionError::UnknownKey { key })?;
+                engine.remove_link(ekeys[pos])?;
+                skeys.remove(pos);
+                ekeys.remove(pos);
+                links.remove(pos);
+                powers.remove(pos);
+                weights.remove(pos);
+                for (i, l) in links.iter_mut().enumerate().skip(pos) {
+                    l.id = LinkId(i);
+                }
                 // Departures are monotone-safe; drop every trace of the key.
+                // The warm budget entry leaves with the color entry (one
+                // splice drops both — see `WarmSchedule::remove_at`).
                 self.dirty.remove(&key);
                 if let Some(warm) = &mut self.warm {
-                    warm.colors.remove(&key);
+                    warm.remove_at(pos);
                 }
             }
         }
@@ -905,18 +1213,28 @@ impl SchedulerBackend for ShardedBackend {
         match &mut self.inner {
             ShardedInner::Rebuild { links } => {
                 let old = *links.get(&key).ok_or(SessionError::UnknownKey { key })?;
-                let mut moved = Link::new(0, sender, receiver);
-                moved.sender_node = old.sender_node;
-                moved.receiver_node = old.receiver_node;
-                links.insert(key, moved);
+                links.insert(key, re_seat(&old, sender, receiver));
             }
-            ShardedInner::Engine { engine, mirror } => {
-                let (ekey, old) = *mirror.get(&key).ok_or(SessionError::UnknownKey { key })?;
-                engine.relocate_link(ekey, sender, receiver)?;
-                let mut moved = Link::new(0, sender, receiver);
-                moved.sender_node = old.sender_node;
-                moved.receiver_node = old.receiver_node;
-                mirror.insert(key, (ekey, moved));
+            ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links,
+                powers,
+                weights,
+            } => {
+                let pos = skeys
+                    .binary_search(&key)
+                    .map_err(|_| SessionError::UnknownKey { key })?;
+                engine.relocate_link(ekeys[pos], sender, receiver)?;
+                let moved = re_seat(&links[pos], sender, receiver);
+                let (p, w) = link_parts(&self.scheduler, &moved);
+                links[pos] = moved;
+                powers[pos] = p;
+                weights[pos] = w;
+                if let Some(warm) = &mut self.warm {
+                    warm.mark_dirty(pos);
+                }
                 self.dirty.insert(key);
             }
         }
@@ -927,17 +1245,25 @@ impl SchedulerBackend for ShardedBackend {
     fn move_node(&mut self, node: usize, to: Point) -> usize {
         let touched = match &mut self.inner {
             ShardedInner::Rebuild { links } => move_node_in_map(links, node, to).len(),
-            ShardedInner::Engine { engine, mirror } => {
+            ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links,
+                powers,
+                weights,
+            } => {
                 let node_id = NodeId(node);
-                let touched: Vec<u64> = mirror
+                let touched: Vec<usize> = links
                     .iter()
-                    .filter(|(_, (_, l))| {
+                    .enumerate()
+                    .filter(|(_, l)| {
                         l.sender_node == Some(node_id) || l.receiver_node == Some(node_id)
                     })
-                    .map(|(&k, _)| k)
+                    .map(|(pos, _)| pos)
                     .collect();
-                for &key in &touched {
-                    let (ekey, old) = mirror[&key];
+                for &pos in &touched {
+                    let old = links[pos];
                     let sender = if old.sender_node == Some(node_id) {
                         to
                     } else {
@@ -949,13 +1275,17 @@ impl SchedulerBackend for ShardedBackend {
                         old.receiver
                     };
                     engine
-                        .relocate_link(ekey, sender, receiver)
+                        .relocate_link(ekeys[pos], sender, receiver)
                         .expect("mirrored engine key is live");
-                    let mut moved = Link::new(0, sender, receiver);
-                    moved.sender_node = old.sender_node;
-                    moved.receiver_node = old.receiver_node;
-                    mirror.insert(key, (ekey, moved));
-                    self.dirty.insert(key);
+                    let moved = re_seat(&old, sender, receiver);
+                    let (p, w) = link_parts(&self.scheduler, &moved);
+                    links[pos] = moved;
+                    powers[pos] = p;
+                    weights[pos] = w;
+                    if let Some(warm) = &mut self.warm {
+                        warm.mark_dirty(pos);
+                    }
+                    self.dirty.insert(skeys[pos]);
                 }
                 touched.len()
             }
@@ -991,51 +1321,30 @@ impl SchedulerBackend for ShardedBackend {
             return None;
         }
         let dirty_links = self.dirty.len();
-        let Some(warm) = &self.warm else {
+        if self.warm.is_none() {
             return Some(self.full_recolor_hinted(
                 RepairDecision::ColdStart,
                 policy,
                 dirty_links,
                 0.0,
             ));
-        };
-        let baseline = warm.baseline_slots;
-        let carried_skew = warm.skew;
+        }
         let config = self.scheduler;
-        let (outcome, shards, radius, boundary) = {
-            let ShardedInner::Engine { engine, mirror } = &self.inner else {
+        let (outcome, baseline, shards, radius, boundary) = {
+            let warm = self.warm.as_ref().expect("anchored above");
+            let baseline = warm.baseline_slots;
+            let ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links,
+                powers,
+                weights,
+            } = &self.inner
+            else {
                 unreachable!("rebuild mode handled above");
             };
-            // Mirror iteration is ascending session-key order == ascending
-            // engine-key order (both minted monotonically), so position i in
-            // `links` holds session key `skeys[i]` / engine key `ekeys[i]`.
-            let skeys: Vec<u64> = mirror.keys().copied().collect();
-            let ekeys: Vec<u64> = mirror.values().map(|(ekey, _)| *ekey).collect();
-            let links: Vec<Link> = mirror
-                .values()
-                .enumerate()
-                .map(|(pos, (_, link))| {
-                    let mut l = *link;
-                    l.id = LinkId(pos);
-                    l
-                })
-                .collect();
-            let prev: Vec<Option<usize>> = skeys
-                .iter()
-                .map(|key| {
-                    if self.dirty.contains(key) {
-                        None
-                    } else {
-                        warm.colors.get(key).copied()
-                    }
-                })
-                .collect();
-            // A missing budget (unreachable for a committed warm link) reads
-            // as infinite — conservative, it only forces a re-placement.
-            let prev_budgets: Vec<f64> = skeys
-                .iter()
-                .map(|key| warm.budgets.get(key).copied().unwrap_or(f64::INFINITY))
-                .collect();
+            debug_assert_eq!(warm.colors.len(), links.len(), "warm state out of lockstep");
             let neighbors = |i: usize| -> Vec<usize> {
                 engine
                     .neighbor_keys(ekeys[i])
@@ -1056,42 +1365,50 @@ impl SchedulerBackend for ShardedBackend {
             // aggregation) when the mode pins a power assignment under a
             // noise-free model — the exact judge the stitched pipeline's
             // verification pass uses; otherwise the kernel's slot probes.
-            let parts = (config.model.noise() == 0.0)
+            // Either way the per-link parts come from the persistent mirror,
+            // not a per-solve `PathLossCache` rebuild.
+            let additive = (config.model.noise() == 0.0)
                 .then(|| config.mode.assignment())
                 .flatten()
-                .map(|a| PathLossCache::new(&config.model, &links, &a).into_parts());
-            let out = match &parts {
-                Some((powers, weights)) => {
-                    let judge = AffectanceVerifier::new(&config.model, &links, powers, weights)
-                        .with_strategy(self.strategy)
-                        .with_recorder(&self.recorder);
-                    wagg_schedule::solve_repair_traced(
-                        &links,
-                        &neighbors,
-                        &judge,
-                        &config,
-                        &prev,
-                        &prev_budgets,
-                        &check,
-                        &self.recorder,
-                    )
-                }
-                None => {
-                    let judge = CacheJudge::new(&links, config, None);
-                    wagg_schedule::solve_repair_traced(
-                        &links,
-                        &neighbors,
-                        &judge,
-                        &config,
-                        &prev,
-                        &prev_budgets,
-                        &check,
-                        &self.recorder,
-                    )
-                }
+                .is_some();
+            if cfg!(debug_assertions) && additive {
+                // Pin the single-link-maintenance == batch-collection
+                // contract the mirror parts rely on.
+                let assignment = config.mode.assignment().expect("additive implies pinned");
+                let (p, w) = PathLossCache::new(&config.model, links, &assignment).into_parts();
+                assert_eq!(powers, &p, "power mirror diverged");
+                assert_eq!(weights, &w, "weight mirror diverged");
+            }
+            let out = if additive {
+                let judge = AffectanceVerifier::new(&config.model, links, powers, weights)
+                    .with_strategy(self.strategy)
+                    .with_recorder(&self.recorder);
+                wagg_schedule::solve_repair_traced(
+                    links,
+                    &neighbors,
+                    &judge,
+                    &config,
+                    &warm.colors,
+                    &warm.budgets,
+                    &check,
+                    &self.recorder,
+                )
+            } else {
+                let judge = CacheJudge::new(links, config, None);
+                wagg_schedule::solve_repair_traced(
+                    links,
+                    &neighbors,
+                    &judge,
+                    &config,
+                    &warm.colors,
+                    &warm.budgets,
+                    &check,
+                    &self.recorder,
+                )
             };
             (
                 out,
+                baseline,
                 engine.shard_count(),
                 engine.radius(),
                 engine.boundary_link_count(),
@@ -1106,15 +1423,14 @@ impl SchedulerBackend for ShardedBackend {
                 drift,
             ));
         }
-        let keys: Vec<u64> = match &self.inner {
-            ShardedInner::Engine { mirror, .. } => mirror.keys().copied().collect(),
-            ShardedInner::Rebuild { .. } => unreachable!(),
-        };
-        let mut warm =
-            WarmSchedule::capture(&outcome.report, |i| keys[i], baseline, &outcome.budgets);
-        warm.skew = carried_skew;
-        self.warm = Some(warm);
+        // Commit by O(replaced) in-place patch — the O(n) post-solve
+        // `capture` (and the second walk over the mirror's keys it needed)
+        // is gone; the carried baseline and occupancy skew stay put.
+        let warm = self.warm.as_mut().expect("anchored above");
+        warm.patch(&outcome);
+        let carried_skew = warm.skew;
         self.dirty.clear();
+        self.recorder.add("repair.warm_patched", 1);
         let replaced = outcome.replaced;
         let mut solve =
             SolveReport::new(outcome.report, BackendKind::Sharded).with_repair(RepairStats {
@@ -1140,6 +1456,14 @@ impl SchedulerBackend for ShardedBackend {
             ghost_fraction,
         });
         Some(solve)
+    }
+
+    fn warm_state(&self) -> Option<WarmStateView> {
+        self.warm.as_ref().map(|w| WarmStateView {
+            colors: w.colors.clone(),
+            budgets: w.budgets.clone(),
+            baseline_slots: w.baseline_slots,
+        })
     }
 
     fn stats(&self) -> SessionStats {

@@ -70,7 +70,7 @@
 
 mod backend;
 
-pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend};
+pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend, WarmStateView};
 pub use wagg_obs::{
     FlightRecorder, HealthConfig, HealthReport, HealthSignal, Metrics, Recorder, SeriesKind,
     SignalKind, SolveSample, TelemetryConfig,
@@ -597,6 +597,14 @@ impl Session {
     /// Event accounting.
     pub fn stats(&self) -> SessionStats {
         self.backend.stats()
+    }
+
+    /// Snapshot of the backend's incremental warm repair state (`None` for
+    /// backends without one, or before the first repair-enabled solve).
+    /// Test-only introspection for the warm-state invariant suite.
+    #[doc(hidden)]
+    pub fn warm_state(&self) -> Option<WarmStateView> {
+        self.backend.warm_state()
     }
 
     /// Inserts a link, returning its session key.

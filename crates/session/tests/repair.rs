@@ -17,15 +17,27 @@
 //! * the hinted sharded backend repairs in place through
 //!   insert/remove/relocate/move_node scripts and stays feasible.
 //!
+//! The **warm-state invariant suite** rides on every committed solve above
+//! (`assert_warm_matches_capture`): the incrementally patched warm state
+//! must equal a from-scratch capture of the committed schedule — colors
+//! bit for bit, vectors in lockstep with the live universe (the
+//! stale-budget-leak regression), and, for additive configs, every stored
+//! budget bounding the exact in-slot affectance from above while staying
+//! within the admission threshold. Dedicated tests cover the insert/remove
+//! storm (leak regression) and re-seat id/annotation preservation.
+//!
 //! `ci.sh` runs this suite in both the serial and the parallel build.
 
 use proptest::prelude::*;
 use wagg_engine::{churn_trace, run_trace, EngineConfig, EngineTrace, InterferenceEngine};
 use wagg_geometry::{BoundingBox, Point};
 use wagg_instances::mobility::{random_waypoint, WaypointConfig};
-use wagg_schedule::{BackendKind, PowerMode, RepairDecision, SchedulerConfig};
+use wagg_schedule::{
+    capture_budgets, BackendKind, CacheJudge, PowerMode, RepairDecision, SchedulerConfig,
+    SlotJudge, SolveReport,
+};
 use wagg_session::{Backend, RepairPolicy, Session};
-use wagg_sinr::Link;
+use wagg_sinr::{Link, PathLossCache};
 
 fn modes() -> [PowerMode; 3] {
     [
@@ -35,9 +47,83 @@ fn modes() -> [PowerMode; 3] {
     ]
 }
 
+/// A tiny deterministic generator for event scripts (seed must be nonzero).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Position → slot map of a committed solve's schedule: the from-scratch
+/// capture ground truth the incrementally patched warm state must equal.
+fn colors_of(solve: &SolveReport, n: usize) -> Vec<Option<usize>> {
+    let mut colors = vec![None; n];
+    for (t, slot) in solve.schedule().slots().iter().enumerate() {
+        for &i in slot {
+            colors[i] = Some(t);
+        }
+    }
+    colors
+}
+
+/// Asserts the incremental warm-state contract after a committed solve: the
+/// patched colors equal the capture ground truth (the committed schedule),
+/// the color and budget vectors stay in lockstep with the live universe
+/// (the stale-budget-leak regression), and — for additive configs — every
+/// stored budget upper-bounds the exact in-slot affectance while staying
+/// within the admission threshold.
+fn assert_warm_matches_capture(
+    session: &Session,
+    solve: &SolveReport,
+    config: SchedulerConfig,
+    context: &str,
+) {
+    let Some(warm) = session.warm_state() else {
+        return; // backend keeps no warm state (static / rebuild-mode sharded)
+    };
+    let links = session.links();
+    assert_eq!(
+        warm.colors.len(),
+        links.len(),
+        "{context}: warm colors out of lockstep with the live universe"
+    );
+    assert_eq!(
+        warm.budgets.len(),
+        links.len(),
+        "{context}: warm budgets out of lockstep with the live universe"
+    );
+    assert_eq!(
+        warm.colors,
+        colors_of(solve, links.len()),
+        "{context}: patched warm colors diverge from the capture ground truth"
+    );
+    if config.model.noise() == 0.0 {
+        if let Some(assignment) = config.mode.assignment() {
+            let cache = PathLossCache::new(&config.model, &links, &assignment);
+            let judge = CacheJudge::new(&links, config, Some(&cache));
+            let exact = capture_budgets(&judge, &warm.colors);
+            let threshold = judge.threshold();
+            for (i, (&stored, &e)) in warm.budgets.iter().zip(&exact).enumerate() {
+                assert!(
+                    e <= stored + 1e-9,
+                    "{context}: stored budget {stored} under exact affectance {e} at vertex {i}"
+                );
+                assert!(
+                    stored <= threshold + 1e-9,
+                    "{context}: stored budget {stored} past threshold {threshold} at vertex {i}"
+                );
+            }
+        }
+    }
+}
+
 /// Asserts the full repair contract on one solve: the schedule partitions
 /// the session's universe, every slot is feasible under the configured power
-/// mode, and a `Repaired` decision honoured the drift watermark.
+/// mode, a `Repaired` decision honoured the drift watermark, and the
+/// incrementally patched warm state equals the capture ground truth.
 fn assert_repaired_feasible(session: &mut Session, config: SchedulerConfig, context: &str) {
     let solve = session.solve();
     let links = session.links();
@@ -62,6 +148,7 @@ fn assert_repaired_feasible(session: &mut Session, config: SchedulerConfig, cont
             repair.watermark
         );
     }
+    assert_warm_matches_capture(session, &solve, config, context);
 }
 
 proptest! {
@@ -123,6 +210,78 @@ proptest! {
         for chunk in trace.events[prefix..].chunks(nodes.max(1)) {
             session.apply_events(chunk).expect("moves are replayable");
             assert_repaired_feasible(&mut session, config, "mobility step");
+        }
+    }
+
+    /// The tentpole's correctness property on the hinted sharded backend:
+    /// arbitrary event scripts (insert / remove / relocate / move_node, all
+    /// power modes, varying batch sizes) keep every committed solve feasible
+    /// and the incrementally patched warm state equal to the capture ground
+    /// truth — including the additive budget contract through the certified
+    /// verifier's stored budgets.
+    #[test]
+    fn sharded_warm_state_survives_arbitrary_scripts(
+        seed in 1u64..5000,
+        events in 4usize..32,
+        batch in 1usize..7,
+    ) {
+        for mode in modes() {
+            let config = SchedulerConfig::new(mode);
+            let mut session = Session::builder()
+                .scheduler(config)
+                .backend(Backend::Sharded)
+                .target_shards(9)
+                .partition_hints(BoundingBox::new(0.0, 0.0, 120.0, 120.0), (1.0, 1.5))
+                .repair(RepairPolicy::enabled())
+                .build();
+            let mut rng = seed;
+            let place = |rng: &mut u64| {
+                let x = (xorshift(rng) % 1080) as f64 / 10.0 + 2.0;
+                let y = (xorshift(rng) % 1080) as f64 / 10.0 + 2.0;
+                (Point::new(x, y), Point::new(x + 1.2, y))
+            };
+            let mut keys: Vec<u64> = Vec::new();
+            for _ in 0..12 {
+                let (s, r) = place(&mut rng);
+                keys.push(session.insert(s, r));
+            }
+            for i in 0..events {
+                match xorshift(&mut rng) % 4 {
+                    0 => {
+                        let (s, r) = place(&mut rng);
+                        keys.push(session.insert(s, r));
+                    }
+                    1 if keys.len() > 4 => {
+                        let idx = (xorshift(&mut rng) as usize) % keys.len();
+                        session.remove(keys.swap_remove(idx)).expect("script keys are live");
+                    }
+                    2 => {
+                        let idx = (xorshift(&mut rng) as usize) % keys.len();
+                        let (s, r) = place(&mut rng);
+                        session.relocate(keys[idx], s, r).expect("script keys are live");
+                    }
+                    _ => {
+                        // An annotated arrival, then its node drags the link
+                        // to a new seat (length stays inside the hints).
+                        let (s, r) = place(&mut rng);
+                        keys.push(session.insert_with_nodes(
+                            s,
+                            r,
+                            wagg_sinr::NodeId(i),
+                            wagg_sinr::NodeId(i + 10_000),
+                        ));
+                        session.move_node(i, Point::new(r.x - 1.2, r.y + 0.3));
+                    }
+                }
+                if (i + 1) % batch == 0 {
+                    assert_repaired_feasible(
+                        &mut session,
+                        config,
+                        &format!("sharded script under {mode}"),
+                    );
+                }
+            }
+            assert_repaired_feasible(&mut session, config, &format!("sharded script end under {mode}"));
         }
     }
 
@@ -303,4 +462,124 @@ fn hinted_sharded_repair_survives_event_scripts() {
     );
     let sharding = solve.sharding.expect("sharding provenance must survive");
     assert_eq!(sharding.shards, 9);
+    assert_warm_matches_capture(&session, &solve, config, "sharded event script");
+}
+
+/// The stale-warm-budget-leak regression (the bug this PR fixes): a long
+/// insert/remove storm with solves in between must leave exactly one warm
+/// color and one warm budget per live link, on both repair-capable
+/// backends — under the old keyed warm maps, `remove` purged the color but
+/// left the budget entry behind forever.
+#[test]
+fn warm_state_stays_in_lockstep_through_an_insert_remove_storm() {
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    let engine = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Engine)
+        .repair(RepairPolicy::enabled())
+        .build();
+    let sharded = Session::builder()
+        .scheduler(config)
+        .backend(Backend::Sharded)
+        .target_shards(4)
+        .partition_hints(BoundingBox::new(0.0, 0.0, 80.0, 80.0), (1.0, 1.5))
+        .repair(RepairPolicy::enabled())
+        .build();
+    let place = |i: usize| {
+        let x = (i % 9) as f64 * 8.0 + 2.0;
+        let y = ((i / 9) % 9) as f64 * 8.0 + 2.0 + (i / 81) as f64 * 0.37;
+        (Point::new(x, y), Point::new(x + 1.2, y))
+    };
+    for (label, mut session) in [("engine", engine), ("sharded", sharded)] {
+        let mut keys = std::collections::VecDeque::new();
+        let mut minted = 0usize;
+        for round in 0..30usize {
+            for _ in 0..3 {
+                let (s, r) = place(minted);
+                keys.push_back(session.insert(s, r));
+                minted += 1;
+            }
+            if round % 2 == 1 {
+                for _ in 0..4 {
+                    let key = keys.pop_front().expect("inserts outpace removals");
+                    session.remove(key).expect("storm keys are live");
+                }
+            }
+            session.solve();
+            let warm = session
+                .warm_state()
+                .expect("repair-enabled solves leave warm state");
+            let live = session.links().len();
+            assert_eq!(
+                warm.colors.len(),
+                live,
+                "{label}: warm colors leaked at round {round}"
+            );
+            assert_eq!(
+                warm.budgets.len(),
+                live,
+                "{label}: warm budgets leaked at round {round}"
+            );
+        }
+        assert_eq!(session.links().len(), 30, "{label}: storm bookkeeping");
+    }
+}
+
+/// Moved-link reconstruction is shared (`re_seat`) and the sharded mirror
+/// is collected once at event time and maintained in place: after relocates
+/// and node moves, `links()` still exposes contiguous position ids and
+/// intact node annotations on every backend (the sharded engine arms used
+/// to rebuild moved links as `Link::new(0, ..)`, dropping the id).
+#[test]
+fn re_seated_links_keep_ids_and_annotations_on_every_backend() {
+    let config = SchedulerConfig::new(PowerMode::mean_oblivious());
+    for backend in [Backend::Static, Backend::Engine, Backend::Sharded] {
+        let mut builder = Session::builder()
+            .scheduler(config)
+            .backend(backend)
+            .repair(RepairPolicy::enabled());
+        if backend == Backend::Sharded {
+            builder = builder
+                .target_shards(4)
+                .partition_hints(BoundingBox::new(0.0, 0.0, 80.0, 80.0), (1.0, 1.5));
+        }
+        let mut session = builder.build();
+        let mut keys = Vec::new();
+        for i in 0..10usize {
+            let x = (i % 5) as f64 * 12.0 + 2.0;
+            let y = (i / 5) as f64 * 12.0 + 2.0;
+            let (s, r) = (Point::new(x, y), Point::new(x + 1.2, y));
+            keys.push(if i % 3 == 0 {
+                session.insert_with_nodes(s, r, wagg_sinr::NodeId(i), wagg_sinr::NodeId(i + 100))
+            } else {
+                session.insert(s, r)
+            });
+        }
+        session.solve();
+        session
+            .relocate(keys[4], Point::new(40.0, 40.0), Point::new(41.2, 40.0))
+            .expect("key 4 is live");
+        // Node 3 anchors link 3's sender at (38, 2) → (39.2, 2); the nudge
+        // keeps the re-seated length inside the sharded hints.
+        let moved = session.move_node(3, Point::new(38.0, 2.3));
+        assert_eq!(moved, 1, "{backend:?}: node 3 annotates exactly one link");
+        let links = session.links();
+        for (pos, link) in links.iter().enumerate() {
+            assert_eq!(
+                link.id.0, pos,
+                "{backend:?}: ids must stay relabeled to positions after re-seats"
+            );
+        }
+        let annotated = links.iter().filter(|l| l.sender_node.is_some()).count();
+        assert_eq!(
+            annotated, 4,
+            "{backend:?}: node annotations survive re-seats"
+        );
+        let solve = session.solve();
+        assert!(
+            solve.schedule().verify(&links, &config.model, config.mode),
+            "{backend:?}: schedule infeasible after re-seats"
+        );
+        assert_warm_matches_capture(&session, &solve, config, "re-seat pin");
+    }
 }

@@ -91,20 +91,43 @@ impl AlphaPow {
             AlphaPow::General(a) => x.powf(a),
         }
     }
+
+    /// Computes `d^exponent` from the *squared* distance `d² = x2`, skipping
+    /// the square root for even exponents (α ∈ {0, 2, 4} never touch `sqrt`
+    /// at all). Equal to `self.pow(x2.sqrt())` up to an ulp — within the
+    /// kernel's documented ≤ 1e-9 relative drift versus `powf`.
+    #[inline(always)]
+    pub fn pow_of_squared(&self, x2: f64) -> f64 {
+        match *self {
+            AlphaPow::Zero => 1.0,
+            AlphaPow::One => x2.sqrt(),
+            AlphaPow::Square => x2,
+            AlphaPow::Cube => x2 * x2.sqrt(),
+            AlphaPow::Quartic => x2 * x2,
+            AlphaPow::General(a) => x2.powf(a * 0.5),
+        }
+    }
 }
 
 /// Precomputed per-link path-loss state for a link set under one power
 /// assignment — the input to the batched feasibility kernels.
+///
+/// The per-link vectors are [`Cow`]s so callers that already maintain them
+/// across link-set mutations (the incremental engines) can lend them borrowed
+/// per scheduling run ([`PathLossCache::from_borrowed_parts`]) instead of
+/// cloning two O(n) vectors per solve.
+///
+/// [`Cow`]: std::borrow::Cow
 #[derive(Debug, Clone)]
 pub struct PathLossCache<'a> {
     links: &'a [Link],
     pow: AlphaPow,
     inv_beta: f64,
     /// `P(i)`, or `None` when the assignment has no valid power for link `i`.
-    powers: Vec<Option<f64>>,
+    powers: std::borrow::Cow<'a, [Option<f64>]>,
     /// `l_i^α / P(i)`, or `None` when link `i` cannot be a valid target
     /// (degenerate length, missing or non-positive power).
-    weights: Vec<Option<f64>>,
+    weights: std::borrow::Cow<'a, [Option<f64>]>,
 }
 
 impl<'a> PathLossCache<'a> {
@@ -129,8 +152,8 @@ impl<'a> PathLossCache<'a> {
             links,
             pow,
             inv_beta: 1.0 / model.beta(),
-            powers,
-            weights,
+            powers: powers.into(),
+            weights: weights.into(),
         }
     }
 
@@ -160,16 +183,42 @@ impl<'a> PathLossCache<'a> {
             links,
             pow: AlphaPow::new(model.alpha()),
             inv_beta: 1.0 / model.beta(),
-            powers,
-            weights,
+            powers: powers.into(),
+            weights: weights.into(),
+        }
+    }
+
+    /// [`PathLossCache::from_parts`] without taking ownership: the cache
+    /// borrows the caller's vectors for its lifetime. This is the zero-copy
+    /// lend the warm-repair backends use — their mirrors keep the per-link
+    /// state alive across solves, so cloning it per solve was pure waste.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree with `links`.
+    pub fn from_borrowed_parts(
+        model: &SinrModel,
+        links: &'a [Link],
+        powers: &'a [Option<f64>],
+        weights: &'a [Option<f64>],
+    ) -> Self {
+        assert_eq!(powers.len(), links.len(), "one power per link");
+        assert_eq!(weights.len(), links.len(), "one weight per link");
+        PathLossCache {
+            links,
+            pow: AlphaPow::new(model.alpha()),
+            inv_beta: 1.0 / model.beta(),
+            powers: powers.into(),
+            weights: weights.into(),
         }
     }
 
     /// Dismantles the cache into its per-link `(powers, weights)` vectors —
     /// the counterpart of [`PathLossCache::from_parts`] for callers that keep
-    /// the state alive across link-set mutations.
+    /// the state alive across link-set mutations. Borrowed parts are cloned
+    /// out.
     pub fn into_parts(self) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
-        (self.powers, self.weights)
+        (self.powers.into_owned(), self.weights.into_owned())
     }
 
     /// The `(powers, weights)` slice for a subset of the cached links — the
@@ -276,6 +325,7 @@ impl<'a> PathLossCache<'a> {
     /// terms over a subset reproduces
     /// [`PathLossCache::subset_relative_interference_on`] up to re-
     /// association.
+    #[inline]
     pub fn interference_term(&self, source: usize, target: usize) -> Option<f64> {
         let s = &self.links[source];
         let t = &self.links[target];
@@ -284,11 +334,14 @@ impl<'a> PathLossCache<'a> {
         }
         let weight = self.weights[target]?;
         let p = self.powers[source]?;
-        let d = s.sender.distance(t.receiver);
-        if d <= 0.0 {
+        // The squared distance feeds the exponent dispatch directly: even
+        // α never pay the sqrt, and this term is the innermost op of the
+        // warm-repair admission probes.
+        let d2 = s.sender.distance_squared(t.receiver);
+        if d2 <= 0.0 {
             return Some(f64::INFINITY);
         }
-        Some(p * weight / self.pow.pow(d))
+        Some(p * weight / self.pow.pow_of_squared(d2))
     }
 
     /// Noise-free feasibility of the subset `members` (positions into the
