@@ -33,8 +33,14 @@ cargo build --workspace --no-default-features
 echo "==> serial kernel tests (incl. the sharded-scheduling sweep, the session differential + repair + telemetry suites, and the zero-sized no-op recorders)"
 cargo test -q --no-default-features -p wagg-sinr -p wagg-conflict -p wagg-fading -p wagg-engine -p wagg-partition -p wagg-session -p wagg-obs
 
+echo "==> wire codec hostility + service differential suites, serial build"
+cargo test -q --no-default-features -p wagg-wire -p wagg-service
+
 echo "==> session differential + warm-start repair + telemetry suites, parallel build"
 cargo test -q -p wagg-session
+
+echo "==> wire codec hostility + service differential suites, parallel build"
+cargo test -q -p wagg-wire -p wagg-service
 
 echo "==> wagg-obs suite, parallel build (active recorder, span tree, trace exporter, flight recorder + JSONL/Prometheus exports)"
 cargo test -q -p wagg-obs
@@ -71,6 +77,10 @@ if [[ "$MODE" != "quick" ]]; then
   echo "==> telemetry smoke test (observability example: health signals + Prometheus exposition + JSONL replay)"
   cargo run --release -q --example observability \
     | grep "telemetry OK" || { echo "telemetry smoke test failed"; exit 1; }
+
+  echo "==> service smoke test (service example: open/churn/solve/snapshot/restore/health + typed Busy under overload)"
+  cargo run --release -q --example service \
+    | grep "service OK" || { echo "service smoke test failed"; exit 1; }
 
   echo "==> perf regression gate (bench_gate --check against BENCH_gate.json)"
   # Generous tolerance: the gate catches order-of-magnitude slips (an

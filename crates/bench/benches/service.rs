@@ -1,0 +1,253 @@
+//! The `wagg-service` serving-path perf suite: what a request costs once a
+//! `SchedulerService` sits between the caller and the `Session`.
+//!
+//! Run with
+//!
+//! ```text
+//! CRITERION_BENCH_JSON=$PWD/BENCH_service.json cargo bench -p wagg-bench --bench service
+//! ```
+//!
+//! from the repository root to refresh `BENCH_service.json`; set
+//! `WAGG_SERVICE_BENCH_BIG=0` to skip the million-link snapshot section (or
+//! to a smaller n to re-measure it at that scale). Rows:
+//!
+//! * `service/rtt/health/4000` — the pure protocol round trip: mint,
+//!   route, queue, reply-channel hop. The request body (session stats +
+//!   health read) is microscopic, so this row *is* the service overhead.
+//! * `service/rtt/event_solve/4000` — sustained event-to-response on a
+//!   hosted engine session with warm repair: each iteration submits a
+//!   net-zero insert/remove batch and solves, the streaming churn loop a
+//!   tenant actually runs.
+//! * `service/throughput/clients8/2000` — eight concurrent clients
+//!   hammering their own static sessions through one four-worker pool;
+//!   the per-iteration cost is eight client threads × four solve RTTs.
+//! * `service/snapshot/1000000`, `service/restore_solve/1000000`,
+//!   `service/cold_resolve/1000000` — the persistence acceptance:
+//!   capture and encode a million-link hinted-sharded session; decode,
+//!   rebuild and first warm solve of the restored clone; versus opening
+//!   the same universe cold and re-solving from scratch.
+//!
+//! Correctness gates run outside the timed loops: the restored clone must
+//! solve slot-for-slot identically to its origin, and **restore-then-solve
+//! must beat the cold re-solve by at least 10×** — restart in seconds, not
+//! re-solve — asserted against the recorded minima before the harness
+//! writes the JSON.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wagg_bench::uniform_unit_links;
+use wagg_engine::EngineEvent;
+use wagg_geometry::{BoundingBox, Point};
+use wagg_schedule::{PowerMode, SchedulerConfig};
+use wagg_service::{SchedulerService, ServiceConfig, SessionId};
+use wagg_session::{Backend, PartitionHints, RepairPolicy, SessionConfig};
+
+const RTT_LINKS: usize = 4_000;
+const THROUGHPUT_LINKS: usize = 2_000;
+const CLIENTS: usize = 8;
+const SOLVES_PER_CLIENT: usize = 4;
+const BIG_DEFAULT: usize = 1_000_000;
+/// The persistence acceptance bar: restore + first solve vs cold re-solve.
+const RESTORE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Size of the snapshot section from `WAGG_SERVICE_BENCH_BIG` (0 = skip).
+fn big_n() -> usize {
+    std::env::var("WAGG_SERVICE_BENCH_BIG")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(BIG_DEFAULT)
+}
+
+fn scheduler() -> SchedulerConfig {
+    SchedulerConfig::new(PowerMode::mean_oblivious())
+}
+
+/// A net-zero churn batch: one link arrives and departs within the batch,
+/// so the universe (and thus the per-iteration work) stays constant while
+/// the warm repair path still has a real dirty set to re-seat.
+fn net_zero_batch(counter: u64, side: f64) -> Vec<EngineEvent> {
+    let x = 1.0 + (counter as f64 * 7.3) % (side - 3.0);
+    let y = 1.0 + (counter as f64 * 3.1) % (side - 3.0);
+    vec![
+        EngineEvent::Insert {
+            key: counter,
+            sender: Point::new(x, y),
+            receiver: Point::new(x + 1.0, y),
+            sender_node: None,
+            receiver_node: None,
+        },
+        EngineEvent::Remove { key: counter },
+    ]
+}
+
+fn bench_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    let service = SchedulerService::start(ServiceConfig::default());
+    let links = uniform_unit_links(RTT_LINKS, RTT_LINKS as u64);
+    let side = (RTT_LINKS as f64).sqrt() * 4.0;
+    let config = SessionConfig {
+        scheduler: scheduler(),
+        backend: Backend::Engine,
+        repair: RepairPolicy::enabled(),
+        ..SessionConfig::default()
+    };
+    let session = service.open_session(config, &links).expect("service is up");
+    // Warm the session so every timed solve is a repair, not a cold start.
+    assert!(service
+        .solve(session)
+        .expect("cold solve")
+        .schedule()
+        .is_partition(RTT_LINKS));
+
+    group.bench_function(BenchmarkId::new("rtt/health", RTT_LINKS), |b| {
+        b.iter(|| {
+            black_box(service.health(session).expect("health"))
+                .stats
+                .links
+        })
+    });
+
+    let mut counter = 0u64;
+    group.bench_function(BenchmarkId::new("rtt/event_solve", RTT_LINKS), |b| {
+        b.iter(|| {
+            counter += 1;
+            service
+                .submit_events(session, &net_zero_batch(counter, side))
+                .expect("events apply");
+            black_box(service.solve(session).expect("warm solve").slots())
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let service = SchedulerService::start(ServiceConfig {
+        workers: 4,
+        queue_depth: 64,
+        telemetry: None,
+    });
+    let config = SessionConfig {
+        scheduler: scheduler(),
+        backend: Backend::Static,
+        ..SessionConfig::default()
+    };
+    let sessions: Vec<SessionId> = (0..CLIENTS)
+        .map(|i| {
+            let links = uniform_unit_links(THROUGHPUT_LINKS, i as u64 + 1);
+            service.open_session(config, &links).expect("service is up")
+        })
+        .collect();
+
+    group.bench_function(
+        BenchmarkId::new(format!("throughput/clients{CLIENTS}"), THROUGHPUT_LINKS),
+        |b| {
+            b.iter(|| {
+                let clients: Vec<_> = sessions
+                    .iter()
+                    .map(|&session| {
+                        let service = service.clone();
+                        std::thread::spawn(move || {
+                            let mut slots = 0usize;
+                            for _ in 0..SOLVES_PER_CLIENT {
+                                slots += service.solve(session).expect("solve").slots();
+                            }
+                            slots
+                        })
+                    })
+                    .collect();
+                clients
+                    .into_iter()
+                    .map(|t| t.join().expect("client thread"))
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+    service.shutdown();
+}
+
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let n = big_n();
+    if n == 0 {
+        eprintln!("skipping service snapshot section (WAGG_SERVICE_BENCH_BIG=0)");
+        return;
+    }
+    let links = uniform_unit_links(n, n as u64);
+    let side = (n as f64).sqrt() * 4.0;
+    let config = SessionConfig {
+        scheduler: scheduler(),
+        backend: Backend::Sharded,
+        target_shards: 16,
+        partition: Some(PartitionHints {
+            extent: BoundingBox::new(-1.5, -1.5, side + 1.5, side + 1.5),
+            length_bounds: (0.9, 1.1),
+        }),
+        repair: RepairPolicy::enabled(),
+        ..SessionConfig::default()
+    };
+    let service = SchedulerService::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 8,
+        telemetry: None,
+    });
+    let origin = service.open_session(config, &links).expect("service is up");
+    let cold = service.solve(origin).expect("seed solve");
+    assert!(cold.schedule().is_partition(n));
+    let frame = service.snapshot(origin).expect("snapshot");
+    eprintln!("service/snapshot/{n}: frame is {} bytes", frame.len());
+
+    // Correctness gate: the restored clone serves the identical schedule.
+    let clone = service.restore(&frame).expect("restore");
+    let restored = service.solve(clone).expect("restored solve");
+    assert_eq!(
+        cold.schedule(),
+        restored.schedule(),
+        "a restored session must schedule slot-for-slot identically"
+    );
+    service.close_session(clone).expect("close clone");
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("snapshot", n), |b| {
+        b.iter(|| black_box(service.snapshot(origin).expect("snapshot")).len())
+    });
+    group.bench_function(BenchmarkId::new("restore_solve", n), |b| {
+        b.iter(|| {
+            let clone = service.restore(&frame).expect("restore");
+            let slots = service.solve(clone).expect("restored solve").slots();
+            service.close_session(clone).expect("close clone");
+            black_box(slots)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cold_resolve", n), |b| {
+        b.iter(|| {
+            let cold = service.open_session(config, &links).expect("open");
+            let slots = service.solve(cold).expect("cold solve").slots();
+            service.close_session(cold).expect("close cold");
+            black_box(slots)
+        })
+    });
+    group.finish();
+    service.shutdown();
+
+    // The acceptance bar, judged on the recorded minima (noise-robust, same
+    // statistic bench_gate diffs on) before the harness writes the JSON.
+    let min_of = |id: &str| {
+        c.records
+            .iter()
+            .find(|r| r.group == "service" && r.id == format!("{id}/{n}"))
+            .map(|r| r.min_ns)
+            .expect("row was just recorded")
+    };
+    let speedup = min_of("cold_resolve") / min_of("restore_solve");
+    eprintln!("service/restore_solve/{n}: {speedup:.1}x faster than cold re-solve");
+    assert!(
+        speedup >= RESTORE_SPEEDUP_FLOOR,
+        "snapshot restore must beat the cold re-solve by {RESTORE_SPEEDUP_FLOOR}x, got {speedup:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_rtt, bench_throughput, bench_snapshot_restore);
+criterion_main!(benches);

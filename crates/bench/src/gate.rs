@@ -16,8 +16,10 @@
 use std::fmt;
 use std::time::Instant;
 
+use wagg_engine::EngineEvent;
 use wagg_schedule::{PowerMode, SchedulerConfig};
-use wagg_session::{Backend, RepairPolicy, Session};
+use wagg_service::{SchedulerService, ServiceConfig};
+use wagg_session::{Backend, RepairPolicy, Session, SessionConfig};
 
 use crate::uniform_unit_links;
 
@@ -379,6 +381,12 @@ pub fn compare(baseline: &BenchRun, fresh: &BenchRun, tolerance_pct: f64) -> Gat
 ///   is one single-event relocate + warm repair round-trip against the
 ///   persistent mirrors, min-of-samples — the µs–ms O(dirty) repair floor,
 ///   gated like every other hot path;
+/// * `gate/service_event/20000` — the same sustained churn loop through a
+///   one-worker [`SchedulerService`]: each sample is one net-zero event
+///   batch plus a warm solve as two request/response round trips, so the
+///   delta against `gate/repair_event/20000` is the serving overhead
+///   (routing, bounded queue, reply channel) and a regression in either
+///   layer trips it;
 /// * `gate/telemetry/20000` — `gate/sharded/20000` with a `Recorder` and
 ///   a `FlightRecorder` installed, so instrumentation overhead is itself a
 ///   gated quantity.
@@ -463,6 +471,54 @@ pub fn run_gate_workloads(samples: u32) -> BenchRun {
                     .relocate(7, wagg_geometry::Point::new(home.x + dx, home.y), receiver)
                     .expect("seeded key is live");
                 session.solve().slots()
+            },
+        ));
+    }
+
+    {
+        let links = uniform_unit_links(20_000, 42);
+        let service = SchedulerService::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 4,
+            telemetry: None,
+        });
+        let config = SessionConfig {
+            scheduler,
+            backend: Backend::Engine,
+            repair: RepairPolicy::enabled(),
+            ..SessionConfig::default()
+        };
+        let session = service
+            .open_session(config, &links)
+            .expect("gate service is up");
+        service
+            .solve(session)
+            .expect("cold solve anchors the warm state");
+        let mut counter = 0u64;
+        run.benchmarks.push(time_workload(
+            "gate",
+            "service_event/20000",
+            samples,
+            move || {
+                counter += 1;
+                let x = 10.0 + (counter as f64 * 7.3) % 500.0;
+                // A net-zero batch (a link arrives and departs) keeps the
+                // hosted universe constant across samples while the warm
+                // repair path still re-seats a real dirty set.
+                let batch = [
+                    EngineEvent::Insert {
+                        key: counter,
+                        sender: wagg_geometry::Point::new(x, 200.0),
+                        receiver: wagg_geometry::Point::new(x + 1.0, 200.0),
+                        sender_node: None,
+                        receiver_node: None,
+                    },
+                    EngineEvent::Remove { key: counter },
+                ];
+                service
+                    .submit_events(session, &batch)
+                    .expect("events apply");
+                service.solve(session).expect("warm solve").slots()
             },
         ));
     }
@@ -598,7 +654,7 @@ mod tests {
     #[test]
     fn gate_workloads_produce_comparable_rows() {
         let run = run_gate_workloads(1);
-        assert_eq!(run.benchmarks.len(), 5);
+        assert_eq!(run.benchmarks.len(), 6);
         for r in &run.benchmarks {
             assert!(r.min_ns > 0.0, "{} measured nothing", r.key());
             assert!(r.min_ns <= r.mean_ns + 1e-9);

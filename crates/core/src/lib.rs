@@ -86,9 +86,11 @@ pub use wagg_obs as obs;
 pub use wagg_partition as partition;
 pub use wagg_protocol as protocol;
 pub use wagg_schedule as schedule;
+pub use wagg_service as service;
 pub use wagg_session as session;
 pub use wagg_sim as sim;
 pub use wagg_sinr as sinr;
+pub use wagg_wire as wire;
 
 pub use wagg_geometry::Point;
 pub use wagg_instances::Instance;
@@ -100,11 +102,15 @@ pub use wagg_schedule::{
     BackendKind, PowerMode, RepairDecision, RepairStats, Schedule, ScheduleReport, SchedulerConfig,
     ShardingStats, SolveReport,
 };
+pub use wagg_service::{
+    Request, Response, SchedulerService, ServiceConfig, ServiceError, ServiceHealth, SessionId,
+};
 pub use wagg_session::{
     Backend, PartitionHints, RepairPolicy, SchedulerBackend, Session, SessionBuilder,
     SessionConfig, SessionError, SessionStats,
 };
 pub use wagg_sinr::{Link, PowerAssignment, SinrModel};
+pub use wagg_wire::{DecodeError, EncodeError, Frame, FrameKind};
 
 use serde::{Deserialize, Serialize};
 use std::error::Error;

@@ -186,6 +186,13 @@ pub fn simulate_distributed(links: &[Link], config: DistributedConfig) -> Distri
         let mut rng = seeded_rng(derive_seed(config.seed, phase_idx as u64));
         let mut coloring_rounds = 0usize;
         let mut remaining: Vec<usize> = members.clone();
+        // Per-vertex round state, allocated once per phase and reset through
+        // the proposal list each round (O(proposals), not O(n)):
+        // `proposal_color[v]` is this round's proposed color (UNCOLORED when
+        // `v` is not proposing), `won[v]` marks this round's winners.
+        let mut proposal_color = vec![UNCOLORED; n];
+        let mut proposal_priority = vec![0u64; n];
+        let mut won = vec![false; n];
 
         // Randomized distributed coloring: in each synchronous round every uncolored
         // link of the class proposes the smallest color not used by its already
@@ -215,20 +222,31 @@ pub fn simulate_distributed(links: &[Link], config: DistributedConfig) -> Distri
                     (v, candidate, rng.gen::<u64>())
                 })
                 .collect();
-            let mut winners: Vec<usize> = Vec::new();
             for &(v, color, priority) in &proposals {
-                let beaten = proposals.iter().any(|&(u, other_color, other_priority)| {
+                proposal_color[v] = color;
+                proposal_priority[v] = priority;
+            }
+            // A proposal loses only to a *conflicting* proposal of the same
+            // color with higher (priority, id), so scanning `v`'s neighbour
+            // row finds every possible beater directly — O(deg(v)) per
+            // proposal instead of the all-pairs adjacency probing (and the
+            // O(|remaining|·|winners|) retain) this round used to run.
+            for &(v, color, priority) in &proposals {
+                let beaten = graph.neighbors(v).iter().any(|&u| {
                     u != v
-                        && other_color == color
-                        && graph.are_adjacent(u, v)
-                        && (other_priority, u) > (priority, v)
+                        && proposal_color[u] == color
+                        && (proposal_priority[u], u) > (priority, v)
                 });
                 if !beaten {
                     colors[v] = color;
-                    winners.push(v);
+                    won[v] = true;
                 }
             }
-            remaining.retain(|v| !winners.contains(v));
+            remaining.retain(|&v| !won[v]);
+            for &(v, _, _) in &proposals {
+                proposal_color[v] = UNCOLORED;
+                won[v] = false;
+            }
             // Safety valve: the process always terminates (each round colors at least
             // the highest-priority remaining link), but guard against pathological
             // floating point issues anyway.

@@ -25,6 +25,7 @@
 //! which stays the correctness oracle — debug builds assert the patched
 //! state equals a from-scratch capture after every repair commit.
 
+use crate::state::{self, BackendState, EventCounts, KeyedLink, RestoreError, WarmState};
 use crate::{RepairPolicy, SessionError, SessionStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wagg_engine::{EngineConfig, InterferenceEngine};
@@ -147,6 +148,12 @@ pub trait SchedulerBackend: std::fmt::Debug {
 
     /// Event accounting for this backend.
     fn stats(&self) -> SessionStats;
+
+    /// Materialises the backend's full state — universe with stable keys in
+    /// solve order, key counter, dirty set, warm repair state — as plain
+    /// data (see [`crate::state`]). The session snapshot surface
+    /// ([`crate::Session::capture_state`]) builds on this.
+    fn capture_state(&self) -> BackendState;
 }
 
 /// Position-indexed snapshot of a backend's warm repair state, exposed
@@ -325,6 +332,20 @@ fn drift_vs(slots: usize, baseline: usize) -> f64 {
     (slots as f64 - baseline as f64) / baseline.max(1) as f64
 }
 
+/// Captures a key-ordered link map as [`KeyedLink`]s, ids relabeled to
+/// positions (the canonical form: capture → restore → capture is identity).
+fn keyed_from_map(links: &BTreeMap<u64, Link>) -> Vec<KeyedLink> {
+    links
+        .iter()
+        .enumerate()
+        .map(|(pos, (&key, link))| {
+            let mut l = *link;
+            l.id = LinkId(pos);
+            KeyedLink { key, link: l }
+        })
+        .collect()
+}
+
 /// Re-assigns contiguous ids in iteration (= ascending key) order.
 fn relabeled(links: &BTreeMap<u64, Link>) -> Vec<Link> {
     links
@@ -426,6 +447,27 @@ impl StaticBackend {
         backend.inserts = links.len();
         backend
     }
+
+    /// Rebuilds a backend from captured state (see
+    /// [`crate::Session::restore_state`]), validating it first.
+    pub(crate) fn restore(
+        scheduler: SchedulerConfig,
+        links: &[KeyedLink],
+        next_key: u64,
+        counts: EventCounts,
+    ) -> Result<Self, RestoreError> {
+        state::check_ascending(links)?;
+        state::check_next_key(links, next_key)?;
+        Ok(StaticBackend {
+            scheduler,
+            links: links.iter().map(|k| (k.key, k.link)).collect(),
+            next_key,
+            inserts: counts.inserts,
+            removals: counts.removals,
+            moves: counts.moves,
+            recorder: Recorder::disabled(),
+        })
+    }
 }
 
 impl SchedulerBackend for StaticBackend {
@@ -491,6 +533,18 @@ impl SchedulerBackend for StaticBackend {
             inserts: self.inserts,
             removals: self.removals,
             moves: self.moves,
+        }
+    }
+
+    fn capture_state(&self) -> BackendState {
+        BackendState::Static {
+            links: keyed_from_map(&self.links),
+            next_key: self.next_key,
+            counts: EventCounts {
+                inserts: self.inserts,
+                removals: self.removals,
+                moves: self.moves,
+            },
         }
     }
 }
@@ -661,6 +715,48 @@ impl EngineBackend {
     /// The maintained engine (adjacency queries, maintenance counters).
     pub fn engine(&self) -> &InterferenceEngine {
         &self.engine
+    }
+
+    /// Rebuilds a backend from captured state (see
+    /// [`crate::Session::restore_state`]), validating it first. The links
+    /// arrive in the captured engine's slot order and land in slots `0..n`
+    /// — position-for-position the captured order, so the restored warm
+    /// vectors index correctly and (engine snapshots being canonical) the
+    /// next solve is byte-identical. Maintenance counters restart at zero:
+    /// the bulk-built engine owns them.
+    pub(crate) fn restore(
+        config: EngineConfig,
+        links: &[KeyedLink],
+        next_key: u64,
+        dirty: &[u64],
+        warm: Option<&WarmState>,
+    ) -> Result<Self, RestoreError> {
+        state::check_unique(links)?;
+        state::check_next_key(links, next_key)?;
+        state::check_dirty(links, dirty)?;
+        if let Some(w) = warm {
+            state::check_warm(links, w)?;
+        }
+        let bare: Vec<Link> = links.iter().map(|k| k.link).collect();
+        let mut backend = EngineBackend {
+            engine: InterferenceEngine::with_links(config, &bare),
+            slot_of: links.iter().enumerate().map(|(i, k)| (k.key, i)).collect(),
+            key_of: links.iter().enumerate().map(|(i, k)| (i, k.key)).collect(),
+            next_key,
+            dirty: dirty.iter().copied().collect(),
+            warm: None,
+        };
+        if let Some(w) = warm {
+            let mut ew = EngineWarm::build(&backend.engine);
+            ew.sched = WarmSchedule {
+                colors: w.colors.clone(),
+                budgets: w.budgets.clone(),
+                baseline_slots: w.baseline_slots,
+                skew: w.skew,
+            };
+            backend.warm = Some(ew);
+        }
+        Ok(backend)
     }
 
     /// Recolors from scratch, re-anchors the warm baseline and wraps the
@@ -920,6 +1016,39 @@ impl SchedulerBackend for EngineBackend {
             moves: s.moves,
         }
     }
+
+    fn capture_state(&self) -> BackendState {
+        let s = self.engine.stats();
+        BackendState::Engine {
+            links: self
+                .engine
+                .live_slots()
+                .iter()
+                .enumerate()
+                .map(|(pos, &slot)| {
+                    let mut l = *self.engine.link(slot).expect("live slot");
+                    l.id = LinkId(pos);
+                    KeyedLink {
+                        key: self.key_of[&slot],
+                        link: l,
+                    }
+                })
+                .collect(),
+            next_key: self.next_key,
+            dirty: self.dirty.iter().copied().collect(),
+            warm: self.warm.as_ref().map(|w| WarmState {
+                colors: w.sched.colors.clone(),
+                budgets: w.sched.budgets.clone(),
+                baseline_slots: w.sched.baseline_slots,
+                skew: w.sched.skew,
+            }),
+            counts: EventCounts {
+                inserts: s.inserts,
+                removals: s.removals,
+                moves: s.moves,
+            },
+        }
+    }
 }
 
 /// The two execution modes of the sharded strategy.
@@ -1031,11 +1160,62 @@ impl ShardedBackend {
 
     /// Seeds the universe with `links` (keys `0..n` in input order).
     ///
+    /// On a fresh hinted (engine-mode) backend this routes through
+    /// [`PartitionedEngine::with_links`] — one grid-accelerated build per
+    /// shard instead of `n` incremental conflict-row recomputations —
+    /// producing the exact state (keys, mirrors, dirty set) the per-event
+    /// path would have built. Million-link sessions construct in seconds
+    /// where sequential insertion costs minutes.
+    ///
     /// # Panics
     ///
     /// In hinted (engine) mode, panics when a link's length falls outside
     /// the declared bounds — the tiling's halo margin is sized from them.
     pub fn seeded(mut self, links: &[Link]) -> Self {
+        if self.next_key == 0 && !links.is_empty() {
+            if let ShardedInner::Engine {
+                engine,
+                skeys,
+                ekeys,
+                links: mirror,
+                powers,
+                weights,
+            } = &mut self.inner
+            {
+                let config = *engine.config();
+                **engine = PartitionedEngine::with_links(config, links);
+                *skeys = (0..links.len() as u64).collect();
+                *ekeys = (0..links.len() as u64).collect();
+                // The sequential path drops partial node annotations (a
+                // link follows move-node events only when both endpoints
+                // are annotated); the bulk mirror must normalise the same
+                // way.
+                *mirror = links
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, l)| {
+                        let mut staged = make_link(
+                            l.sender,
+                            l.receiver,
+                            match (l.sender_node, l.receiver_node) {
+                                (Some(s), Some(r)) => Some((s, r)),
+                                _ => None,
+                            },
+                        );
+                        staged.id = LinkId(pos);
+                        staged
+                    })
+                    .collect();
+                (*powers, *weights) = mirror
+                    .iter()
+                    .map(|l| link_parts(&self.scheduler, l))
+                    .unzip();
+                self.dirty = (0..links.len() as u64).collect();
+                self.next_key = links.len() as u64;
+                self.inserts = links.len();
+                return self;
+            }
+        }
         for link in links {
             let nodes = match (link.sender_node, link.receiver_node) {
                 (Some(s), Some(r)) => Some((s, r)),
@@ -1044,6 +1224,107 @@ impl ShardedBackend {
             self.insert(link.sender, link.receiver, nodes);
         }
         self
+    }
+
+    /// Rebuilds a re-tiling (hint-less) backend from captured state (see
+    /// [`crate::Session::restore_state`]), validating it first.
+    pub(crate) fn restore_rebuild(
+        scheduler: SchedulerConfig,
+        strategy: VerifierStrategy,
+        target_shards: usize,
+        links: &[KeyedLink],
+        next_key: u64,
+        counts: EventCounts,
+    ) -> Result<Self, RestoreError> {
+        state::check_ascending(links)?;
+        state::check_next_key(links, next_key)?;
+        Ok(ShardedBackend {
+            scheduler,
+            strategy,
+            target_shards,
+            inner: ShardedInner::Rebuild {
+                links: links.iter().map(|k| (k.key, k.link)).collect(),
+            },
+            next_key,
+            inserts: counts.inserts,
+            removals: counts.removals,
+            moves: counts.moves,
+            dirty: BTreeSet::new(),
+            warm: None,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Rebuilds a hinted (engine-mode) backend from captured state (see
+    /// [`crate::Session::restore_state`]), validating it first. The engine
+    /// is re-materialised through [`PartitionedEngine::with_links`] — the
+    /// restart-in-seconds path — and mints fresh engine keys `0..n`
+    /// (ascending, like the originals, so the sorted-mirror invariant and
+    /// the position-ordered solve are preserved and the next solve is
+    /// byte-identical).
+    pub(crate) fn restore_engine(
+        config: PartitionedEngineConfig,
+        links: &[KeyedLink],
+        next_key: u64,
+        dirty: &[u64],
+        warm: Option<&WarmState>,
+        counts: EventCounts,
+    ) -> Result<Self, RestoreError> {
+        state::check_ascending(links)?;
+        state::check_next_key(links, next_key)?;
+        state::check_dirty(links, dirty)?;
+        if let Some(w) = warm {
+            state::check_warm(links, w)?;
+        }
+        // Pre-check the declared bounds so the engine's insert-path assert
+        // cannot fire on a hostile snapshot (NaN lengths fail the range
+        // test and land here too).
+        let (lo, hi) = config.length_bounds;
+        for k in links {
+            let length = k.link.length();
+            if !(length >= lo && length <= hi) {
+                return Err(RestoreError::LengthOutOfBounds { key: k.key, length });
+            }
+        }
+        let mirror: Vec<Link> = links
+            .iter()
+            .enumerate()
+            .map(|(pos, k)| {
+                let mut l = k.link;
+                l.id = LinkId(pos);
+                l
+            })
+            .collect();
+        let engine = PartitionedEngine::with_links(config, &mirror);
+        let (powers, weights) = mirror
+            .iter()
+            .map(|l| link_parts(&config.scheduler, l))
+            .unzip();
+        Ok(ShardedBackend {
+            scheduler: config.scheduler,
+            strategy: config.verifier,
+            target_shards: config.target_shards,
+            inner: ShardedInner::Engine {
+                engine: Box::new(engine),
+                skeys: links.iter().map(|k| k.key).collect(),
+                ekeys: (0..links.len() as u64).collect(),
+                links: mirror,
+                powers,
+                weights,
+            },
+            next_key,
+            inserts: counts.inserts,
+            removals: counts.removals,
+            moves: counts.moves,
+            dirty: dirty.iter().copied().collect(),
+            warm: warm.map(|w| WarmSchedule {
+                colors: w.colors.clone(),
+                budgets: w.budgets.clone(),
+                baseline_slots: w.baseline_slots,
+                skew: w.skew,
+            }),
+            recorder: Recorder::disabled(),
+        })
     }
 
     /// Runs the full hinted-engine pipeline, re-anchors the warm baseline and
@@ -1473,6 +1754,40 @@ impl SchedulerBackend for ShardedBackend {
             inserts: self.inserts,
             removals: self.removals,
             moves: self.moves,
+        }
+    }
+
+    fn capture_state(&self) -> BackendState {
+        let counts = EventCounts {
+            inserts: self.inserts,
+            removals: self.removals,
+            moves: self.moves,
+        };
+        match &self.inner {
+            ShardedInner::Rebuild { links } => BackendState::ShardedRebuild {
+                links: keyed_from_map(links),
+                next_key: self.next_key,
+                counts,
+            },
+            // The engine keys are not captured: restore mints fresh ones
+            // `0..n`, which preserves every invariant the mirrors rely on
+            // (see `ShardedBackend::restore_engine`).
+            ShardedInner::Engine { skeys, links, .. } => BackendState::ShardedEngine {
+                links: skeys
+                    .iter()
+                    .zip(links)
+                    .map(|(&key, &link)| KeyedLink { key, link })
+                    .collect(),
+                next_key: self.next_key,
+                dirty: self.dirty.iter().copied().collect(),
+                warm: self.warm.as_ref().map(|w| WarmState {
+                    colors: w.colors.clone(),
+                    budgets: w.budgets.clone(),
+                    baseline_slots: w.baseline_slots,
+                    skew: w.skew,
+                }),
+                counts,
+            },
         }
     }
 }

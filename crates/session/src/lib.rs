@@ -69,8 +69,10 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+pub mod state;
 
 pub use backend::{EngineBackend, SchedulerBackend, ShardedBackend, StaticBackend, WarmStateView};
+pub use state::{RestoreError, SessionState};
 pub use wagg_obs::{
     FlightRecorder, HealthConfig, HealthReport, HealthSignal, Metrics, Recorder, SeriesKind,
     SignalKind, SolveSample, TelemetryConfig,
@@ -734,6 +736,133 @@ impl Session {
         self.trace_keys.get(&key).copied()
     }
 
+    /// Materialises the session's full state — config, universe with stable
+    /// keys, backend internals (dirty set, warm repair state), trace-key
+    /// bindings, and the flight-recorder ring as its JSONL fold — into a
+    /// plain-data [`SessionState`] (see [`state`]). The inverse is
+    /// [`Session::restore_state`]; `wagg-wire` carries the state as the
+    /// snapshot frame.
+    pub fn capture_state(&self) -> SessionState {
+        let mut trace_keys: Vec<(u64, u64)> =
+            self.trace_keys.iter().map(|(&t, &s)| (t, s)).collect();
+        trace_keys.sort_unstable();
+        SessionState {
+            config: self.config,
+            backend: self.backend.capture_state(),
+            trace_keys,
+            telemetry: self.flight.is_enabled().then(|| state::TelemetryState {
+                config: self.flight.config(),
+                log: self.flight.to_jsonl(),
+            }),
+        }
+    }
+
+    /// Rebuilds a live session from captured state. Engines are
+    /// re-materialised through the bulk seeding paths
+    /// (`InterferenceEngine::with_links`, `PartitionedEngine::with_links`)
+    /// and the warm repair state is re-attached, so the restored session's
+    /// next [`Session::solve`] is **byte-identical** to the solve the
+    /// captured session would have produced — restart in seconds, not
+    /// re-solve. The flight-recorder ring is replayed from its JSONL fold
+    /// (when the build carries the `obs` feature; without it telemetry
+    /// restoration is a no-op). Not restored: installed [`Recorder`]s
+    /// (install a fresh one), and the engine backend's event counters
+    /// (the rebuilt engine owns them — they restart at zero).
+    ///
+    /// # Errors
+    ///
+    /// A [`RestoreError`] naming the structural inconsistency when the
+    /// state was hand-built or decoded from hostile bytes — restoration
+    /// validates everything up front and never panics.
+    pub fn restore_state(state: &SessionState) -> Result<Self, RestoreError> {
+        let config = state.config;
+        let backend: Box<dyn SchedulerBackend> = match &state.backend {
+            state::BackendState::Static {
+                links,
+                next_key,
+                counts,
+            } => Box::new(StaticBackend::restore(
+                config.scheduler,
+                links,
+                *next_key,
+                *counts,
+            )?),
+            state::BackendState::Engine {
+                links,
+                next_key,
+                dirty,
+                warm,
+                ..
+            } => {
+                let engine_config = EngineConfig::for_scheduler(config.scheduler)
+                    .with_slacks(config.grid_slack, config.compact_slack);
+                Box::new(EngineBackend::restore(
+                    engine_config,
+                    links,
+                    *next_key,
+                    dirty,
+                    warm.as_ref(),
+                )?)
+            }
+            state::BackendState::ShardedRebuild {
+                links,
+                next_key,
+                counts,
+            } => Box::new(ShardedBackend::restore_rebuild(
+                config.scheduler,
+                config.verifier,
+                config.effective_shards(),
+                links,
+                *next_key,
+                *counts,
+            )?),
+            state::BackendState::ShardedEngine {
+                links,
+                next_key,
+                dirty,
+                warm,
+                counts,
+            } => {
+                let hints = config
+                    .partition
+                    .ok_or(RestoreError::MissingPartitionHints)?;
+                check_hints(&hints)?;
+                let pconfig = PartitionedEngineConfig::new(
+                    config.scheduler,
+                    hints.extent,
+                    hints.length_bounds,
+                    config.effective_shards(),
+                )
+                .with_verifier(config.verifier);
+                Box::new(ShardedBackend::restore_engine(
+                    pconfig,
+                    links,
+                    *next_key,
+                    dirty,
+                    warm.as_ref(),
+                    *counts,
+                )?)
+            }
+        };
+        let flight = match &state.telemetry {
+            Some(t) => {
+                let (flight, _stats) =
+                    wagg_obs::export::replay(&t.log, t.config).map_err(RestoreError::Telemetry)?;
+                flight
+            }
+            None => FlightRecorder::disabled(),
+        };
+        Ok(Session {
+            config,
+            backend,
+            trace_keys: state.trace_keys.iter().copied().collect(),
+            recorder: Recorder::disabled(),
+            flight,
+            flight_fallbacks: 0,
+            flight_evictions: 0,
+        })
+    }
+
     /// Schedules the current link universe with the resolved backend and
     /// returns the unified report (schedule, analysis quantities, backend
     /// provenance, sharding accounting).
@@ -818,6 +947,30 @@ impl Session {
         }
         report
     }
+}
+
+/// Pre-validates [`PartitionHints`] against the asserts
+/// `PartitionedEngineConfig::new` would fire, so a hostile snapshot's
+/// restore returns a typed error instead of panicking.
+fn check_hints(hints: &PartitionHints) -> Result<(), RestoreError> {
+    let (lo, hi) = hints.length_bounds;
+    if !(lo > 0.0 && lo <= hi && hi.is_finite()) {
+        return Err(RestoreError::InvalidPartitionHints {
+            reason: "length bounds must satisfy 0 < min <= max < inf",
+        });
+    }
+    let e = hints.extent;
+    if !(e.min_x.is_finite() && e.min_y.is_finite() && e.max_x.is_finite() && e.max_y.is_finite()) {
+        return Err(RestoreError::InvalidPartitionHints {
+            reason: "extent must be finite",
+        });
+    }
+    if e.max_x < e.min_x || e.max_y < e.min_y {
+        return Err(RestoreError::InvalidPartitionHints {
+            reason: "extent is inverted",
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

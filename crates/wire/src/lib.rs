@@ -1,0 +1,1316 @@
+//! Versioned compact binary codec for the scheduling surface.
+//!
+//! `wagg-wire` frames the values that cross a process boundary — link sets,
+//! replayable [`EngineTrace`]s, [`SessionConfig`]s, [`SolveReport`]s and full
+//! [`SessionState`] snapshots — as self-describing byte strings:
+//!
+//! ```text
+//! +--------+---------+------+-----------------+
+//! | "WAGG" | version | kind |     payload     |
+//! | 4 bytes| 1 byte  |1 byte| kind-specific   |
+//! +--------+---------+------+-----------------+
+//! ```
+//!
+//! Integers are fixed-width little-endian, floats are IEEE-754 bit patterns,
+//! sequences carry a `u32` length prefix. The codec is hand-rolled (the
+//! workspace is offline; `serde` is a no-op shim) and deliberately boring:
+//! no varints, no compression, no schema evolution beyond the version byte.
+//!
+//! # Hostile bytes
+//!
+//! [`Frame::decode`] is total over `&[u8]`: every malformed input — wrong
+//! magic, unsupported version, truncation at any offset, bit flips, absurd
+//! length prefixes, non-finite coordinates, trailing garbage — returns a
+//! typed [`DecodeError`], never a panic and never an attempt to allocate
+//! more than the input could possibly describe (length prefixes are checked
+//! against the bytes actually remaining before any allocation). The
+//! `hostility` test suite walks truncations and bit flips over every frame
+//! kind to pin this down.
+//!
+//! The layering with [`wagg_session::RestoreError`] is deliberate: the wire
+//! layer validates *structure* (framing, tags, UTF-8, finite geometry, model
+//! and slack parameters that constructors downstream would assert on), while
+//! [`Session::restore_state`](wagg_session::Session::restore_state)
+//! validates *semantics* (key order, dirty sets, warm-state lockstep). A
+//! decoded snapshot can therefore still be rejected by restore — but neither
+//! layer can be made to panic from bytes alone.
+//!
+//! # Losslessness
+//!
+//! Encode∘decode is the identity for every frame: a round-tripped
+//! [`SessionState`] restores to a session whose next solve is byte-identical
+//! to the original's (see `wagg-session`'s snapshot contract). The
+//! [`SolveReport`] frame wraps the report's canonical JSON form
+//! ([`SolveReport::to_json`]), which is lossless by the report's own tests.
+
+use std::error::Error;
+use std::fmt;
+
+use wagg_engine::{EngineEvent, EngineTrace};
+use wagg_geometry::{BoundingBox, Point};
+use wagg_obs::telemetry::{HealthConfig, TelemetryConfig};
+use wagg_schedule::{PowerMode, SchedulerConfig, SolveReport};
+use wagg_session::state::{BackendState, EventCounts, KeyedLink, TelemetryState, WarmState};
+use wagg_session::VerifierStrategy;
+use wagg_session::{Backend, PartitionHints, RepairPolicy, SessionConfig, SessionState};
+use wagg_sinr::{Link, NodeId, SinrModel};
+
+/// The four magic bytes every frame starts with.
+pub const MAGIC: [u8; 4] = *b"WAGG";
+
+/// The wire-format version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame kind discriminants (the byte after the version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A bare link set ([`Frame::Links`]).
+    Links = 1,
+    /// A replayable engine trace ([`Frame::Trace`]).
+    Trace = 2,
+    /// A session configuration ([`Frame::Config`]).
+    Config = 3,
+    /// A solve report ([`Frame::Report`]).
+    Report = 4,
+    /// A full session snapshot ([`Frame::Snapshot`]).
+    Snapshot = 5,
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A bare link set (an instance shipped to a session).
+    Links(Vec<Link>),
+    /// A replayable engine event trace (churn shipped to a session).
+    Trace(EngineTrace),
+    /// A session configuration (how to open a session).
+    Config(SessionConfig),
+    /// A solve report (results shipped back to a client).
+    Report(SolveReport),
+    /// A full session snapshot (see [`wagg_session::SessionState`]).
+    Snapshot(SessionState),
+}
+
+impl Frame {
+    /// The kind byte this frame encodes under.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Frame::Links(_) => FrameKind::Links,
+            Frame::Trace(_) => FrameKind::Trace,
+            Frame::Config(_) => FrameKind::Config,
+            Frame::Report(_) => FrameKind::Report,
+            Frame::Snapshot(_) => FrameKind::Snapshot,
+        }
+    }
+
+    /// Encodes the frame: magic, version, kind byte, payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an in-memory value cannot be represented
+    /// — a sequence longer than `u32::MAX` or a non-finite coordinate.
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(self.kind() as u8);
+        match self {
+            Frame::Links(links) => {
+                put_len(&mut buf, links.len(), "links")?;
+                for link in links {
+                    put_link(&mut buf, link)?;
+                }
+            }
+            Frame::Trace(trace) => put_trace(&mut buf, trace)?,
+            Frame::Config(config) => put_config(&mut buf, config)?,
+            Frame::Report(report) => put_str(&mut buf, &report.to_json(), "report json")?,
+            Frame::Snapshot(state) => put_state(&mut buf, state)?,
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a frame from bytes. Total: hostile input returns a typed
+    /// [`DecodeError`], never a panic (see the [module docs](self)).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(magic);
+            return Err(DecodeError::BadMagic { found });
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::UnsupportedVersion { version });
+        }
+        let kind = r.u8()?;
+        let frame = match kind {
+            1 => {
+                let n = r.seq_len("links", LINK_MIN_BYTES)?;
+                let mut links = Vec::with_capacity(n);
+                for _ in 0..n {
+                    links.push(get_link(&mut r)?);
+                }
+                Frame::Links(links)
+            }
+            2 => Frame::Trace(get_trace(&mut r)?),
+            3 => Frame::Config(get_config(&mut r)?),
+            4 => {
+                let json = r.str("report json")?;
+                Frame::Report(SolveReport::from_json(&json).map_err(DecodeError::InvalidReport)?)
+            }
+            5 => Frame::Snapshot(get_state(&mut r)?),
+            kind => return Err(DecodeError::UnknownFrameKind { kind }),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why an in-memory value could not be encoded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// A sequence or string exceeds the `u32` length prefix.
+    TooLong {
+        /// What was being encoded.
+        what: &'static str,
+        /// Its length.
+        len: usize,
+    },
+    /// A coordinate or parameter is NaN or infinite.
+    NonFinite {
+        /// What was being encoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLong { what, len } => {
+                write!(f, "{what} of length {len} exceeds the u32 length prefix")
+            }
+            EncodeError::NonFinite { what } => write!(f, "{what} is NaN or infinite"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Why a byte string is not a valid frame. Exhaustive over everything
+/// hostile bytes can be wrong about; decoding never panics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 4],
+    },
+    /// The version byte is not one this build speaks.
+    UnsupportedVersion {
+        /// The version found.
+        version: u8,
+    },
+    /// The kind byte names no frame.
+    UnknownFrameKind {
+        /// The kind found.
+        kind: u8,
+    },
+    /// An enum tag byte names no variant.
+    UnknownTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The tag found.
+        tag: u8,
+    },
+    /// A boolean byte is neither 0 nor 1.
+    InvalidBool {
+        /// The byte found.
+        value: u8,
+    },
+    /// A length prefix declares more elements than the remaining bytes
+    /// could possibly hold (the allocation cap).
+    LengthOverflow {
+        /// The sequence being decoded.
+        what: &'static str,
+        /// Elements declared.
+        declared: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A string field is not valid UTF-8.
+    InvalidUtf8 {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// A coordinate or parameter that must be finite is NaN or infinite.
+    NonFinite {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// A parameter that must be strictly positive is not (engine slacks —
+    /// the engine constructor asserts on them).
+    NonPositive {
+        /// The field being decoded.
+        what: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// An oblivious power exponent outside `(0, 1)`.
+    InvalidTau {
+        /// The value found.
+        tau: f64,
+    },
+    /// The SINR model parameters fail [`SinrModel::new`]'s validation.
+    InvalidModel(String),
+    /// The report JSON fails [`SolveReport::from_json`].
+    InvalidReport(String),
+    /// A `u64` field does not fit this platform's `usize`.
+    IntOutOfRange {
+        /// The field being decoded.
+        what: &'static str,
+        /// The value found.
+        value: u64,
+    },
+    /// Bytes remain after the payload ended.
+    TrailingBytes {
+        /// How many.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => {
+                write!(f, "truncated: needed {needed} bytes, {remaining} remain")
+            }
+            DecodeError::BadMagic { found } => write!(f, "bad magic {found:?}"),
+            DecodeError::UnsupportedVersion { version } => {
+                write!(
+                    f,
+                    "wire version {version} not supported (this build speaks {VERSION})"
+                )
+            }
+            DecodeError::UnknownFrameKind { kind } => write!(f, "unknown frame kind {kind}"),
+            DecodeError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            DecodeError::InvalidBool { value } => write!(f, "invalid boolean byte {value}"),
+            DecodeError::LengthOverflow {
+                what,
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "{what} declares {declared} elements but only {remaining} bytes remain"
+            ),
+            DecodeError::InvalidUtf8 { what } => write!(f, "{what} is not valid UTF-8"),
+            DecodeError::NonFinite { what } => write!(f, "{what} is NaN or infinite"),
+            DecodeError::NonPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, found {value}")
+            }
+            DecodeError::InvalidTau { tau } => {
+                write!(f, "oblivious power exponent {tau} outside (0, 1)")
+            }
+            DecodeError::InvalidModel(e) => write!(f, "invalid SINR model: {e}"),
+            DecodeError::InvalidReport(e) => write!(f, "invalid report JSON: {e}"),
+            DecodeError::IntOutOfRange { what, value } => {
+                write!(f, "{what} value {value} does not fit usize")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the frame payload")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn put_len(buf: &mut Vec<u8>, len: usize, what: &'static str) -> Result<(), EncodeError> {
+    let v = u32::try_from(len).map_err(|_| EncodeError::TooLong { what, len })?;
+    put_u32(buf, v);
+    Ok(())
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str, what: &'static str) -> Result<(), EncodeError> {
+    put_len(buf, s.len(), what)?;
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_finite(buf: &mut Vec<u8>, v: f64, what: &'static str) -> Result<(), EncodeError> {
+    if !v.is_finite() {
+        return Err(EncodeError::NonFinite { what });
+    }
+    put_f64(buf, v);
+    Ok(())
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            put_u64(buf, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn finite_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        let v = self.f64()?;
+        if !v.is_finite() {
+            return Err(DecodeError::NonFinite { what });
+        }
+        Ok(v)
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(DecodeError::InvalidBool { value }),
+        }
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::IntOutOfRange { what, value: v })
+    }
+
+    /// A `u32` sequence length, capped against the bytes remaining: a
+    /// hostile prefix can never make us allocate more elements than the
+    /// input could hold at `min_elem` bytes each.
+    fn seq_len(&mut self, what: &'static str, min_elem: usize) -> Result<usize, DecodeError> {
+        let declared = self.u32()? as usize;
+        if declared.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(DecodeError::LengthOverflow {
+                what,
+                declared,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(declared)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.seq_len(what, 1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8 { what })
+    }
+
+    fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(DecodeError::UnknownTag { what, tag }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry and links
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of a [`Link`]: id + two points + two option tags.
+const LINK_MIN_BYTES: usize = 8 + 16 + 16 + 2;
+
+fn put_point(buf: &mut Vec<u8>, p: Point, what: &'static str) -> Result<(), EncodeError> {
+    put_finite(buf, p.x, what)?;
+    put_finite(buf, p.y, what)
+}
+
+fn get_point(r: &mut Reader<'_>, what: &'static str) -> Result<Point, DecodeError> {
+    let x = r.finite_f64(what)?;
+    let y = r.finite_f64(what)?;
+    Ok(Point::new(x, y))
+}
+
+fn put_link(buf: &mut Vec<u8>, link: &Link) -> Result<(), EncodeError> {
+    put_u64(buf, link.id.index() as u64);
+    put_point(buf, link.sender, "link sender")?;
+    put_point(buf, link.receiver, "link receiver")?;
+    put_opt_u64(buf, link.sender_node.map(|n| n.index() as u64));
+    put_opt_u64(buf, link.receiver_node.map(|n| n.index() as u64));
+    Ok(())
+}
+
+fn get_link(r: &mut Reader<'_>) -> Result<Link, DecodeError> {
+    let id = r.usize("link id")?;
+    let sender = get_point(r, "link sender")?;
+    let receiver = get_point(r, "link receiver")?;
+    let sender_node = r.opt_u64("link sender node")?;
+    let receiver_node = r.opt_u64("link receiver node")?;
+    let mut link = Link::new(id, sender, receiver);
+    link.sender_node = match sender_node {
+        Some(n) => Some(NodeId(usize::try_from(n).map_err(|_| {
+            DecodeError::IntOutOfRange {
+                what: "link sender node",
+                value: n,
+            }
+        })?)),
+        None => None,
+    };
+    link.receiver_node = match receiver_node {
+        Some(n) => Some(NodeId(usize::try_from(n).map_err(|_| {
+            DecodeError::IntOutOfRange {
+                what: "link receiver node",
+                value: n,
+            }
+        })?)),
+        None => None,
+    };
+    Ok(link)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler configuration
+// ---------------------------------------------------------------------------
+
+fn put_model(buf: &mut Vec<u8>, model: &SinrModel) {
+    // Always finite by construction (SinrModel::new validates).
+    put_f64(buf, model.alpha());
+    put_f64(buf, model.beta());
+    put_f64(buf, model.noise());
+}
+
+fn get_model(r: &mut Reader<'_>) -> Result<SinrModel, DecodeError> {
+    let alpha = r.f64()?;
+    let beta = r.f64()?;
+    let noise = r.f64()?;
+    SinrModel::new(alpha, beta, noise).map_err(|e| DecodeError::InvalidModel(e.to_string()))
+}
+
+fn put_power_mode(buf: &mut Vec<u8>, mode: PowerMode) -> Result<(), EncodeError> {
+    match mode {
+        PowerMode::Uniform => buf.push(0),
+        PowerMode::Linear => buf.push(1),
+        PowerMode::Oblivious { tau } => {
+            buf.push(2);
+            put_finite(buf, tau, "oblivious tau")?;
+        }
+        PowerMode::GlobalControl => buf.push(3),
+    }
+    Ok(())
+}
+
+fn get_power_mode(r: &mut Reader<'_>) -> Result<PowerMode, DecodeError> {
+    match r.u8()? {
+        0 => Ok(PowerMode::Uniform),
+        1 => Ok(PowerMode::Linear),
+        2 => {
+            let tau = r.f64()?;
+            if !(tau.is_finite() && tau > 0.0 && tau < 1.0) {
+                return Err(DecodeError::InvalidTau { tau });
+            }
+            Ok(PowerMode::Oblivious { tau })
+        }
+        3 => Ok(PowerMode::GlobalControl),
+        tag => Err(DecodeError::UnknownTag {
+            what: "power mode",
+            tag,
+        }),
+    }
+}
+
+fn put_scheduler(buf: &mut Vec<u8>, config: &SchedulerConfig) -> Result<(), EncodeError> {
+    put_model(buf, &config.model);
+    put_power_mode(buf, config.mode)?;
+    put_bool(buf, config.verify_slots);
+    Ok(())
+}
+
+fn get_scheduler(r: &mut Reader<'_>) -> Result<SchedulerConfig, DecodeError> {
+    let model = get_model(r)?;
+    let mode = get_power_mode(r)?;
+    let verify_slots = r.bool()?;
+    Ok(SchedulerConfig {
+        model,
+        mode,
+        verify_slots,
+    })
+}
+
+fn put_verifier(buf: &mut Vec<u8>, strategy: VerifierStrategy) {
+    match strategy {
+        VerifierStrategy::Flat => buf.push(0),
+        VerifierStrategy::Hierarchical { depth } => {
+            buf.push(1);
+            put_opt_u64(buf, depth.map(|d| d as u64));
+        }
+    }
+}
+
+fn get_verifier(r: &mut Reader<'_>) -> Result<VerifierStrategy, DecodeError> {
+    match r.u8()? {
+        0 => Ok(VerifierStrategy::Flat),
+        1 => {
+            let depth = match r.opt_u64("verifier depth")? {
+                None => None,
+                Some(d) => Some(usize::try_from(d).map_err(|_| DecodeError::IntOutOfRange {
+                    what: "verifier depth",
+                    value: d,
+                })?),
+            };
+            Ok(VerifierStrategy::Hierarchical { depth })
+        }
+        tag => Err(DecodeError::UnknownTag {
+            what: "verifier strategy",
+            tag,
+        }),
+    }
+}
+
+fn put_bbox(buf: &mut Vec<u8>, b: BoundingBox) -> Result<(), EncodeError> {
+    put_finite(buf, b.min_x, "extent min_x")?;
+    put_finite(buf, b.min_y, "extent min_y")?;
+    put_finite(buf, b.max_x, "extent max_x")?;
+    put_finite(buf, b.max_y, "extent max_y")
+}
+
+fn get_bbox(r: &mut Reader<'_>) -> Result<BoundingBox, DecodeError> {
+    let min_x = r.finite_f64("extent min_x")?;
+    let min_y = r.finite_f64("extent min_y")?;
+    let max_x = r.finite_f64("extent max_x")?;
+    let max_y = r.finite_f64("extent max_y")?;
+    Ok(BoundingBox {
+        min_x,
+        min_y,
+        max_x,
+        max_y,
+    })
+}
+
+/// A strictly positive finite parameter (constructors downstream assert on
+/// these, so decode must reject them here).
+fn positive(r: &mut Reader<'_>, what: &'static str) -> Result<f64, DecodeError> {
+    let v = r.finite_f64(what)?;
+    if v <= 0.0 {
+        return Err(DecodeError::NonPositive { what, value: v });
+    }
+    Ok(v)
+}
+
+fn put_config(buf: &mut Vec<u8>, config: &SessionConfig) -> Result<(), EncodeError> {
+    put_scheduler(buf, &config.scheduler)?;
+    buf.push(match config.backend {
+        Backend::Auto => 0,
+        Backend::Static => 1,
+        Backend::Engine => 2,
+        Backend::Sharded => 3,
+    });
+    put_bool(buf, config.expect_churn);
+    put_verifier(buf, config.verifier);
+    put_u64(buf, config.target_shards as u64);
+    match config.partition {
+        None => buf.push(0),
+        Some(hints) => {
+            buf.push(1);
+            put_bbox(buf, hints.extent)?;
+            put_finite(buf, hints.length_bounds.0, "length bound min")?;
+            put_finite(buf, hints.length_bounds.1, "length bound max")?;
+        }
+    }
+    put_finite(buf, config.grid_slack, "grid slack")?;
+    put_finite(buf, config.compact_slack, "compact slack")?;
+    put_bool(buf, config.repair.enabled);
+    put_finite(buf, config.repair.max_drift, "repair max drift")?;
+    Ok(())
+}
+
+fn get_config(r: &mut Reader<'_>) -> Result<SessionConfig, DecodeError> {
+    let scheduler = get_scheduler(r)?;
+    let backend = match r.u8()? {
+        0 => Backend::Auto,
+        1 => Backend::Static,
+        2 => Backend::Engine,
+        3 => Backend::Sharded,
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                what: "backend",
+                tag,
+            })
+        }
+    };
+    let expect_churn = r.bool()?;
+    let verifier = get_verifier(r)?;
+    let target_shards = r.usize("target shards")?;
+    let partition = match r.u8()? {
+        0 => None,
+        1 => {
+            let extent = get_bbox(r)?;
+            let lo = r.finite_f64("length bound min")?;
+            let hi = r.finite_f64("length bound max")?;
+            Some(PartitionHints {
+                extent,
+                length_bounds: (lo, hi),
+            })
+        }
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                what: "partition hints",
+                tag,
+            })
+        }
+    };
+    let grid_slack = positive(r, "grid slack")?;
+    let compact_slack = positive(r, "compact slack")?;
+    let enabled = r.bool()?;
+    let max_drift = r.finite_f64("repair max drift")?;
+    Ok(SessionConfig {
+        scheduler,
+        backend,
+        expect_churn,
+        verifier,
+        target_shards,
+        partition,
+        grid_slack,
+        compact_slack,
+        repair: RepairPolicy { enabled, max_drift },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine traces
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of an [`EngineEvent`] (a `Remove`: tag + key).
+const EVENT_MIN_BYTES: usize = 1 + 8;
+
+fn put_event(buf: &mut Vec<u8>, event: &EngineEvent) -> Result<(), EncodeError> {
+    match *event {
+        EngineEvent::Insert {
+            key,
+            sender,
+            receiver,
+            sender_node,
+            receiver_node,
+        } => {
+            buf.push(0);
+            put_u64(buf, key);
+            put_point(buf, sender, "event sender")?;
+            put_point(buf, receiver, "event receiver")?;
+            put_opt_u64(buf, sender_node.map(|n| n as u64));
+            put_opt_u64(buf, receiver_node.map(|n| n as u64));
+        }
+        EngineEvent::Remove { key } => {
+            buf.push(1);
+            put_u64(buf, key);
+        }
+        EngineEvent::MoveNode { node, to } => {
+            buf.push(2);
+            put_u64(buf, node as u64);
+            put_point(buf, to, "event move target")?;
+        }
+    }
+    Ok(())
+}
+
+fn get_event(r: &mut Reader<'_>) -> Result<EngineEvent, DecodeError> {
+    match r.u8()? {
+        0 => {
+            let key = r.u64()?;
+            let sender = get_point(r, "event sender")?;
+            let receiver = get_point(r, "event receiver")?;
+            let sender_node = match r.opt_u64("event sender node")? {
+                None => None,
+                Some(n) => Some(usize::try_from(n).map_err(|_| DecodeError::IntOutOfRange {
+                    what: "event sender node",
+                    value: n,
+                })?),
+            };
+            let receiver_node = match r.opt_u64("event receiver node")? {
+                None => None,
+                Some(n) => Some(usize::try_from(n).map_err(|_| DecodeError::IntOutOfRange {
+                    what: "event receiver node",
+                    value: n,
+                })?),
+            };
+            Ok(EngineEvent::Insert {
+                key,
+                sender,
+                receiver,
+                sender_node,
+                receiver_node,
+            })
+        }
+        1 => Ok(EngineEvent::Remove { key: r.u64()? }),
+        2 => {
+            let node = r.usize("event move node")?;
+            let to = get_point(r, "event move target")?;
+            Ok(EngineEvent::MoveNode { node, to })
+        }
+        tag => Err(DecodeError::UnknownTag {
+            what: "engine event",
+            tag,
+        }),
+    }
+}
+
+fn put_trace(buf: &mut Vec<u8>, trace: &EngineTrace) -> Result<(), EncodeError> {
+    put_str(buf, &trace.name, "trace name")?;
+    put_len(buf, trace.events.len(), "trace events")?;
+    for event in &trace.events {
+        put_event(buf, event)?;
+    }
+    Ok(())
+}
+
+fn get_trace(r: &mut Reader<'_>) -> Result<EngineTrace, DecodeError> {
+    let name = r.str("trace name")?;
+    let n = r.seq_len("trace events", EVENT_MIN_BYTES)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(get_event(r)?);
+    }
+    Ok(EngineTrace { name, events })
+}
+
+// ---------------------------------------------------------------------------
+// Session snapshots
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of a [`KeyedLink`]: key + link.
+const KEYED_LINK_MIN_BYTES: usize = 8 + LINK_MIN_BYTES;
+
+fn put_keyed_links(buf: &mut Vec<u8>, links: &[KeyedLink]) -> Result<(), EncodeError> {
+    put_len(buf, links.len(), "snapshot links")?;
+    for kl in links {
+        put_u64(buf, kl.key);
+        put_link(buf, &kl.link)?;
+    }
+    Ok(())
+}
+
+fn get_keyed_links(r: &mut Reader<'_>) -> Result<Vec<KeyedLink>, DecodeError> {
+    let n = r.seq_len("snapshot links", KEYED_LINK_MIN_BYTES)?;
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64()?;
+        let link = get_link(r)?;
+        links.push(KeyedLink { key, link });
+    }
+    Ok(links)
+}
+
+fn put_counts(buf: &mut Vec<u8>, counts: EventCounts) {
+    put_u64(buf, counts.inserts as u64);
+    put_u64(buf, counts.removals as u64);
+    put_u64(buf, counts.moves as u64);
+}
+
+fn get_counts(r: &mut Reader<'_>) -> Result<EventCounts, DecodeError> {
+    Ok(EventCounts {
+        inserts: r.usize("insert count")?,
+        removals: r.usize("removal count")?,
+        moves: r.usize("move count")?,
+    })
+}
+
+fn put_dirty(buf: &mut Vec<u8>, dirty: &[u64]) -> Result<(), EncodeError> {
+    put_len(buf, dirty.len(), "dirty keys")?;
+    for &k in dirty {
+        put_u64(buf, k);
+    }
+    Ok(())
+}
+
+fn get_dirty(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.seq_len("dirty keys", 8)?;
+    let mut dirty = Vec::with_capacity(n);
+    for _ in 0..n {
+        dirty.push(r.u64()?);
+    }
+    Ok(dirty)
+}
+
+/// Warm budgets are decoded as raw bit patterns: finiteness is a *semantic*
+/// property [`wagg_session::RestoreError::BudgetNotFinite`] owns — the wire
+/// layer only guarantees the structure parses without panicking.
+fn put_warm(buf: &mut Vec<u8>, warm: Option<&WarmState>) -> Result<(), EncodeError> {
+    let Some(w) = warm else {
+        buf.push(0);
+        return Ok(());
+    };
+    buf.push(1);
+    put_len(buf, w.colors.len(), "warm colors")?;
+    for c in &w.colors {
+        put_opt_u64(buf, c.map(|c| c as u64));
+    }
+    put_len(buf, w.budgets.len(), "warm budgets")?;
+    for &b in &w.budgets {
+        put_f64(buf, b);
+    }
+    put_u64(buf, w.baseline_slots as u64);
+    match w.skew {
+        None => buf.push(0),
+        Some((max_owned, mean_owned, ghost_fraction)) => {
+            buf.push(1);
+            put_u64(buf, max_owned as u64);
+            put_f64(buf, mean_owned);
+            put_f64(buf, ghost_fraction);
+        }
+    }
+    Ok(())
+}
+
+fn get_warm(r: &mut Reader<'_>) -> Result<Option<WarmState>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n = r.seq_len("warm colors", 1)?;
+            let mut colors = Vec::with_capacity(n);
+            for _ in 0..n {
+                colors.push(match r.opt_u64("warm color")? {
+                    None => None,
+                    Some(c) => {
+                        Some(usize::try_from(c).map_err(|_| DecodeError::IntOutOfRange {
+                            what: "warm color",
+                            value: c,
+                        })?)
+                    }
+                });
+            }
+            let m = r.seq_len("warm budgets", 8)?;
+            let mut budgets = Vec::with_capacity(m);
+            for _ in 0..m {
+                budgets.push(r.f64()?);
+            }
+            let baseline_slots = r.usize("warm baseline")?;
+            let skew = match r.u8()? {
+                0 => None,
+                1 => {
+                    let max_owned = r.usize("skew max owned")?;
+                    let mean_owned = r.f64()?;
+                    let ghost_fraction = r.f64()?;
+                    Some((max_owned, mean_owned, ghost_fraction))
+                }
+                tag => {
+                    return Err(DecodeError::UnknownTag {
+                        what: "warm skew",
+                        tag,
+                    })
+                }
+            };
+            Ok(Some(WarmState {
+                colors,
+                budgets,
+                baseline_slots,
+                skew,
+            }))
+        }
+        tag => Err(DecodeError::UnknownTag {
+            what: "warm state",
+            tag,
+        }),
+    }
+}
+
+fn put_backend_state(buf: &mut Vec<u8>, state: &BackendState) -> Result<(), EncodeError> {
+    match state {
+        BackendState::Static {
+            links,
+            next_key,
+            counts,
+        } => {
+            buf.push(0);
+            put_keyed_links(buf, links)?;
+            put_u64(buf, *next_key);
+            put_counts(buf, *counts);
+        }
+        BackendState::Engine {
+            links,
+            next_key,
+            dirty,
+            warm,
+            counts,
+        } => {
+            buf.push(1);
+            put_keyed_links(buf, links)?;
+            put_u64(buf, *next_key);
+            put_dirty(buf, dirty)?;
+            put_warm(buf, warm.as_ref())?;
+            put_counts(buf, *counts);
+        }
+        BackendState::ShardedRebuild {
+            links,
+            next_key,
+            counts,
+        } => {
+            buf.push(2);
+            put_keyed_links(buf, links)?;
+            put_u64(buf, *next_key);
+            put_counts(buf, *counts);
+        }
+        BackendState::ShardedEngine {
+            links,
+            next_key,
+            dirty,
+            warm,
+            counts,
+        } => {
+            buf.push(3);
+            put_keyed_links(buf, links)?;
+            put_u64(buf, *next_key);
+            put_dirty(buf, dirty)?;
+            put_warm(buf, warm.as_ref())?;
+            put_counts(buf, *counts);
+        }
+    }
+    Ok(())
+}
+
+fn get_backend_state(r: &mut Reader<'_>) -> Result<BackendState, DecodeError> {
+    match r.u8()? {
+        0 => Ok(BackendState::Static {
+            links: get_keyed_links(r)?,
+            next_key: r.u64()?,
+            counts: get_counts(r)?,
+        }),
+        1 => Ok(BackendState::Engine {
+            links: get_keyed_links(r)?,
+            next_key: r.u64()?,
+            dirty: get_dirty(r)?,
+            warm: get_warm(r)?,
+            counts: get_counts(r)?,
+        }),
+        2 => Ok(BackendState::ShardedRebuild {
+            links: get_keyed_links(r)?,
+            next_key: r.u64()?,
+            counts: get_counts(r)?,
+        }),
+        3 => Ok(BackendState::ShardedEngine {
+            links: get_keyed_links(r)?,
+            next_key: r.u64()?,
+            dirty: get_dirty(r)?,
+            warm: get_warm(r)?,
+            counts: get_counts(r)?,
+        }),
+        tag => Err(DecodeError::UnknownTag {
+            what: "backend state",
+            tag,
+        }),
+    }
+}
+
+fn put_telemetry(buf: &mut Vec<u8>, telemetry: Option<&TelemetryState>) -> Result<(), EncodeError> {
+    let Some(t) = telemetry else {
+        buf.push(0);
+        return Ok(());
+    };
+    buf.push(1);
+    put_u64(buf, t.config.window as u64);
+    put_finite(buf, t.config.ewma_alpha, "telemetry ewma alpha")?;
+    put_finite(buf, t.config.fast_alpha, "telemetry fast alpha")?;
+    put_finite(buf, t.config.slow_alpha, "telemetry slow alpha")?;
+    put_u64(buf, t.config.health.min_samples);
+    put_finite(buf, t.config.health.skew_fire, "health skew fire")?;
+    put_finite(buf, t.config.health.skew_clear, "health skew clear")?;
+    put_finite(buf, t.config.health.drift_fire, "health drift fire")?;
+    put_finite(buf, t.config.health.drift_clear, "health drift clear")?;
+    put_finite(buf, t.config.health.latency_fire, "health latency fire")?;
+    put_finite(buf, t.config.health.latency_clear, "health latency clear")?;
+    put_str(buf, &t.log, "telemetry log")?;
+    Ok(())
+}
+
+fn get_telemetry(r: &mut Reader<'_>) -> Result<Option<TelemetryState>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let window = r.usize("telemetry window")?;
+            let ewma_alpha = r.finite_f64("telemetry ewma alpha")?;
+            let fast_alpha = r.finite_f64("telemetry fast alpha")?;
+            let slow_alpha = r.finite_f64("telemetry slow alpha")?;
+            let min_samples = r.u64()?;
+            let skew_fire = r.finite_f64("health skew fire")?;
+            let skew_clear = r.finite_f64("health skew clear")?;
+            let drift_fire = r.finite_f64("health drift fire")?;
+            let drift_clear = r.finite_f64("health drift clear")?;
+            let latency_fire = r.finite_f64("health latency fire")?;
+            let latency_clear = r.finite_f64("health latency clear")?;
+            let log = r.str("telemetry log")?;
+            Ok(Some(TelemetryState {
+                config: TelemetryConfig {
+                    window,
+                    ewma_alpha,
+                    fast_alpha,
+                    slow_alpha,
+                    health: HealthConfig {
+                        min_samples,
+                        skew_fire,
+                        skew_clear,
+                        drift_fire,
+                        drift_clear,
+                        latency_fire,
+                        latency_clear,
+                    },
+                },
+                log,
+            }))
+        }
+        tag => Err(DecodeError::UnknownTag {
+            what: "telemetry state",
+            tag,
+        }),
+    }
+}
+
+fn put_state(buf: &mut Vec<u8>, state: &SessionState) -> Result<(), EncodeError> {
+    put_config(buf, &state.config)?;
+    put_backend_state(buf, &state.backend)?;
+    put_len(buf, state.trace_keys.len(), "trace keys")?;
+    for &(trace, session) in &state.trace_keys {
+        put_u64(buf, trace);
+        put_u64(buf, session);
+    }
+    put_telemetry(buf, state.telemetry.as_ref())
+}
+
+fn get_state(r: &mut Reader<'_>) -> Result<SessionState, DecodeError> {
+    let config = get_config(r)?;
+    let backend = get_backend_state(r)?;
+    let n = r.seq_len("trace keys", 16)?;
+    let mut trace_keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let trace = r.u64()?;
+        let session = r.u64()?;
+        trace_keys.push((trace, session));
+    }
+    let telemetry = get_telemetry(r)?;
+    Ok(SessionState {
+        config,
+        backend,
+        trace_keys,
+        telemetry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_links() -> Vec<Link> {
+        (0..5)
+            .map(|i| {
+                let mut l = Link::new(
+                    i,
+                    Point::new(i as f64 * 3.0, 1.0),
+                    Point::new(i as f64 * 3.0 + 1.0, 1.5),
+                );
+                if i % 2 == 0 {
+                    l.sender_node = Some(NodeId(i));
+                    l.receiver_node = Some(NodeId(i + 1));
+                }
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn links_round_trip() {
+        let frame = Frame::Links(sample_links());
+        let bytes = frame.encode().unwrap();
+        assert_eq!(&bytes[..4], &MAGIC);
+        assert_eq!(bytes[4], VERSION);
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let config = SessionConfig {
+            backend: Backend::Sharded,
+            expect_churn: true,
+            target_shards: 7,
+            partition: Some(PartitionHints {
+                extent: BoundingBox {
+                    min_x: 0.0,
+                    min_y: 0.0,
+                    max_x: 100.0,
+                    max_y: 50.0,
+                },
+                length_bounds: (1.0, 2.0),
+            }),
+            repair: RepairPolicy {
+                enabled: true,
+                max_drift: 0.5,
+            },
+            ..SessionConfig::default()
+        };
+        let frame = Frame::Config(config);
+        let bytes = frame.encode().unwrap();
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let trace = EngineTrace {
+            name: "unit".to_string(),
+            events: vec![
+                EngineEvent::Insert {
+                    key: 3,
+                    sender: Point::new(0.0, 0.0),
+                    receiver: Point::new(1.0, 0.0),
+                    sender_node: Some(4),
+                    receiver_node: None,
+                },
+                EngineEvent::MoveNode {
+                    node: 4,
+                    to: Point::new(2.0, 2.0),
+                },
+                EngineEvent::Remove { key: 3 },
+            ],
+        };
+        let frame = Frame::Trace(trace);
+        let bytes = frame.encode().unwrap();
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn wrong_magic_version_kind_are_typed() {
+        let bytes = Frame::Links(vec![]).encode().unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(DecodeError::BadMagic { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(DecodeError::UnsupportedVersion { version: 99 })
+        );
+        let mut bad = bytes.clone();
+        bad[5] = 0xEE;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(DecodeError::UnknownFrameKind { kind: 0xEE })
+        );
+        let mut bad = bytes;
+        bad.push(0);
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_capped_before_allocation() {
+        let mut bytes = Frame::Links(sample_links()).encode().unwrap();
+        // Overwrite the link-count prefix (right after the 6-byte header)
+        // with u32::MAX: decode must reject it against the remaining bytes
+        // instead of trying to allocate four billion links.
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(DecodeError::LengthOverflow { what: "links", .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_coordinates_rejected_both_ways() {
+        let mut link = Link::new(0, Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        link.sender = Point {
+            x: f64::NAN,
+            y: 0.0,
+        };
+        assert_eq!(
+            Frame::Links(vec![link]).encode(),
+            Err(EncodeError::NonFinite {
+                what: "link sender"
+            })
+        );
+        let mut bytes = Frame::Links(sample_links()).encode().unwrap();
+        // First link's sender.x sits right after header + count + id.
+        let off = 6 + 4 + 8;
+        bytes[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::NonFinite {
+                what: "link sender"
+            })
+        );
+    }
+}
